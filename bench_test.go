@@ -1,0 +1,335 @@
+package insightnotes
+
+// One testing.B benchmark per experiment in DESIGN.md's index (E1-E8),
+// sharing fixtures with the sweep harness in internal/bench, plus
+// micro-benchmarks of the core summary operations. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/inbench runs the corresponding full parameter sweeps and prints the
+// paper-style tables captured in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/bench"
+	"insightnotes/internal/engine"
+	"insightnotes/internal/plan"
+	"insightnotes/internal/sql"
+	"insightnotes/internal/summary"
+	"insightnotes/internal/textmining"
+	"insightnotes/internal/types"
+	"insightnotes/internal/workload"
+	"insightnotes/internal/workload/populate"
+)
+
+// newBirdWorld builds the standard annotated fixture.
+func newBirdWorld(b *testing.B, tuples, annsPerTuple int) *engine.DB {
+	b.Helper()
+	db, err := engine.Open(engine.Config{CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := workload.New(1)
+	if _, err := populate.Birds(db, g, populate.BirdCorpusSpec{
+		Tuples:              tuples,
+		AnnotationsPerTuple: annsPerTuple,
+		DocumentFraction:    0.02,
+		TrainPerClass:       8,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkE1SummaryCompression measures the cost basis of E1: maintaining
+// all three summary types for one incoming annotation.
+func BenchmarkE1SummaryCompression(b *testing.B) {
+	db := newBirdWorld(b, 8, 10)
+	g := workload.New(2)
+	texts := make([]string, 64)
+	for i := range texts {
+		texts[i] = g.ClassText(workload.BirdClasses[i%4])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := db.Annotate(engine.AnnotationRequest{
+			Text: texts[i%len(texts)], Table: "birds",
+			Where: eqID(i%8 + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2SPJPropagation measures the Figure 2 pipeline at two
+// annotation volumes.
+func BenchmarkE2SPJPropagation(b *testing.B) {
+	for _, apt := range []int{8, 64} {
+		b.Run(fmt.Sprintf("annsPerTuple=%d", apt), func(b *testing.B) {
+			w, err := bench.NewSPJWorld(b.TempDir(), 8, apt, 0.02)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.DB.QueryWithOptions(w.Query, plan.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3CurateBeforeMerge compares the curated plan against the
+// pushdown-disabled ablation.
+func BenchmarkE3CurateBeforeMerge(b *testing.B) {
+	w, err := bench.NewSPJWorld(b.TempDir(), 8, 16, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, opts := range map[string]plan.Options{
+		"curated":    {},
+		"noPushdown": {DisableProjectionPushdown: true},
+	} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := w.DB.QueryWithOptions(w.Query, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4IncrementalVsRecompute contrasts one incremental maintenance
+// step with a full summary rebuild.
+func BenchmarkE4IncrementalVsRecompute(b *testing.B) {
+	b.Run("incrementalInsert", func(b *testing.B) {
+		db := newBirdWorld(b, 8, 20)
+		g := workload.New(3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Annotate(engine.AnnotationRequest{
+				Text: g.ClassText("Behavior"), Table: "birds", Where: eqID(i%8 + 1),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fullRebuild", func(b *testing.B) {
+		db := newBirdWorld(b, 8, 20)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.RebuildSummaries("birds"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5InvariantOptimization measures a multi-tuple annotation ingest
+// with and without summarize-once.
+func BenchmarkE5InvariantOptimization(b *testing.B) {
+	for name, disable := range map[string]bool{"summarizeOnce": false, "ablated": true} {
+		b.Run(name, func(b *testing.B) {
+			db, err := engine.Open(engine.Config{CacheDir: b.TempDir(), DisableSummarizeOnce: disable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := workload.New(4)
+			if _, err := populate.Birds(db, g, populate.BirdCorpusSpec{
+				Tuples: 32, AnnotationsPerTuple: 0, TrainPerClass: 8,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One annotation attached to all 32 tuples.
+				if _, _, err := db.Annotate(engine.AnnotationRequest{
+					Text: g.ClassText("Behavior"), Table: "birds",
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6ZoomInRCO measures zoom-in service time on a cache hit and on
+// a forced miss (query re-execution).
+func BenchmarkE6ZoomInRCO(b *testing.B) {
+	run := func(b *testing.B, budget int64) {
+		db, err := engine.Open(engine.Config{CacheDir: b.TempDir(), CacheBudget: budget})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := workload.New(5)
+		if _, err := populate.Birds(db, g, populate.BirdCorpusSpec{
+			Tuples: 8, AnnotationsPerTuple: 10, TrainPerClass: 8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		res, err := db.Query("SELECT id, name FROM birds")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.ZoomIn(engine.ZoomInRequest{
+				QID: res.QID, Instance: "ClassBird1", Index: 1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("hit", func(b *testing.B) { run(b, 16<<20) })
+	b.Run("missReexecute", func(b *testing.B) { run(b, 1) })
+}
+
+// BenchmarkE7InstanceScalability measures maintenance cost against the
+// number of linked instances.
+func BenchmarkE7InstanceScalability(b *testing.B) {
+	for _, k := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("instances=%d", k), func(b *testing.B) {
+			db, err := engine.Open(engine.Config{CacheDir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := workload.New(6)
+			if _, err := populate.Birds(db, g, populate.BirdCorpusSpec{
+				Tuples: 8, AnnotationsPerTuple: 0, SkipInstances: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < k; i++ {
+				name := fmt.Sprintf("C%02d", i)
+				if _, err := db.Exec(fmt.Sprintf(
+					"CREATE SUMMARY INSTANCE %s TYPE Cluster WITH (threshold = 0.3)", name)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := db.Exec(fmt.Sprintf("LINK SUMMARY %s TO birds", name)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.Annotate(engine.AnnotationRequest{
+					Text: g.ClassText("Behavior"), Table: "birds", Where: eqID(i%8 + 1),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8SummaryVsRaw contrasts the summary engine with raw-annotation
+// propagation on the same SPJ query and data.
+func BenchmarkE8SummaryVsRaw(b *testing.B) {
+	for _, apt := range []int{8, 64} {
+		w, err := bench.NewSPJWorld(b.TempDir(), 8, apt, 0.02)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("summary/annsPerTuple=%d", apt), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := w.DB.QueryWithOptions(w.Query, plan.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("raw/annsPerTuple=%d", apt), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunRawSPJ(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- core micro-benchmarks ----
+
+// BenchmarkClassifySummarize measures one Naive Bayes classification, the
+// unit cost of classifier maintenance.
+func BenchmarkClassifySummarize(b *testing.B) {
+	nb, err := textmining.NewNaiveBayes(workload.BirdClasses)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := workload.New(7)
+	for _, s := range g.TrainingSet(workload.BirdClasses, 8) {
+		nb.Learn(s[0], s[1])
+	}
+	in, err := summary.NewClassifierInstance("C", nb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	texts := make([]annotation.Annotation, 64)
+	for i := range texts {
+		texts[i] = annotation.Annotation{ID: annotation.ID(i + 1), Text: g.ClassText("Behavior")}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Summarize(texts[i%len(texts)])
+	}
+}
+
+// BenchmarkEnvelopeMerge measures the join-time merge of two populated
+// envelopes, the inner loop of summary propagation.
+func BenchmarkEnvelopeMerge(b *testing.B) {
+	in, err := summary.NewClusterInstance("S", summary.DefaultSimThreshold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := workload.New(8)
+	build := func(base int) *summary.Envelope {
+		e := summary.NewEnvelope()
+		for i := 0; i < 20; i++ {
+			a := annotation.Annotation{ID: annotation.ID(base + i), Text: g.ClassText("Behavior")}
+			e.Add(in, in.Summarize(a), annotation.WholeRow(4))
+		}
+		return e
+	}
+	left := build(0)
+	right := build(10) // half the ids shared with left
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := left.Clone()
+		l.Merge(right, 4)
+	}
+}
+
+// BenchmarkEnvelopeProject measures projection curation of a populated
+// envelope.
+func BenchmarkEnvelopeProject(b *testing.B) {
+	in, err := summary.NewClusterInstance("S", summary.DefaultSimThreshold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := workload.New(9)
+	base := summary.NewEnvelope()
+	for i := 0; i < 30; i++ {
+		a := annotation.Annotation{ID: annotation.ID(i + 1), Text: g.ClassText("Anatomy")}
+		cols := annotation.Col(i % 4)
+		base.Add(in, in.Summarize(a), cols)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := base.Clone()
+		e.Project([]int{0, 1})
+	}
+}
+
+// eqID builds the predicate `id = n` for programmatic annotation targets.
+func eqID(n int) sql.Expr {
+	return &sql.BinaryExpr{
+		Op: "=",
+		L:  &sql.ColRef{Name: "id"},
+		R:  &sql.Literal{Val: types.NewInt(int64(n))},
+	}
+}

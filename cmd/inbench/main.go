@@ -1,0 +1,87 @@
+// Command inbench runs the experiment harness — one experiment per figure
+// or claim of the paper (see DESIGN.md's experiment index) — and prints the
+// resulting tables. EXPERIMENTS.md records a captured run.
+//
+// Usage:
+//
+//	inbench [-scale quick|full] [-exp e1,e4,e8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"insightnotes/internal/bench"
+)
+
+func main() {
+	scale := flag.String("scale", "full", "sweep scale: quick or full")
+	exps := flag.String("exp", "", "comma-separated experiment ids to run (default all), e.g. e1,e6")
+	flag.Parse()
+
+	var sc bench.Scale
+	switch strings.ToLower(*scale) {
+	case "quick":
+		sc = bench.Quick
+	case "full":
+		sc = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "inbench: unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+	spec := bench.SpecFor(sc)
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(strings.ToLower(*exps), ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			want[e] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[strings.ToLower(id)] }
+
+	type step struct {
+		id  string
+		run func() (*bench.Table, error)
+	}
+	steps := []step{
+		{"e1", func() (*bench.Table, error) { return bench.E1Compression(spec.E1Tuples, spec.E1Ratios) }},
+		{"e2", func() (*bench.Table, error) {
+			return bench.E2SPJPropagation(spec.E2Birds, spec.E2AnnsPerTuple, spec.E2Iters)
+		}},
+		{"e3", func() (*bench.Table, error) {
+			return bench.E3CurateBeforeMerge(spec.E3Birds, spec.E3AnnsPerTuple, spec.E3Iters)
+		}},
+		{"e4", func() (*bench.Table, error) {
+			return bench.E4IncrementalMaintenance(spec.E4Tuples, spec.E4Checkpoints)
+		}},
+		{"e5", func() (*bench.Table, error) { return bench.E5InvariantOptimization(spec.E5Multiplicity) }},
+		{"e6", func() (*bench.Table, error) {
+			return bench.E6ZoomInCache(spec.E6Budget, spec.E6Queries, spec.E6ZoomOps)
+		}},
+		{"e7", func() (*bench.Table, error) {
+			return bench.E7InstanceScalability(spec.E7Instances, spec.E7AnnsPerRound)
+		}},
+		{"e8", func() (*bench.Table, error) {
+			return bench.E8SummaryVsRaw(spec.E8Birds, spec.E8AnnsPerTuple, spec.E8Iters)
+		}},
+	}
+	ran := 0
+	for _, s := range steps {
+		if !selected(s.id) {
+			continue
+		}
+		t, err := s.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inbench %s: %v\n", s.id, err)
+			os.Exit(1)
+		}
+		t.Format(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "inbench: no experiments matched -exp")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,219 @@
+// Command insightnotes is the interactive front end of the engine — the
+// CLI counterpart of the paper's Excel-based InsightNotesGate (Figure 5).
+// It accepts the full statement grammar (SQL plus the InsightNotes
+// extensions), renders query results with their annotation summaries,
+// supports zoom-in, and exposes the under-the-hood per-operator trace.
+//
+// Usage:
+//
+//	insightnotes [-demo] [-script file.sql]
+//
+// With -demo the REPL starts pre-loaded with the annotated ornithological
+// dataset used throughout the paper's demonstration.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"insightnotes/internal/bench"
+	"insightnotes/internal/engine"
+	"insightnotes/internal/workload"
+	"insightnotes/internal/workload/populate"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "preload the annotated ornithological demo dataset")
+	script := flag.String("script", "", "execute a SQL script file before starting the REPL")
+	flag.Parse()
+
+	db, err := engine.Open(engine.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	if *demo {
+		fmt.Println("loading ornithological demo dataset (16 birds × 30 annotations)...")
+		g := workload.New(2015)
+		if _, err := populate.Birds(db, g, populate.BirdCorpusSpec{
+			Tuples: 16, AnnotationsPerTuple: 30, DocumentFraction: 0.05, TrainPerClass: 8,
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Println("loaded. Try: SELECT id, name FROM birds WHERE id <= 3;")
+	}
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		results, err := db.ExecScript(string(data))
+		for _, res := range results {
+			printResult(os.Stdout, res)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	repl(db)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "insightnotes:", err)
+	os.Exit(1)
+}
+
+const help = `statements end with ';'. SQL: CREATE TABLE / CREATE INDEX / INSERT /
+SELECT (joins, GROUP BY, HAVING, ORDER BY, DISTINCT, LIMIT) / DROP TABLE.
+InsightNotes extensions:
+  ADD ANNOTATION 'text' [TITLE '..'] [DOCUMENT '..'] [AUTHOR '..']
+      ON table[(col, ..)] [WHERE cond];
+  CREATE SUMMARY INSTANCE name TYPE Classifier|Cluster|Snippet
+      [WITH (k = v, ..)] [LABELS ('a', ..)];
+  TRAIN SUMMARY name ('sample', 'Label'), ..;
+  LINK SUMMARY name TO table;   UNLINK SUMMARY name FROM table;
+  ZOOMIN REFERENCE QID n [WHERE cond] ON instance INDEX k;
+  SHOW TABLES; SHOW SUMMARIES; SHOW ANNOTATIONS ON table;
+REPL commands:
+  \trace SELECT ...;   run a query with the per-operator summary trace
+  \stats               zoom-in cache statistics
+  \bench               run the quick experiment suite
+  \help                this text
+  \quit                exit`
+
+func repl(db *engine.DB) {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Println(`InsightNotes — summary-based annotation management (type \help)`)
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("insightnotes> ")
+		} else {
+			fmt.Print("          ... ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !replCommand(db, os.Stdout, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.Contains(line, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			results, err := db.ExecScript(stmt)
+			for _, res := range results {
+				printResult(os.Stdout, res)
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		prompt()
+	}
+}
+
+// replCommand handles backslash commands; it returns false to exit.
+func replCommand(db *engine.DB, w io.Writer, cmd string) bool {
+	switch {
+	case cmd == `\q` || cmd == `\quit`:
+		return false
+	case cmd == `\help` || cmd == `\h`:
+		fmt.Fprintln(w, help)
+	case cmd == `\stats`:
+		st := db.Cache().Stats()
+		fmt.Fprintf(w, "zoom-in cache [%s]: %d entries, %d bytes, %d hits, %d misses, %d evictions\n",
+			db.Cache().PolicyName(), st.Entries, st.UsedBytes, st.Hits, st.Misses, st.Evictions)
+	case cmd == `\bench`:
+		if _, err := bench.RunAll(w, bench.Quick); err != nil {
+			fmt.Fprintln(w, "error:", err)
+		}
+	case strings.HasPrefix(cmd, `\trace `):
+		q := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(cmd, `\trace `)), ";")
+		res, err := db.QueryTraced(q)
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			break
+		}
+		fmt.Fprintln(w, "-- under-the-hood execution --")
+		for _, e := range res.Trace {
+			fmt.Fprintf(w, "[%s] %s\n", e.Stage, e.Tuple)
+			if e.Summary != "" {
+				for _, line := range strings.Split(e.Summary, "\n") {
+					fmt.Fprintf(w, "        %s\n", line)
+				}
+			}
+		}
+		printResult(w, res)
+	default:
+		fmt.Fprintln(w, `unknown command (try \help)`)
+	}
+	return true
+}
+
+func printResult(w io.Writer, res *engine.Result) {
+	if res.Message != "" {
+		fmt.Fprintln(w, res.Message)
+	}
+	if res.Schema.Len() == 0 {
+		return
+	}
+	// Header.
+	headers := make([]string, res.Schema.Len())
+	widths := make([]int, res.Schema.Len())
+	for i, c := range res.Schema.Columns {
+		headers[i] = c.QualifiedName()
+		widths[i] = len(headers[i])
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row.Tuple))
+		for i, v := range row.Tuple {
+			s := v.String()
+			if len(s) > 40 {
+				s = s[:37] + "..."
+			}
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	line := func(cols []string) {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = c + strings.Repeat(" ", widths[i]-len(c))
+		}
+		fmt.Fprintln(w, "| "+strings.Join(parts, " | ")+" |")
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for r, row := range res.Rows {
+		line(cells[r])
+		if row.Env != nil && !row.Env.IsEmpty() {
+			for _, l := range strings.Split(row.Env.Render(), "\n") {
+				fmt.Fprintf(w, "    ~ %s\n", l)
+			}
+		}
+	}
+	if res.QID != 0 {
+		fmt.Fprintf(w, "(%d row(s), QID = %d)\n", len(res.Rows), res.QID)
+	} else {
+		fmt.Fprintf(w, "(%d row(s))\n", len(res.Rows))
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"insightnotes/internal/engine"
+)
+
+func replDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db, err := engine.Open(engine.Config{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecScript(`
+		CREATE TABLE birds (id INT, name TEXT);
+		INSERT INTO birds VALUES (1, 'Swan Goose');
+		CREATE SUMMARY INSTANCE C TYPE Classifier LABELS ('Behavior', 'Other');
+		TRAIN SUMMARY C ('feeding stonewort', 'Behavior'), ('photo record', 'Other');
+		LINK SUMMARY C TO birds;
+		ADD ANNOTATION 'observed feeding' ON birds WHERE id = 1;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPrintResultRendersTableAndSummaries(t *testing.T) {
+	db := replDB(t)
+	res, err := db.Query("SELECT id, name FROM birds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	printResult(&buf, res)
+	out := buf.String()
+	for _, want := range []string{
+		"| id | name", "| 1 ", "Swan Goose",
+		"~ C [(Behavior, 1), (Other, 0)]",
+		"QID =",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintResultMessageOnly(t *testing.T) {
+	db := replDB(t)
+	res, err := db.Exec("INSERT INTO birds VALUES (2, 'Mute Swan')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	printResult(&buf, res)
+	if !strings.Contains(buf.String(), "1 row(s) inserted") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestPrintResultTruncatesLongValues(t *testing.T) {
+	db := replDB(t)
+	long := strings.Repeat("x", 120)
+	if _, err := db.Exec("INSERT INTO birds VALUES (9, '" + long + "')"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("SELECT name FROM birds WHERE id = 9")
+	var buf strings.Builder
+	printResult(&buf, res)
+	if strings.Contains(buf.String(), long) {
+		t.Error("long value not truncated")
+	}
+	if !strings.Contains(buf.String(), "...") {
+		t.Error("no ellipsis")
+	}
+}
+
+func TestReplCommands(t *testing.T) {
+	db := replDB(t)
+	var buf strings.Builder
+	if !replCommand(db, &buf, `\help`) {
+		t.Error("\\help exited")
+	}
+	if !strings.Contains(buf.String(), "ZOOMIN") {
+		t.Errorf("help output = %q", buf.String())
+	}
+	buf.Reset()
+	replCommand(db, &buf, `\stats`)
+	if !strings.Contains(buf.String(), "zoom-in cache [RCO]") {
+		t.Errorf("stats output = %q", buf.String())
+	}
+	buf.Reset()
+	replCommand(db, &buf, `\trace SELECT id FROM birds;`)
+	if !strings.Contains(buf.String(), "under-the-hood") || !strings.Contains(buf.String(), "[project]") {
+		t.Errorf("trace output = %q", buf.String())
+	}
+	buf.Reset()
+	replCommand(db, &buf, `\nonsense`)
+	if !strings.Contains(buf.String(), "unknown command") {
+		t.Errorf("unknown output = %q", buf.String())
+	}
+	if replCommand(db, &buf, `\quit`) {
+		t.Error("\\quit did not exit")
+	}
+	buf.Reset()
+	replCommand(db, &buf, `\trace SELECT nope FROM birds;`)
+	if !strings.Contains(buf.String(), "error:") {
+		t.Errorf("trace error output = %q", buf.String())
+	}
+}

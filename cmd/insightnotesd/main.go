@@ -1,0 +1,85 @@
+// Command insightnotesd runs an InsightNotes engine as standalone network
+// middleware: clients connect over TCP and speak the newline-delimited
+// JSON protocol of internal/server (one request object per line, one
+// response per line).
+//
+// Usage:
+//
+//	insightnotesd [-addr :7090] [-snapshot db.json] [-demo]
+//
+// With -snapshot the server loads the file at startup (if it exists) and
+// writes it back on SIGINT/SIGTERM shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"insightnotes/internal/engine"
+	"insightnotes/internal/server"
+	"insightnotes/internal/workload"
+	"insightnotes/internal/workload/populate"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7090", "listen address")
+	snapshot := flag.String("snapshot", "", "snapshot file to load at start and save at shutdown")
+	demo := flag.Bool("demo", false, "preload the annotated ornithological demo dataset")
+	flag.Parse()
+
+	var db *engine.DB
+	var err error
+	if *snapshot != "" {
+		if _, statErr := os.Stat(*snapshot); statErr == nil {
+			db, err = engine.LoadFile(*snapshot, engine.Config{})
+			if err != nil {
+				fatal(fmt.Errorf("loading %s: %w", *snapshot, err))
+			}
+			fmt.Printf("loaded snapshot %s\n", *snapshot)
+		}
+	}
+	if db == nil {
+		db, err = engine.Open(engine.Config{})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *demo {
+		g := workload.New(2015)
+		if _, err := populate.Birds(db, g, populate.BirdCorpusSpec{
+			Tuples: 16, AnnotationsPerTuple: 30, DocumentFraction: 0.05, TrainPerClass: 8,
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Println("demo dataset loaded")
+	}
+
+	srv := server.New(db)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("insightnotesd listening on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down...")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+	}
+	if *snapshot != "" {
+		if err := db.SaveFile(*snapshot); err != nil {
+			fatal(fmt.Errorf("saving %s: %w", *snapshot, err))
+		}
+		fmt.Printf("snapshot saved to %s\n", *snapshot)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "insightnotesd:", err)
+	os.Exit(1)
+}

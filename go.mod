@@ -1,0 +1,3 @@
+module insightnotes
+
+go 1.22

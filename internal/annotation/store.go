@@ -1,0 +1,400 @@
+package annotation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"insightnotes/internal/storage"
+	"insightnotes/internal/types"
+)
+
+// Store persists raw annotations and their targets in two heap files and
+// maintains in-memory indexes: annotation id → heap RID, and
+// (table, row) → annotation refs. The indexes are rebuilt from the heaps by
+// OpenStore, mirroring the package storage convention.
+type Store struct {
+	mu      sync.RWMutex
+	anns    *storage.HeapFile
+	targets *storage.HeapFile
+	nextID  ID
+
+	byID  map[ID]storage.RID
+	byRow map[string]map[types.RowID][]Ref
+	// targetsOf maps an annotation to all its targets (with the heap RID
+	// of each target record, so retraction can delete them), for zoom-in
+	// displays, re-summarization after instance changes, and deletion.
+	targetsOf map[ID][]targetEntry
+	// bytes of raw annotation payload, for the E1 size benchmarks.
+	rawBytes int64
+}
+
+// targetEntry pairs a target with the heap RID of its record.
+type targetEntry struct {
+	Target
+	rid storage.RID
+}
+
+// NewStore creates an empty store over pool.
+func NewStore(pool *storage.BufferPool) *Store {
+	return &Store{
+		anns:      storage.NewHeapFile(pool),
+		targets:   storage.NewHeapFile(pool),
+		nextID:    1,
+		byID:      make(map[ID]storage.RID),
+		byRow:     make(map[string]map[types.RowID][]Ref),
+		targetsOf: make(map[ID][]targetEntry),
+	}
+}
+
+// OpenStore reattaches a store to previously persisted heap pages and
+// rebuilds all indexes.
+func OpenStore(pool *storage.BufferPool, annPages, targetPages []storage.PageID) (*Store, error) {
+	anns, err := storage.OpenHeapFile(pool, annPages)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := storage.OpenHeapFile(pool, targetPages)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		anns:      anns,
+		targets:   targets,
+		nextID:    1,
+		byID:      make(map[ID]storage.RID),
+		byRow:     make(map[string]map[types.RowID][]Ref),
+		targetsOf: make(map[ID][]targetEntry),
+	}
+	var scanErr error
+	anns.Scan(func(rid storage.RID, data []byte) bool {
+		a, err := decodeAnnotation(data)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		s.byID[a.ID] = rid
+		s.rawBytes += int64(len(data))
+		if a.ID >= s.nextID {
+			s.nextID = a.ID + 1
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	targets.Scan(func(rid storage.RID, data []byte) bool {
+		id, tg, err := decodeTarget(data)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		s.rawBytes += int64(len(data))
+		s.indexTarget(id, tg, rid)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return s, nil
+}
+
+// Pages returns the heap page lists (annotations, targets) for catalog
+// persistence.
+func (s *Store) Pages() (annPages, targetPages []storage.PageID) {
+	return s.anns.Pages(), s.targets.Pages()
+}
+
+func (s *Store) indexTarget(id ID, tg Target, rid storage.RID) {
+	rows, ok := s.byRow[tg.Table]
+	if !ok {
+		rows = make(map[types.RowID][]Ref)
+		s.byRow[tg.Table] = rows
+	}
+	rows[tg.Row] = append(rows[tg.Row], Ref{ID: id, Columns: tg.Columns})
+	s.targetsOf[id] = append(s.targetsOf[id], targetEntry{Target: tg, rid: rid})
+}
+
+// Add stores the annotation and attaches it to every target, assigning and
+// returning its ID. At least one target is required; a zero Columns set in
+// a target is rejected (use WholeRow for row-level annotations).
+func (s *Store) Add(a Annotation, targets []Target) (ID, error) {
+	if len(targets) == 0 {
+		return 0, fmt.Errorf("annotation: at least one target required")
+	}
+	for _, tg := range targets {
+		if tg.Columns.Empty() {
+			return 0, fmt.Errorf("annotation: empty column set for table %q row %d", tg.Table, tg.Row)
+		}
+		if tg.Table == "" {
+			return 0, fmt.Errorf("annotation: target missing table name")
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a.ID = s.nextID
+	rid, err := s.anns.Insert(encodeAnnotation(a))
+	if err != nil {
+		return 0, err
+	}
+	for _, tg := range targets {
+		rid, err := s.targets.Insert(encodeTarget(a.ID, tg))
+		if err != nil {
+			return 0, err
+		}
+		s.indexTarget(a.ID, tg, rid)
+	}
+	s.byID[a.ID] = rid
+	s.rawBytes += int64(len(encodeAnnotation(a)))
+	for _, tg := range targets {
+		s.rawBytes += int64(len(encodeTarget(a.ID, tg)))
+	}
+	s.nextID++
+	return a.ID, nil
+}
+
+// Restore re-adds an annotation under its original id (snapshot load).
+// The id must be unused; the allocator advances past it.
+func (s *Store) Restore(a Annotation, targets []Target) error {
+	if a.ID == 0 {
+		return fmt.Errorf("annotation: Restore requires an id")
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("annotation: at least one target required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byID[a.ID]; dup {
+		return fmt.Errorf("annotation: annotation %d already exists", a.ID)
+	}
+	rid, err := s.anns.Insert(encodeAnnotation(a))
+	if err != nil {
+		return err
+	}
+	for _, tg := range targets {
+		trid, err := s.targets.Insert(encodeTarget(a.ID, tg))
+		if err != nil {
+			return err
+		}
+		s.indexTarget(a.ID, tg, trid)
+		s.rawBytes += int64(len(encodeTarget(a.ID, tg)))
+	}
+	s.byID[a.ID] = rid
+	s.rawBytes += int64(len(encodeAnnotation(a)))
+	if a.ID >= s.nextID {
+		s.nextID = a.ID + 1
+	}
+	return nil
+}
+
+// Get retrieves an annotation by id.
+func (s *Store) Get(id ID) (Annotation, error) {
+	s.mu.RLock()
+	rid, ok := s.byID[id]
+	s.mu.RUnlock()
+	if !ok {
+		return Annotation{}, fmt.Errorf("annotation: no annotation %d", id)
+	}
+	data, err := s.anns.Get(rid)
+	if err != nil {
+		return Annotation{}, err
+	}
+	return decodeAnnotation(data)
+}
+
+// GetMany retrieves several annotations, in the order given.
+func (s *Store) GetMany(ids []ID) ([]Annotation, error) {
+	out := make([]Annotation, 0, len(ids))
+	for _, id := range ids {
+		a, err := s.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ForTuple returns the annotation refs attached to (table, row), sorted by
+// annotation id. Refs for the same annotation covering disjoint column sets
+// are merged into one ref with the union coverage.
+func (s *Store) ForTuple(table string, row types.RowID) []Ref {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	refs := s.byRow[table][row]
+	if len(refs) == 0 {
+		return nil
+	}
+	merged := make(map[ID]ColSet, len(refs))
+	for _, r := range refs {
+		merged[r.ID] = merged[r.ID].Union(r.Columns)
+	}
+	out := make([]Ref, 0, len(merged))
+	for id, cols := range merged {
+		out = append(out, Ref{ID: id, Columns: cols})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TargetsOf returns every target of annotation id.
+func (s *Store) TargetsOf(id ID) []Target {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Target, 0, len(s.targetsOf[id]))
+	for _, te := range s.targetsOf[id] {
+		out = append(out, te.Target)
+	}
+	return out
+}
+
+// Remove retracts annotation id: the annotation record and every one of
+// its target records are deleted and all indexes updated. It returns the
+// targets the annotation previously covered (so callers can curate the
+// affected summary objects).
+func (s *Store) Remove(id ID) ([]Target, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rid, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("annotation: no annotation %d", id)
+	}
+	data, err := s.anns.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.anns.Delete(rid); err != nil {
+		return nil, err
+	}
+	s.rawBytes -= int64(len(data))
+	delete(s.byID, id)
+	entries := s.targetsOf[id]
+	delete(s.targetsOf, id)
+	out := make([]Target, 0, len(entries))
+	for _, te := range entries {
+		tdata, err := s.targets.Get(te.rid)
+		if err == nil {
+			s.rawBytes -= int64(len(tdata))
+		}
+		if err := s.targets.Delete(te.rid); err != nil {
+			return nil, err
+		}
+		s.dropRef(te.Table, te.Row, id)
+		out = append(out, te.Target)
+	}
+	return out, nil
+}
+
+// DetachRow removes every target record pointing at (table, row) — the
+// cascade of a tuple deletion. Annotations left with no targets anywhere
+// are fully removed. It returns the ids that were attached to the row and
+// the subset that became orphaned and was deleted.
+func (s *Store) DetachRow(table string, row types.RowID) (detached, orphaned []ID, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	refs := s.byRow[table][row]
+	if len(refs) == 0 {
+		return nil, nil, nil
+	}
+	seen := map[ID]bool{}
+	for _, ref := range refs {
+		if seen[ref.ID] {
+			continue
+		}
+		seen[ref.ID] = true
+		detached = append(detached, ref.ID)
+		kept := s.targetsOf[ref.ID][:0]
+		for _, te := range s.targetsOf[ref.ID] {
+			if te.Table == table && te.Row == row {
+				if tdata, gerr := s.targets.Get(te.rid); gerr == nil {
+					s.rawBytes -= int64(len(tdata))
+				}
+				if derr := s.targets.Delete(te.rid); derr != nil {
+					return nil, nil, derr
+				}
+				continue
+			}
+			kept = append(kept, te)
+		}
+		s.targetsOf[ref.ID] = kept
+		if len(kept) == 0 {
+			rid := s.byID[ref.ID]
+			if adata, gerr := s.anns.Get(rid); gerr == nil {
+				s.rawBytes -= int64(len(adata))
+			}
+			if derr := s.anns.Delete(rid); derr != nil {
+				return nil, nil, derr
+			}
+			delete(s.byID, ref.ID)
+			delete(s.targetsOf, ref.ID)
+			orphaned = append(orphaned, ref.ID)
+		}
+	}
+	delete(s.byRow[table], row)
+	sort.Slice(detached, func(i, j int) bool { return detached[i] < detached[j] })
+	sort.Slice(orphaned, func(i, j int) bool { return orphaned[i] < orphaned[j] })
+	return detached, orphaned, nil
+}
+
+// dropRef removes id's refs from the (table, row) index. Requires s.mu.
+func (s *Store) dropRef(table string, row types.RowID, id ID) {
+	refs := s.byRow[table][row]
+	kept := refs[:0]
+	for _, r := range refs {
+		if r.ID != id {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		delete(s.byRow[table], row)
+	} else {
+		s.byRow[table][row] = kept
+	}
+}
+
+// RowsOf returns the distinct rows of table that annotation id is attached
+// to.
+func (s *Store) RowsOf(id ID, table string) []types.RowID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[types.RowID]bool{}
+	var out []types.RowID
+	for _, tg := range s.targetsOf[id] {
+		if tg.Table == table && !seen[tg.Row] {
+			seen[tg.Row] = true
+			out = append(out, tg.Row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Count returns the number of stored annotations.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// RawBytes returns the cumulative stored size of the raw annotations and
+// their target records (the encoded heap records) — the denominator of the
+// paper's summary-compression measurements.
+func (s *Store) RawBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rawBytes
+}
+
+// AnnotatedRows returns the rows of table that carry at least one
+// annotation, sorted.
+func (s *Store) AnnotatedRows(table string) []types.RowID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rows := s.byRow[table]
+	out := make([]types.RowID, 0, len(rows))
+	for r := range rows {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,144 @@
+// Package bench implements the experiment harness: one runner per
+// experiment in DESIGN.md's index (E1-E8), each regenerating the
+// corresponding figure/claim of the paper as a printed table. The runners
+// are shared by cmd/inbench (full sweeps, EXPERIMENTS.md source) and the
+// root bench_test.go (testing.B micro-benchmarks over the same fixtures).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"insightnotes/internal/engine"
+	"insightnotes/internal/workload"
+	"insightnotes/internal/workload/populate"
+)
+
+// Table is one experiment's output, print-ready.
+type Table struct {
+	ID      string
+	Caption string
+	Header  []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Caption)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, strings.Join(sep, "  "))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "note: %s\n", t.Notes)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// SPJWorld is the shared two-relation fixture: annotated birds joined with
+// sightings, mirroring the Figure 2 query shape at benchmark scale.
+type SPJWorld struct {
+	DB        *engine.DB
+	Gen       *workload.Generator
+	Birds     int
+	Sightings int
+	// Query is the benchmark SPJ statement.
+	Query string
+}
+
+// NewSPJWorld builds the fixture with the given annotations per bird
+// tuple. cacheDir receives the zoom-in spill files.
+func NewSPJWorld(cacheDir string, birds, annsPerTuple int, docFrac float64) (*SPJWorld, error) {
+	db, err := engine.Open(engine.Config{CacheDir: cacheDir})
+	if err != nil {
+		return nil, err
+	}
+	g := workload.New(1234)
+	spec := populate.BirdCorpusSpec{
+		Tuples:              birds,
+		AnnotationsPerTuple: annsPerTuple,
+		DocumentFraction:    docFrac,
+		TrainPerClass:       8,
+	}
+	if _, err := populate.Birds(db, g, spec); err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec("CREATE TABLE sightings (sid INT, bird_id INT, region TEXT, cnt INT)"); err != nil {
+		return nil, err
+	}
+	sightings := birds * 2
+	for i := 0; i < sightings; i++ {
+		stmt := fmt.Sprintf("INSERT INTO sightings VALUES (%d, %d, '%s', %d)",
+			i+1, i%birds+1, g.Region(), g.Intn(40)+1)
+		if _, err := db.Exec(stmt); err != nil {
+			return nil, err
+		}
+	}
+	return &SPJWorld{
+		DB:        db,
+		Gen:       g,
+		Birds:     birds,
+		Sightings: sightings,
+		Query: "SELECT b.name, b.wingspan, s.region FROM birds b, sightings s " +
+			"WHERE b.id = s.bird_id AND s.cnt > 5",
+	}, nil
+}
+
+// timeIt measures the average duration of fn over iters runs.
+func timeIt(iters int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}
+
+func dur(d time.Duration) string {
+	switch {
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+}
+
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.1f×", a/b)
+}

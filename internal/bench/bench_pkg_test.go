@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE1CompressionShape(t *testing.T) {
+	tbl, err := E1Compression(3, []int{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 { // each ratio has a uniform and a zipf row
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Compression must exceed 1× (summaries smaller than raw) and widen
+	// with ratio — the Figure 1 claim. Rows 0/2 are the uniform variants.
+	c1 := parseRatio(t, tbl.Rows[0][4])
+	c2 := parseRatio(t, tbl.Rows[2][4])
+	if c1 <= 1 || c2 <= 1 {
+		t.Errorf("compression not > 1×: %v, %v", c1, c2)
+	}
+	if c2 < c1 {
+		t.Errorf("compression did not widen with ratio: %v then %v", c1, c2)
+	}
+	// The zipf variants compress too.
+	if z := parseRatio(t, tbl.Rows[1][4]); z <= 1 {
+		t.Errorf("zipf compression = %v", z)
+	}
+}
+
+func parseRatio(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "×"), 64)
+	if err != nil {
+		t.Fatalf("bad ratio %q", s)
+	}
+	return v
+}
+
+func TestE3SummariesIdenticalAcrossPlans(t *testing.T) {
+	tbl, err := E3CurateBeforeMerge(6, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][3] != "true" || tbl.Rows[1][3] != "true" {
+		t.Errorf("plan equivalence violated: %v", tbl.Rows)
+	}
+}
+
+func TestE5InvariantCalls(t *testing.T) {
+	tbl, err := E5InvariantOptimization([]int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	if row[1] != "1" {
+		t.Errorf("summarize-once calls = %s, want 1", row[1])
+	}
+	if row[2] != "4" {
+		t.Errorf("ablated calls = %s, want 4", row[2])
+	}
+}
+
+func TestE6PoliciesProduceStats(t *testing.T) {
+	tbl, err := E6ZoomInCache(16<<10, 6, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	// The no-cache configuration must have 0% hits.
+	if tbl.Rows[2][1] != "0%" {
+		t.Errorf("no-cache hit rate = %s", tbl.Rows[2][1])
+	}
+	// The cached policies must hit at least sometimes at this budget.
+	if tbl.Rows[0][1] == "0%" {
+		t.Errorf("RCO never hit: %v", tbl.Rows[0])
+	}
+}
+
+func TestE8SummaryBeatsRawAtVolume(t *testing.T) {
+	tbl, err := E8SummaryVsRaw(6, []int{32}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	sumBytes, _ := strconv.ParseInt(row[4], 10, 64)
+	rawBytes, _ := strconv.ParseInt(row[5], 10, 64)
+	if rawBytes <= sumBytes {
+		t.Errorf("raw bytes %d not larger than summary bytes %d", rawBytes, sumBytes)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in -short mode")
+	}
+	var buf bytes.Buffer
+	tables, err := RunAll(&buf, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 8 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Errorf("output missing %s", id)
+		}
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		ID: "EX", Caption: "c", Header: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}}, Notes: "n",
+	}
+	var buf bytes.Buffer
+	tbl.Format(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== EX: c ==") || !strings.Contains(out, "note: n") {
+		t.Errorf("format = %q", out)
+	}
+}

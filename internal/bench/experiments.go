@@ -1,0 +1,453 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"insightnotes/internal/baseline"
+	"insightnotes/internal/engine"
+	"insightnotes/internal/plan"
+	"insightnotes/internal/types"
+	"insightnotes/internal/workload"
+	"insightnotes/internal/workload/populate"
+)
+
+// tempDir allocates a throwaway cache directory for one experiment run.
+func tempDir() string {
+	dir, err := os.MkdirTemp("", "inbench-")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// E1Compression reproduces Figure 1's motivation quantitatively: raw
+// annotation bytes vs summary-object bytes at the paper's
+// annotation-to-data ratios (DataBank 30×, HydroEarth 120×, AKN 250×).
+func E1Compression(tuples int, ratios []int) (*Table, error) {
+	t := &Table{
+		ID:      "E1",
+		Caption: "Summary compression vs raw annotations (Figure 1 / §1 ratios)",
+		Header:  []string{"ratio/skew", "annotations", "raw bytes", "summary bytes", "compression"},
+		Notes:   "raw = stored records (text, documents, targets); zipf rows skew annotation volume toward popular tuples",
+	}
+	for _, ratio := range ratios {
+		for _, skew := range []float64{0, 1.5} {
+			dir := tempDir()
+			db, err := engine.Open(engine.Config{CacheDir: dir})
+			if err != nil {
+				return nil, err
+			}
+			g := workload.New(42)
+			n, err := populate.Birds(db, g, populate.BirdCorpusSpec{
+				Tuples:              tuples,
+				AnnotationsPerTuple: ratio,
+				DocumentFraction:    0.05,
+				TrainPerClass:       8,
+				ZipfSkew:            skew,
+			})
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%d×", ratio)
+			if skew > 0 {
+				label += " zipf"
+			}
+			raw := db.Annotations().RawBytes()
+			sum := db.SummaryBytes("birds")
+			t.Rows = append(t.Rows, []string{
+				label,
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", raw),
+				fmt.Sprintf("%d", sum),
+				ratio64(raw, sum),
+			})
+			os.RemoveAll(dir)
+		}
+	}
+	return t, nil
+}
+
+func ratio64(a, b int64) string {
+	if b == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.1f×", float64(a)/float64(b))
+}
+
+// E2SPJPropagation measures the Figure 2 pipeline: SPJ query latency with
+// summary propagation as annotations-per-tuple grows. The paper's claim:
+// summary-based processing cost is governed by summary size, not raw
+// annotation volume.
+func E2SPJPropagation(birds int, annsPerTuple []int, iters int) (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Caption: "SPJ query latency with summary propagation (Figure 2 pipeline)",
+		Header:  []string{"anns/tuple", "query latency", "result rows"},
+	}
+	for _, apt := range annsPerTuple {
+		dir := tempDir()
+		w, err := NewSPJWorld(dir, birds, apt, 0.02)
+		if err != nil {
+			return nil, err
+		}
+		var rows int
+		d, err := timeIt(iters, func() error {
+			res, err := w.DB.QueryWithOptions(w.Query, plan.Options{})
+			if err != nil {
+				return err
+			}
+			rows = len(res.Rows)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", apt), dur(d), fmt.Sprintf("%d", rows),
+		})
+		os.RemoveAll(dir)
+	}
+	return t, nil
+}
+
+// E3CurateBeforeMerge exercises the plan-equivalence theorems: the same
+// query under reversed FROM order, with and without curate-before-merge
+// (projection pushdown), reporting whether summaries matched and the cost
+// of each plan.
+func E3CurateBeforeMerge(birds, annsPerTuple, iters int) (*Table, error) {
+	dir := tempDir()
+	defer os.RemoveAll(dir)
+	w, err := NewSPJWorld(dir, birds, annsPerTuple, 0.02)
+	if err != nil {
+		return nil, err
+	}
+	q1 := w.Query
+	q2 := "SELECT b.name, b.wingspan, s.region FROM sightings s, birds b " +
+		"WHERE b.id = s.bird_id AND s.cnt > 5"
+	t := &Table{
+		ID:      "E3",
+		Caption: "Curate-before-merge and plan equivalence (Theorems 1&2)",
+		Header:  []string{"plan", "pushdown", "latency", "summaries identical"},
+	}
+	run := func(q string, opts plan.Options) (time.Duration, map[string]string, error) {
+		db := w.DB
+		var sums map[string]string
+		d, err := timeIt(iters, func() error {
+			res, err := queryWithOpts(db, q, opts)
+			if err != nil {
+				return err
+			}
+			sums = summaryFingerprint(res)
+			return nil
+		})
+		return d, sums, err
+	}
+	d1, s1, err := run(q1, plan.Options{})
+	if err != nil {
+		return nil, err
+	}
+	d2, s2, err := run(q2, plan.Options{})
+	if err != nil {
+		return nil, err
+	}
+	identical := mapsEqual(s1, s2)
+	d3, _, err := run(q1, plan.Options{DisableProjectionPushdown: true})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"R ⋈ S", "on", dur(d1), fmt.Sprintf("%v", identical)},
+		[]string{"S ⋈ R", "on", dur(d2), fmt.Sprintf("%v", identical)},
+		[]string{"R ⋈ S", "off (ablation)", dur(d3), "n/a"},
+	)
+	t.Notes = "with curation on, reversed join order must produce identical summaries"
+	return t, nil
+}
+
+// queryWithOpts plans and executes q under explicit plan options against
+// db's catalog and summary store.
+func queryWithOpts(db *engine.DB, q string, opts plan.Options) ([]rowFingerprint, error) {
+	res, err := db.QueryWithOptions(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rowFingerprint, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		fp := rowFingerprint{key: r.Tuple.String()}
+		if r.Env != nil {
+			fp.summary = r.Env.Render()
+		}
+		out = append(out, fp)
+	}
+	return out, nil
+}
+
+type rowFingerprint struct{ key, summary string }
+
+func summaryFingerprint(rows []rowFingerprint) map[string]string {
+	out := make(map[string]string, len(rows))
+	for _, r := range rows {
+		out[r.key] = r.summary
+	}
+	return out
+}
+
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// E4IncrementalMaintenance compares the per-annotation cost of incremental
+// summary maintenance against recomputing all summaries from scratch, as
+// the annotation count grows.
+func E4IncrementalMaintenance(tuples int, checkpoints []int) (*Table, error) {
+	dir := tempDir()
+	defer os.RemoveAll(dir)
+	db, err := engine.Open(engine.Config{CacheDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	g := workload.New(77)
+	if _, err := populate.Birds(db, g, populate.BirdCorpusSpec{
+		Tuples: tuples, AnnotationsPerTuple: 0, TrainPerClass: 8,
+	}); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E4",
+		Caption: "Incremental maintenance vs full recomputation (§1(2), §2.3)",
+		Header:  []string{"total anns", "incremental/insert", "rebuild (full)", "speedup"},
+	}
+	total := 0
+	for _, target := range checkpoints {
+		add := target - total
+		start := time.Now()
+		if _, err := populate.AnnotateBirds(db, g, populate.BirdCorpusSpec{
+			Tuples: tuples, AnnotationsPerTuple: add / tuples, DocumentFraction: 0.02,
+		}); err != nil {
+			return nil, err
+		}
+		added := (add / tuples) * tuples
+		incrPer := time.Duration(0)
+		if added > 0 {
+			incrPer = time.Since(start) / time.Duration(added)
+		}
+		total += added
+		rstart := time.Now()
+		if _, err := db.RebuildSummaries("birds"); err != nil {
+			return nil, err
+		}
+		rebuild := time.Since(rstart)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", total),
+			dur(incrPer),
+			dur(rebuild),
+			ratio(float64(rebuild), float64(incrPer)),
+		})
+	}
+	t.Notes = "incremental cost per insert stays flat; rebuild grows with total annotations"
+	return t, nil
+}
+
+// E5InvariantOptimization measures summarize-once: classifier invocations
+// and ingest latency for an annotation attached to m tuples, with the
+// optimization on vs off.
+func E5InvariantOptimization(multiplicities []int) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Caption: "Summarize-once via AnnotationInvariant/DataInvariant (§2.3, Figure 4)",
+		Header:  []string{"tuples/annotation", "classify calls (on)", "classify calls (off)", "ingest on", "ingest off"},
+	}
+	for _, m := range multiplicities {
+		callsOn, durOn, err := e5Run(m, false)
+		if err != nil {
+			return nil, err
+		}
+		callsOff, durOff, err := e5Run(m, true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", m),
+			fmt.Sprintf("%d", callsOn),
+			fmt.Sprintf("%d", callsOff),
+			dur(durOn),
+			dur(durOff),
+		})
+	}
+	t.Notes = "an annotation attached to m tuples is classified once with the optimization, m times without"
+	return t, nil
+}
+
+func e5Run(m int, disable bool) (int64, time.Duration, error) {
+	dir := tempDir()
+	defer os.RemoveAll(dir)
+	db, err := engine.Open(engine.Config{CacheDir: dir, DisableSummarizeOnce: disable})
+	if err != nil {
+		return 0, 0, err
+	}
+	g := workload.New(9)
+	if _, err := populate.Birds(db, g, populate.BirdCorpusSpec{
+		Tuples: m, AnnotationsPerTuple: 0, TrainPerClass: 8,
+	}); err != nil {
+		return 0, 0, err
+	}
+	in, err := db.Catalog().Instance("ClassBird1")
+	if err != nil {
+		return 0, 0, err
+	}
+	in.ResetStats()
+	const rounds = 20
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		// One annotation attached to every tuple (no WHERE).
+		if _, _, err := db.Annotate(engine.AnnotationRequest{
+			Text: g.ClassText("Behavior"), Table: "birds",
+		}); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start) / rounds
+	return in.SummarizeCalls() / rounds, elapsed, nil
+}
+
+// E7InstanceScalability measures annotation-ingest latency as the number
+// of summary instances linked to the relation grows.
+func E7InstanceScalability(instanceCounts []int, annsPerRound int) (*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Caption: "Maintenance scalability vs linked summary instances (§2.3)",
+		Header:  []string{"instances", "ingest/annotation", "query latency"},
+	}
+	for _, k := range instanceCounts {
+		dir := tempDir()
+		db, err := engine.Open(engine.Config{CacheDir: dir})
+		if err != nil {
+			return nil, err
+		}
+		g := workload.New(13)
+		if _, err := populate.Birds(db, g, populate.BirdCorpusSpec{
+			Tuples: 8, AnnotationsPerTuple: 0, TrainPerClass: 8, SkipInstances: true,
+		}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			name := fmt.Sprintf("Cluster%02d", i)
+			if _, err := db.Exec(fmt.Sprintf(
+				"CREATE SUMMARY INSTANCE %s TYPE Cluster WITH (threshold = 0.3)", name)); err != nil {
+				return nil, err
+			}
+			if _, err := db.Exec(fmt.Sprintf("LINK SUMMARY %s TO birds", name)); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		if _, err := populate.AnnotateBirds(db, g, populate.BirdCorpusSpec{
+			Tuples: 8, AnnotationsPerTuple: annsPerRound / 8,
+		}); err != nil {
+			return nil, err
+		}
+		perAnn := time.Since(start) / time.Duration((annsPerRound/8)*8)
+		qd, err := timeIt(5, func() error {
+			_, err := db.Query("SELECT id, name FROM birds WHERE id <= 4")
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k), dur(perAnn), dur(qd),
+		})
+		os.RemoveAll(dir)
+	}
+	return t, nil
+}
+
+// E8SummaryVsRaw is the headline comparison: SPJ query latency and
+// propagated payload, summary-based engine vs raw-annotation propagation
+// baseline, as annotations-per-tuple grows.
+func E8SummaryVsRaw(birds int, annsPerTuple []int, iters int) (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Caption: "Summary-based vs raw-annotation propagation (§1 motivation)",
+		Header: []string{"anns/tuple", "summary latency", "raw latency", "speedup",
+			"summary bytes", "raw bytes"},
+	}
+	for _, apt := range annsPerTuple {
+		dir := tempDir()
+		w, err := NewSPJWorld(dir, birds, apt, 0.02)
+		if err != nil {
+			return nil, err
+		}
+		var sumBytes int64
+		sumDur, err := timeIt(iters, func() error {
+			res, err := w.DB.QueryWithOptions(w.Query, plan.Options{})
+			if err != nil {
+				return err
+			}
+			sumBytes = 0
+			for _, r := range res.Rows {
+				if r.Env != nil {
+					sumBytes += int64(r.Env.ApproxBytes())
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var rawBytes int64
+		rawDur, err := timeIt(iters, func() error {
+			var err error
+			rawBytes, err = RunRawSPJ(w)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", apt),
+			dur(sumDur),
+			dur(rawDur),
+			ratio(float64(rawDur), float64(sumDur)),
+			fmt.Sprintf("%d", sumBytes),
+			fmt.Sprintf("%d", rawBytes),
+		})
+		os.RemoveAll(dir)
+	}
+	t.Notes = "raw propagation degrades with annotation volume; summary propagation tracks summary size"
+	return t, nil
+}
+
+// RunRawSPJ executes the equivalent SPJ pipeline on the raw-propagation
+// baseline and returns the propagated raw bytes.
+func RunRawSPJ(w *SPJWorld) (int64, error) {
+	birds, err := w.DB.Catalog().Table("birds")
+	if err != nil {
+		return 0, err
+	}
+	sightings, err := w.DB.Catalog().Table("sightings")
+	if err != nil {
+		return 0, err
+	}
+	store := w.DB.Annotations()
+	// scan birds → project (id, name, wingspan) → join sightings filtered
+	// on cnt > 5 → project (name, wingspan, region).
+	left := baseline.NewProject(baseline.NewScan(birds, "b", store), []int{0, 1, 4})
+	rightFiltered := baseline.NewFilter(baseline.NewScan(sightings, "s", store),
+		func(tu types.Tuple) (bool, error) { return tu[3].Int() > 5, nil })
+	right := baseline.NewProject(rightFiltered, []int{1, 2})
+	join := baseline.NewHashJoin(left, right, 0, 0)
+	final := baseline.NewProject(join, []int{1, 2, 4})
+	_, bytes, err := baseline.Collect(final)
+	return bytes, err
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Scale selects experiment sweep sizes.
+type Scale int
+
+// Available scales.
+const (
+	// Quick finishes in seconds — used by tests and smoke runs.
+	Quick Scale = iota
+	// Full runs the paper-scale sweeps (ratios up to 250×).
+	Full
+)
+
+// Spec bundles per-experiment parameters for one scale.
+type Spec struct {
+	E1Tuples       int
+	E1Ratios       []int
+	E2Birds        int
+	E2AnnsPerTuple []int
+	E2Iters        int
+	E3Birds        int
+	E3AnnsPerTuple int
+	E3Iters        int
+	E4Tuples       int
+	E4Checkpoints  []int
+	E5Multiplicity []int
+	E6Budget       int64
+	E6Queries      int
+	E6ZoomOps      int
+	E7Instances    []int
+	E7AnnsPerRound int
+	E8Birds        int
+	E8AnnsPerTuple []int
+	E8Iters        int
+}
+
+// SpecFor returns the sweep parameters of a scale.
+func SpecFor(s Scale) Spec {
+	if s == Quick {
+		return Spec{
+			E1Tuples: 4, E1Ratios: []int{10, 30},
+			E2Birds: 8, E2AnnsPerTuple: []int{4, 16}, E2Iters: 3,
+			E3Birds: 8, E3AnnsPerTuple: 8, E3Iters: 3,
+			E4Tuples: 4, E4Checkpoints: []int{40, 80},
+			E5Multiplicity: []int{4, 16},
+			E6Budget:       0, E6Queries: 8, E6ZoomOps: 60, // budget auto-sized
+			E7Instances: []int{1, 4}, E7AnnsPerRound: 40,
+			E8Birds: 8, E8AnnsPerTuple: []int{4, 32}, E8Iters: 3,
+		}
+	}
+	return Spec{
+		E1Tuples: 16, E1Ratios: []int{30, 120, 250},
+		E2Birds: 16, E2AnnsPerTuple: []int{1, 8, 32, 128, 512}, E2Iters: 5,
+		E3Birds: 16, E3AnnsPerTuple: 32, E3Iters: 5,
+		E4Tuples: 8, E4Checkpoints: []int{200, 400, 800, 1600},
+		E5Multiplicity: []int{1, 4, 16, 64, 256},
+		E6Budget:       0, E6Queries: 24, E6ZoomOps: 400, // budget auto-sized
+		E7Instances: []int{1, 2, 4, 8, 16}, E7AnnsPerRound: 160,
+		E8Birds: 16, E8AnnsPerTuple: []int{1, 8, 32, 128, 512}, E8Iters: 5,
+	}
+}
+
+// RunAll executes every experiment at the given scale and prints the
+// tables to w. It returns the tables for programmatic inspection.
+func RunAll(w io.Writer, scale Scale) ([]*Table, error) {
+	spec := SpecFor(scale)
+	type step struct {
+		name string
+		run  func() (*Table, error)
+	}
+	steps := []step{
+		{"E1", func() (*Table, error) { return E1Compression(spec.E1Tuples, spec.E1Ratios) }},
+		{"E2", func() (*Table, error) {
+			return E2SPJPropagation(spec.E2Birds, spec.E2AnnsPerTuple, spec.E2Iters)
+		}},
+		{"E3", func() (*Table, error) {
+			return E3CurateBeforeMerge(spec.E3Birds, spec.E3AnnsPerTuple, spec.E3Iters)
+		}},
+		{"E4", func() (*Table, error) { return E4IncrementalMaintenance(spec.E4Tuples, spec.E4Checkpoints) }},
+		{"E5", func() (*Table, error) { return E5InvariantOptimization(spec.E5Multiplicity) }},
+		{"E6", func() (*Table, error) { return E6ZoomInCache(spec.E6Budget, spec.E6Queries, spec.E6ZoomOps) }},
+		{"E7", func() (*Table, error) { return E7InstanceScalability(spec.E7Instances, spec.E7AnnsPerRound) }},
+		{"E8", func() (*Table, error) {
+			return E8SummaryVsRaw(spec.E8Birds, spec.E8AnnsPerTuple, spec.E8Iters)
+		}},
+	}
+	var tables []*Table
+	for _, s := range steps {
+		t, err := s.run()
+		if err != nil {
+			return tables, fmt.Errorf("bench %s: %w", s.name, err)
+		}
+		t.Format(w)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"fmt"
+
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/exec"
+	"insightnotes/internal/sql"
+	"insightnotes/internal/summary"
+	"insightnotes/internal/textmining"
+	"insightnotes/internal/types"
+)
+
+// newNaiveBayes adapts the textmining constructor for engine use.
+func newNaiveBayes(labels []string) (*textmining.NaiveBayes, error) {
+	return textmining.NewNaiveBayes(labels)
+}
+
+// AnnotationRequest describes one annotation to ingest programmatically.
+type AnnotationRequest struct {
+	Text     string
+	Title    string
+	Document string
+	Author   string
+	// Table names the target relation.
+	Table string
+	// Columns restricts the annotation to specific columns; empty means the
+	// whole row.
+	Columns []string
+	// Where filters the target tuples (nil = every tuple). It is compiled
+	// against the table schema.
+	Where sql.Expr
+	// Created optionally fixes the timestamp (0 = engine clock).
+	Created int64
+}
+
+// TargetSpec names one attachment scope of an annotation: a table, an
+// optional column restriction, and an optional tuple filter.
+type TargetSpec struct {
+	Table   string
+	Columns []string
+	Where   sql.Expr
+}
+
+// Annotate ingests one annotation: it resolves the matching tuples,
+// persists the raw annotation with one target per tuple, and incrementally
+// maintains the summary objects of every instance linked to the table —
+// using the summarize-once digest cache when the instance's invariant
+// properties allow it. It returns the annotation id and the number of
+// tuples annotated.
+func (db *DB) Annotate(req AnnotationRequest) (annotation.ID, int, error) {
+	return db.AnnotateTargets(annotation.Annotation{
+		Author:   req.Author,
+		Created:  req.Created,
+		Text:     req.Text,
+		Title:    req.Title,
+		Document: req.Document,
+	}, []TargetSpec{{Table: req.Table, Columns: req.Columns, Where: req.Where}})
+}
+
+// AnnotateTargets ingests one annotation attached to multiple scopes —
+// possibly across several relations, the case the paper's Figure 2 join
+// semantics and the summarize-once optimization are built around.
+func (db *DB) AnnotateTargets(a annotation.Annotation, specs []TargetSpec) (annotation.ID, int, error) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	return db.annotateTargets(a, specs)
+}
+
+func (db *DB) annotateTargets(a annotation.Annotation, specs []TargetSpec) (annotation.ID, int, error) {
+	if len(specs) == 0 {
+		return 0, 0, fmt.Errorf("engine: annotation needs at least one target")
+	}
+	type resolved struct {
+		table string
+		rows  []types.RowID
+		cols  annotation.ColSet
+	}
+	var all []resolved
+	var targets []annotation.Target
+	for _, spec := range specs {
+		tbl, err := db.cat.Table(spec.Table)
+		if err != nil {
+			return 0, 0, err
+		}
+		cols, err := resolveColumns(tbl.Schema(), spec.Columns)
+		if err != nil {
+			return 0, 0, err
+		}
+		rows, err := db.matchRows(tbl, spec.Where)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(rows) == 0 {
+			return 0, 0, fmt.Errorf("engine: annotation matches no tuples of %s", spec.Table)
+		}
+		all = append(all, resolved{table: tbl.Name(), rows: rows, cols: cols})
+		for _, row := range rows {
+			targets = append(targets, annotation.Target{Table: tbl.Name(), Row: row, Columns: cols})
+		}
+	}
+	if a.Created == 0 {
+		a.Created = db.nextAnnotationTime()
+	}
+	id, err := db.anns.Add(a, targets)
+	if err != nil {
+		return 0, 0, err
+	}
+	a.ID = id
+
+	// Incremental maintenance: update each linked instance's object on
+	// every target tuple.
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, r := range all {
+		for _, in := range db.cat.InstancesFor(r.table) {
+			if db.cfg.DisableSummarizeOnce || !in.Props.SummarizeOnce() {
+				// Without the invariant guarantee (or under the E5
+				// ablation) the annotation is summarized per target tuple.
+				for _, row := range r.rows {
+					db.envelopeForUpdate(r.table, row).Add(in, in.Summarize(a), r.cols)
+				}
+				continue
+			}
+			d := db.digestFor(in, a)
+			for _, row := range r.rows {
+				db.envelopeForUpdate(r.table, row).Add(in, d, r.cols)
+			}
+		}
+	}
+	return id, len(targets), nil
+}
+
+// resolveColumns maps column names to a ColSet (empty names = whole row).
+func resolveColumns(schema types.Schema, names []string) (annotation.ColSet, error) {
+	if len(names) == 0 {
+		return annotation.WholeRow(schema.Len()), nil
+	}
+	var cols annotation.ColSet
+	for _, n := range names {
+		ix, err := schema.ColumnIndex(n)
+		if err != nil {
+			return 0, err
+		}
+		cols = cols.Union(annotation.Col(ix))
+	}
+	return cols, nil
+}
+
+// matchRows returns the row ids of tbl satisfying where (all rows when
+// nil).
+func (db *DB) matchRows(tbl interface {
+	Schema() types.Schema
+	Scan(func(types.RowID, types.Tuple) bool) error
+}, where sql.Expr) ([]types.RowID, error) {
+	var pred *exec.Compiled
+	if where != nil {
+		var err error
+		pred, err = exec.Compile(where, tbl.Schema())
+		if err != nil {
+			return nil, err
+		}
+	}
+	var rows []types.RowID
+	var evalErr error
+	err := tbl.Scan(func(row types.RowID, tu types.Tuple) bool {
+		if pred != nil {
+			v, err := pred.Eval(tu)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !v.Truthy() {
+				return true
+			}
+		}
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return rows, nil
+}
+
+// LinkInstance links a registered instance to a table and summarizes the
+// table's existing annotations under it (the Figure 4 behaviour: the
+// maintained summary objects change when links change).
+func (db *DB) LinkInstance(instanceName, table string) error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	return db.linkInstance(instanceName, table)
+}
+
+func (db *DB) linkInstance(instanceName, table string) error {
+	in, err := db.cat.Instance(instanceName)
+	if err != nil {
+		return err
+	}
+	tbl, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := db.cat.Link(instanceName, tbl.Name()); err != nil {
+		return err
+	}
+	// Backfill: summarize existing annotations under the new instance.
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, row := range db.anns.AnnotatedRows(tbl.Name()) {
+		for _, ref := range db.anns.ForTuple(tbl.Name(), row) {
+			a, err := db.anns.Get(ref.ID)
+			if err != nil {
+				return err
+			}
+			d := db.digestFor(in, a)
+			db.envelopeForUpdate(tbl.Name(), row).Add(in, d, ref.Columns)
+		}
+	}
+	return nil
+}
+
+// UnlinkInstance unlinks an instance from a table and removes its objects
+// from the table's maintained envelopes.
+func (db *DB) UnlinkInstance(instanceName, table string) error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	return db.unlinkInstance(instanceName, table)
+}
+
+func (db *DB) unlinkInstance(instanceName, table string) error {
+	tbl, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := db.cat.Unlink(instanceName, tbl.Name()); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for row, env := range db.envelopes[tbl.Name()] {
+		env.RemoveInstance(instanceName)
+		if env.IsEmpty() {
+			delete(db.envelopes[tbl.Name()], row)
+		}
+	}
+	return nil
+}
+
+// RebuildSummaries recomputes every envelope of table from the raw
+// annotations, bypassing the digest cache — the full-recomputation
+// baseline that the incremental-maintenance benchmark (E4) compares
+// against. It returns the number of (annotation, tuple) summarization
+// steps performed.
+func (db *DB) RebuildSummaries(table string) (int, error) {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	return db.rebuildSummaries(table)
+}
+
+func (db *DB) rebuildSummaries(table string) (int, error) {
+	tbl, err := db.cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	instances := db.cat.InstancesFor(tbl.Name())
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.envelopes, tbl.Name())
+	steps := 0
+	for _, row := range db.anns.AnnotatedRows(tbl.Name()) {
+		for _, ref := range db.anns.ForTuple(tbl.Name(), row) {
+			a, err := db.anns.Get(ref.ID)
+			if err != nil {
+				return steps, err
+			}
+			for _, in := range instances {
+				d := in.Summarize(a)
+				db.envelopeForUpdate(tbl.Name(), row).Add(in, d, ref.Columns)
+				steps++
+			}
+		}
+	}
+	return steps, nil
+}
+
+// TrainClassifier feeds labeled samples into a classifier instance.
+// Training refines future summarization; existing summary objects are
+// refreshed only by RebuildSummaries (documented behaviour).
+func (db *DB) TrainClassifier(instanceName string, samples [][2]string) error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	return db.trainClassifier(instanceName, samples)
+}
+
+func (db *DB) trainClassifier(instanceName string, samples [][2]string) error {
+	in, err := db.cat.Instance(instanceName)
+	if err != nil {
+		return err
+	}
+	if in.Type != summary.TypeClassifier {
+		return fmt.Errorf("engine: TRAIN SUMMARY targets classifier instances; %q is a %s", instanceName, in.Type)
+	}
+	for _, s := range samples {
+		if err := in.Classifier.Learn(s[0], s[1]); err != nil {
+			return err
+		}
+	}
+	// Trained model invalidates cached digests for this instance.
+	db.mu.Lock()
+	delete(db.digests, instanceName)
+	db.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/exec"
+	"insightnotes/internal/sql"
+	"insightnotes/internal/types"
+)
+
+// execUpdate runs UPDATE ... SET ... WHERE. Annotations annotate tuple
+// identity, so they stay attached to updated tuples; summary objects are
+// unchanged (the data changed, not the metadata).
+func (db *DB) execUpdate(s *sql.Update) (*Result, error) {
+	tbl, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	type assign struct {
+		col  int
+		expr *exec.Compiled
+	}
+	assigns := make([]assign, len(s.Set))
+	for i, set := range s.Set {
+		ci, err := schema.ColumnIndex(set.Column)
+		if err != nil {
+			return nil, err
+		}
+		c, err := exec.Compile(set.Value, schema)
+		if err != nil {
+			return nil, err
+		}
+		assigns[i] = assign{col: ci, expr: c}
+	}
+	rows, err := db.matchRows(tbl, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tu, err := tbl.Get(row)
+		if err != nil {
+			return nil, err
+		}
+		updated := tu.Clone()
+		for _, a := range assigns {
+			v, err := a.expr.Eval(tu)
+			if err != nil {
+				return nil, err
+			}
+			updated[a.col] = v
+		}
+		if err := tbl.Update(row, updated); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Message: fmt.Sprintf("%d row(s) updated in %s", len(rows), tbl.Name()),
+		Count:   len(rows),
+	}, nil
+}
+
+// execDelete runs DELETE FROM ... WHERE. Deleted tuples' annotations are
+// detached; annotations attached nowhere else are removed entirely, and
+// the tuples' summary envelopes are dropped.
+func (db *DB) execDelete(s *sql.Delete) (*Result, error) {
+	tbl, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := db.matchRows(tbl, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	orphanedTotal := 0
+	for _, row := range rows {
+		if err := tbl.Delete(row); err != nil {
+			return nil, err
+		}
+		_, orphaned, err := db.anns.DetachRow(tbl.Name(), row)
+		if err != nil {
+			return nil, err
+		}
+		orphanedTotal += len(orphaned)
+		db.mu.Lock()
+		delete(db.envelopes[tbl.Name()], row)
+		for _, id := range orphaned {
+			db.dropDigestsLocked(id)
+		}
+		db.mu.Unlock()
+	}
+	msg := fmt.Sprintf("%d row(s) deleted from %s", len(rows), tbl.Name())
+	if orphanedTotal > 0 {
+		msg += fmt.Sprintf(" (%d orphaned annotation(s) removed)", orphanedTotal)
+	}
+	return &Result{Message: msg, Count: len(rows)}, nil
+}
+
+// DropAnnotation retracts one annotation: the raw record and its targets
+// are deleted, and its effect is curated out of every maintained summary
+// object — classifier counts decrement, cluster groups shrink and re-elect
+// representatives, snippets disappear.
+func (db *DB) DropAnnotation(id annotation.ID) error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	return db.dropAnnotation(id)
+}
+
+func (db *DB) dropAnnotation(id annotation.ID) error {
+	targets, err := db.anns.Remove(id)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	seen := map[string]map[types.RowID]bool{}
+	for _, tg := range targets {
+		if seen[tg.Table] == nil {
+			seen[tg.Table] = map[types.RowID]bool{}
+		}
+		if seen[tg.Table][tg.Row] {
+			continue
+		}
+		seen[tg.Table][tg.Row] = true
+		env := db.envelopes[tg.Table][tg.Row]
+		if env == nil {
+			continue
+		}
+		env.RemoveAnnotation(id)
+		if env.IsEmpty() {
+			delete(db.envelopes[tg.Table], tg.Row)
+		}
+	}
+	db.dropDigestsLocked(id)
+	return nil
+}
+
+// dropDigestsLocked evicts an annotation's cached digests. Requires db.mu.
+func (db *DB) dropDigestsLocked(id annotation.ID) {
+	for _, byAnn := range db.digests {
+		delete(byAnn, id)
+	}
+}

@@ -1,0 +1,259 @@
+// Package engine assembles the InsightNotes system: the relational
+// substrate (catalog, storage, executor), the raw-annotation store, the
+// summary store with incremental maintenance and the summarize-once
+// optimization, QID-registered query execution with summary propagation,
+// and zoom-in processing over the RCO-managed materialization cache.
+//
+// DB is the public entry point; the root package insightnotes re-exports
+// it as the library API.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/catalog"
+	"insightnotes/internal/plan"
+	"insightnotes/internal/storage"
+	"insightnotes/internal/summary"
+	"insightnotes/internal/types"
+	"insightnotes/internal/zoomin"
+)
+
+// Config tunes a DB instance. The zero value plus defaults gives an
+// in-memory engine with a temp-dir zoom-in cache.
+type Config struct {
+	// PoolFrames is the buffer-pool capacity in 8 KiB frames (default 256).
+	PoolFrames int
+	// CacheDir is the zoom-in materialization directory (default: a fresh
+	// temp directory).
+	CacheDir string
+	// CacheBudget bounds the zoom-in cache in bytes (default 4 MiB).
+	CacheBudget int64
+	// CachePolicy selects the replacement policy (default RCO).
+	CachePolicy zoomin.Policy
+	// PlanOptions are applied to every query (ablation switches).
+	PlanOptions plan.Options
+	// DisableSummarizeOnce turns off the invariant-driven digest cache,
+	// for the E5 ablation.
+	DisableSummarizeOnce bool
+}
+
+// DB is one InsightNotes database instance.
+//
+// Concurrency: DB is safe for concurrent use. Statements synchronize on a
+// database-level reader/writer lock — reads (SELECT, SHOW, ZOOMIN, Save)
+// run concurrently with each other; writes (DDL, DML, annotation
+// ingestion/retraction, link changes) are exclusive.
+type DB struct {
+	cfg  Config
+	pool *storage.BufferPool
+	cat  *catalog.Catalog
+	anns *annotation.Store
+
+	// stmtMu is the statement-level reader/writer lock described above.
+	stmtMu sync.RWMutex
+
+	mu sync.RWMutex
+	// envelopes is the summary store: the maintained per-tuple summary
+	// objects of every annotated tuple (table → row → envelope).
+	envelopes map[string]map[types.RowID]*summary.Envelope
+	// digests caches per-annotation summarization results for instances
+	// whose properties allow summarize-once (instance → annotation → digest).
+	digests map[string]map[annotation.ID]summary.Digest
+
+	cache   *zoomin.Cache
+	queries map[int]string // QID → SQL text, for cache-miss re-execution
+	nextQID atomic.Int64
+	// annClock supplies Created timestamps deterministically when callers
+	// don't provide one.
+	annClock atomic.Int64
+}
+
+// Open creates a DB with the given configuration.
+func Open(cfg Config) (*DB, error) {
+	if cfg.PoolFrames <= 0 {
+		cfg.PoolFrames = 256
+	}
+	if cfg.CacheBudget <= 0 {
+		cfg.CacheBudget = 4 << 20
+	}
+	if cfg.CacheDir == "" {
+		dir, err := os.MkdirTemp("", "insightnotes-cache-")
+		if err != nil {
+			return nil, err
+		}
+		cfg.CacheDir = dir
+	}
+	if cfg.CachePolicy == nil {
+		cfg.CachePolicy = zoomin.RCO{}
+	}
+	cache, err := zoomin.NewCache(cfg.CacheDir, cfg.CacheBudget, cfg.CachePolicy)
+	if err != nil {
+		return nil, err
+	}
+	pool := storage.NewBufferPool(storage.NewMemStore(), cfg.PoolFrames)
+	return &DB{
+		cfg:       cfg,
+		pool:      pool,
+		cat:       catalog.New(pool),
+		anns:      annotation.NewStore(pool),
+		envelopes: make(map[string]map[types.RowID]*summary.Envelope),
+		digests:   make(map[string]map[annotation.ID]summary.Digest),
+		cache:     cache,
+		queries:   make(map[int]string),
+	}, nil
+}
+
+// MustOpen is Open for tests and examples; it panics on error.
+func MustOpen(cfg Config) *DB {
+	db, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Catalog exposes the metadata layer.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Annotations exposes the raw-annotation store.
+func (db *DB) Annotations() *annotation.Store { return db.anns }
+
+// Cache exposes the zoom-in materialization cache (for stats in benchmarks
+// and the REPL).
+func (db *DB) Cache() *zoomin.Cache { return db.cache }
+
+// EnvelopeFor implements exec.EnvelopeSource: the live maintained envelope
+// of a base tuple (scans clone it before pipeline mutation).
+func (db *DB) EnvelopeFor(table string, row types.RowID) *summary.Envelope {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.envelopes[table][row]
+}
+
+// envelopeForUpdate returns (creating if needed) the stored envelope of a
+// tuple. Callers must hold db.mu.
+func (db *DB) envelopeForUpdate(table string, row types.RowID) *summary.Envelope {
+	rows, ok := db.envelopes[table]
+	if !ok {
+		rows = make(map[types.RowID]*summary.Envelope)
+		db.envelopes[table] = rows
+	}
+	env, ok := rows[row]
+	if !ok {
+		env = summary.NewEnvelope()
+		rows[row] = env
+	}
+	return env
+}
+
+// digestFor computes (or returns the cached) digest of annotation a under
+// instance in — the summarize-once optimization of §2.3: when both
+// invariant properties hold, an annotation attached to many tuples is
+// summarized exactly once. Callers must hold db.mu.
+func (db *DB) digestFor(in *summary.Instance, a annotation.Annotation) summary.Digest {
+	if db.cfg.DisableSummarizeOnce || !in.Props.SummarizeOnce() {
+		return in.Summarize(a)
+	}
+	byAnn, ok := db.digests[in.Name]
+	if !ok {
+		byAnn = make(map[annotation.ID]summary.Digest)
+		db.digests[in.Name] = byAnn
+	}
+	if d, ok := byAnn[a.ID]; ok {
+		return d
+	}
+	d := in.Summarize(a)
+	byAnn[a.ID] = d
+	return d
+}
+
+// SummaryBytes reports the total approximate size of the summary store for
+// table — the numerator of the E1 compression experiment.
+func (db *DB) SummaryBytes(table string) int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var n int64
+	for _, env := range db.envelopes[table] {
+		n += int64(env.ApproxBytes())
+	}
+	return n
+}
+
+// StoredEnvelope returns a clone of the maintained envelope of a tuple (nil
+// when unannotated) — the inspection hook used by SHOW, the REPL, and
+// tests.
+func (db *DB) StoredEnvelope(table string, row types.RowID) *summary.Envelope {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	env := db.envelopes[table][row]
+	if env == nil {
+		return nil
+	}
+	return env.Clone()
+}
+
+// Close releases the zoom-in cache directory when the engine created it.
+func (db *DB) Close() error {
+	// The engine owns CacheDir only when it generated a temp dir; removing
+	// a user-supplied directory would be hostile. Detect by prefix.
+	return nil
+}
+
+func (db *DB) nextAnnotationTime() int64 { return db.annClock.Add(1) }
+
+func (db *DB) allocateQID() int { return int(db.nextQID.Add(1)) + 100 }
+
+// instanceFromStatement builds a summary.Instance from a parsed
+// CREATE SUMMARY INSTANCE statement.
+func instanceFromStatement(name, typeName string, labels []string, opts map[string]types.Value) (*summary.Instance, error) {
+	tn, err := summary.ParseTypeName(typeName)
+	if err != nil {
+		return nil, err
+	}
+	getFloat := func(key string, def float64) float64 {
+		if v, ok := opts[key]; ok && (v.Kind() == types.KindFloat || v.Kind() == types.KindInt) {
+			return v.Float()
+		}
+		return def
+	}
+	getInt := func(key string, def int) int {
+		if v, ok := opts[key]; ok && v.Kind() == types.KindInt {
+			return int(v.Int())
+		}
+		return def
+	}
+	getBool := func(key string, def bool) bool {
+		if v, ok := opts[key]; ok && v.Kind() == types.KindBool {
+			return v.Bool()
+		}
+		return def
+	}
+	switch tn {
+	case summary.TypeClassifier:
+		if len(labels) < 2 {
+			return nil, fmt.Errorf("engine: classifier instance %q needs LABELS ('a', 'b', ...)", name)
+		}
+		model, err := newNaiveBayes(labels)
+		if err != nil {
+			return nil, err
+		}
+		return summary.NewClassifierInstance(name, model)
+	case summary.TypeCluster:
+		in, err := summary.NewClusterInstance(name, getFloat("threshold", summary.DefaultSimThreshold))
+		if err != nil {
+			return nil, err
+		}
+		in.CentroidTerms = getInt("centroidterms", summary.DefaultCentroidTerms)
+		in.PreviewLen = getInt("previewlen", summary.DefaultPreviewLen)
+		in.MergeBySimilarity = getBool("mergebysim", false)
+		return in, nil
+	case summary.TypeSnippet:
+		return summary.NewSnippetInstance(name, getInt("sentences", summary.DefaultSnippetSentences))
+	}
+	return nil, fmt.Errorf("engine: unsupported summary type %q", typeName)
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/summary"
+	"insightnotes/internal/types"
+)
+
+// Snapshot format: one JSON document holding the complete logical state —
+// schemas, rows, indexes, summary instances (with trained models), links,
+// and raw annotations with their targets. Summary objects are NOT stored:
+// they are deterministically rebuilt from the raw annotations on load
+// (per-tuple annotations replay in id order, the same order incremental
+// maintenance observed them).
+const snapshotVersion = 1
+
+type snapshot struct {
+	Version     int                `json:"version"`
+	Tables      []snapshotTable    `json:"tables"`
+	Instances   []json.RawMessage  `json:"instances"`
+	Links       []snapshotLink     `json:"links"`
+	Annotations []snapshotAnnotate `json:"annotations"`
+}
+
+type snapshotTable struct {
+	Name    string           `json:"name"`
+	Columns []snapshotColumn `json:"columns"`
+	Indexes []string         `json:"indexes,omitempty"`
+	Rows    []snapshotRow    `json:"rows"`
+}
+
+type snapshotColumn struct {
+	Name string     `json:"name"`
+	Kind types.Kind `json:"kind"`
+}
+
+type snapshotRow struct {
+	ID     types.RowID   `json:"id"`
+	Values []types.Value `json:"values"`
+}
+
+type snapshotLink struct {
+	Instance string `json:"instance"`
+	Table    string `json:"table"`
+}
+
+type snapshotAnnotate struct {
+	ID       annotation.ID    `json:"id"`
+	Author   string           `json:"author,omitempty"`
+	Created  int64            `json:"created"`
+	Text     string           `json:"text"`
+	Title    string           `json:"title,omitempty"`
+	Document string           `json:"document,omitempty"`
+	Targets  []snapshotTarget `json:"targets"`
+}
+
+type snapshotTarget struct {
+	Table string            `json:"table"`
+	Row   types.RowID       `json:"row"`
+	Cols  annotation.ColSet `json:"cols"`
+}
+
+// Save writes the complete database state to w. It runs under the shared
+// statement lock: concurrent queries proceed, writes wait.
+func (db *DB) Save(w io.Writer) error {
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	snap := snapshot{Version: snapshotVersion}
+	for _, name := range db.cat.TableNames() {
+		tbl, err := db.cat.Table(name)
+		if err != nil {
+			return err
+		}
+		st := snapshotTable{Name: tbl.Name(), Indexes: tbl.IndexedColumns()}
+		for _, c := range tbl.Schema().Columns {
+			st.Columns = append(st.Columns, snapshotColumn{Name: c.Name, Kind: c.Kind})
+		}
+		var scanErr error
+		tbl.Scan(func(row types.RowID, tu types.Tuple) bool {
+			st.Rows = append(st.Rows, snapshotRow{ID: row, Values: tu})
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+		snap.Tables = append(snap.Tables, st)
+	}
+	for _, name := range db.cat.InstanceNames() {
+		in, err := db.cat.Instance(name)
+		if err != nil {
+			return err
+		}
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		snap.Instances = append(snap.Instances, raw)
+		for _, tbl := range db.cat.TablesFor(name) {
+			snap.Links = append(snap.Links, snapshotLink{Instance: name, Table: tbl})
+		}
+	}
+	// Annotations, deduplicated across multi-table targets, in id order.
+	seen := map[annotation.ID]bool{}
+	for _, st := range snap.Tables {
+		for _, row := range db.anns.AnnotatedRows(st.Name) {
+			for _, ref := range db.anns.ForTuple(st.Name, row) {
+				if seen[ref.ID] {
+					continue
+				}
+				seen[ref.ID] = true
+				a, err := db.anns.Get(ref.ID)
+				if err != nil {
+					return err
+				}
+				sa := snapshotAnnotate{
+					ID: a.ID, Author: a.Author, Created: a.Created,
+					Text: a.Text, Title: a.Title, Document: a.Document,
+				}
+				for _, tg := range db.anns.TargetsOf(ref.ID) {
+					sa.Targets = append(sa.Targets, snapshotTarget{
+						Table: tg.Table, Row: tg.Row, Cols: tg.Columns,
+					})
+				}
+				snap.Annotations = append(snap.Annotations, sa)
+			}
+		}
+	}
+	sortAnnotations(snap.Annotations)
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+func sortAnnotations(as []snapshotAnnotate) {
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0 && as[j].ID < as[j-1].ID; j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+		}
+	}
+}
+
+// SaveFile is Save to a file path (written atomically via a temp file).
+func (db *DB) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := db.Save(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load restores a database from a snapshot produced by Save into a fresh
+// DB with the given configuration. Summary objects are rebuilt by
+// replaying the raw annotations through the maintenance path.
+func Load(r io.Reader, cfg Config) (*DB, error) {
+	db, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("engine: corrupt snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("engine: unsupported snapshot version %d", snap.Version)
+	}
+	for _, st := range snap.Tables {
+		cols := make([]types.Column, len(st.Columns))
+		for i, c := range st.Columns {
+			cols[i] = types.Column{Name: c.Name, Kind: c.Kind}
+		}
+		tbl, err := db.cat.CreateTable(st.Name, types.Schema{Columns: cols})
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range st.Rows {
+			if err := tbl.InsertWithID(row.ID, types.Tuple(row.Values)); err != nil {
+				return nil, err
+			}
+		}
+		for _, idx := range st.Indexes {
+			if err := tbl.CreateIndex(idx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, raw := range snap.Instances {
+		in := new(summary.Instance)
+		if err := json.Unmarshal(raw, in); err != nil {
+			return nil, err
+		}
+		if err := db.cat.RegisterInstance(in); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range snap.Links {
+		if err := db.cat.Link(l.Instance, l.Table); err != nil {
+			return nil, err
+		}
+	}
+	// Restore raw annotations, then replay them through maintenance in id
+	// order (the order the original incremental maintenance saw them).
+	for _, sa := range snap.Annotations {
+		a := annotation.Annotation{
+			ID: sa.ID, Author: sa.Author, Created: sa.Created,
+			Text: sa.Text, Title: sa.Title, Document: sa.Document,
+		}
+		targets := make([]annotation.Target, len(sa.Targets))
+		for i, tg := range sa.Targets {
+			targets[i] = annotation.Target{Table: tg.Table, Row: tg.Row, Columns: tg.Cols}
+		}
+		if err := db.anns.Restore(a, targets); err != nil {
+			return nil, err
+		}
+		db.mu.Lock()
+		for _, tg := range targets {
+			for _, in := range db.cat.InstancesFor(tg.Table) {
+				d := db.digestFor(in, a)
+				db.envelopeForUpdate(tg.Table, tg.Row).Add(in, d, tg.Columns)
+			}
+		}
+		db.mu.Unlock()
+		if a.Created > db.annClock.Load() {
+			db.annClock.Store(a.Created)
+		}
+	}
+	return db, nil
+}
+
+// LoadFile is Load from a file path.
+func LoadFile(path string, cfg Config) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f), cfg)
+}

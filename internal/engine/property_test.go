@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/workload"
+)
+
+// randomDB builds a randomized two-table database with instances, links,
+// and annotations (including multi-target and column-scoped ones), all
+// derived from seed.
+func randomDB(t *testing.T, seed int64) *DB {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	g := workload.New(seed)
+	db := testDB(t)
+	script := `
+	CREATE TABLE R (a INT, b INT, c TEXT);
+	CREATE TABLE S (x INT, y TEXT);
+	CREATE SUMMARY INSTANCE Cls TYPE Classifier LABELS ('Behavior', 'Disease', 'Anatomy', 'Other');
+	CREATE SUMMARY INSTANCE Clu TYPE Cluster WITH (threshold = 0.3);
+	CREATE SUMMARY INSTANCE Snp TYPE Snippet WITH (sentences = 2);
+	LINK SUMMARY Cls TO R;
+	LINK SUMMARY Clu TO R;
+	LINK SUMMARY Snp TO R;
+	LINK SUMMARY Cls TO S;
+	LINK SUMMARY Clu TO S;
+	`
+	if _, err := db.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.TrainClassifier("Cls", g.TrainingSet(workload.BirdClasses, 6)); err != nil {
+		t.Fatal(err)
+	}
+	nR, nS := 2+r.Intn(4), 2+r.Intn(3)
+	for i := 0; i < nR; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO R VALUES (%d, %d, 'c%d')", i+1, r.Intn(3), i))
+	}
+	for i := 0; i < nS; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO S VALUES (%d, 'y%d')", i%nR+1, i))
+	}
+	rCols := [][]string{nil, {"a"}, {"b"}, {"c"}, {"a", "b"}, {"b", "c"}}
+	sCols := [][]string{nil, {"x"}, {"y"}}
+	// S.x values cover 1..min(nR, nS), so filters must stay in that range.
+	xMax := nR
+	if nS < nR {
+		xMax = nS
+	}
+	nAnn := 5 + r.Intn(15)
+	for i := 0; i < nAnn; i++ {
+		class := workload.BirdClasses[r.Intn(4)]
+		a := annotation.Annotation{Text: g.ClassText(class), Author: g.AuthorName()}
+		if r.Intn(8) == 0 {
+			a.Title, a.Document = g.Document(class, 4)
+		}
+		var specs []TargetSpec
+		if r.Intn(4) == 0 {
+			// Multi-target across both tables.
+			specs = []TargetSpec{
+				{Table: "R", Columns: rCols[r.Intn(len(rCols))], Where: parseWhere(t, fmt.Sprintf("a = %d", r.Intn(nR)+1))},
+				{Table: "S", Columns: sCols[r.Intn(len(sCols))], Where: parseWhere(t, fmt.Sprintf("x = %d", r.Intn(xMax)+1))},
+			}
+		} else if r.Intn(2) == 0 {
+			specs = []TargetSpec{{Table: "R", Columns: rCols[r.Intn(len(rCols))],
+				Where: parseWhere(t, fmt.Sprintf("a = %d", r.Intn(nR)+1))}}
+		} else {
+			specs = []TargetSpec{{Table: "S", Columns: sCols[r.Intn(len(sCols))],
+				Where: parseWhere(t, fmt.Sprintf("x = %d", r.Intn(xMax)+1))}}
+		}
+		if _, _, err := db.AnnotateTargets(a, specs); err != nil {
+			t.Fatalf("seed %d annotation %d: %v", seed, i, err)
+		}
+	}
+	return db
+}
+
+// TestSnapshotRoundTripProperty verifies that save→load preserves every
+// maintained summary envelope on randomized databases.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		db := randomDB(t, seed)
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			t.Logf("seed %d: save: %v", seed, err)
+			return false
+		}
+		back, err := Load(&buf, Config{CacheDir: t.TempDir()})
+		if err != nil {
+			t.Logf("seed %d: load: %v", seed, err)
+			return false
+		}
+		if db.Annotations().Count() != back.Annotations().Count() {
+			t.Logf("seed %d: annotation counts differ", seed)
+			return false
+		}
+		for _, table := range []string{"R", "S"} {
+			for _, row := range db.Annotations().AnnotatedRows(table) {
+				a := db.StoredEnvelope(table, row)
+				b := back.StoredEnvelope(table, row)
+				if (a == nil) != (b == nil) {
+					t.Logf("seed %d: %s/%d envelope presence differs", seed, table, row)
+					return false
+				}
+				if a != nil && !a.Equal(b) {
+					t.Logf("seed %d: %s/%d differs:\n%s\nvs\n%s", seed, table, row, a.Render(), b.Render())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanEquivalenceRandomized verifies Theorems 1&2 end to end on
+// randomized annotation populations: reversed join orders produce
+// identical summaries for every output tuple.
+func TestPlanEquivalenceRandomized(t *testing.T) {
+	queries := [][2]string{
+		{
+			"SELECT r.a, r.b, s.y FROM R r, S s WHERE r.a = s.x",
+			"SELECT r.a, r.b, s.y FROM S s, R r WHERE r.a = s.x",
+		},
+		{
+			"SELECT r.a, s.y FROM R r, S s WHERE r.a = s.x AND r.b >= 0",
+			"SELECT r.a, s.y FROM S s, R r WHERE r.a = s.x AND r.b >= 0",
+		},
+		{
+			"SELECT DISTINCT r.b, s.x FROM R r, S s WHERE r.a = s.x",
+			"SELECT DISTINCT r.b, s.x FROM S s, R r WHERE r.a = s.x",
+		},
+	}
+	f := func(seed int64, pick uint8) bool {
+		db := randomDB(t, seed)
+		q := queries[int(pick)%len(queries)]
+		r1, err := db.Query(q[0])
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		r2, err := db.Query(q[1])
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(r1.Rows) != len(r2.Rows) {
+			t.Logf("seed %d: row counts %d vs %d", seed, len(r1.Rows), len(r2.Rows))
+			return false
+		}
+		// Compare as multisets keyed by tuple text.
+		bag := map[string][]string{}
+		for _, row := range r1.Rows {
+			key := row.Tuple.String()
+			summaryText := ""
+			if row.Env != nil {
+				summaryText = row.Env.Render()
+			}
+			bag[key] = append(bag[key], summaryText)
+		}
+		for _, row := range r2.Rows {
+			key := row.Tuple.String()
+			summaryText := ""
+			if row.Env != nil {
+				summaryText = row.Env.Render()
+			}
+			list := bag[key]
+			found := -1
+			for i, s := range list {
+				if s == summaryText {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				t.Logf("seed %d: no matching summary for %s:\n%s", seed, key, summaryText)
+				return false
+			}
+			bag[key] = append(list[:found], list[found+1:]...)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+
+	"insightnotes/internal/exec"
+	"insightnotes/internal/plan"
+	"insightnotes/internal/sql"
+	"insightnotes/internal/types"
+	"insightnotes/internal/zoomin"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	// QID is the query id assigned to SELECT results (0 otherwise);
+	// ZOOMIN commands reference it.
+	QID int
+	// Schema describes Rows for SELECT and ZOOMIN results.
+	Schema types.Schema
+	// Rows holds the result tuples with their propagated summary
+	// envelopes.
+	Rows []*exec.Row
+	// Message summarizes DDL/DML outcomes.
+	Message string
+	// Count is the number of rows affected/ingested for DML.
+	Count int
+	// Trace holds per-operator intermediate rows when tracing was
+	// requested (the Figure 5 under-the-hood view).
+	Trace []exec.TraceEntry
+	// ZoomAnnotations carries the raw annotations retrieved by a ZOOMIN
+	// command, grouped per matched result row.
+	ZoomAnnotations []ZoomRowResult
+}
+
+// Query plans and executes a SELECT, assigns a QID, and materializes the
+// result into the zoom-in cache.
+func (db *DB) Query(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: Query expects a SELECT; use Exec for %T", stmt)
+	}
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	return db.querySelect(sel, sqlText, nil)
+}
+
+// QueryWithOptions plans and executes a SELECT under explicit plan options
+// (the benchmark ablation switches). It does not register a QID or touch
+// the zoom-in cache, so ablated plans never pollute zoom-in state.
+func (db *DB) QueryWithOptions(sqlText string, opts plan.Options) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryWithOptions expects a SELECT")
+	}
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	p := plan.New(db.cat, db, opts)
+	op, err := p.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: op.Schema(), Rows: rows}, nil
+}
+
+// QueryTraced is Query with the under-the-hood operator log enabled.
+func (db *DB) QueryTraced(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryTraced expects a SELECT")
+	}
+	sink := &exec.TraceSink{}
+	db.stmtMu.RLock()
+	res, err := db.querySelect(sel, sqlText, sink)
+	db.stmtMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	res.Trace = sink.Entries()
+	return res, nil
+}
+
+func (db *DB) querySelect(sel *sql.Select, sqlText string, sink *exec.TraceSink) (*Result, error) {
+	opts := db.cfg.PlanOptions
+	opts.Trace = sink
+	p := plan.New(db.cat, db, opts)
+	op, err := p.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	qid := db.allocateQID()
+	db.mu.Lock()
+	db.queries[qid] = sqlText
+	db.mu.Unlock()
+	cached := zoomin.BuildCachedResult(qid, sqlText, op.Schema(), rows, estimateComplexity(sel, len(rows)))
+	if err := db.cache.Put(cached); err != nil {
+		return nil, err
+	}
+	return &Result{QID: qid, Schema: op.Schema(), Rows: rows}, nil
+}
+
+// estimateComplexity is the RCO cost proxy: relations joined, aggregation,
+// distinct, and result volume all raise the cost of recreating a result.
+func estimateComplexity(sel *sql.Select, resultRows int) float64 {
+	c := 1.0
+	c += 5 * float64(len(sel.From)+len(sel.Joins)-1) // join work
+	if len(sel.GroupBy) > 0 || sel.Having != nil {
+		c += 5
+	}
+	if sel.Distinct {
+		c += 3
+	}
+	c += float64(resultRows) / 10
+	return c
+}
+
+// resultFor returns the cached result of qid, re-executing the remembered
+// SQL on a cache miss (and re-admitting the fresh result to the cache).
+// The boolean reports whether it was a cache hit.
+func (db *DB) resultFor(qid int) (*zoomin.CachedResult, bool, error) {
+	cached, hit, err := db.cache.Get(qid)
+	if err != nil {
+		return nil, false, err
+	}
+	if hit {
+		return cached, true, nil
+	}
+	db.mu.RLock()
+	sqlText, ok := db.queries[qid]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, false, fmt.Errorf("engine: unknown QID %d", qid)
+	}
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, false, err
+	}
+	sel := stmt.(*sql.Select)
+	p := plan.New(db.cat, db, db.cfg.PlanOptions)
+	op, err := p.PlanSelect(sel)
+	if err != nil {
+		return nil, false, err
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return nil, false, err
+	}
+	cached = zoomin.BuildCachedResult(qid, sqlText, op.Schema(), rows, estimateComplexity(sel, len(rows)))
+	if err := db.cache.Put(cached); err != nil {
+		return nil, false, err
+	}
+	return cached, false, nil
+}

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/exec"
+	"insightnotes/internal/plan"
+	"insightnotes/internal/sql"
+	"insightnotes/internal/types"
+)
+
+// Exec parses and executes one statement of any kind — SQL or InsightNotes
+// extension — and returns its result.
+func (db *DB) Exec(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStatement(stmt, sqlText)
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the first
+// error and returning the results of the completed statements.
+func (db *DB) ExecScript(script string) ([]*Result, error) {
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, stmt := range stmts {
+		res, err := db.ExecStatement(stmt, stmt.String())
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ExecStatement dispatches a parsed statement. sqlText is the original
+// statement text (used to re-execute SELECTs on zoom-in cache misses).
+// Read statements take the shared statement lock; everything else takes it
+// exclusively (see the DB type comment).
+func (db *DB) ExecStatement(stmt sql.Statement, sqlText string) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.Select:
+		db.stmtMu.RLock()
+		defer db.stmtMu.RUnlock()
+		return db.querySelect(s, sqlText, nil)
+	case *sql.Show:
+		db.stmtMu.RLock()
+		defer db.stmtMu.RUnlock()
+		return db.execShow(s)
+	case *sql.Explain:
+		db.stmtMu.RLock()
+		defer db.stmtMu.RUnlock()
+		return db.execExplain(s)
+	case *sql.ZoomIn:
+		results, hit, err := db.ZoomIn(ZoomInRequest{
+			QID: s.QID, Where: s.Where, Instance: s.Instance, Index: s.Index,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows := zoomRows(results)
+		src := "cache hit"
+		if !hit {
+			src = "re-executed"
+		}
+		return &Result{
+			Schema:          zoomResultSchema(),
+			Rows:            rows,
+			ZoomAnnotations: results,
+			Message:         fmt.Sprintf("%d raw annotation(s) retrieved (%s)", len(rows), src),
+			Count:           len(rows),
+		}, nil
+	case *sql.AddAnnotation:
+		id, n, err := db.Annotate(AnnotationRequest{
+			Text: s.Text, Title: s.Title, Document: s.Document, Author: s.Author,
+			Table: s.Table, Columns: s.Columns, Where: s.Where,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Message: fmt.Sprintf("annotation %d attached to %d tuple(s)", id, n),
+			Count:   n,
+		}, nil
+	case *sql.DropAnnotation:
+		if err := db.DropAnnotation(annotation.ID(s.ID)); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("annotation %d retracted", s.ID), Count: 1}, nil
+	case *sql.TrainSummary:
+		if err := db.TrainClassifier(s.Name, s.Samples); err != nil {
+			return nil, err
+		}
+		return &Result{
+			Message: fmt.Sprintf("%d sample(s) trained into %s", len(s.Samples), s.Name),
+			Count:   len(s.Samples),
+		}, nil
+	case *sql.LinkSummary:
+		if s.Unlink {
+			if err := db.UnlinkInstance(s.Instance, s.Table); err != nil {
+				return nil, err
+			}
+			return &Result{Message: fmt.Sprintf("%s unlinked from %s", s.Instance, s.Table)}, nil
+		}
+		if err := db.LinkInstance(s.Instance, s.Table); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("%s linked to %s", s.Instance, s.Table)}, nil
+	}
+	// Remaining statements are writes executed under the exclusive lock.
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		return db.execCreateTable(s)
+	case *sql.CreateIndex:
+		tbl, err := db.cat.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := tbl.CreateIndex(s.Column); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("index created on %s(%s)", tbl.Name(), s.Column)}, nil
+	case *sql.DropTable:
+		tbl, err := db.cat.Table(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		name := tbl.Name()
+		if err := db.cat.DropTable(name); err != nil {
+			return nil, err
+		}
+		db.mu.Lock()
+		delete(db.envelopes, name)
+		db.mu.Unlock()
+		return &Result{Message: "table dropped"}, nil
+	case *sql.Insert:
+		return db.execInsert(s)
+	case *sql.Update:
+		return db.execUpdate(s)
+	case *sql.Delete:
+		return db.execDelete(s)
+	case *sql.CreateSummaryInstance:
+		in, err := instanceFromStatement(s.Name, s.Type, s.Labels, s.Options)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.cat.RegisterInstance(in); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("summary instance %s (%s) created", in.Name, in.Type)}, nil
+	case *sql.DropSummaryInstance:
+		for _, tbl := range db.cat.TablesFor(s.Name) {
+			if err := db.unlinkInstance(s.Name, tbl); err != nil {
+				return nil, err
+			}
+		}
+		if err := db.cat.DropInstance(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "summary instance dropped"}, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// execExplain plans the query and renders the operator tree, one node per
+// row.
+func (db *DB) execExplain(s *sql.Explain) (*Result, error) {
+	p := plan.New(db.cat, db, db.cfg.PlanOptions)
+	op, err := p.PlanSelect(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	schema := types.NewSchema(types.Column{Name: "plan", Kind: types.KindString})
+	var rows []*exec.Row
+	for _, line := range strings.Split(exec.Explain(op), "\n") {
+		rows = append(rows, &exec.Row{Tuple: types.Tuple{types.NewString(line)}})
+	}
+	return &Result{Schema: schema, Rows: rows}, nil
+}
+
+func (db *DB) execCreateTable(s *sql.CreateTable) (*Result, error) {
+	cols := make([]types.Column, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = types.Column{Name: c.Name, Kind: c.Kind}
+	}
+	if _, err := db.cat.CreateTable(s.Name, types.Schema{Columns: cols}); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("table %s created", s.Name)}, nil
+}
+
+func (db *DB) execInsert(s *sql.Insert) (*Result, error) {
+	tbl, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	empty := types.Schema{}
+	n := 0
+	for _, row := range s.Rows {
+		tu := make(types.Tuple, len(row))
+		for i, e := range row {
+			c, err := exec.Compile(e, empty)
+			if err != nil {
+				return nil, fmt.Errorf("engine: INSERT values must be constants: %w", err)
+			}
+			v, err := c.Eval(nil)
+			if err != nil {
+				return nil, err
+			}
+			tu[i] = v
+		}
+		if _, err := tbl.Insert(tu); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Message: fmt.Sprintf("%d row(s) inserted into %s", n, tbl.Name()), Count: n}, nil
+}
+
+func (db *DB) execShow(s *sql.Show) (*Result, error) {
+	switch s.What {
+	case "TABLES":
+		schema := types.NewSchema(
+			types.Column{Name: "table_name", Kind: types.KindString},
+			types.Column{Name: "rows", Kind: types.KindInt},
+			types.Column{Name: "linked_summaries", Kind: types.KindString},
+		)
+		var rows []*exec.Row
+		for _, name := range db.cat.TableNames() {
+			tbl, _ := db.cat.Table(name)
+			var links []string
+			for _, in := range db.cat.InstancesFor(name) {
+				links = append(links, in.Name)
+			}
+			rows = append(rows, &exec.Row{Tuple: types.Tuple{
+				types.NewString(name),
+				types.NewInt(int64(tbl.Len())),
+				types.NewString(strings.Join(links, ", ")),
+			}})
+		}
+		return &Result{Schema: schema, Rows: rows}, nil
+	case "SUMMARIES":
+		schema := types.NewSchema(
+			types.Column{Name: "instance", Kind: types.KindString},
+			types.Column{Name: "type", Kind: types.KindString},
+			types.Column{Name: "linked_tables", Kind: types.KindString},
+			types.Column{Name: "summarize_once", Kind: types.KindBool},
+		)
+		var rows []*exec.Row
+		for _, name := range db.cat.InstanceNames() {
+			in, _ := db.cat.Instance(name)
+			rows = append(rows, &exec.Row{Tuple: types.Tuple{
+				types.NewString(name),
+				types.NewString(string(in.Type)),
+				types.NewString(strings.Join(db.cat.TablesFor(name), ", ")),
+				types.NewBool(in.Props.SummarizeOnce()),
+			}})
+		}
+		return &Result{Schema: schema, Rows: rows}, nil
+	case "ANNOTATIONS":
+		tbl, err := db.cat.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		schema := types.NewSchema(
+			types.Column{Name: "row_id", Kind: types.KindInt},
+			types.Column{Name: "ann_id", Kind: types.KindInt},
+			types.Column{Name: "columns", Kind: types.KindString},
+			types.Column{Name: "text", Kind: types.KindString},
+		)
+		var rows []*exec.Row
+		for _, row := range db.anns.AnnotatedRows(tbl.Name()) {
+			for _, ref := range db.anns.ForTuple(tbl.Name(), row) {
+				a, err := db.anns.Get(ref.ID)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, &exec.Row{Tuple: types.Tuple{
+					types.NewInt(int64(row)),
+					types.NewInt(int64(ref.ID)),
+					types.NewString(ref.Columns.String()),
+					types.NewString(a.Preview(80)),
+				}})
+			}
+		}
+		return &Result{Schema: schema, Rows: rows}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown SHOW target %q", s.What)
+	}
+}

@@ -1,0 +1,133 @@
+package engine
+
+// Tests for summary-based query processing (§2.1): filtering and sorting
+// data tuples by predicates over their annotation summaries.
+
+import (
+	"testing"
+)
+
+// predDB builds birds with varying annotation profiles: bird 1 heavy on
+// disease annotations, bird 2 heavy on behavior, bird 3 unannotated.
+func predDB(t *testing.T) *DB {
+	t.Helper()
+	db := birdDB(t)
+	for i := 0; i < 4; i++ {
+		mustExec(t, db, "ADD ANNOTATION 'signs of avian influenza infection observed' ON birds WHERE id = 1")
+	}
+	mustExec(t, db, "ADD ANNOTATION 'observed feeding at dawn' ON birds WHERE id = 1")
+	for i := 0; i < 3; i++ {
+		mustExec(t, db, "ADD ANNOTATION 'found eating stonewort near the shore' ON birds WHERE id = 2")
+	}
+	return db
+}
+
+func TestSummaryCountPredicate(t *testing.T) {
+	db := predDB(t)
+	// Disease is label index 2 of ClassBird1; bird 1 has 4 disease notes.
+	res := mustExec(t, db,
+		"SELECT id, name FROM birds WHERE SUMMARY_COUNT(ClassBird1, 'Disease') > 2")
+	if len(res.Rows) != 1 || res.Rows[0].Tuple[0].Int() != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Combining with ordinary predicates.
+	res = mustExec(t, db,
+		"SELECT id FROM birds WHERE SUMMARY_COUNT(ClassBird1, 'Behavior') >= 1 AND id > 1")
+	if len(res.Rows) != 1 || res.Rows[0].Tuple[0].Int() != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSummaryTotalPredicateIncludesUnannotated(t *testing.T) {
+	db := predDB(t)
+	// Unannotated tuples count zero, so they pass a "= 0" filter.
+	res := mustExec(t, db, "SELECT id FROM birds WHERE SUMMARY_TOTAL(ClassBird1) = 0")
+	if len(res.Rows) != 1 || res.Rows[0].Tuple[0].Int() != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT id FROM birds WHERE SUMMARY_TOTAL(ClassBird1) >= 5")
+	if len(res.Rows) != 1 || res.Rows[0].Tuple[0].Int() != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSummaryGroupsPredicate(t *testing.T) {
+	db := predDB(t)
+	// Bird 1 has two thematic families → at least 2 cluster groups.
+	res := mustExec(t, db, "SELECT id FROM birds WHERE SUMMARY_GROUPS(SimCluster) >= 2")
+	if len(res.Rows) != 1 || res.Rows[0].Tuple[0].Int() != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSummaryOrderBy(t *testing.T) {
+	db := predDB(t)
+	// Sort the flock by total annotation volume, busiest first.
+	res := mustExec(t, db,
+		"SELECT id, name FROM birds ORDER BY SUMMARY_TOTAL(ClassBird1) DESC, id")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	got := []int64{res.Rows[0].Tuple[0].Int(), res.Rows[1].Tuple[0].Int(), res.Rows[2].Tuple[0].Int()}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestSummaryPredicateSeesStoredSummariesDespiteProjection(t *testing.T) {
+	db := birdDB(t)
+	// Annotation only on the wingspan column; the query projects id only.
+	mustExec(t, db, "ADD ANNOTATION 'wingspan suspiciously large' ON birds (wingspan) WHERE id = 2")
+	res := mustExec(t, db, "SELECT id FROM birds WHERE SUMMARY_TOTAL(ClassBird1) > 0")
+	if len(res.Rows) != 1 || res.Rows[0].Tuple[0].Int() != 2 {
+		t.Fatalf("rows = %v — summary predicate must see the stored summary, not the curated one", res.Rows)
+	}
+	// The *output* envelope, however, is curated: the wingspan-only
+	// annotation does not survive a projection to id.
+	if res.Rows[0].Env != nil && res.Rows[0].Env.Object("ClassBird1") != nil {
+		t.Error("output envelope kept an annotation on a projected-out column")
+	}
+}
+
+func TestSummaryPredicateAfterJoin(t *testing.T) {
+	db := predDB(t)
+	mustExec(t, db, "CREATE TABLE sightings (sid INT, bird_id INT)")
+	mustExec(t, db, "INSERT INTO sightings VALUES (1, 1), (2, 2), (3, 3)")
+	// SUMMARY predicates work over joined rows (merged envelopes).
+	res := mustExec(t, db, `SELECT b.id, s.sid FROM birds b, sightings s
+		WHERE b.id = s.bird_id AND SUMMARY_COUNT(ClassBird1, 'Disease') > 2`)
+	if len(res.Rows) != 1 || res.Rows[0].Tuple[0].Int() != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSummaryPredicateErrors(t *testing.T) {
+	db := predDB(t)
+	// Unknown label.
+	if _, err := db.Exec("SELECT id FROM birds WHERE SUMMARY_COUNT(ClassBird1, 'Nope') > 0"); err == nil {
+		t.Error("unknown label accepted")
+	}
+	// SUMMARY_COUNT over a cluster instance.
+	if _, err := db.Exec("SELECT id FROM birds WHERE SUMMARY_COUNT(SimCluster, 'Behavior') > 0"); err == nil {
+		t.Error("SUMMARY_COUNT over cluster accepted")
+	}
+	// SUMMARY_GROUPS over a classifier instance.
+	if _, err := db.Exec("SELECT id FROM birds WHERE SUMMARY_GROUPS(ClassBird1) > 0"); err == nil {
+		t.Error("SUMMARY_GROUPS over classifier accepted")
+	}
+	// Summary calls are not scalar select items (no rewrite support yet).
+	if _, err := db.Exec("SELECT SUMMARY_TOTAL(ClassBird1) FROM birds GROUP BY id"); err == nil {
+		t.Error("summary call under grouping accepted")
+	}
+}
+
+func TestSummaryPredicateUnlinkedInstanceFiltersAll(t *testing.T) {
+	db := predDB(t)
+	mustExec(t, db, "CREATE TABLE empty_t (x INT)")
+	mustExec(t, db, "INSERT INTO empty_t VALUES (1)")
+	// The instance is not linked to empty_t: every tuple scores 0.
+	res := mustExec(t, db, "SELECT x FROM empty_t WHERE SUMMARY_TOTAL(ClassBird1) > 0")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

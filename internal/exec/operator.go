@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/summary"
+	"insightnotes/internal/types"
+)
+
+// Row is one pipeline element: a data tuple plus its annotation-summary
+// envelope. Env may be nil when the tuple carries no annotations.
+type Row struct {
+	Tuple types.Tuple
+	Env   *summary.Envelope
+}
+
+// Operator is a Volcano-style iterator. Next returns (nil, nil) when the
+// stream is exhausted. Implementations own their children: Open/Close
+// cascade.
+type Operator interface {
+	// Schema describes the tuples the operator produces.
+	Schema() types.Schema
+	// Open prepares the operator for iteration.
+	Open() error
+	// Next produces the next row, or (nil, nil) at end of stream.
+	Next() (*Row, error)
+	// Close releases resources.
+	Close() error
+}
+
+// ---- envelope helpers (nil-tolerant) ----
+
+// envClone deep-copies an envelope; nil stays nil.
+func envClone(e *summary.Envelope) *summary.Envelope {
+	if e == nil {
+		return nil
+	}
+	return e.Clone()
+}
+
+// envProject narrows an envelope to the kept input columns; empty results
+// collapse to nil.
+func envProject(e *summary.Envelope, keep []int) *summary.Envelope {
+	if e == nil {
+		return nil
+	}
+	e.Project(keep)
+	if e.IsEmpty() {
+		return nil
+	}
+	return e
+}
+
+// envRemap applies a generalized column remapping; empty results collapse
+// to nil.
+func envRemap(e *summary.Envelope, mapping []annotation.ColSet) *summary.Envelope {
+	if e == nil {
+		return nil
+	}
+	e.RemapColumns(mapping)
+	if e.IsEmpty() {
+		return nil
+	}
+	return e
+}
+
+// envMerge merges right into left (owned, mutated) for a join with the
+// given left width, tolerating nils. Merge only reads right — objects it
+// adopts are cloned inside the summary algebra — so callers may pass a
+// shared right envelope (e.g. a hash-join build row matched by several
+// probe rows) without a defensive copy.
+func envMerge(left, right *summary.Envelope, leftWidth int) *summary.Envelope {
+	if right == nil {
+		return left
+	}
+	if left == nil {
+		// Shift right coverage into the output shape via a merge into an
+		// empty envelope.
+		out := summary.NewEnvelope()
+		out.Merge(right, leftWidth)
+		return out
+	}
+	left.Merge(right, leftWidth)
+	return left
+}
+
+// envCombine merges right into left for same-shape combination (grouping,
+// distinct), tolerating nils.
+func envCombine(left, right *summary.Envelope) *summary.Envelope {
+	if right == nil {
+		return left
+	}
+	if left == nil {
+		return right
+	}
+	left.Combine(right)
+	return left
+}

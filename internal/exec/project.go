@@ -1,0 +1,141 @@
+package exec
+
+import (
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/types"
+)
+
+// Filter passes rows whose predicate evaluates to true. Selection does not
+// change the summary objects (Figure 2, step 2).
+type Filter struct {
+	child Operator
+	pred  *Compiled
+}
+
+// NewFilter wraps child with a compiled predicate.
+func NewFilter(child Operator, pred *Compiled) *Filter {
+	return &Filter{child: child, pred: pred}
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() types.Schema { return f.child.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.child.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (*Row, error) {
+	for {
+		row, err := f.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		v, err := f.pred.Eval(row.Tuple)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truthy() {
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.child.Close() }
+
+// ProjectItem is one output column of a projection: a compiled expression
+// and its output column descriptor.
+type ProjectItem struct {
+	Expr *Compiled
+	Col  types.Column
+}
+
+// Project computes output columns from input rows and applies the paper's
+// project-on-summary-objects semantics: an annotation's new coverage is the
+// set of output columns whose expressions reference at least one input
+// column it covers; annotations covering no surviving column are
+// eliminated from the summary objects (Figure 2, step 1).
+type Project struct {
+	child   Operator
+	items   []ProjectItem
+	schema  types.Schema
+	mapping []annotation.ColSet // input ordinal → output coverage
+}
+
+// NewProject wraps child with projection items.
+func NewProject(child Operator, items []ProjectItem) *Project {
+	cols := make([]types.Column, len(items))
+	for i, it := range items {
+		cols[i] = it.Col
+	}
+	mapping := make([]annotation.ColSet, child.Schema().Len())
+	for out, it := range items {
+		for _, in := range it.Expr.Cols() {
+			mapping[in] = mapping[in].Union(annotation.Col(out))
+		}
+	}
+	return &Project{
+		child:   child,
+		items:   items,
+		schema:  types.Schema{Columns: cols},
+		mapping: mapping,
+	}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() types.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.child.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (*Row, error) {
+	row, err := p.child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make(types.Tuple, len(p.items))
+	for i, it := range p.items {
+		v, err := it.Expr.Eval(row.Tuple)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return &Row{Tuple: out, Env: envRemap(row.Env, p.mapping)}, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.child.Close() }
+
+// Limit passes through at most n rows.
+type Limit struct {
+	child Operator
+	n     int
+	seen  int
+}
+
+// NewLimit wraps child with a row cap.
+func NewLimit(child Operator, n int) *Limit { return &Limit{child: child, n: n} }
+
+// Schema implements Operator.
+func (l *Limit) Schema() types.Schema { return l.child.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error { l.seen = 0; return l.child.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() (*Row, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	row, err := l.child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.child.Close() }

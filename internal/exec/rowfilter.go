@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"sort"
+
+	"insightnotes/internal/types"
+)
+
+// RowFilter is Filter for predicates that read summary envelopes
+// (summary-based predicates, §2.1): the predicate is evaluated over the
+// full pipeline row rather than the data tuple alone. The summaries a
+// predicate observes are the ones flowing at that plan position — for
+// predicates over a base relation, the maintained (stored) summaries.
+type RowFilter struct {
+	child Operator
+	pred  *Compiled // compiled with CompileRow
+}
+
+// NewRowFilter wraps child with a row-level predicate.
+func NewRowFilter(child Operator, pred *Compiled) *RowFilter {
+	return &RowFilter{child: child, pred: pred}
+}
+
+// Schema implements Operator.
+func (f *RowFilter) Schema() types.Schema { return f.child.Schema() }
+
+// Open implements Operator.
+func (f *RowFilter) Open() error { return f.child.Open() }
+
+// Next implements Operator.
+func (f *RowFilter) Next() (*Row, error) {
+	for {
+		row, err := f.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		v, err := f.pred.EvalRow(row)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truthy() {
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *RowFilter) Close() error { return f.child.Close() }
+
+// RowSort is Sort for keys that read summary envelopes — the paper's
+// "sorting the data tuples according to summary-based predicates". Keys
+// are evaluated over the rows as reported (post-projection summaries).
+type RowSort struct {
+	child Operator
+	keys  []SortKey // Exprs compiled with CompileRow
+	out   []*Row
+	pos   int
+}
+
+// NewRowSort wraps child with row-level sort keys.
+func NewRowSort(child Operator, keys []SortKey) *RowSort {
+	return &RowSort{child: child, keys: keys}
+}
+
+// Schema implements Operator.
+func (s *RowSort) Schema() types.Schema { return s.child.Schema() }
+
+// Open implements Operator.
+func (s *RowSort) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	s.out = s.out[:0]
+	type keyed struct {
+		row  *Row
+		keys types.Tuple
+	}
+	var rows []keyed
+	for {
+		row, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		kv := make(types.Tuple, len(s.keys))
+		for i, k := range s.keys {
+			v, err := k.Expr.EvalRow(row)
+			if err != nil {
+				return err
+			}
+			kv[i] = v
+		}
+		rows = append(rows, keyed{row: row, keys: kv})
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i, k := range s.keys {
+			c := types.Compare(rows[a].keys[i], rows[b].keys[i])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for _, r := range rows {
+		s.out = append(s.out, r.row)
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *RowSort) Next() (*Row, error) {
+	if s.pos >= len(s.out) {
+		return nil, nil
+	}
+	r := s.out[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *RowSort) Close() error {
+	s.out = nil
+	return s.child.Close()
+}

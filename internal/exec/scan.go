@@ -1,0 +1,273 @@
+package exec
+
+import (
+	"fmt"
+
+	"insightnotes/internal/catalog"
+	"insightnotes/internal/summary"
+	"insightnotes/internal/types"
+)
+
+// EnvelopeSource supplies the stored summary envelope of a base-table
+// tuple; the engine's summary store implements it. Implementations return
+// nil for unannotated tuples. The scan clones what it receives, so sources
+// hand out their live envelopes safely.
+type EnvelopeSource interface {
+	EnvelopeFor(table string, row types.RowID) *summary.Envelope
+}
+
+// Scan is a full-table scan producing rows under an alias, each carrying a
+// clone of its stored summary envelope.
+type Scan struct {
+	table  *catalog.Table
+	alias  string
+	envs   EnvelopeSource
+	schema types.Schema
+
+	rows []types.RowID
+	tups []types.Tuple
+	pos  int
+}
+
+// NewScan creates a scan of tbl under alias (empty means the table name).
+// envs may be nil for summary-less execution (the raw baseline uses this).
+func NewScan(tbl *catalog.Table, alias string, envs EnvelopeSource) *Scan {
+	if alias == "" {
+		alias = tbl.Name()
+	}
+	return &Scan{
+		table:  tbl,
+		alias:  alias,
+		envs:   envs,
+		schema: tbl.Schema().WithTable(alias),
+	}
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() types.Schema { return s.schema }
+
+// Open implements Operator: it snapshots the table's rows so concurrent
+// DML does not disturb the iteration.
+func (s *Scan) Open() error {
+	s.rows = s.rows[:0]
+	s.tups = s.tups[:0]
+	s.pos = 0
+	return s.table.Scan(func(row types.RowID, tu types.Tuple) bool {
+		s.rows = append(s.rows, row)
+		s.tups = append(s.tups, tu.Clone())
+		return true
+	})
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (*Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	i := s.pos
+	s.pos++
+	var env *summary.Envelope
+	if s.envs != nil {
+		env = envClone(s.envs.EnvelopeFor(s.table.Name(), s.rows[i]))
+	}
+	return &Row{Tuple: s.tups[i], Env: env}, nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error {
+	s.rows = nil
+	s.tups = nil
+	return nil
+}
+
+// IndexScan produces the rows of tbl whose column equals a constant, via a
+// secondary index.
+type IndexScan struct {
+	table  *catalog.Table
+	alias  string
+	col    string
+	val    types.Value
+	envs   EnvelopeSource
+	schema types.Schema
+
+	rows []types.RowID
+	pos  int
+}
+
+// NewIndexScan creates an index-backed equality scan. The column must be
+// indexed; the planner checks before choosing this access path.
+func NewIndexScan(tbl *catalog.Table, alias, col string, val types.Value, envs EnvelopeSource) *IndexScan {
+	if alias == "" {
+		alias = tbl.Name()
+	}
+	return &IndexScan{
+		table:  tbl,
+		alias:  alias,
+		col:    col,
+		val:    val,
+		envs:   envs,
+		schema: tbl.Schema().WithTable(alias),
+	}
+}
+
+// Schema implements Operator.
+func (s *IndexScan) Schema() types.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *IndexScan) Open() error {
+	rows, err := s.table.LookupByIndex(s.col, s.val)
+	if err != nil {
+		return err
+	}
+	s.rows = rows
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexScan) Next() (*Row, error) {
+	for s.pos < len(s.rows) {
+		row := s.rows[s.pos]
+		s.pos++
+		tu, err := s.table.Get(row)
+		if err != nil {
+			return nil, err
+		}
+		var env *summary.Envelope
+		if s.envs != nil {
+			env = envClone(s.envs.EnvelopeFor(s.table.Name(), row))
+		}
+		return &Row{Tuple: tu, Env: env}, nil
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (s *IndexScan) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// IndexRangeScan produces the rows of tbl whose indexed column lies in a
+// value range, via a B+tree range scan. Nil bounds are open.
+type IndexRangeScan struct {
+	table  *catalog.Table
+	alias  string
+	col    string
+	lo, hi *types.Value
+	loInc  bool
+	hiInc  bool
+	envs   EnvelopeSource
+	schema types.Schema
+
+	rows []types.RowID
+	pos  int
+}
+
+// NewIndexRangeScan creates an index-backed range scan. The column must be
+// indexed; the planner checks before choosing this access path.
+func NewIndexRangeScan(tbl *catalog.Table, alias, col string, lo, hi *types.Value,
+	loInc, hiInc bool, envs EnvelopeSource) *IndexRangeScan {
+	if alias == "" {
+		alias = tbl.Name()
+	}
+	return &IndexRangeScan{
+		table: tbl, alias: alias, col: col,
+		lo: lo, hi: hi, loInc: loInc, hiInc: hiInc,
+		envs:   envs,
+		schema: tbl.Schema().WithTable(alias),
+	}
+}
+
+// Schema implements Operator.
+func (s *IndexRangeScan) Schema() types.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *IndexRangeScan) Open() error {
+	rows, err := s.table.LookupByIndexRange(s.col, s.lo, s.hi, s.loInc, s.hiInc)
+	if err != nil {
+		return err
+	}
+	s.rows = rows
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexRangeScan) Next() (*Row, error) {
+	for s.pos < len(s.rows) {
+		row := s.rows[s.pos]
+		s.pos++
+		tu, err := s.table.Get(row)
+		if err != nil {
+			return nil, err
+		}
+		var env *summary.Envelope
+		if s.envs != nil {
+			env = envClone(s.envs.EnvelopeFor(s.table.Name(), row))
+		}
+		return &Row{Tuple: tu, Env: env}, nil
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (s *IndexRangeScan) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Describe implements Described.
+func (s *IndexRangeScan) Describe() string {
+	lo, hi := "-∞", "+∞"
+	if s.lo != nil {
+		op := ">"
+		if s.loInc {
+			op = ">="
+		}
+		lo = op + " " + s.lo.String()
+	}
+	if s.hi != nil {
+		op := "<"
+		if s.hiInc {
+			op = "<="
+		}
+		hi = op + " " + s.hi.String()
+	}
+	return fmt.Sprintf("IndexRangeScan %s AS %s ON %s [%s, %s]", s.table.Name(), s.alias, s.col, lo, hi)
+}
+
+// Children implements Described.
+func (s *IndexRangeScan) Children() []Operator { return nil }
+
+// ValuesOp produces a fixed in-memory row set — used by tests and by
+// zoom-in re-filtering of cached results.
+type ValuesOp struct {
+	schema types.Schema
+	rows   []*Row
+	pos    int
+}
+
+// NewValues creates an operator over pre-built rows.
+func NewValues(schema types.Schema, rows []*Row) *ValuesOp {
+	return &ValuesOp{schema: schema, rows: rows}
+}
+
+// Schema implements Operator.
+func (v *ValuesOp) Schema() types.Schema { return v.schema }
+
+// Open implements Operator.
+func (v *ValuesOp) Open() error { v.pos = 0; return nil }
+
+// Next implements Operator.
+func (v *ValuesOp) Next() (*Row, error) {
+	if v.pos >= len(v.rows) {
+		return nil, nil
+	}
+	r := v.rows[v.pos]
+	v.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (v *ValuesOp) Close() error { return nil }

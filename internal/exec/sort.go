@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"sort"
+
+	"insightnotes/internal/types"
+)
+
+// SortKey is one ORDER BY key: a compiled expression and direction.
+type SortKey struct {
+	Expr *Compiled
+	Desc bool
+}
+
+// Sort materializes and orders the input rows. The sort is stable so that
+// equal keys preserve input order, and it does not touch summary envelopes
+// (ordering is a pure data operation).
+type Sort struct {
+	child Operator
+	keys  []SortKey
+	out   []*Row
+	pos   int
+}
+
+// NewSort wraps child with ORDER BY keys.
+func NewSort(child Operator, keys []SortKey) *Sort {
+	return &Sort{child: child, keys: keys}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() types.Schema { return s.child.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	s.out = s.out[:0]
+	type keyed struct {
+		row  *Row
+		keys types.Tuple
+	}
+	var rows []keyed
+	for {
+		row, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		kv := make(types.Tuple, len(s.keys))
+		for i, k := range s.keys {
+			v, err := k.Expr.Eval(row.Tuple)
+			if err != nil {
+				return err
+			}
+			kv[i] = v
+		}
+		rows = append(rows, keyed{row: row, keys: kv})
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i, k := range s.keys {
+			c := types.Compare(rows[a].keys[i], rows[b].keys[i])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for _, r := range rows {
+		s.out = append(s.out, r.row)
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (*Row, error) {
+	if s.pos >= len(s.out) {
+		return nil, nil
+	}
+	r := s.out[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.out = nil
+	return s.child.Close()
+}
+
+// Collect drains an operator into a row slice, opening and closing it.
+// It is the execution entry point used by the engine and tests.
+func Collect(op Operator) ([]*Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []*Row
+	for {
+		row, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}

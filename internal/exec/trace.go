@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"sync"
+
+	"insightnotes/internal/types"
+)
+
+// TraceEntry records one intermediate row observed at a pipeline stage —
+// the data tuple together with the rendered summary objects attached to it
+// at that point. This powers the demonstration's "under-the-hood execution"
+// view (Figure 5): visualizing how annotation summaries transform at every
+// operator of the query tree.
+type TraceEntry struct {
+	Stage   string
+	Tuple   types.Tuple
+	Summary string // rendered envelope; empty when the row carries none
+}
+
+// TraceSink accumulates trace entries from the operators of one query.
+type TraceSink struct {
+	mu      sync.Mutex
+	entries []TraceEntry
+}
+
+// Add appends one entry.
+func (s *TraceSink) Add(e TraceEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, e)
+}
+
+// Entries returns the accumulated entries in observation order.
+func (s *TraceSink) Entries() []TraceEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]TraceEntry(nil), s.entries...)
+}
+
+// Trace is a transparent operator that logs every row passing a pipeline
+// stage into a sink.
+type Trace struct {
+	child Operator
+	stage string
+	sink  *TraceSink
+}
+
+// NewTrace wraps child, logging rows under the given stage label.
+func NewTrace(child Operator, stage string, sink *TraceSink) *Trace {
+	return &Trace{child: child, stage: stage, sink: sink}
+}
+
+// Schema implements Operator.
+func (t *Trace) Schema() types.Schema { return t.child.Schema() }
+
+// Open implements Operator.
+func (t *Trace) Open() error { return t.child.Open() }
+
+// Next implements Operator.
+func (t *Trace) Next() (*Row, error) {
+	row, err := t.child.Next()
+	if err != nil || row == nil {
+		return row, err
+	}
+	entry := TraceEntry{Stage: t.stage, Tuple: row.Tuple.Clone()}
+	if row.Env != nil && !row.Env.IsEmpty() {
+		entry.Summary = row.Env.Render()
+	}
+	t.sink.Add(entry)
+	return row, nil
+}
+
+// Close implements Operator.
+func (t *Trace) Close() error { return t.child.Close() }

@@ -1,0 +1,322 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"insightnotes/internal/exec"
+	"insightnotes/internal/sql"
+	"insightnotes/internal/types"
+)
+
+// collectAggregates finds the distinct aggregate calls (by canonical text)
+// appearing in the select items and HAVING clause, in first-appearance
+// order.
+func collectAggregates(items []sql.SelectItem, having sql.Expr) []*sql.FuncCall {
+	var out []*sql.FuncCall
+	seen := map[string]bool{}
+	var walk func(sql.Expr)
+	walk = func(e sql.Expr) {
+		switch x := e.(type) {
+		case *sql.FuncCall:
+			key := canonical(x)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, x)
+			}
+		case *sql.BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case *sql.UnaryExpr:
+			walk(x.X)
+		case *sql.IsNullExpr:
+			walk(x.X)
+		case *sql.InExpr:
+			walk(x.X)
+			for _, it := range x.List {
+				walk(it)
+			}
+		case *sql.BetweenExpr:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		}
+	}
+	for _, it := range items {
+		walk(it.Expr)
+	}
+	if having != nil {
+		walk(having)
+	}
+	return out
+}
+
+func canonical(e sql.Expr) string { return strings.ToLower(e.String()) }
+
+// validateGrouping enforces that every non-aggregate select item appears in
+// the GROUP BY list (textually).
+func validateGrouping(items []sql.SelectItem, groupBy []sql.Expr) error {
+	keys := map[string]bool{}
+	for _, g := range groupBy {
+		keys[canonical(g)] = true
+	}
+	var check func(e sql.Expr) error
+	check = func(e sql.Expr) error {
+		if keys[canonical(e)] {
+			return nil
+		}
+		switch x := e.(type) {
+		case *sql.Literal:
+			return nil
+		case *sql.FuncCall:
+			return nil // aggregates are always fine
+		case *sql.ColRef:
+			return fmt.Errorf("plan: column %s must appear in GROUP BY or inside an aggregate", x.Name)
+		case *sql.BinaryExpr:
+			if err := check(x.L); err != nil {
+				return err
+			}
+			return check(x.R)
+		case *sql.UnaryExpr:
+			return check(x.X)
+		case *sql.IsNullExpr:
+			return check(x.X)
+		case *sql.InExpr:
+			if err := check(x.X); err != nil {
+				return err
+			}
+			for _, it := range x.List {
+				if err := check(it); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *sql.BetweenExpr:
+			for _, sub := range []sql.Expr{x.X, x.Lo, x.Hi} {
+				if err := check(sub); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return nil
+	}
+	for _, it := range items {
+		if err := check(it.Expr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rewriteForGroups replaces group-key expressions and aggregate calls in e
+// with references to the internal aggregation schema columns.
+func rewriteForGroups(e sql.Expr, groupNames map[string]string, aggNames map[string]string) (sql.Expr, error) {
+	if name, ok := groupNames[canonical(e)]; ok {
+		return &sql.ColRef{Name: name}, nil
+	}
+	switch x := e.(type) {
+	case *sql.Literal:
+		return x, nil
+	case *sql.ColRef:
+		return nil, fmt.Errorf("plan: %s referenced outside GROUP BY and aggregates", x.Name)
+	case *sql.FuncCall:
+		if name, ok := aggNames[canonical(x)]; ok {
+			return &sql.ColRef{Name: name}, nil
+		}
+		return nil, fmt.Errorf("plan: aggregate %s not computed", x)
+	case *sql.BinaryExpr:
+		l, err := rewriteForGroups(x.L, groupNames, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteForGroups(x.R, groupNames, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.BinaryExpr{Op: x.Op, L: l, R: r}, nil
+	case *sql.UnaryExpr:
+		in, err := rewriteForGroups(x.X, groupNames, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.UnaryExpr{Op: x.Op, X: in}, nil
+	case *sql.IsNullExpr:
+		in, err := rewriteForGroups(x.X, groupNames, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.IsNullExpr{X: in, Negate: x.Negate}, nil
+	case *sql.InExpr:
+		nx, err := rewriteForGroups(x.X, groupNames, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]sql.Expr, len(x.List))
+		for i, it := range x.List {
+			if list[i], err = rewriteForGroups(it, groupNames, aggNames); err != nil {
+				return nil, err
+			}
+		}
+		return &sql.InExpr{X: nx, List: list, Negate: x.Negate}, nil
+	case *sql.BetweenExpr:
+		nx, err := rewriteForGroups(x.X, groupNames, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := rewriteForGroups(x.Lo, groupNames, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := rewriteForGroups(x.Hi, groupNames, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.BetweenExpr{X: nx, Lo: lo, Hi: hi, Negate: x.Negate}, nil
+	}
+	return nil, fmt.Errorf("plan: unsupported expression %T under grouping", e)
+}
+
+// planAggregate builds GroupAggregate → HAVING filter → final projection.
+func (p *Planner) planAggregate(input exec.Operator, inSchema types.Schema,
+	items []sql.SelectItem, s *sql.Select, aggs []*sql.FuncCall) (exec.Operator, error) {
+	// Compile group keys.
+	keys := make([]*exec.Compiled, len(s.GroupBy))
+	keyCols := make([]types.Column, len(s.GroupBy))
+	groupNames := map[string]string{}
+	for i, g := range s.GroupBy {
+		c, err := exec.Compile(g, inSchema)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = c
+		name := fmt.Sprintf("#g%d", i)
+		keyCols[i] = types.Column{Name: name, Kind: inferKind(g, inSchema)}
+		groupNames[canonical(g)] = name
+	}
+	// Compile aggregate specs.
+	specs := make([]exec.AggSpec, len(aggs))
+	aggCols := make([]types.Column, len(aggs))
+	aggNames := map[string]string{}
+	for i, a := range aggs {
+		spec := exec.AggSpec{Func: a.Name}
+		if a.Arg != nil {
+			c, err := exec.Compile(a.Arg, inSchema)
+			if err != nil {
+				return nil, err
+			}
+			spec.Arg = c
+		}
+		specs[i] = spec
+		name := fmt.Sprintf("#a%d", i)
+		aggCols[i] = types.Column{Name: name, Kind: aggKind(a, inSchema)}
+		aggNames[canonical(a)] = name
+	}
+	op := exec.Operator(exec.NewGroupAggregate(input, keys, keyCols, specs, aggCols))
+	internal := op.Schema()
+
+	if s.Having != nil {
+		rewritten, err := rewriteForGroups(s.Having, groupNames, aggNames)
+		if err != nil {
+			return nil, fmt.Errorf("plan: HAVING: %w", err)
+		}
+		c, err := exec.Compile(rewritten, internal)
+		if err != nil {
+			return nil, err
+		}
+		op = exec.NewFilter(op, c)
+	}
+	// Final projection from the internal schema to the select items.
+	projItems := make([]exec.ProjectItem, len(items))
+	for i, it := range items {
+		rewritten, err := rewriteForGroups(it.Expr, groupNames, aggNames)
+		if err != nil {
+			return nil, err
+		}
+		c, err := exec.Compile(rewritten, internal)
+		if err != nil {
+			return nil, err
+		}
+		tbl, name := exec.ColumnLabel(it)
+		projItems[i] = exec.ProjectItem{
+			Expr: c,
+			Col:  types.Column{Table: tbl, Name: name, Kind: inferKind(it.Expr, inSchema)},
+		}
+	}
+	return exec.NewProject(op, projItems), nil
+}
+
+// planProjection builds the final projection for non-aggregate queries.
+func (p *Planner) planProjection(input exec.Operator, inSchema types.Schema,
+	items []sql.SelectItem) (exec.Operator, error) {
+	projItems := make([]exec.ProjectItem, len(items))
+	for i, it := range items {
+		c, err := exec.Compile(it.Expr, input.Schema())
+		if err != nil {
+			return nil, err
+		}
+		tbl, name := exec.ColumnLabel(it)
+		projItems[i] = exec.ProjectItem{
+			Expr: c,
+			Col:  types.Column{Table: tbl, Name: name, Kind: inferKind(it.Expr, input.Schema())},
+		}
+	}
+	return exec.NewProject(input, projItems), nil
+}
+
+// inferKind derives a static result kind for display purposes. It is a
+// best-effort inference; runtime values govern actual behaviour.
+func inferKind(e sql.Expr, schema types.Schema) types.Kind {
+	switch x := e.(type) {
+	case *sql.Literal:
+		return x.Val.Kind()
+	case *sql.ColRef:
+		if ix, err := schema.ColumnIndex(x.Name); err == nil {
+			return schema.Columns[ix].Kind
+		}
+		return types.KindNull
+	case *sql.FuncCall:
+		return aggKind(x, schema)
+	case *sql.UnaryExpr:
+		if x.Op == "NOT" {
+			return types.KindBool
+		}
+		return inferKind(x.X, schema)
+	case *sql.IsNullExpr:
+		return types.KindBool
+	case *sql.InExpr, *sql.BetweenExpr:
+		return types.KindBool
+	case *sql.BinaryExpr:
+		switch x.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=", "LIKE":
+			return types.KindBool
+		case "/":
+			return types.KindFloat
+		default:
+			lk := inferKind(x.L, schema)
+			rk := inferKind(x.R, schema)
+			if lk == types.KindString && rk == types.KindString {
+				return types.KindString
+			}
+			if lk == types.KindFloat || rk == types.KindFloat {
+				return types.KindFloat
+			}
+			return types.KindInt
+		}
+	}
+	return types.KindNull
+}
+
+func aggKind(a *sql.FuncCall, schema types.Schema) types.Kind {
+	switch a.Name {
+	case "COUNT":
+		return types.KindInt
+	case "AVG":
+		return types.KindFloat
+	default: // SUM, MIN, MAX follow the argument
+		if a.Arg != nil {
+			return inferKind(a.Arg, schema)
+		}
+		return types.KindFloat
+	}
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+)
+
+// Client is a minimal connection to an InsightNotes server. It is not safe
+// for concurrent use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	enc  *json.Encoder
+	w    *bufio.Writer
+}
+
+// Dial connects to an InsightNotes server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 1<<20), 16<<20)
+	w := bufio.NewWriter(conn)
+	return &Client{conn: conn, r: r, enc: json.NewEncoder(w), w: w}, nil
+}
+
+// Exec sends one statement and waits for the response.
+func (c *Client) Exec(stmt string) (*Response, error) {
+	return c.roundTrip(Request{Stmt: stmt})
+}
+
+// ExecTraced sends one SELECT with the under-the-hood trace enabled.
+func (c *Client) ExecTraced(stmt string) (*Response, error) {
+	return c.roundTrip(Request{Stmt: stmt, Trace: true})
+}
+
+func (c *Client) roundTrip(req Request) (*Response, error) {
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("server: connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.r.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("server: bad response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

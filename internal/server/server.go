@@ -1,0 +1,189 @@
+// Package server exposes an InsightNotes engine over TCP with a
+// newline-delimited JSON protocol, making the engine usable as standalone
+// annotation-management middleware (the deployment style of the paper's
+// prototype, which fronted a modified PostgreSQL).
+//
+// Protocol: the client sends one request object per line and receives one
+// response object per line. Requests carry a single statement in the full
+// grammar (SQL plus InsightNotes extensions); responses carry the message,
+// QID, result columns, and rows with their rendered summary objects and
+// zoom labels.
+//
+// Statements execute under a server-wide mutex: the engine is a
+// single-writer system and the server provides statement-level isolation.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"insightnotes/internal/engine"
+	"insightnotes/internal/types"
+)
+
+// Request is one client command.
+type Request struct {
+	// Stmt is the statement to execute.
+	Stmt string `json:"stmt"`
+	// Trace requests the under-the-hood operator log for SELECTs.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// Response is the server's reply.
+type Response struct {
+	OK      bool       `json:"ok"`
+	Error   string     `json:"error,omitempty"`
+	Message string     `json:"message,omitempty"`
+	QID     int        `json:"qid,omitempty"`
+	Columns []string   `json:"columns,omitempty"`
+	Rows    []RowJSON  `json:"rows,omitempty"`
+	Trace   []TraceRow `json:"trace,omitempty"`
+}
+
+// RowJSON is one result row on the wire.
+type RowJSON struct {
+	Values []types.Value `json:"values"`
+	// Summaries maps instance name to the rendered summary object.
+	Summaries map[string]string `json:"summaries,omitempty"`
+	// ZoomLabels maps instance name to its 1-indexed zoomable elements.
+	ZoomLabels map[string][]string `json:"zoom_labels,omitempty"`
+}
+
+// TraceRow is one under-the-hood trace entry on the wire.
+type TraceRow struct {
+	Stage   string        `json:"stage"`
+	Values  []types.Value `json:"values"`
+	Summary string        `json:"summary,omitempty"`
+}
+
+// Server serves one engine over a listener.
+type Server struct {
+	db *engine.DB
+
+	mu       sync.Mutex // serializes statement execution
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// New creates a server over db.
+func New(db *engine.DB) *Server {
+	return &Server{db: db, closed: make(chan struct{})}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:7090") and starts accepting
+// connections in background goroutines. It returns the bound address
+// (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one client connection until EOF.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 1<<20), 16<<20)
+	out := bufio.NewWriter(conn)
+	enc := json.NewEncoder(out)
+	for in.Scan() {
+		line := in.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = fmt.Sprintf("bad request: %v", err)
+		} else {
+			resp = s.execute(req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// execute runs one statement under the server mutex.
+func (s *Server) execute(req Request) Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res *engine.Result
+	var err error
+	if req.Trace {
+		res, err = s.db.QueryTraced(req.Stmt)
+	} else {
+		res, err = s.db.Exec(req.Stmt)
+	}
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	resp := Response{OK: true, Message: res.Message, QID: res.QID}
+	for _, c := range res.Schema.Columns {
+		resp.Columns = append(resp.Columns, c.QualifiedName())
+	}
+	for _, row := range res.Rows {
+		rj := RowJSON{Values: row.Tuple}
+		if row.Env != nil && !row.Env.IsEmpty() {
+			rj.Summaries = map[string]string{}
+			rj.ZoomLabels = map[string][]string{}
+			for _, name := range row.Env.InstanceNames() {
+				obj := row.Env.Object(name)
+				rj.Summaries[name] = obj.Render()
+				rj.ZoomLabels[name] = obj.ZoomLabels()
+			}
+		}
+		resp.Rows = append(resp.Rows, rj)
+	}
+	for _, e := range res.Trace {
+		resp.Trace = append(resp.Trace, TraceRow{Stage: e.Stage, Values: e.Tuple, Summary: e.Summary})
+	}
+	return resp
+}
+
+// Close stops accepting connections and waits for in-flight requests.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,535 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"insightnotes/internal/types"
+)
+
+// Statement is any parsed SQL or InsightNotes statement.
+type Statement interface {
+	stmtNode()
+	String() string
+}
+
+// Expr is any scalar expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ---- expressions ----
+
+// Literal is a constant value.
+type Literal struct{ Val types.Value }
+
+// ColRef references a column, possibly qualified ("r.a").
+type ColRef struct{ Name string }
+
+// BinaryExpr applies a binary operator: comparison (= <> < <= > >=),
+// arithmetic (+ - * /), logical (AND OR), or LIKE.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// IsNullExpr tests X IS [NOT] NULL.
+type IsNullExpr struct {
+	X      Expr
+	Negate bool
+}
+
+// FuncCall is an aggregate call: COUNT/SUM/AVG/MIN/MAX. Star marks
+// COUNT(*).
+type FuncCall struct {
+	Name string // upper-cased
+	Arg  Expr   // nil for COUNT(*)
+	Star bool
+}
+
+// InExpr tests X [NOT] IN (list).
+type InExpr struct {
+	X      Expr
+	List   []Expr
+	Negate bool
+}
+
+// BetweenExpr tests X [NOT] BETWEEN Lo AND Hi (inclusive).
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Negate    bool
+}
+
+// SummaryCall is a summary-based predicate term (§2.1: "filtering,
+// joining, or sorting the data tuples according to summary-based
+// predicates"):
+//
+//	SUMMARY_COUNT(instance, 'Label') — classifier count of one label
+//	SUMMARY_TOTAL(instance)          — annotations contributing to the object
+//	SUMMARY_GROUPS(instance)         — number of cluster groups
+//
+// It evaluates against the summary envelope a tuple carries at that point
+// in the pipeline.
+type SummaryCall struct {
+	Func     string // upper-cased: SUMMARY_COUNT, SUMMARY_TOTAL, SUMMARY_GROUPS
+	Instance string
+	Label    string // SUMMARY_COUNT only
+}
+
+func (*Literal) exprNode()     {}
+func (*ColRef) exprNode()      {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*IsNullExpr) exprNode()  {}
+func (*FuncCall) exprNode()    {}
+func (*SummaryCall) exprNode() {}
+func (*InExpr) exprNode()      {}
+func (*BetweenExpr) exprNode() {}
+
+// String implements Expr.
+func (e *Literal) String() string { return e.Val.SQLString() }
+
+// String implements Expr.
+func (e *ColRef) String() string { return e.Name }
+
+// String implements Expr.
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+// String implements Expr.
+func (e *UnaryExpr) String() string {
+	if e.Op == "NOT" {
+		return fmt.Sprintf("(NOT %s)", e.X)
+	}
+	return fmt.Sprintf("(%s%s)", e.Op, e.X)
+}
+
+// String implements Expr.
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.X)
+}
+
+// String implements Expr.
+func (e *FuncCall) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, e.Arg)
+}
+
+// String implements Expr.
+func (e *InExpr) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(e.X.String())
+	if e.Negate {
+		b.WriteString(" NOT")
+	}
+	b.WriteString(" IN (")
+	for i, it := range e.List {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString("))")
+	return b.String()
+}
+
+// String implements Expr.
+func (e *BetweenExpr) String() string {
+	neg := ""
+	if e.Negate {
+		neg = "NOT "
+	}
+	return fmt.Sprintf("(%s %sBETWEEN %s AND %s)", e.X, neg, e.Lo, e.Hi)
+}
+
+// String implements Expr.
+func (e *SummaryCall) String() string {
+	if e.Func == "SUMMARY_COUNT" {
+		return fmt.Sprintf("%s(%s, '%s')", e.Func, e.Instance, strings.ReplaceAll(e.Label, "'", "''"))
+	}
+	return fmt.Sprintf("%s(%s)", e.Func, e.Instance)
+}
+
+// ---- statements ----
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Kind types.Kind
+}
+
+// CreateTable is CREATE TABLE name (col TYPE, ...).
+type CreateTable struct {
+	Name string
+	Cols []ColumnDef
+}
+
+// CreateIndex is CREATE INDEX ON table (col).
+type CreateIndex struct {
+	Table  string
+	Column string
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// Insert is INSERT INTO table VALUES (...), (...).
+type Insert struct {
+	Table string
+	Rows  [][]Expr
+}
+
+// Explain is EXPLAIN SELECT ...: report the physical plan (the operator
+// tree with its summary-manipulation stages) without executing it.
+type Explain struct {
+	Query *Select
+}
+
+// Update is UPDATE table SET col = expr, ... [WHERE cond]. Annotations
+// remain attached to updated tuples (they annotate tuple identity).
+type Update struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// Delete is DELETE FROM table [WHERE cond]. Deleting a tuple detaches its
+// annotations; annotations attached nowhere else are removed entirely.
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// DropAnnotation is DROP ANNOTATION id: retract one raw annotation and
+// curate its effect out of every maintained summary object.
+type DropAnnotation struct {
+	ID int
+}
+
+// TableRef names a relation in FROM, optionally aliased.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// EffectiveAlias returns the alias, or the table name when unaliased.
+func (r TableRef) EffectiveAlias() string {
+	if r.Alias != "" {
+		return r.Alias
+	}
+	return r.Name
+}
+
+// JoinClause is an explicit [INNER] JOIN ref ON cond.
+type JoinClause struct {
+	Ref TableRef
+	On  Expr
+}
+
+// SelectItem is one projection item: an expression with optional alias, or
+// a star (optionally qualified, "r.*").
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	StarTable string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a SELECT statement over one or more relations.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 = no limit
+}
+
+// AddAnnotation is the InsightNotes annotation-ingestion statement:
+//
+//	ADD ANNOTATION 'text' [TITLE '...'] [DOCUMENT '...'] [AUTHOR '...']
+//	    ON table[(col, ...)] [WHERE cond];
+//
+// The annotation attaches to the named columns (whole row when omitted) of
+// every tuple satisfying the condition.
+type AddAnnotation struct {
+	Text     string
+	Title    string
+	Document string
+	Author   string
+	Table    string
+	Columns  []string
+	Where    Expr
+}
+
+// CreateSummaryInstance is
+//
+//	CREATE SUMMARY INSTANCE name TYPE Classifier|Cluster|Snippet
+//	    [WITH (key = value, ...)] [LABELS ('a', 'b', ...)];
+type CreateSummaryInstance struct {
+	Name    string
+	Type    string
+	Labels  []string
+	Options map[string]types.Value // lower-cased keys
+}
+
+// DropSummaryInstance is DROP SUMMARY INSTANCE name.
+type DropSummaryInstance struct{ Name string }
+
+// TrainSummary feeds labeled examples to a classifier instance:
+//
+//	TRAIN SUMMARY name ('sample text', 'Label'), (...);
+type TrainSummary struct {
+	Name    string
+	Samples [][2]string // text, label
+}
+
+// LinkSummary is LINK SUMMARY instance TO table (or UNLINK ... FROM ...).
+type LinkSummary struct {
+	Instance string
+	Table    string
+	Unlink   bool
+}
+
+// ZoomIn is the paper's zoom-in command (Figure 3):
+//
+//	ZOOMIN REFERENCE QID n [WHERE cond] ON instance INDEX k;
+type ZoomIn struct {
+	QID      int
+	Where    Expr
+	Instance string
+	Index    int
+}
+
+// Show is SHOW TABLES | SHOW SUMMARIES | SHOW ANNOTATIONS ON table.
+type Show struct {
+	What  string // "TABLES", "SUMMARIES", "ANNOTATIONS"
+	Table string
+}
+
+func (*Explain) stmtNode()               {}
+func (*Update) stmtNode()                {}
+func (*Delete) stmtNode()                {}
+func (*DropAnnotation) stmtNode()        {}
+func (*CreateTable) stmtNode()           {}
+func (*CreateIndex) stmtNode()           {}
+func (*DropTable) stmtNode()             {}
+func (*Insert) stmtNode()                {}
+func (*Select) stmtNode()                {}
+func (*AddAnnotation) stmtNode()         {}
+func (*CreateSummaryInstance) stmtNode() {}
+func (*DropSummaryInstance) stmtNode()   {}
+func (*TrainSummary) stmtNode()          {}
+func (*LinkSummary) stmtNode()           {}
+func (*ZoomIn) stmtNode()                {}
+func (*Show) stmtNode()                  {}
+
+// String implements Statement.
+func (s *CreateTable) String() string {
+	cols := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = c.Name + " " + c.Kind.String()
+	}
+	return fmt.Sprintf("CREATE TABLE %s (%s)", s.Name, strings.Join(cols, ", "))
+}
+
+// String implements Statement.
+func (s *CreateIndex) String() string {
+	return fmt.Sprintf("CREATE INDEX ON %s (%s)", s.Table, s.Column)
+}
+
+// String implements Statement.
+func (s *DropTable) String() string { return "DROP TABLE " + s.Name }
+
+// String implements Statement.
+func (s *Insert) String() string {
+	return fmt.Sprintf("INSERT INTO %s VALUES ... (%d rows)", s.Table, len(s.Rows))
+}
+
+// String implements Statement.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.StarTable != "":
+			b.WriteString(it.StarTable + ".*")
+		case it.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				b.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, r := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.Name)
+		if r.Alias != "" {
+			b.WriteString(" " + r.Alias)
+		}
+	}
+	for _, j := range s.Joins {
+		fmt.Fprintf(&b, " JOIN %s", j.Ref.Name)
+		if j.Ref.Alias != "" {
+			b.WriteString(" " + j.Ref.Alias)
+		}
+		fmt.Fprintf(&b, " ON %s", j.On)
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		fmt.Fprintf(&b, " HAVING %s", s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// String implements Statement.
+func (s *Explain) String() string { return "EXPLAIN " + s.Query.String() }
+
+// String implements Statement.
+func (s *Update) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "UPDATE %s SET ", s.Table)
+	for i, c := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s = %s", c.Column, c.Value)
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where)
+	}
+	return b.String()
+}
+
+// String implements Statement.
+func (s *Delete) String() string {
+	out := "DELETE FROM " + s.Table
+	if s.Where != nil {
+		out += fmt.Sprintf(" WHERE %s", s.Where)
+	}
+	return out
+}
+
+// String implements Statement.
+func (s *DropAnnotation) String() string {
+	return fmt.Sprintf("DROP ANNOTATION %d", s.ID)
+}
+
+// String implements Statement.
+func (s *AddAnnotation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ADD ANNOTATION '%s' ON %s", s.Text, s.Table)
+	if len(s.Columns) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(s.Columns, ", "))
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where)
+	}
+	return b.String()
+}
+
+// String implements Statement.
+func (s *CreateSummaryInstance) String() string {
+	return fmt.Sprintf("CREATE SUMMARY INSTANCE %s TYPE %s", s.Name, s.Type)
+}
+
+// String implements Statement.
+func (s *DropSummaryInstance) String() string { return "DROP SUMMARY INSTANCE " + s.Name }
+
+// String implements Statement.
+func (s *TrainSummary) String() string {
+	return fmt.Sprintf("TRAIN SUMMARY %s (%d samples)", s.Name, len(s.Samples))
+}
+
+// String implements Statement.
+func (s *LinkSummary) String() string {
+	if s.Unlink {
+		return fmt.Sprintf("UNLINK SUMMARY %s FROM %s", s.Instance, s.Table)
+	}
+	return fmt.Sprintf("LINK SUMMARY %s TO %s", s.Instance, s.Table)
+}
+
+// String implements Statement.
+func (s *ZoomIn) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ZOOMIN REFERENCE QID %d", s.QID)
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where)
+	}
+	fmt.Fprintf(&b, " ON %s INDEX %d", s.Instance, s.Index)
+	return b.String()
+}
+
+// String implements Statement.
+func (s *Show) String() string {
+	if s.What == "ANNOTATIONS" {
+		return "SHOW ANNOTATIONS ON " + s.Table
+	}
+	return "SHOW " + s.What
+}

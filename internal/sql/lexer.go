@@ -1,0 +1,161 @@
+// Package sql implements the engine's SQL front end: a lexer, the AST, and
+// a recursive-descent parser for the SQL subset the executor supports plus
+// the InsightNotes extension statements — ADD ANNOTATION, CREATE SUMMARY
+// INSTANCE, TRAIN SUMMARY, LINK/UNLINK SUMMARY, ZOOMIN, and SHOW.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokOp    // operators and punctuation: = <> != < <= > >= + - * / ( ) , ; .
+	TokParam // reserved for future use
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind TokenKind
+	Text string // identifiers are kept verbatim; keyword matching is case-insensitive
+	Pos  int
+}
+
+// Lexer splits a statement string into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	toks []Token
+}
+
+// Lex tokenizes src, returning an error with position on bad input.
+func Lex(src string) ([]Token, error) {
+	l := &Lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.Kind == TokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *Lexer) next() (Token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// -- line comment
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return Token{Kind: TokEOF, Pos: l.pos + 1}, nil
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Pos: start + 1}, nil
+	case c >= '0' && c <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if d < '0' || d > '9' {
+				break
+			}
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start + 1}, nil
+	case c == '\'':
+		var b strings.Builder
+		l.pos++
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'') // escaped quote
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: b.String(), Pos: start + 1}, nil
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return Token{}, fmt.Errorf("sql: unterminated string at position %d", start+1)
+	case strings.ContainsRune("=<>!+-*/(),;.", rune(c)):
+		// Two-character operators first.
+		if l.pos+1 < len(l.src) {
+			two := l.src[l.pos : l.pos+2]
+			switch two {
+			case "<>", "!=", "<=", ">=":
+				l.pos += 2
+				return Token{Kind: TokOp, Text: two, Pos: start + 1}, nil
+			}
+		}
+		l.pos++
+		op := string(c)
+		if op == "!" {
+			return Token{}, fmt.Errorf("sql: unexpected '!' at position %d", start+1)
+		}
+		return Token{Kind: TokOp, Text: op, Pos: start + 1}, nil
+	default:
+		return Token{}, fmt.Errorf("sql: unexpected character %q at position %d", c, start+1)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// keywords is the reserved-word set; identifiers matching these
+// case-insensitively are treated as keywords by the parser.
+var keywords = map[string]bool{}
+
+func init() {
+	for _, k := range []string{
+		"SELECT", "EXPLAIN", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+		"ORDER", "ASC", "DESC", "LIMIT", "JOIN", "INNER", "ON", "AS",
+		"AND", "OR", "NOT", "LIKE", "IS", "NULL", "TRUE", "FALSE", "IN", "BETWEEN",
+		"CREATE", "TABLE", "INDEX", "DROP", "INSERT", "INTO", "VALUES",
+		"ANNOTATION", "ADD", "UPDATE", "SET", "DELETE", "TITLE", "DOCUMENT", "AUTHOR", "SUMMARY",
+		"INSTANCE", "TYPE", "WITH", "LABELS", "TRAIN", "LINK", "UNLINK",
+		"TO", "ZOOMIN", "REFERENCE", "QID", "SHOW", "TABLES", "SUMMARIES",
+		"ANNOTATIONS", "COUNT", "SUM", "AVG", "MIN", "MAX",
+	} {
+		keywords[k] = true
+	}
+}
+
+// IsKeyword reports whether ident is reserved.
+func IsKeyword(ident string) bool { return keywords[strings.ToUpper(ident)] }

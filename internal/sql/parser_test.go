@@ -1,0 +1,432 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"insightnotes/internal/types"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func mustFail(t *testing.T, src string) {
+	t.Helper()
+	if _, err := Parse(src); err == nil {
+		t.Errorf("Parse(%q) succeeded, want error", src)
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT r.a, 'it''s' FROM R -- comment\n WHERE x >= 1.5;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	if texts[0] != "SELECT" || texts[1] != "r" || texts[2] != "." || texts[3] != "a" {
+		t.Errorf("texts = %v", texts)
+	}
+	// Escaped quote.
+	found := false
+	for i, k := range kinds {
+		if k == TokString && texts[i] == "it's" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("escaped string not lexed: %v", texts)
+	}
+	// >= as one token.
+	found = false
+	for i, k := range kinds {
+		if k == TokOp && texts[i] == ">=" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf(">= split: %v", texts)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", "a ! b", "a @ b"} {
+		if _, err := Lex(bad); err == nil {
+			t.Errorf("Lex(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	s := mustParse(t, "CREATE TABLE birds (id INT, name TEXT, wingspan FLOAT, rare BOOL)")
+	ct := s.(*CreateTable)
+	if ct.Name != "birds" || len(ct.Cols) != 4 {
+		t.Fatalf("%+v", ct)
+	}
+	if ct.Cols[2].Kind != types.KindFloat || ct.Cols[3].Kind != types.KindBool {
+		t.Errorf("kinds = %+v", ct.Cols)
+	}
+	mustFail(t, "CREATE TABLE t (a BLOB)")
+	mustFail(t, "CREATE TABLE t ()")
+	mustFail(t, "CREATE TABLE (a INT)")
+}
+
+func TestParseCreateIndexAndDrop(t *testing.T) {
+	s := mustParse(t, "CREATE INDEX ON birds (name)")
+	ci := s.(*CreateIndex)
+	if ci.Table != "birds" || ci.Column != "name" {
+		t.Errorf("%+v", ci)
+	}
+	d := mustParse(t, "DROP TABLE birds").(*DropTable)
+	if d.Name != "birds" {
+		t.Errorf("%+v", d)
+	}
+	ds := mustParse(t, "DROP SUMMARY INSTANCE SimCluster").(*DropSummaryInstance)
+	if ds.Name != "SimCluster" {
+		t.Errorf("%+v", ds)
+	}
+	mustFail(t, "DROP VIEW v")
+}
+
+func TestParseInsert(t *testing.T) {
+	s := mustParse(t, "INSERT INTO birds VALUES (1, 'Swan Goose', 1.8), (2, 'Mute Swan', -2.1)")
+	ins := s.(*Insert)
+	if ins.Table != "birds" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 3 {
+		t.Fatalf("%+v", ins)
+	}
+	lit := ins.Rows[1][2].(*UnaryExpr)
+	if lit.Op != "-" {
+		t.Errorf("negative literal = %+v", lit)
+	}
+	mustFail(t, "INSERT birds VALUES (1)")
+	mustFail(t, "INSERT INTO birds VALUES 1, 2")
+}
+
+func TestParseSelectPaperQuery(t *testing.T) {
+	// The exact query from Figure 2 of the paper.
+	s := mustParse(t, "Select r.a, r.b, s.z From R r, S s Where r.a = s.x And r.b = 2")
+	sel := s.(*Select)
+	if len(sel.Items) != 3 || sel.Items[0].Expr.(*ColRef).Name != "r.a" {
+		t.Fatalf("items = %+v", sel.Items)
+	}
+	if len(sel.From) != 2 || sel.From[0].EffectiveAlias() != "r" || sel.From[1].Name != "S" {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	and := sel.Where.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("where = %v", sel.Where)
+	}
+	eq := and.L.(*BinaryExpr)
+	if eq.Op != "=" || eq.L.(*ColRef).Name != "r.a" || eq.R.(*ColRef).Name != "s.x" {
+		t.Errorf("join predicate = %v", eq)
+	}
+}
+
+func TestParseSelectFullClause(t *testing.T) {
+	s := mustParse(t, `SELECT DISTINCT species, COUNT(*) AS n, AVG(wingspan)
+		FROM birds b JOIN obs o ON b.id = o.bird_id
+		WHERE b.wingspan > 1.0 AND o.region LIKE 'north%'
+		GROUP BY species HAVING COUNT(*) > 2
+		ORDER BY n DESC, species LIMIT 10`)
+	sel := s.(*Select)
+	if !sel.Distinct || len(sel.Items) != 3 {
+		t.Fatalf("%+v", sel)
+	}
+	if sel.Items[1].Alias != "n" {
+		t.Errorf("alias = %q", sel.Items[1].Alias)
+	}
+	if len(sel.Joins) != 1 || sel.Joins[0].Ref.EffectiveAlias() != "o" {
+		t.Errorf("joins = %+v", sel.Joins)
+	}
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Errorf("group/having missing")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+	agg := sel.Items[1].Expr.(*FuncCall)
+	if agg.Name != "COUNT" || !agg.Star {
+		t.Errorf("agg = %+v", agg)
+	}
+}
+
+func TestParseSelectStars(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM birds").(*Select)
+	if !s.Items[0].Star || s.Items[0].StarTable != "" {
+		t.Errorf("%+v", s.Items[0])
+	}
+	s = mustParse(t, "SELECT b.*, name FROM birds b").(*Select)
+	if !s.Items[0].Star || s.Items[0].StarTable != "b" {
+		t.Errorf("%+v", s.Items[0])
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a + 2 * 3 = 7 OR NOT b < 1 AND c IS NOT NULL").(*Select)
+	// OR binds loosest: (a+2*3=7) OR ((NOT b<1) AND (c IS NOT NULL))
+	or := s.Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top = %v", s.Where)
+	}
+	eq := or.L.(*BinaryExpr)
+	if eq.Op != "=" {
+		t.Fatalf("left = %v", or.L)
+	}
+	plus := eq.L.(*BinaryExpr)
+	if plus.Op != "+" || plus.R.(*BinaryExpr).Op != "*" {
+		t.Errorf("arithmetic precedence: %v", eq.L)
+	}
+	and := or.R.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("right = %v", or.R)
+	}
+	if _, ok := and.L.(*UnaryExpr); !ok {
+		t.Errorf("NOT missing: %v", and.L)
+	}
+	isn := and.R.(*IsNullExpr)
+	if !isn.Negate {
+		t.Errorf("IS NOT NULL: %+v", isn)
+	}
+}
+
+func TestParseNotEqualsNormalized(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a != 1").(*Select)
+	if s.Where.(*BinaryExpr).Op != "<>" {
+		t.Errorf("!= not normalized: %v", s.Where)
+	}
+}
+
+func TestParseAddAnnotation(t *testing.T) {
+	s := mustParse(t, `ADD ANNOTATION 'size seems wrong' AUTHOR 'dxiao'
+		ON birds (wingspan, weight) WHERE name = 'Swan Goose'`)
+	a := s.(*AddAnnotation)
+	if a.Text != "size seems wrong" || a.Author != "dxiao" || a.Table != "birds" {
+		t.Fatalf("%+v", a)
+	}
+	if len(a.Columns) != 2 || a.Columns[1] != "weight" {
+		t.Errorf("columns = %v", a.Columns)
+	}
+	if a.Where == nil {
+		t.Error("where missing")
+	}
+	// Whole-row document annotation.
+	s = mustParse(t, `ADD ANNOTATION 'see article' TITLE 'Wikipedia: Swan Goose'
+		DOCUMENT 'The swan goose is a large goose...' ON birds WHERE id = 1`)
+	a = s.(*AddAnnotation)
+	if a.Title == "" || a.Document == "" || len(a.Columns) != 0 {
+		t.Errorf("%+v", a)
+	}
+	mustFail(t, "ADD ANNOTATION ON birds")
+	mustFail(t, "ADD ANNOTATION 'x' birds")
+}
+
+func TestParseCreateSummaryInstance(t *testing.T) {
+	s := mustParse(t, `CREATE SUMMARY INSTANCE ClassBird1 TYPE Classifier
+		LABELS ('Behavior', 'Disease', 'Anatomy', 'Other')`)
+	c := s.(*CreateSummaryInstance)
+	if c.Name != "ClassBird1" || c.Type != "Classifier" || len(c.Labels) != 4 {
+		t.Fatalf("%+v", c)
+	}
+	s = mustParse(t, `CREATE SUMMARY INSTANCE SimCluster TYPE Cluster
+		WITH (threshold = 0.35, mergebysim = TRUE)`)
+	c = s.(*CreateSummaryInstance)
+	if c.Options["threshold"].Float() != 0.35 || !c.Options["mergebysim"].Bool() {
+		t.Errorf("options = %+v", c.Options)
+	}
+	s = mustParse(t, "CREATE SUMMARY INSTANCE T1 TYPE Snippet WITH (sentences = 3)")
+	c = s.(*CreateSummaryInstance)
+	if c.Options["sentences"].Int() != 3 {
+		t.Errorf("options = %+v", c.Options)
+	}
+	mustFail(t, "CREATE SUMMARY INSTANCE x")
+	mustFail(t, "CREATE SUMMARY x TYPE Cluster")
+}
+
+func TestParseTrainSummary(t *testing.T) {
+	s := mustParse(t, `TRAIN SUMMARY ClassBird1
+		('found eating stonewort', 'Behavior'),
+		('avian influenza detected', 'Disease')`)
+	tr := s.(*TrainSummary)
+	if tr.Name != "ClassBird1" || len(tr.Samples) != 2 {
+		t.Fatalf("%+v", tr)
+	}
+	if tr.Samples[1][1] != "Disease" {
+		t.Errorf("samples = %v", tr.Samples)
+	}
+	mustFail(t, "TRAIN SUMMARY x 'text'")
+}
+
+func TestParseLinkUnlink(t *testing.T) {
+	l := mustParse(t, "LINK SUMMARY SimCluster TO birds").(*LinkSummary)
+	if l.Instance != "SimCluster" || l.Table != "birds" || l.Unlink {
+		t.Errorf("%+v", l)
+	}
+	u := mustParse(t, "UNLINK SUMMARY SimCluster FROM birds").(*LinkSummary)
+	if !u.Unlink {
+		t.Errorf("%+v", u)
+	}
+	mustFail(t, "LINK SUMMARY a FROM b")
+	mustFail(t, "UNLINK SUMMARY a TO b")
+}
+
+func TestParseZoomInPaperCommands(t *testing.T) {
+	// Figure 3(a): ZoomIn Reference QID = 101 Where C1 = 'x'
+	// On NaiveBayesClass Index 1.
+	s := mustParse(t, "ZoomIn Reference QID = 101 Where C1 = 'x' On NaiveBayesClass Index 1")
+	z := s.(*ZoomIn)
+	if z.QID != 101 || z.Instance != "NaiveBayesClass" || z.Index != 1 || z.Where == nil {
+		t.Fatalf("%+v", z)
+	}
+	// Figure 3(b): ZoomIn Reference QID = 101 Where C3 = 5 On TextSummary Index 2.
+	s = mustParse(t, "ZOOMIN REFERENCE QID 101 WHERE C3 = 5 ON TextSummary INDEX 2")
+	z = s.(*ZoomIn)
+	if z.QID != 101 || z.Index != 2 {
+		t.Fatalf("%+v", z)
+	}
+	// WHERE is optional.
+	z = mustParse(t, "ZOOMIN REFERENCE QID 7 ON SimCluster INDEX 3").(*ZoomIn)
+	if z.Where != nil || z.QID != 7 {
+		t.Errorf("%+v", z)
+	}
+	mustFail(t, "ZOOMIN QID 1 ON x INDEX 1")
+	mustFail(t, "ZOOMIN REFERENCE QID 1 ON x")
+}
+
+func TestParseShow(t *testing.T) {
+	if s := mustParse(t, "SHOW TABLES").(*Show); s.What != "TABLES" {
+		t.Errorf("%+v", s)
+	}
+	if s := mustParse(t, "SHOW SUMMARIES").(*Show); s.What != "SUMMARIES" {
+		t.Errorf("%+v", s)
+	}
+	s := mustParse(t, "SHOW ANNOTATIONS ON birds").(*Show)
+	if s.What != "ANNOTATIONS" || s.Table != "birds" {
+		t.Errorf("%+v", s)
+	}
+	mustFail(t, "SHOW INDEXES")
+}
+
+func TestParseAllScript(t *testing.T) {
+	stmts, err := ParseAll(`
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES (1);
+		SELECT a FROM t;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+	if _, err := ParseAll(";;;"); err == nil {
+		t.Error("empty script accepted")
+	}
+	if _, err := ParseAll("SELECT a FROM t SELECT b FROM u"); err == nil {
+		t.Error("missing semicolon accepted")
+	}
+}
+
+func TestStatementStringRoundTrip(t *testing.T) {
+	// String output of a SELECT must re-parse to an equivalent statement.
+	src := "SELECT DISTINCT r.a AS x, COUNT(*) FROM R r JOIN S s ON r.a = s.b WHERE r.a > 1 GROUP BY r.a ORDER BY r.a DESC LIMIT 5"
+	s1 := mustParse(t, src)
+	s2 := mustParse(t, s1.String())
+	if s1.String() != s2.String() {
+		t.Errorf("round trip:\n%s\nvs\n%s", s1, s2)
+	}
+	// Smoke-test String on the extension statements.
+	for _, src := range []string{
+		"ADD ANNOTATION 'x' ON t (a) WHERE a = 1",
+		"CREATE SUMMARY INSTANCE c TYPE Cluster",
+		"LINK SUMMARY c TO t",
+		"UNLINK SUMMARY c FROM t",
+		"ZOOMIN REFERENCE QID 3 ON c INDEX 1",
+		"SHOW ANNOTATIONS ON t",
+		"CREATE TABLE t (a INT)",
+		"CREATE INDEX ON t (a)",
+		"DROP TABLE t",
+		"DROP SUMMARY INSTANCE c",
+		"INSERT INTO t VALUES (1)",
+		"TRAIN SUMMARY c ('a', 'b')",
+	} {
+		if got := mustParse(t, src).String(); !strings.Contains(got, " ") {
+			t.Errorf("String(%q) = %q", src, got)
+		}
+	}
+}
+
+func TestParseInAndBetween(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN ('x')").(*Select)
+	and := s.Where.(*BinaryExpr)
+	in := and.L.(*InExpr)
+	if in.Negate || len(in.List) != 3 {
+		t.Fatalf("%+v", in)
+	}
+	notIn := and.R.(*InExpr)
+	if !notIn.Negate || len(notIn.List) != 1 {
+		t.Fatalf("%+v", notIn)
+	}
+	s = mustParse(t, "SELECT a FROM t WHERE a BETWEEN 1 AND 5 OR b NOT BETWEEN 0.5 AND 1.5").(*Select)
+	or := s.Where.(*BinaryExpr)
+	bt := or.L.(*BetweenExpr)
+	if bt.Negate || bt.Lo.(*Literal).Val.Int() != 1 || bt.Hi.(*Literal).Val.Int() != 5 {
+		t.Fatalf("%+v", bt)
+	}
+	if !or.R.(*BetweenExpr).Negate {
+		t.Fatalf("%+v", or.R)
+	}
+	// String renders round-trip.
+	src := "SELECT a FROM t WHERE (a IN (1, 2)) AND (b NOT BETWEEN 1 AND 2)"
+	if got := mustParse(t, src).String(); mustParse(t, got).String() != got {
+		t.Errorf("round trip failed: %q", got)
+	}
+	mustFail(t, "SELECT a FROM t WHERE a IN 1")
+	mustFail(t, "SELECT a FROM t WHERE a IN ()")
+	mustFail(t, "SELECT a FROM t WHERE a BETWEEN 1")
+	mustFail(t, "SELECT a FROM t WHERE a NOT 5")
+}
+
+func TestParseSummaryCalls(t *testing.T) {
+	s := mustParse(t, "SELECT id FROM t WHERE SUMMARY_COUNT(ClassBird1, 'Disease') > 5").(*Select)
+	cmp := s.Where.(*BinaryExpr)
+	call := cmp.L.(*SummaryCall)
+	if call.Func != "SUMMARY_COUNT" || call.Instance != "ClassBird1" || call.Label != "Disease" {
+		t.Fatalf("%+v", call)
+	}
+	s = mustParse(t, "SELECT id FROM t ORDER BY summary_total(C) DESC").(*Select)
+	oc := s.OrderBy[0].Expr.(*SummaryCall)
+	if oc.Func != "SUMMARY_TOTAL" || oc.Instance != "C" {
+		t.Fatalf("%+v", oc)
+	}
+	s = mustParse(t, "SELECT id FROM t WHERE SUMMARY_GROUPS(S) = 2").(*Select)
+	gc := s.Where.(*BinaryExpr).L.(*SummaryCall)
+	if gc.Func != "SUMMARY_GROUPS" {
+		t.Fatalf("%+v", gc)
+	}
+	// String round-trips.
+	src := "SELECT id FROM t WHERE (SUMMARY_COUNT(C, 'a''b') > 1)"
+	if got := mustParse(t, src).String(); mustParse(t, got).String() != got {
+		t.Errorf("round trip failed: %q", got)
+	}
+	mustFail(t, "SELECT id FROM t WHERE SUMMARY_COUNT(C) > 1")       // missing label
+	mustFail(t, "SELECT id FROM t WHERE SUMMARY_TOTAL('C') > 1")     // label as instance
+	mustFail(t, "SELECT id FROM t WHERE SUMMARY_GROUPS(C, 'x') = 1") // extra arg
+}
+
+func TestParseKeywordAsIdentifierRejected(t *testing.T) {
+	mustFail(t, "CREATE TABLE select (a INT)")
+	mustFail(t, "SELECT from FROM t")
+}

@@ -1,0 +1,270 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+)
+
+// BTree is an in-memory B+tree mapping byte keys to uint64 values (row ids
+// or packed RIDs). Duplicate keys are permitted; an entry is the pair
+// (key, value) and entries are totally ordered by key then value, so
+// Delete removes exactly one logical entry.
+//
+// Indexes are memory-resident and rebuilt from heap pages on open (see the
+// package comment); within a session the tree is safe for concurrent use.
+type BTree struct {
+	mu   sync.RWMutex
+	root btNode
+	size int
+}
+
+// btOrder is the maximum number of entries in a leaf and children in an
+// inner node before a split.
+const btOrder = 64
+
+type btNode interface {
+	// insert adds (key, val); on split it returns the new right sibling
+	// and the separator key that belongs between the halves.
+	insert(key []byte, val uint64) (sep []byte, right btNode)
+	// delete removes (key, val); returns whether an entry was removed.
+	delete(key []byte, val uint64) bool
+}
+
+type btLeaf struct {
+	keys [][]byte
+	vals []uint64
+	next *btLeaf
+}
+
+type btInner struct {
+	keys     [][]byte // len(children) - 1 separators
+	children []btNode
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree { return &BTree{root: &btLeaf{}} }
+
+// Len returns the number of entries.
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// entryLess orders entries by key, then value.
+func entryLess(k1 []byte, v1 uint64, k2 []byte, v2 uint64) bool {
+	if c := bytes.Compare(k1, k2); c != 0 {
+		return c < 0
+	}
+	return v1 < v2
+}
+
+// Insert adds the entry (key, val). The key slice is copied.
+func (t *BTree) Insert(key []byte, val uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := append([]byte(nil), key...)
+	sep, right := t.root.insert(k, val)
+	if right != nil {
+		t.root = &btInner{keys: [][]byte{sep}, children: []btNode{t.root, right}}
+	}
+	t.size++
+}
+
+// Delete removes the entry (key, val), reporting whether it existed.
+// Deletion is lazy: leaves may underflow, which preserves search
+// correctness while avoiding rebalancing; annotation indexes are
+// append-mostly so underflow is rare in practice.
+func (t *BTree) Delete(key []byte, val uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root.delete(key, val) {
+		t.size--
+		return true
+	}
+	return false
+}
+
+// Seek returns the values stored under exactly key. Values under one key
+// are value-sorted within a leaf but carry no global order guarantee once
+// duplicates span leaves.
+func (t *BTree) Seek(key []byte) []uint64 {
+	var out []uint64
+	t.Scan(key, KeySuccessorExact(key), func(k []byte, v uint64) bool {
+		if bytes.Equal(k, key) {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// KeySuccessorExact returns an exclusive upper bound that admits only the
+// exact key (key + one zero byte works because entries with longer keys
+// compare greater).
+func KeySuccessorExact(key []byte) []byte {
+	out := make([]byte, len(key), len(key)+1)
+	copy(out, key)
+	return append(out, 0x00)
+}
+
+// Scan visits entries with lo <= key < hi in ascending entry order. A nil
+// lo means from the beginning; a nil hi means to the end. fn returning
+// false stops the scan.
+func (t *BTree) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf, idx := t.seekLeaf(lo)
+	for leaf != nil {
+		for ; idx < len(leaf.keys); idx++ {
+			k := leaf.keys[idx]
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return
+			}
+			if !fn(k, leaf.vals[idx]) {
+				return
+			}
+		}
+		leaf = leaf.next
+		idx = 0
+	}
+}
+
+// seekLeaf finds the leftmost leaf position whose key >= lo.
+func (t *BTree) seekLeaf(lo []byte) (*btLeaf, int) {
+	n := t.root
+	for {
+		switch nd := n.(type) {
+		case *btLeaf:
+			idx := 0
+			if lo != nil {
+				idx = lowerBound(nd.keys, lo)
+			}
+			return nd, idx
+		case *btInner:
+			i := 0
+			if lo != nil {
+				for i < len(nd.keys) && bytes.Compare(nd.keys[i], lo) < 0 {
+					i++
+				}
+			}
+			n = nd.children[i]
+		}
+	}
+}
+
+// lowerBound returns the first index with keys[i] >= key.
+func lowerBound(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ---- leaf operations ----
+
+func (l *btLeaf) insert(key []byte, val uint64) ([]byte, btNode) {
+	// Position by (key, val) order to keep duplicates value-sorted.
+	i := 0
+	for i < len(l.keys) && entryLess(l.keys[i], l.vals[i], key, val) {
+		i++
+	}
+	l.keys = append(l.keys, nil)
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = key
+	l.vals = append(l.vals, 0)
+	copy(l.vals[i+1:], l.vals[i:])
+	l.vals[i] = val
+	if len(l.keys) <= btOrder {
+		return nil, nil
+	}
+	// Split in half; the right sibling's first key is the separator.
+	mid := len(l.keys) / 2
+	right := &btLeaf{
+		keys: append([][]byte(nil), l.keys[mid:]...),
+		vals: append([]uint64(nil), l.vals[mid:]...),
+		next: l.next,
+	}
+	l.keys = l.keys[:mid:mid]
+	l.vals = l.vals[:mid:mid]
+	l.next = right
+	return right.keys[0], right
+}
+
+func (l *btLeaf) delete(key []byte, val uint64) bool {
+	i := lowerBound(l.keys, key)
+	for ; i < len(l.keys) && bytes.Equal(l.keys[i], key); i++ {
+		if l.vals[i] == val {
+			l.keys = append(l.keys[:i], l.keys[i+1:]...)
+			l.vals = append(l.vals[:i], l.vals[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ---- inner operations ----
+
+func (in *btInner) childFor(key []byte, val uint64) int {
+	i := 0
+	// Descend right of separators <= key so duplicate keys spanning a
+	// split remain reachable; separators equal to key require searching
+	// the right subtree (entries >= separator live right).
+	for i < len(in.keys) && bytes.Compare(in.keys[i], key) <= 0 {
+		i++
+	}
+	return i
+}
+
+func (in *btInner) insert(key []byte, val uint64) ([]byte, btNode) {
+	i := in.childFor(key, val)
+	sep, right := in.children[i].insert(key, val)
+	if right == nil {
+		return nil, nil
+	}
+	in.keys = append(in.keys, nil)
+	copy(in.keys[i+1:], in.keys[i:])
+	in.keys[i] = sep
+	in.children = append(in.children, nil)
+	copy(in.children[i+2:], in.children[i+1:])
+	in.children[i+1] = right
+	if len(in.children) <= btOrder {
+		return nil, nil
+	}
+	mid := len(in.keys) / 2
+	upSep := in.keys[mid]
+	rightNode := &btInner{
+		keys:     append([][]byte(nil), in.keys[mid+1:]...),
+		children: append([]btNode(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid:mid]
+	in.children = in.children[: mid+1 : mid+1]
+	return upSep, rightNode
+}
+
+func (in *btInner) delete(key []byte, val uint64) bool {
+	// The entry could sit in any child whose range admits key; with
+	// duplicates, equal keys may span multiple children. Try the natural
+	// child first, then neighbours that could also contain the key.
+	i := 0
+	for i < len(in.keys) && bytes.Compare(in.keys[i], key) < 0 {
+		i++
+	}
+	// children[i] is the first child that may contain key; equal separators
+	// mean the key may continue into following children.
+	for ; i < len(in.children); i++ {
+		if in.children[i].delete(key, val) {
+			return true
+		}
+		if i < len(in.keys) && bytes.Compare(in.keys[i], key) > 0 {
+			break
+		}
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeInsertSeek(t *testing.T) {
+	bt := NewBTree()
+	bt.Insert([]byte("b"), 2)
+	bt.Insert([]byte("a"), 1)
+	bt.Insert([]byte("c"), 3)
+	if got := bt.Seek([]byte("b")); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Seek(b) = %v", got)
+	}
+	if got := bt.Seek([]byte("zz")); got != nil {
+		t.Errorf("Seek(missing) = %v", got)
+	}
+	if bt.Len() != 3 {
+		t.Errorf("Len = %d", bt.Len())
+	}
+}
+
+func TestBTreeDuplicateKeys(t *testing.T) {
+	bt := NewBTree()
+	for i := uint64(0); i < 10; i++ {
+		bt.Insert([]byte("dup"), i)
+	}
+	got := bt.Seek([]byte("dup"))
+	if len(got) != 10 {
+		t.Fatalf("Seek(dup) returned %d values", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("duplicate values collapsed: %v", got)
+	}
+	if !bt.Delete([]byte("dup"), 5) {
+		t.Fatal("Delete(dup, 5) = false")
+	}
+	if bt.Delete([]byte("dup"), 5) {
+		t.Fatal("second Delete(dup, 5) = true")
+	}
+	if got := bt.Seek([]byte("dup")); len(got) != 9 {
+		t.Errorf("after delete Seek = %d values", len(got))
+	}
+}
+
+func TestBTreeScanRange(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 100; i++ {
+		bt.Insert([]byte(fmt.Sprintf("k%03d", i)), uint64(i))
+	}
+	var got []uint64
+	bt.Scan([]byte("k010"), []byte("k020"), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Errorf("Scan[k010,k020) = %v", got)
+	}
+	// Open-ended scans.
+	n := 0
+	bt.Scan(nil, nil, func([]byte, uint64) bool { n++; return true })
+	if n != 100 {
+		t.Errorf("full scan = %d", n)
+	}
+	n = 0
+	bt.Scan([]byte("k090"), nil, func([]byte, uint64) bool { n++; return true })
+	if n != 10 {
+		t.Errorf("tail scan = %d", n)
+	}
+	n = 0
+	bt.Scan(nil, []byte("k010"), func([]byte, uint64) bool { n++; return true })
+	if n != 10 {
+		t.Errorf("head scan = %d", n)
+	}
+	// Early stop.
+	n = 0
+	bt.Scan(nil, nil, func([]byte, uint64) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Errorf("early stop = %d", n)
+	}
+}
+
+func TestBTreeScanOrdered(t *testing.T) {
+	bt := NewBTree()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		bt.Insert([]byte(fmt.Sprintf("%06d", r.Intn(100000))), uint64(i))
+	}
+	var prev []byte
+	bt.Scan(nil, nil, func(k []byte, v uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) > 0 {
+			t.Fatalf("scan out of order: %q after %q", k, prev)
+		}
+		prev = append(prev[:0], k...)
+		return true
+	})
+}
+
+// TestBTreeAgainstReferenceModel drives the tree and a reference
+// implementation with the same random operations and compares them.
+func TestBTreeAgainstReferenceModel(t *testing.T) {
+	type entry struct {
+		k string
+		v uint64
+	}
+	bt := NewBTree()
+	var ref []entry
+	r := rand.New(rand.NewSource(99))
+	keys := make([]string, 50)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%02d", i)
+	}
+	for op := 0; op < 10000; op++ {
+		k := keys[r.Intn(len(keys))]
+		if r.Intn(3) > 0 || len(ref) == 0 { // insert-biased
+			v := uint64(r.Intn(20))
+			bt.Insert([]byte(k), v)
+			ref = append(ref, entry{k, v})
+		} else {
+			i := r.Intn(len(ref))
+			e := ref[i]
+			if !bt.Delete([]byte(e.k), e.v) {
+				t.Fatalf("op %d: Delete(%q,%d) = false", op, e.k, e.v)
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+		}
+	}
+	if bt.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", bt.Len(), len(ref))
+	}
+	// Compare full scans as sorted multisets.
+	var got []entry
+	bt.Scan(nil, nil, func(k []byte, v uint64) bool {
+		got = append(got, entry{string(k), v})
+		return true
+	})
+	sortEntries := func(es []entry) {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].k != es[j].k {
+				return es[i].k < es[j].k
+			}
+			return es[i].v < es[j].v
+		})
+	}
+	sortEntries(got)
+	sortEntries(ref)
+	if len(got) != len(ref) {
+		t.Fatalf("scan count %d, want %d", len(got), len(ref))
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("entry %d: got %v, want %v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestBTreeDeleteMissing(t *testing.T) {
+	bt := NewBTree()
+	if bt.Delete([]byte("nope"), 1) {
+		t.Error("Delete on empty tree = true")
+	}
+	bt.Insert([]byte("a"), 1)
+	if bt.Delete([]byte("a"), 2) {
+		t.Error("Delete with wrong value = true")
+	}
+}
+
+func TestBTreeLargeSequentialInsert(t *testing.T) {
+	bt := NewBTree()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		bt.Insert([]byte(fmt.Sprintf("%08d", i)), uint64(i))
+	}
+	if bt.Len() != n {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	for _, probe := range []int{0, 1, n / 2, n - 1} {
+		got := bt.Seek([]byte(fmt.Sprintf("%08d", probe)))
+		if len(got) != 1 || got[0] != uint64(probe) {
+			t.Errorf("Seek(%d) = %v", probe, got)
+		}
+	}
+}
+
+func TestBTreeSeekAfterSplitsProperty(t *testing.T) {
+	// Every inserted entry must remain seekable regardless of insert order.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bt := NewBTree()
+		inserted := map[string]uint64{}
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("%04d", r.Intn(10000))
+			if _, dup := inserted[k]; dup {
+				continue
+			}
+			v := uint64(i)
+			inserted[k] = v
+			bt.Insert([]byte(k), v)
+		}
+		for k, v := range inserted {
+			got := bt.Seek([]byte(k))
+			if len(got) != 1 || got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages from a PageStore in a fixed number of frames with
+// pin-counted LRU eviction. All InsightNotes heap access goes through a
+// pool so that benchmark I/O behaviour resembles a real host DBMS.
+type BufferPool struct {
+	mu       sync.Mutex
+	store    PageStore
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // of PageID, front = most recently used
+
+	// stats
+	hits   uint64
+	misses uint64
+}
+
+type frame struct {
+	page  Page
+	pins  int
+	dirty bool
+	elem  *list.Element // non-nil only while unpinned (eligible for eviction)
+}
+
+// NewBufferPool creates a pool of capacity frames over store. Capacity must
+// be at least 1.
+func NewBufferPool(store PageStore, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Fetch pins page id and returns a pointer to its in-pool copy. The caller
+// must Unpin it (with dirty=true if modified). The pointer is valid until
+// the matching Unpin.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[id]; ok {
+		bp.hits++
+		if fr.elem != nil {
+			bp.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		fr.pins++
+		return &fr.page, nil
+	}
+	bp.misses++
+	if err := bp.evictLocked(); err != nil {
+		return nil, err
+	}
+	fr := &frame{pins: 1}
+	if err := bp.store.ReadPage(id, &fr.page); err != nil {
+		return nil, err
+	}
+	bp.frames[id] = fr
+	return &fr.page, nil
+}
+
+// Unpin releases one pin on page id, marking the frame dirty when the
+// caller modified it. Unpinning a page that is not resident or not pinned
+// is a programming error and returns one.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok || fr.pins == 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+	if fr.pins == 0 {
+		fr.elem = bp.lru.PushFront(id)
+	}
+	return nil
+}
+
+// Allocate creates a new page in the underlying store and returns it
+// pinned, ready for writes.
+func (bp *BufferPool) Allocate() (PageID, *Page, error) {
+	id, err := bp.store.Allocate()
+	if err != nil {
+		return 0, nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.evictLocked(); err != nil {
+		return 0, nil, err
+	}
+	fr := &frame{pins: 1}
+	fr.page.Reset()
+	fr.dirty = true
+	bp.frames[id] = fr
+	return id, &fr.page, nil
+}
+
+// evictLocked makes room for one more frame, flushing a dirty victim.
+// Requires bp.mu held.
+func (bp *BufferPool) evictLocked() error {
+	for len(bp.frames) >= bp.capacity {
+		back := bp.lru.Back()
+		if back == nil {
+			return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned)", bp.capacity)
+		}
+		victim := back.Value.(PageID)
+		fr := bp.frames[victim]
+		if fr.dirty {
+			if err := bp.store.WritePage(victim, &fr.page); err != nil {
+				return err
+			}
+		}
+		bp.lru.Remove(back)
+		delete(bp.frames, victim)
+	}
+	return nil
+}
+
+// FlushAll writes every dirty resident page back to the store.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, fr := range bp.frames {
+		if fr.dirty {
+			if err := bp.store.WritePage(id, &fr.page); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return bp.store.Sync()
+}
+
+// Stats returns the hit and miss counts since creation.
+func (bp *BufferPool) Stats() (hits, misses uint64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses
+}
+
+// Resident returns the number of pages currently cached.
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}

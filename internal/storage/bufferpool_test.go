@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBufferPoolFetchUnpin(t *testing.T) {
+	store := NewMemStore()
+	bp := NewBufferPool(store, 4)
+	id, pg, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pg.Insert([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Unpin(id, true); err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := bp.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := pg2.Get(0); string(got) != "hello" {
+		t.Errorf("Fetch = %q", got)
+	}
+	bp.Unpin(id, false)
+	hits, misses := bp.Stats()
+	if hits != 1 || misses != 0 {
+		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestBufferPoolUnpinErrors(t *testing.T) {
+	bp := NewBufferPool(NewMemStore(), 2)
+	if err := bp.Unpin(0, false); err == nil {
+		t.Error("Unpin of non-resident page succeeded")
+	}
+	id, _, _ := bp.Allocate()
+	bp.Unpin(id, false)
+	if err := bp.Unpin(id, false); err == nil {
+		t.Error("double Unpin succeeded")
+	}
+}
+
+func TestBufferPoolEvictionWritesBack(t *testing.T) {
+	store := NewMemStore()
+	bp := NewBufferPool(store, 2)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, pg, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Insert([]byte{byte('a' + i)})
+		if err := bp.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if bp.Resident() > 2 {
+		t.Errorf("resident = %d, capacity 2", bp.Resident())
+	}
+	// Every page must be readable with its data (evicted ones via store).
+	for i, id := range ids {
+		pg, err := bp.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := pg.Get(0); got[0] != byte('a'+i) {
+			t.Errorf("page %d = %q", id, got)
+		}
+		bp.Unpin(id, false)
+	}
+}
+
+func TestBufferPoolAllPinnedExhausted(t *testing.T) {
+	bp := NewBufferPool(NewMemStore(), 2)
+	id0, _, _ := bp.Allocate()
+	id1, _, _ := bp.Allocate()
+	_ = id0
+	_ = id1
+	// Both frames pinned; a third allocation must fail rather than evict.
+	if _, _, err := bp.Allocate(); err == nil {
+		t.Error("Allocate with all frames pinned succeeded")
+	}
+	bp.Unpin(id0, false)
+	if _, _, err := bp.Allocate(); err != nil {
+		t.Errorf("Allocate after Unpin: %v", err)
+	}
+}
+
+func TestBufferPoolFlushAll(t *testing.T) {
+	store := NewMemStore()
+	bp := NewBufferPool(store, 4)
+	id, pg, _ := bp.Allocate()
+	pg.Insert([]byte("dirty"))
+	bp.Unpin(id, true)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	var direct Page
+	if err := store.ReadPage(id, &direct); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := direct.Get(0); string(got) != "dirty" {
+		t.Errorf("store after FlushAll = %q", got)
+	}
+}
+
+func TestBufferPoolConcurrentAccess(t *testing.T) {
+	store := NewMemStore()
+	bp := NewBufferPool(store, 8)
+	var ids []PageID
+	for i := 0; i < 16; i++ {
+		id, pg, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Insert([]byte{byte(i)})
+		bp.Unpin(id, true)
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ids[(g*7+i)%len(ids)]
+				pg, err := bp.Fetch(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got, _ := pg.Get(0); got[0] != byte(int(id)) {
+					t.Errorf("page %d = %v", id, got)
+				}
+				bp.Unpin(id, false)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestBufferPoolMinimumCapacity(t *testing.T) {
+	bp := NewBufferPool(NewMemStore(), 0) // clamped to 1
+	id, _, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id, true)
+	if _, err := bp.Fetch(id); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id, false)
+}

@@ -1,0 +1,240 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HeapFile stores variable-length records across a chain of slotted pages
+// fetched through a BufferPool. It is the physical home of both data tuples
+// and raw annotations in the engine.
+//
+// A HeapFile owns a contiguous set of page ids that it allocated from the
+// shared pool; the set is tracked in memory and rebuilt by the catalog on
+// open (the catalog persists each table's page list).
+type HeapFile struct {
+	mu    sync.Mutex
+	pool  *BufferPool
+	pages []PageID
+	// freeHint maps a page position in pages to a rough free-byte count,
+	// letting inserts skip full pages without fetching them.
+	freeHint map[PageID]int
+	records  int
+}
+
+// NewHeapFile creates an empty heap over pool.
+func NewHeapFile(pool *BufferPool) *HeapFile {
+	return &HeapFile{pool: pool, freeHint: make(map[PageID]int)}
+}
+
+// OpenHeapFile reattaches a heap to an existing list of pages (as persisted
+// by the catalog), recomputing free-space hints and the record count.
+func OpenHeapFile(pool *BufferPool, pages []PageID) (*HeapFile, error) {
+	h := &HeapFile{
+		pool:     pool,
+		pages:    append([]PageID(nil), pages...),
+		freeHint: make(map[PageID]int, len(pages)),
+	}
+	for _, pid := range pages {
+		pg, err := pool.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		h.freeHint[pid] = pg.FreeSpace()
+		pg.Records(func(uint16, []byte) bool { h.records++; return true })
+		if err := pool.Unpin(pid, false); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Pages returns the page ids backing the heap, in order.
+func (h *HeapFile) Pages() []PageID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]PageID(nil), h.pages...)
+}
+
+// Len returns the number of live records.
+func (h *HeapFile) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.records
+}
+
+// Insert stores record and returns its RID.
+func (h *HeapFile) Insert(record []byte) (RID, error) {
+	if len(record) > MaxRecordSize {
+		return RID{}, ErrRecordTooLarge
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Try pages whose hint says the record fits, newest first (recent pages
+	// are most likely to have room and be cached).
+	for i := len(h.pages) - 1; i >= 0; i-- {
+		pid := h.pages[i]
+		if h.freeHint[pid] < len(record) {
+			continue
+		}
+		rid, ok, err := h.tryInsert(pid, record)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			return rid, nil
+		}
+	}
+	// Allocate a fresh page.
+	pid, pg, err := h.pool.Allocate()
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := pg.Insert(record)
+	if err != nil {
+		h.pool.Unpin(pid, false)
+		return RID{}, err
+	}
+	h.freeHint[pid] = pg.FreeSpace()
+	if err := h.pool.Unpin(pid, true); err != nil {
+		return RID{}, err
+	}
+	h.pages = append(h.pages, pid)
+	h.records++
+	return RID{Page: pid, Slot: slot}, nil
+}
+
+// tryInsert attempts an insert into pid, updating the free hint.
+func (h *HeapFile) tryInsert(pid PageID, record []byte) (RID, bool, error) {
+	pg, err := h.pool.Fetch(pid)
+	if err != nil {
+		return RID{}, false, err
+	}
+	slot, err := pg.Insert(record)
+	if err == ErrPageFull {
+		h.freeHint[pid] = pg.FreeSpace()
+		return RID{}, false, h.pool.Unpin(pid, false)
+	}
+	if err != nil {
+		h.pool.Unpin(pid, false)
+		return RID{}, false, err
+	}
+	h.freeHint[pid] = pg.FreeSpace()
+	if err := h.pool.Unpin(pid, true); err != nil {
+		return RID{}, false, err
+	}
+	h.records++
+	return RID{Page: pid, Slot: slot}, true, nil
+}
+
+// Get returns a copy of the record at rid.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	data, err := pg.Get(rid.Slot)
+	if err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return nil, err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, h.pool.Unpin(rid.Page, false)
+}
+
+// Delete removes the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := pg.Delete(rid.Slot); err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return err
+	}
+	h.freeHint[rid.Page] = pg.FreeSpace()
+	h.records--
+	return h.pool.Unpin(rid.Page, true)
+}
+
+// Update replaces the record at rid in place when possible; when the new
+// version does not fit on its page the record is moved and the new RID is
+// returned. Callers must treat the returned RID as authoritative.
+func (h *HeapFile) Update(rid RID, record []byte) (RID, error) {
+	if len(record) > MaxRecordSize {
+		return RID{}, ErrRecordTooLarge
+	}
+	h.mu.Lock()
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		h.mu.Unlock()
+		return RID{}, err
+	}
+	err = pg.Update(rid.Slot, record)
+	switch err {
+	case nil:
+		h.freeHint[rid.Page] = pg.FreeSpace()
+		uerr := h.pool.Unpin(rid.Page, true)
+		h.mu.Unlock()
+		return rid, uerr
+	case ErrPageFull:
+		// Move: delete here, reinsert elsewhere.
+		if derr := pg.Delete(rid.Slot); derr != nil {
+			h.pool.Unpin(rid.Page, false)
+			h.mu.Unlock()
+			return RID{}, derr
+		}
+		h.freeHint[rid.Page] = pg.FreeSpace()
+		if uerr := h.pool.Unpin(rid.Page, true); uerr != nil {
+			h.mu.Unlock()
+			return RID{}, uerr
+		}
+		h.records-- // Insert will re-increment
+		h.mu.Unlock()
+		return h.Insert(record)
+	default:
+		h.pool.Unpin(rid.Page, false)
+		h.mu.Unlock()
+		return RID{}, err
+	}
+}
+
+// Scan calls fn for every live record in heap order. The data slice passed
+// to fn aliases pool memory and must not be retained; fn returning false
+// stops the scan.
+func (h *HeapFile) Scan(fn func(rid RID, data []byte) bool) error {
+	h.mu.Lock()
+	pages := append([]PageID(nil), h.pages...)
+	h.mu.Unlock()
+	for _, pid := range pages {
+		pg, err := h.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		stop := false
+		pg.Records(func(slot uint16, data []byte) bool {
+			if !fn(RID{Page: pid, Slot: slot}, data) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err := h.pool.Unpin(pid, false); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// String summarizes the heap for debugging.
+func (h *HeapFile) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return fmt.Sprintf("heap{pages: %d, records: %d}", len(h.pages), h.records)
+}

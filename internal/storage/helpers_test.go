@@ -1,0 +1,8 @@
+package storage
+
+import "os"
+
+// writeFile is a tiny test helper wrapping os.WriteFile.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

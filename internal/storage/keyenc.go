@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"encoding/binary"
+	"math"
+
+	"insightnotes/internal/types"
+)
+
+// Order-preserving key encoding: for any two values a, b of the engine's
+// comparison order (types.Compare), bytes.Compare(EncodeKey(a), EncodeKey(b))
+// agrees in sign. This lets the B+tree index any column with plain byte
+// comparisons.
+//
+// Layout per value: 1 tag byte establishing the cross-kind order used by
+// types.Compare (NULL < numerics < TEXT < BOOL), then a payload:
+//
+//	NULL    — nothing
+//	numeric — 8 bytes: IEEE-754 bits of the float64 value with the sign bit
+//	          flipped for positives and all bits flipped for negatives
+//	          (the classic total-order float trick); INT is widened so that
+//	          INT 2 and FLOAT 2.0 encode identically, matching Compare.
+//	TEXT    — escaped bytes (0x00 → 0x00 0xFF) followed by 0x00 0x00, so no
+//	          encoded string is a prefix of another
+//	BOOL    — 1 byte
+const (
+	tagNull    = 0x10
+	tagNumeric = 0x20
+	tagText    = 0x30
+	tagBool    = 0x40
+)
+
+// EncodeKey appends the order-preserving encoding of v to dst.
+func EncodeKey(dst []byte, v types.Value) []byte {
+	switch v.Kind() {
+	case types.KindNull:
+		return append(dst, tagNull)
+	case types.KindInt, types.KindFloat:
+		dst = append(dst, tagNumeric)
+		return appendOrderedFloat(dst, v.Float())
+	case types.KindString:
+		dst = append(dst, tagText)
+		for i := 0; i < len(v.Str()); i++ {
+			b := v.Str()[i]
+			dst = append(dst, b)
+			if b == 0x00 {
+				dst = append(dst, 0xFF)
+			}
+		}
+		return append(dst, 0x00, 0x00)
+	case types.KindBool:
+		dst = append(dst, tagBool)
+		if v.Bool() {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	}
+	return dst
+}
+
+// EncodeCompositeKey encodes several values into one composite key whose
+// byte order equals lexicographic value order.
+func EncodeCompositeKey(dst []byte, vs ...types.Value) []byte {
+	for _, v := range vs {
+		dst = EncodeKey(dst, v)
+	}
+	return dst
+}
+
+func appendOrderedFloat(dst []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits // negative: flip everything
+	} else {
+		bits |= 1 << 63 // non-negative: flip the sign bit
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], bits)
+	return append(dst, buf[:]...)
+}
+
+// KeySuccessor returns the smallest key strictly greater than any key with
+// prefix k — used to build exclusive upper bounds for prefix range scans.
+func KeySuccessor(k []byte) []byte {
+	out := make([]byte, len(k), len(k)+1)
+	copy(out, k)
+	return append(out, 0xFF)
+}

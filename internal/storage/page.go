@@ -1,0 +1,208 @@
+package storage
+
+import "encoding/binary"
+
+// Slotted page layout:
+//
+//	[0:2)  slot count (uint16)
+//	[2:4)  freeEnd — offset of the lowest byte used by record data;
+//	       data grows downward from PageSize, slots grow upward from 4.
+//	[4:..) slot array, 4 bytes per slot: record offset (uint16),
+//	       record length (uint16). A slot with offset == tombstoneOffset
+//	       is deleted and may be reused.
+const (
+	pageHeaderSize  = 4
+	slotSize        = 4
+	tombstoneOffset = uint16(0xFFFF)
+)
+
+// Page is one fixed-size slotted page. The zero value is not initialized;
+// call Reset (or obtain pages from a store, which returns them reset).
+type Page [PageSize]byte
+
+// Reset initializes p as an empty slotted page.
+func (p *Page) Reset() {
+	for i := range p {
+		p[i] = 0
+	}
+	p.setSlotCount(0)
+	p.setFreeEnd(PageSize)
+}
+
+func (p *Page) slotCount() uint16     { return binary.LittleEndian.Uint16(p[0:2]) }
+func (p *Page) setSlotCount(n uint16) { binary.LittleEndian.PutUint16(p[0:2], n) }
+func (p *Page) freeEnd() uint16       { return binary.LittleEndian.Uint16(p[2:4]) }
+func (p *Page) setFreeEnd(v uint16) {
+	binary.LittleEndian.PutUint16(p[2:4], v)
+}
+
+func (p *Page) slot(i uint16) (off, length uint16) {
+	base := pageHeaderSize + int(i)*slotSize
+	return binary.LittleEndian.Uint16(p[base : base+2]),
+		binary.LittleEndian.Uint16(p[base+2 : base+4])
+}
+
+func (p *Page) setSlot(i, off, length uint16) {
+	base := pageHeaderSize + int(i)*slotSize
+	binary.LittleEndian.PutUint16(p[base:base+2], off)
+	binary.LittleEndian.PutUint16(p[base+2:base+4], length)
+}
+
+// NumSlots returns the number of slots ever allocated on the page,
+// including tombstones.
+func (p *Page) NumSlots() uint16 { return p.slotCount() }
+
+// FreeSpace returns the bytes available for a new record, accounting for
+// the slot entry a fresh insert would need. Reusable tombstone slots make
+// inserts slightly cheaper than this lower bound.
+func (p *Page) FreeSpace() int {
+	used := pageHeaderSize + int(p.slotCount())*slotSize
+	free := int(p.freeEnd()) - used - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores record in the page and returns its slot number. It reuses a
+// tombstoned slot when one exists. Returns ErrPageFull when the record does
+// not fit and ErrRecordTooLarge when it could never fit on any page.
+func (p *Page) Insert(record []byte) (uint16, error) {
+	if len(record) > MaxRecordSize {
+		return 0, ErrRecordTooLarge
+	}
+	// Find a reusable tombstone slot.
+	reuse := int32(-1)
+	n := p.slotCount()
+	for i := uint16(0); i < n; i++ {
+		if off, _ := p.slot(i); off == tombstoneOffset {
+			reuse = int32(i)
+			break
+		}
+	}
+	needSlot := slotSize
+	if reuse >= 0 {
+		needSlot = 0
+	}
+	used := pageHeaderSize + int(n)*slotSize
+	if int(p.freeEnd())-used-needSlot < len(record) {
+		return 0, ErrPageFull
+	}
+	newEnd := p.freeEnd() - uint16(len(record))
+	copy(p[newEnd:], record)
+	p.setFreeEnd(newEnd)
+	var slot uint16
+	if reuse >= 0 {
+		slot = uint16(reuse)
+	} else {
+		slot = n
+		p.setSlotCount(n + 1)
+	}
+	p.setSlot(slot, newEnd, uint16(len(record)))
+	return slot, nil
+}
+
+// Get returns the record stored at slot. The returned slice aliases the
+// page; callers must copy it if they retain it past unpinning the page.
+func (p *Page) Get(slot uint16) ([]byte, error) {
+	if slot >= p.slotCount() {
+		return nil, ErrNoSuchRecord
+	}
+	off, length := p.slot(slot)
+	if off == tombstoneOffset {
+		return nil, ErrNoSuchRecord
+	}
+	return p[off : off+length], nil
+}
+
+// Delete tombstones the record at slot. The data space is reclaimed by
+// Compact.
+func (p *Page) Delete(slot uint16) error {
+	if slot >= p.slotCount() {
+		return ErrNoSuchRecord
+	}
+	if off, _ := p.slot(slot); off == tombstoneOffset {
+		return ErrNoSuchRecord
+	}
+	p.setSlot(slot, tombstoneOffset, 0)
+	return nil
+}
+
+// Update replaces the record at slot. If the new record fits in the old
+// space it is updated in place; otherwise new space is allocated on the
+// page (compacting first if that makes it fit). Returns ErrPageFull when
+// the page cannot hold the new version — callers then delete and reinsert
+// elsewhere.
+func (p *Page) Update(slot uint16, record []byte) error {
+	if slot >= p.slotCount() {
+		return ErrNoSuchRecord
+	}
+	off, length := p.slot(slot)
+	if off == tombstoneOffset {
+		return ErrNoSuchRecord
+	}
+	if len(record) > MaxRecordSize {
+		return ErrRecordTooLarge
+	}
+	if len(record) <= int(length) {
+		copy(p[off:], record)
+		p.setSlot(slot, off, uint16(len(record)))
+		return nil
+	}
+	used := pageHeaderSize + int(p.slotCount())*slotSize
+	if int(p.freeEnd())-used < len(record) {
+		p.Compact()
+		used = pageHeaderSize + int(p.slotCount())*slotSize
+		if int(p.freeEnd())-used < len(record) {
+			return ErrPageFull
+		}
+		off, _ = p.slot(slot) // compaction moved the record
+	}
+	newEnd := p.freeEnd() - uint16(len(record))
+	copy(p[newEnd:], record)
+	p.setFreeEnd(newEnd)
+	p.setSlot(slot, newEnd, uint16(len(record)))
+	return nil
+}
+
+// Compact rewrites the data region to squeeze out space left by deletes and
+// in-place shrinking updates. Slot numbers are stable across compaction.
+func (p *Page) Compact() {
+	type rec struct {
+		slot uint16
+		data []byte
+	}
+	n := p.slotCount()
+	recs := make([]rec, 0, n)
+	for i := uint16(0); i < n; i++ {
+		off, length := p.slot(i)
+		if off == tombstoneOffset {
+			continue
+		}
+		cp := make([]byte, length)
+		copy(cp, p[off:off+length])
+		recs = append(recs, rec{i, cp})
+	}
+	p.setFreeEnd(PageSize)
+	for _, r := range recs {
+		newEnd := p.freeEnd() - uint16(len(r.data))
+		copy(p[newEnd:], r.data)
+		p.setFreeEnd(newEnd)
+		p.setSlot(r.slot, newEnd, uint16(len(r.data)))
+	}
+}
+
+// Records calls fn for every live record on the page, in slot order.
+// The data slice aliases the page.
+func (p *Page) Records(fn func(slot uint16, data []byte) bool) {
+	n := p.slotCount()
+	for i := uint16(0); i < n; i++ {
+		off, length := p.slot(i)
+		if off == tombstoneOffset {
+			continue
+		}
+		if !fn(i, p[off:off+length]) {
+			return
+		}
+	}
+}

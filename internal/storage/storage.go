@@ -1,0 +1,49 @@
+// Package storage implements the relational storage substrate underneath
+// the InsightNotes engine: 8 KiB slotted pages, pluggable page stores
+// (memory-backed and file-backed), a pinning buffer pool with LRU eviction,
+// heap files for tuple storage, an ordered B+tree index, and an
+// order-preserving key encoding for index keys.
+//
+// The paper's prototype extends PostgreSQL; this package is the substitute
+// host storage layer (see DESIGN.md §4). Indexes are memory-resident and
+// rebuilt from the heap on open, in the style of early-generation embedded
+// Go stores; heap pages are the durable representation.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of every page in bytes.
+const PageSize = 8192
+
+// PageID identifies a page within a store.
+type PageID uint32
+
+// InvalidPageID is the sentinel for "no page".
+const InvalidPageID = PageID(^uint32(0))
+
+// RID (record identifier) locates a record: a page and a slot within it.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders the RID as "page:slot".
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// Errors returned by the storage layer.
+var (
+	// ErrPageFull indicates that a page has no room for the record.
+	ErrPageFull = errors.New("storage: page full")
+	// ErrNoSuchRecord indicates a stale or deleted RID.
+	ErrNoSuchRecord = errors.New("storage: no such record")
+	// ErrRecordTooLarge indicates a record exceeding the page payload limit.
+	ErrRecordTooLarge = errors.New("storage: record too large for a page")
+	// ErrClosed indicates use of a closed store.
+	ErrClosed = errors.New("storage: store is closed")
+)
+
+// MaxRecordSize is the largest record a heap page can hold.
+const MaxRecordSize = PageSize - pageHeaderSize - slotSize

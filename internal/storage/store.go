@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageStore is the physical page I/O abstraction under the buffer pool.
+// Implementations must be safe for concurrent use.
+type PageStore interface {
+	// ReadPage copies page id into dst.
+	ReadPage(id PageID, dst *Page) error
+	// WritePage persists src as page id.
+	WritePage(id PageID, src *Page) error
+	// Allocate extends the store by one zeroed page and returns its id.
+	Allocate() (PageID, error)
+	// NumPages returns the number of allocated pages.
+	NumPages() PageID
+	// Sync flushes any buffered writes to stable storage.
+	Sync() error
+	// Close releases resources. The store is unusable afterwards.
+	Close() error
+}
+
+// MemStore is an in-memory PageStore, the default for the engine and for
+// tests and benchmarks.
+type MemStore struct {
+	mu     sync.RWMutex
+	pages  []*Page
+	closed bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// ReadPage implements PageStore.
+func (m *MemStore) ReadPage(id PageID, dst *Page) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	*dst = *m.pages[id]
+	return nil
+}
+
+// WritePage implements PageStore.
+func (m *MemStore) WritePage(id PageID, src *Page) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	*m.pages[id] = *src
+	return nil
+}
+
+// Allocate implements PageStore.
+func (m *MemStore) Allocate() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	p := new(Page)
+	p.Reset()
+	m.pages = append(m.pages, p)
+	return PageID(len(m.pages) - 1), nil
+}
+
+// NumPages implements PageStore.
+func (m *MemStore) NumPages() PageID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return PageID(len(m.pages))
+}
+
+// Sync implements PageStore (no-op for memory).
+func (m *MemStore) Sync() error { return nil }
+
+// Close implements PageStore.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.pages = nil
+	return nil
+}
+
+// FileStore is a file-backed PageStore: page id n lives at byte offset
+// n*PageSize of a single file.
+type FileStore struct {
+	mu     sync.Mutex
+	f      *os.File
+	npages PageID
+	closed bool
+}
+
+// OpenFileStore opens (creating if necessary) a file-backed store at path.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s size %d is not page-aligned", path, st.Size())
+	}
+	return &FileStore{f: f, npages: PageID(st.Size() / PageSize)}, nil
+}
+
+// ReadPage implements PageStore.
+func (fs *FileStore) ReadPage(id PageID, dst *Page) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	if id >= fs.npages {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	_, err := fs.f.ReadAt(dst[:], int64(id)*PageSize)
+	return err
+}
+
+// WritePage implements PageStore.
+func (fs *FileStore) WritePage(id PageID, src *Page) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	if id >= fs.npages {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	_, err := fs.f.WriteAt(src[:], int64(id)*PageSize)
+	return err
+}
+
+// Allocate implements PageStore.
+func (fs *FileStore) Allocate() (PageID, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return 0, ErrClosed
+	}
+	var p Page
+	p.Reset()
+	id := fs.npages
+	if _, err := fs.f.WriteAt(p[:], int64(id)*PageSize); err != nil {
+		return 0, err
+	}
+	fs.npages++
+	return id, nil
+}
+
+// NumPages implements PageStore.
+func (fs *FileStore) NumPages() PageID {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.npages
+}
+
+// Sync implements PageStore.
+func (fs *FileStore) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	return fs.f.Sync()
+}
+
+// Close implements PageStore.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	return fs.f.Close()
+}

@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// storeContract exercises the PageStore contract against any implementation.
+func storeContract(t *testing.T, s PageStore) {
+	t.Helper()
+	if n := s.NumPages(); n != 0 {
+		t.Fatalf("fresh store has %d pages", n)
+	}
+	id0, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id0 == id1 || s.NumPages() != 2 {
+		t.Fatalf("allocation ids %d, %d; pages %d", id0, id1, s.NumPages())
+	}
+	var p Page
+	p.Reset()
+	if _, err := p.Insert([]byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(id1, &p); err != nil {
+		t.Fatal(err)
+	}
+	var back Page
+	if err := s.ReadPage(id1, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Get(0)
+	if err != nil || !bytes.Equal(got, []byte("persisted")) {
+		t.Errorf("round trip = %q, %v", got, err)
+	}
+	// Unallocated access fails.
+	if err := s.ReadPage(99, &back); err == nil {
+		t.Error("read of unallocated page succeeded")
+	}
+	if err := s.WritePage(99, &p); err == nil {
+		t.Error("write of unallocated page succeeded")
+	}
+	if err := s.Sync(); err != nil {
+		t.Errorf("Sync: %v", err)
+	}
+}
+
+func TestMemStoreContract(t *testing.T) {
+	s := NewMemStore()
+	storeContract(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Allocate(); err != ErrClosed {
+		t.Errorf("Allocate after Close = %v", err)
+	}
+	var p Page
+	if err := s.ReadPage(0, &p); err != ErrClosed {
+		t.Errorf("ReadPage after Close = %v", err)
+	}
+}
+
+func TestFileStoreContract(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestFileStoreReopenPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Allocate()
+	var p Page
+	p.Reset()
+	p.Insert([]byte("durable"))
+	if err := s.WritePage(id, &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.NumPages() != 1 {
+		t.Fatalf("reopened pages = %d", s2.NumPages())
+	}
+	var back Page
+	if err := s2.ReadPage(id, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := back.Get(0); !bytes.Equal(got, []byte("durable")) {
+		t.Errorf("after reopen = %q", got)
+	}
+}
+
+func TestFileStoreRejectsMisalignedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.db")
+	if err := writeFile(path, make([]byte, PageSize+1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Error("misaligned file accepted")
+	}
+}

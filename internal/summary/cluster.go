@@ -1,0 +1,463 @@
+package summary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/textmining"
+)
+
+// repCandidates is the number of representative candidates retained per
+// group so that dropped representatives can be replaced without consulting
+// the raw annotations.
+const repCandidates = 3
+
+// clusterObject summarizes a tuple's annotations as groups of similar
+// content, reporting one elected representative per group — the paper's
+// SimCluster-style objects.
+//
+// The object is deliberately compact (the E1 compression measurements rest
+// on it): per member it retains only the annotation id; per group it keeps
+// one pruned centroid vector and a short list of representative
+// *candidates* (id, display preview, and similarity-to-centroid recorded at
+// insertion time). That is enough for every query-time operation:
+//
+//   - Remove (projection curation) deletes members and re-elects the
+//     representative — the next surviving candidate, or deterministically
+//     the smallest surviving member id when every candidate dropped (the
+//     paper's "A5 replacing the dropped A2" behaviour). The centroid is
+//     left as recorded at maintenance time; it only steers maintenance-time
+//     assignment and optional similarity-based merging, both tolerant of
+//     that approximation.
+//   - MergeFrom combines member-overlapping groups transitively (the
+//     connected-component join of the two partitions), which is
+//     independent of merge order; candidate lists merge by taking the top
+//     candidates of the union, which is likewise order-independent. These
+//     two facts are what make summary propagation identical across
+//     equivalent plans (the Theorem 1&2 property, experiment E3).
+type clusterObject struct {
+	inst   *Instance
+	groups []*clusterGroup
+	// member → its group, the double-count guard and overlap detector.
+	memberGroup map[annotation.ID]*clusterGroup
+}
+
+// repCandidate is one potential representative retained with its preview.
+type repCandidate struct {
+	id      annotation.ID
+	preview string
+	sim     float64
+}
+
+type clusterGroup struct {
+	members    map[annotation.ID]struct{}
+	candidates []repCandidate // sorted by (sim desc, id asc), len ≤ repCandidates
+	centroid   textmining.Vector
+	rep        annotation.ID
+	repPreview string
+	// min caches the smallest member id (the canonical group sort key);
+	// maintained on every membership change to avoid rescanning the
+	// member set during sorting, rendering, and zooming.
+	min    annotation.ID
+	hasMin bool
+}
+
+func newClusterGroup() *clusterGroup {
+	return &clusterGroup{
+		members:  make(map[annotation.ID]struct{}),
+		centroid: textmining.NewVector(),
+	}
+}
+
+func newClusterObject(in *Instance) *clusterObject {
+	return &clusterObject{
+		inst:        in,
+		memberGroup: make(map[annotation.ID]*clusterGroup),
+	}
+}
+
+// addCandidate inserts c into the sorted candidate list, keeping the top
+// repCandidates entries.
+func (g *clusterGroup) addCandidate(c repCandidate) {
+	g.candidates = append(g.candidates, c)
+	sortCandidates(g.candidates)
+	g.candidates = dedupCandidates(g.candidates)
+	if len(g.candidates) > repCandidates {
+		g.candidates = g.candidates[:repCandidates]
+	}
+}
+
+func sortCandidates(cs []repCandidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].sim != cs[j].sim {
+			return cs[i].sim > cs[j].sim
+		}
+		return cs[i].id < cs[j].id
+	})
+}
+
+func dedupCandidates(cs []repCandidate) []repCandidate {
+	seen := make(map[annotation.ID]bool, len(cs))
+	out := cs[:0]
+	for _, c := range cs {
+		if !seen[c.id] {
+			seen[c.id] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// electRep recomputes the representative: the best surviving candidate, or
+// the smallest member id (with a placeholder preview) when every candidate
+// was curated away. Must be called after any membership change.
+func (g *clusterGroup) electRep() {
+	for _, c := range g.candidates {
+		if _, ok := g.members[c.id]; ok {
+			g.rep = c.id
+			g.repPreview = c.preview
+			return
+		}
+	}
+	g.rep = g.minID()
+	g.repPreview = fmt.Sprintf("(annotation %d)", g.rep)
+}
+
+// pruneCandidates drops candidates that are no longer members.
+func (g *clusterGroup) pruneCandidates() {
+	out := g.candidates[:0]
+	for _, c := range g.candidates {
+		if _, ok := g.members[c.id]; ok {
+			out = append(out, c)
+		}
+	}
+	g.candidates = out
+}
+
+// addMember inserts id, maintaining the cached minimum.
+func (g *clusterGroup) addMember(id annotation.ID) {
+	g.members[id] = struct{}{}
+	if !g.hasMin || id < g.min {
+		g.min, g.hasMin = id, true
+	}
+}
+
+// removeMember deletes id, recomputing the cached minimum only when the
+// minimum itself was removed.
+func (g *clusterGroup) removeMember(id annotation.ID) {
+	delete(g.members, id)
+	if g.hasMin && id == g.min {
+		g.recomputeMin()
+	}
+}
+
+func (g *clusterGroup) recomputeMin() {
+	g.hasMin = false
+	for id := range g.members {
+		if !g.hasMin || id < g.min {
+			g.min, g.hasMin = id, true
+		}
+	}
+}
+
+// minID returns the smallest member id, the canonical group sort key.
+func (g *clusterGroup) minID() annotation.ID { return g.min }
+
+// Instance implements Object.
+func (c *clusterObject) Instance() *Instance { return c.inst }
+
+// Contains implements Object.
+func (c *clusterObject) Contains(id annotation.ID) bool {
+	_, ok := c.memberGroup[id]
+	return ok
+}
+
+// Add implements Object: online stream clustering in the style of the
+// paper's ref [23] — the annotation joins the most similar existing group
+// when its centroid similarity reaches the instance threshold, otherwise it
+// founds a new group. The digest's vector updates the group centroid and is
+// then discarded; only the member id (and possibly a representative
+// candidacy) is retained.
+func (c *clusterObject) Add(d Digest) {
+	if c.Contains(d.Ann) {
+		return
+	}
+	var best *clusterGroup
+	bestSim := 0.0
+	for _, g := range c.sortedGroups() {
+		sim := textmining.Cosine(g.centroid, d.Vector)
+		if sim >= c.inst.SimThreshold && sim > bestSim+1e-12 {
+			best, bestSim = g, sim
+		}
+	}
+	if best == nil {
+		best = newClusterGroup()
+		c.groups = append(c.groups, best)
+	}
+	best.centroid.Add(d.Vector)
+	best.centroid.Prune(c.inst.CentroidTerms * 2)
+	sim := textmining.Cosine(best.centroid, d.Vector)
+	best.addMember(d.Ann)
+	best.addCandidate(repCandidate{id: d.Ann, preview: d.Preview, sim: sim})
+	best.electRep()
+	c.memberGroup[d.Ann] = best
+}
+
+// Remove implements Object: drops members, re-elects representatives, and
+// discards emptied groups. Groups are not re-split — projection curates,
+// it does not re-cluster (§2.1).
+func (c *clusterObject) Remove(drop func(annotation.ID) bool) {
+	changed := map[*clusterGroup]bool{}
+	for id, g := range c.memberGroup {
+		if !drop(id) {
+			continue
+		}
+		g.removeMember(id)
+		delete(c.memberGroup, id)
+		changed[g] = true
+	}
+	if len(changed) == 0 {
+		return
+	}
+	kept := c.groups[:0]
+	for _, g := range c.groups {
+		if len(g.members) == 0 {
+			continue
+		}
+		if changed[g] {
+			g.pruneCandidates()
+			g.electRep()
+		}
+		kept = append(kept, g)
+	}
+	c.groups = kept
+}
+
+// MergeFrom implements Object. Groups from both sides that share a member
+// annotation are combined — including transitively, so the result is the
+// connected-component join of the two partitions and therefore independent
+// of merge order. When the instance sets MergeBySimilarity, non-overlapping
+// incoming groups whose centroid is close enough to an existing group are
+// also combined (the Figure 2 A1+B5 behaviour; best-effort under plan
+// reordering, see the type comment).
+func (c *clusterObject) MergeFrom(other Object) {
+	o, ok := other.(*clusterObject)
+	if !ok || o.inst.Name != c.inst.Name {
+		panic(fmt.Sprintf("summary: merge of incompatible objects (instance %q)", c.inst.Name))
+	}
+	for _, og := range o.sortedGroups() {
+		// Find every local group sharing a member with og.
+		overlapSet := map[*clusterGroup]bool{}
+		for id := range og.members {
+			if g, ok := c.memberGroup[id]; ok {
+				overlapSet[g] = true
+			}
+		}
+		var target *clusterGroup
+		switch {
+		case len(overlapSet) > 0:
+			target = c.combineGroups(overlapSet)
+		case c.inst.MergeBySimilarity:
+			bestSim := 0.0
+			for _, g := range c.sortedGroups() {
+				sim := textmining.Cosine(g.centroid, og.centroid)
+				if sim >= c.inst.SimThreshold && sim > bestSim+1e-12 {
+					target, bestSim = g, sim
+				}
+			}
+		}
+		if target == nil {
+			target = newClusterGroup()
+			c.groups = append(c.groups, target)
+		}
+		added := false
+		for id := range og.members {
+			if c.Contains(id) {
+				continue // already counted (possibly in target itself)
+			}
+			target.addMember(id)
+			c.memberGroup[id] = target
+			added = true
+		}
+		if added {
+			target.centroid.Add(og.centroid)
+		}
+		target.candidates = append(target.candidates, og.candidates...)
+		sortCandidates(target.candidates)
+		target.candidates = dedupCandidates(target.candidates)
+		if len(target.candidates) > repCandidates {
+			target.candidates = target.candidates[:repCandidates]
+		}
+		target.pruneCandidates()
+		target.electRep()
+	}
+}
+
+// combineGroups fuses a set of local groups into one (bridged by an
+// incoming group) and returns the fused group.
+func (c *clusterObject) combineGroups(set map[*clusterGroup]bool) *clusterGroup {
+	// Deterministic fuse order: ascending min member id.
+	groups := make([]*clusterGroup, 0, len(set))
+	for g := range set {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].minID() < groups[j].minID() })
+	target := groups[0]
+	for _, g := range groups[1:] {
+		for id := range g.members {
+			target.addMember(id)
+			c.memberGroup[id] = target
+		}
+		target.centroid.Add(g.centroid)
+		target.candidates = append(target.candidates, g.candidates...)
+	}
+	if len(groups) > 1 {
+		sortCandidates(target.candidates)
+		target.candidates = dedupCandidates(target.candidates)
+		if len(target.candidates) > repCandidates {
+			target.candidates = target.candidates[:repCandidates]
+		}
+		kept := c.groups[:0]
+		for _, g := range c.groups {
+			if g == target || !set[g] {
+				kept = append(kept, g)
+			}
+		}
+		c.groups = kept
+		target.electRep()
+	}
+	return target
+}
+
+// Clone implements Object.
+func (c *clusterObject) Clone() Object {
+	cp := &clusterObject{
+		inst:        c.inst,
+		memberGroup: make(map[annotation.ID]*clusterGroup, len(c.memberGroup)),
+	}
+	for _, g := range c.groups {
+		ng := &clusterGroup{
+			members:  make(map[annotation.ID]struct{}, len(g.members)),
+			centroid: textmining.NewVector(),
+		}
+		for id := range g.members {
+			ng.members[id] = struct{}{}
+		}
+		ng.min, ng.hasMin = g.min, g.hasMin
+		ng.candidates = append([]repCandidate(nil), g.candidates...)
+		ng.centroid = g.centroid.Clone()
+		ng.rep = g.rep
+		ng.repPreview = g.repPreview
+		cp.groups = append(cp.groups, ng)
+		for id := range ng.members {
+			cp.memberGroup[id] = ng
+		}
+	}
+	return cp
+}
+
+// sortedGroups returns the groups in canonical order (ascending minimum
+// member id) — the order used for rendering and 1-based zoom indexes.
+func (c *clusterObject) sortedGroups() []*clusterGroup {
+	gs := append([]*clusterGroup(nil), c.groups...)
+	sort.Slice(gs, func(i, j int) bool { return gs[i].minID() < gs[j].minID() })
+	return gs
+}
+
+// Members implements Object.
+func (c *clusterObject) Members() []annotation.ID { return sortedIDs(mapKeys(c.memberGroup)) }
+
+// Len implements Object.
+func (c *clusterObject) Len() int { return len(c.memberGroup) }
+
+// Groups returns the number of groups.
+func (c *clusterObject) Groups() int { return len(c.groups) }
+
+// Representatives returns the representative annotation id of each group in
+// canonical order.
+func (c *clusterObject) Representatives() []annotation.ID {
+	gs := c.sortedGroups()
+	out := make([]annotation.ID, len(gs))
+	for i, g := range gs {
+		out[i] = g.rep
+	}
+	return out
+}
+
+// Zoom implements Object: index is the 1-based group position in canonical
+// order; the result is the group's full membership (the paper's "retrieve
+// all annotations in the cluster represented by annotation A2").
+func (c *clusterObject) Zoom(index int) ([]annotation.ID, error) {
+	gs := c.sortedGroups()
+	if index < 1 || index > len(gs) {
+		return nil, fmt.Errorf("summary: cluster %q has no group %d (1..%d)", c.inst.Name, index, len(gs))
+	}
+	return sortedIDs(mapKeys(gs[index-1].members)), nil
+}
+
+// ZoomLabels implements Object.
+func (c *clusterObject) ZoomLabels() []string {
+	gs := c.sortedGroups()
+	out := make([]string, len(gs))
+	for i, g := range gs {
+		out[i] = fmt.Sprintf("%q ×%d", g.repPreview, len(g.members))
+	}
+	return out
+}
+
+// Render implements Object, e.g.
+// `SimCluster {[A12 "found eating stonewort…" ×5] [A3 "size seems wrong" ×1]}`.
+func (c *clusterObject) Render() string {
+	var b strings.Builder
+	b.WriteString(c.inst.Name)
+	b.WriteString(" {")
+	for i, g := range c.sortedGroups() {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "[A%d %q ×%d]", g.rep, g.repPreview, len(g.members))
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// ApproxBytes implements Object.
+func (c *clusterObject) ApproxBytes() int {
+	n := 0
+	for _, g := range c.groups {
+		n += 8 + 8*len(g.members) // rep + member ids
+		for _, cand := range g.candidates {
+			n += 16 + len(cand.preview)
+		}
+		for t := range g.centroid {
+			n += len(t) + 8
+		}
+	}
+	return n
+}
+
+// Equal implements Object: identical grouping of identical members with
+// identical representatives.
+func (c *clusterObject) Equal(other Object) bool {
+	o, ok := other.(*clusterObject)
+	if !ok || o.inst.Name != c.inst.Name {
+		return false
+	}
+	ga, gb := c.sortedGroups(), o.sortedGroups()
+	if len(ga) != len(gb) {
+		return false
+	}
+	for i := range ga {
+		if ga[i].rep != gb[i].rep || len(ga[i].members) != len(gb[i].members) {
+			return false
+		}
+		for id := range ga[i].members {
+			if _, ok := gb[i].members[id]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,273 @@
+package summary
+
+import (
+	"sort"
+	"strings"
+
+	"insightnotes/internal/annotation"
+)
+
+// Envelope is the complete summary state carried by one tuple through the
+// query pipeline: one summary object per linked instance, plus the column
+// coverage of every contributing annotation.
+//
+// The coverage map is the compact device that lets the projection operator
+// eliminate the effect of annotations attached only to projected-out
+// columns "without accessing the raw annotations" (§2.1): coverage is a
+// 64-bit set per annotation, not the annotation itself.
+type Envelope struct {
+	// Cover maps each contributing annotation to the columns of the
+	// current tuple shape it covers.
+	Cover map[annotation.ID]annotation.ColSet
+	// Objects holds the summary objects keyed by instance name.
+	Objects map[string]Object
+}
+
+// NewEnvelope returns an empty envelope.
+func NewEnvelope() *Envelope {
+	return &Envelope{
+		Cover:   make(map[annotation.ID]annotation.ColSet),
+		Objects: make(map[string]Object),
+	}
+}
+
+// Add incorporates one annotation digest under instance in, covering cols
+// of the tuple. The object is created on first use; a digest the object
+// type ignores (e.g. a non-document annotation under a Snippet instance)
+// leaves no empty object behind and contributes coverage only if the
+// annotation is a member of at least one object.
+func (e *Envelope) Add(in *Instance, d Digest, cols annotation.ColSet) {
+	obj, existed := e.Objects[in.Name]
+	if !existed {
+		obj = in.NewObject()
+	}
+	obj.Add(d)
+	if obj.Len() > 0 {
+		e.Objects[in.Name] = obj
+	}
+	if obj.Contains(d.Ann) || e.memberAnywhere(d.Ann) {
+		e.Cover[d.Ann] = e.Cover[d.Ann].Union(cols)
+	}
+}
+
+// memberAnywhere reports whether id contributes to any object.
+func (e *Envelope) memberAnywhere(id annotation.ID) bool {
+	for _, obj := range e.Objects {
+		if obj.Contains(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the envelope.
+func (e *Envelope) Clone() *Envelope {
+	cp := &Envelope{
+		Cover:   make(map[annotation.ID]annotation.ColSet, len(e.Cover)),
+		Objects: make(map[string]Object, len(e.Objects)),
+	}
+	for id, c := range e.Cover {
+		cp.Cover[id] = c
+	}
+	for name, obj := range e.Objects {
+		cp.Objects[name] = obj.Clone()
+	}
+	return cp
+}
+
+// IsEmpty reports whether the envelope carries no annotations.
+func (e *Envelope) IsEmpty() bool { return len(e.Cover) == 0 }
+
+// Project applies the paper's project-on-summary-objects operation for an
+// output tuple consisting of the input columns keep (in output order):
+// every annotation whose coverage misses all kept columns is eliminated
+// from the coverage map and from every object (decrementing classifier
+// counts, shrinking cluster groups and re-electing representatives,
+// deleting snippets), and surviving coverage is rebased to output ordinals.
+func (e *Envelope) Project(keep []int) {
+	mapping := make([]annotation.ColSet, maxOrdinal(keep)+1)
+	for out, in := range keep {
+		mapping[in] = mapping[in].Union(annotation.Col(out))
+	}
+	e.RemapColumns(mapping)
+}
+
+// RemapColumns generalizes Project for operators that fan columns in or
+// out (grouping, aggregation): mapping[i] is the output coverage that
+// input column i contributes to (zero = dropped). Annotations left with
+// empty coverage are removed from all objects.
+func (e *Envelope) RemapColumns(mapping []annotation.ColSet) {
+	dropped := make(map[annotation.ID]bool)
+	for id, cover := range e.Cover {
+		var out annotation.ColSet
+		for i := 0; i < 64 && i < len(mapping); i++ {
+			if cover.Has(i) {
+				out = out.Union(mapping[i])
+			}
+		}
+		if out.Empty() {
+			dropped[id] = true
+			delete(e.Cover, id)
+		} else {
+			e.Cover[id] = out
+		}
+	}
+	if len(dropped) == 0 {
+		return
+	}
+	drop := func(id annotation.ID) bool { return dropped[id] }
+	for name, obj := range e.Objects {
+		obj.Remove(drop)
+		if obj.Len() == 0 {
+			delete(e.Objects, name)
+		}
+	}
+}
+
+// Merge combines o into e for a join whose output tuple is the left input
+// (width leftWidth) concatenated with the right input: o's coverage shifts
+// past leftWidth, and objects of the same instance are merged with the
+// double-count guard; objects present on only one side propagate unchanged
+// (the paper's ClassBird1/TextSummary1 behaviour in Figure 2).
+func (e *Envelope) Merge(o *Envelope, leftWidth int) {
+	for id, c := range o.Cover {
+		e.Cover[id] = e.Cover[id].Union(c.Shift(leftWidth))
+	}
+	e.mergeObjects(o)
+}
+
+// Combine merges o into e for operators where both inputs share the output
+// tuple shape (grouping, duplicate elimination): coverage unions without
+// shifting.
+func (e *Envelope) Combine(o *Envelope) {
+	for id, c := range o.Cover {
+		e.Cover[id] = e.Cover[id].Union(c)
+	}
+	e.mergeObjects(o)
+}
+
+func (e *Envelope) mergeObjects(o *Envelope) {
+	for name, obj := range o.Objects {
+		if mine, ok := e.Objects[name]; ok {
+			mine.MergeFrom(obj)
+		} else {
+			e.Objects[name] = obj.Clone()
+		}
+	}
+}
+
+// RemoveAnnotation retracts one annotation's effect from every object and
+// the coverage map — the maintenance counterpart of deleting a raw
+// annotation. Objects emptied by the retraction are dropped.
+func (e *Envelope) RemoveAnnotation(id annotation.ID) {
+	if _, ok := e.Cover[id]; !ok {
+		return
+	}
+	delete(e.Cover, id)
+	drop := func(x annotation.ID) bool { return x == id }
+	for name, obj := range e.Objects {
+		obj.Remove(drop)
+		if obj.Len() == 0 {
+			delete(e.Objects, name)
+		}
+	}
+}
+
+// RemoveInstance deletes the named instance's object and drops coverage
+// entries for annotations no longer contributing to any remaining object —
+// the envelope side of unlinking an instance from a relation.
+func (e *Envelope) RemoveInstance(name string) {
+	if _, ok := e.Objects[name]; !ok {
+		return
+	}
+	delete(e.Objects, name)
+	e.PruneCover()
+}
+
+// PruneCover drops coverage entries for annotations that contribute to no
+// object.
+func (e *Envelope) PruneCover() {
+	live := make(map[annotation.ID]bool)
+	for _, obj := range e.Objects {
+		for _, id := range obj.Members() {
+			live[id] = true
+		}
+	}
+	for id := range e.Cover {
+		if !live[id] {
+			delete(e.Cover, id)
+		}
+	}
+}
+
+// Object returns the object of the named instance, or nil.
+func (e *Envelope) Object(instance string) Object { return e.Objects[instance] }
+
+// InstanceNames returns the instance names present, sorted.
+func (e *Envelope) InstanceNames() []string {
+	out := make([]string, 0, len(e.Objects))
+	for name := range e.Objects {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Annotations returns every contributing annotation id, sorted.
+func (e *Envelope) Annotations() []annotation.ID {
+	return sortedIDs(mapKeys(e.Cover))
+}
+
+// Equal reports whether two envelopes are semantically identical: same
+// coverage and equal objects per instance. This is the comparison behind
+// the plan-equivalence tests (E3).
+func (e *Envelope) Equal(o *Envelope) bool {
+	if len(e.Cover) != len(o.Cover) || len(e.Objects) != len(o.Objects) {
+		return false
+	}
+	for id, c := range e.Cover {
+		if oc, ok := o.Cover[id]; !ok || oc != c {
+			return false
+		}
+	}
+	for name, obj := range e.Objects {
+		oobj, ok := o.Objects[name]
+		if !ok || !obj.Equal(oobj) {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the envelope's objects in instance-name order, one per
+// line.
+func (e *Envelope) Render() string {
+	var b strings.Builder
+	for i, name := range e.InstanceNames() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Objects[name].Render())
+	}
+	return b.String()
+}
+
+// ApproxBytes estimates the envelope's in-memory size (coverage map plus
+// all objects) for the E1 compression benchmarks.
+func (e *Envelope) ApproxBytes() int {
+	n := 16 * len(e.Cover)
+	for _, obj := range e.Objects {
+		n += obj.ApproxBytes()
+	}
+	return n
+}
+
+func maxOrdinal(idxs []int) int {
+	max := 0
+	for _, i := range idxs {
+		if i > max {
+			max = i
+		}
+	}
+	return max
+}

@@ -1,0 +1,100 @@
+package summary
+
+import (
+	"fmt"
+	"testing"
+
+	"insightnotes/internal/annotation"
+)
+
+// benchDigests precomputes n clusterable digests.
+func benchDigests(b *testing.B, in *Instance, n int) []Digest {
+	b.Helper()
+	out := make([]Digest, n)
+	themes := []string{
+		"feeding on stonewort near the %d shore",
+		"influenza infection observed in specimen %d",
+		"wingspan measured at site %d",
+	}
+	for i := range out {
+		a := annotation.Annotation{
+			ID:   annotation.ID(i + 1),
+			Text: fmt.Sprintf(themes[i%len(themes)], i),
+		}
+		out[i] = in.Summarize(a)
+	}
+	return out
+}
+
+func BenchmarkClusterAdd(b *testing.B) {
+	in, err := NewClusterInstance("S", DefaultSimThreshold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	digests := benchDigests(b, in, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := in.NewObject()
+		for _, d := range digests[:64] {
+			obj.Add(d)
+		}
+	}
+}
+
+func BenchmarkEnvelopeCloneBySize(b *testing.B) {
+	in, err := NewClusterInstance("S", DefaultSimThreshold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{16, 128, 512} {
+		digests := benchDigests(b, in, n)
+		env := NewEnvelope()
+		for _, d := range digests {
+			env.Add(in, d, annotation.WholeRow(4))
+		}
+		b.Run(fmt.Sprintf("members=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env.Clone()
+			}
+		})
+	}
+}
+
+func BenchmarkEnvelopeMergeDisjoint(b *testing.B) {
+	in, err := NewClusterInstance("S", DefaultSimThreshold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	digests := benchDigests(b, in, 256)
+	left := NewEnvelope()
+	right := NewEnvelope()
+	for i, d := range digests {
+		if i < 128 {
+			left.Add(in, d, annotation.WholeRow(4))
+		} else {
+			right.Add(in, d, annotation.WholeRow(4))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := left.Clone()
+		l.Merge(right, 4)
+	}
+}
+
+func BenchmarkEnvelopeProjectHalf(b *testing.B) {
+	in, err := NewClusterInstance("S", DefaultSimThreshold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	digests := benchDigests(b, in, 256)
+	env := NewEnvelope()
+	for i, d := range digests {
+		env.Add(in, d, annotation.Col(i%4))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := env.Clone()
+		e.Project([]int{0, 1})
+	}
+}

@@ -1,0 +1,46 @@
+package textmining
+
+import "math"
+
+// Corpus accumulates document-frequency statistics incrementally so that
+// TF-IDF weights can be computed as annotations stream in. It is the
+// sharable statistics backbone for cluster instances.
+type Corpus struct {
+	docs int
+	df   map[string]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{df: make(map[string]int)}
+}
+
+// AddDocument records one document's distinct terms into the corpus
+// statistics. The input is a raw term-frequency vector (VectorOf output).
+func (c *Corpus) AddDocument(tf Vector) {
+	c.docs++
+	for t := range tf {
+		c.df[t]++
+	}
+}
+
+// Docs returns the number of documents seen.
+func (c *Corpus) Docs() int { return c.docs }
+
+// DF returns the document frequency of term t.
+func (c *Corpus) DF(t string) int { return c.df[t] }
+
+// IDF returns the smoothed inverse document frequency of term t:
+// ln((1+N)/(1+df)) + 1, which stays positive and defined for unseen terms.
+func (c *Corpus) IDF(t string) float64 {
+	return math.Log(float64(1+c.docs)/float64(1+c.df[t])) + 1
+}
+
+// Weight returns a copy of tf reweighted by IDF (classic TF-IDF).
+func (c *Corpus) Weight(tf Vector) Vector {
+	out := make(Vector, len(tf))
+	for t, f := range tf {
+		out[t] = f * c.IDF(t)
+	}
+	return out
+}

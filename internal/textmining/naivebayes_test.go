@@ -1,0 +1,176 @@
+package textmining
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// trainBirdClassifier builds the demo paper's four-class ornithological
+// classifier (Behavior/Disease/Anatomy/Other) on a small labeled corpus.
+func trainBirdClassifier(t *testing.T) *NaiveBayes {
+	t.Helper()
+	nb, err := NewNaiveBayes([]string{"Behavior", "Disease", "Anatomy", "Other"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := []struct{ text, label string }{
+		{"found eating stonewort near the shore", "Behavior"},
+		{"observed feeding at dawn in flocks", "Behavior"},
+		{"aggressive display toward intruders", "Behavior"},
+		{"migrates south in October every year", "Behavior"},
+		{"signs of avian influenza infection", "Disease"},
+		{"lesions on the beak suggest avian pox virus", "Disease"},
+		{"parasite load high, visible mites", "Disease"},
+		{"bird appears sick, lethargic and infected", "Disease"},
+		{"wingspan measured at 1.8 meters", "Anatomy"},
+		{"large body with long neck and orange bill", "Anatomy"},
+		{"plumage is white with black wing tips", "Anatomy"},
+		{"weight around 3 kilograms, short tail", "Anatomy"},
+		{"photo attached from the trail camera", "Other"},
+		{"duplicate of an earlier record", "Other"},
+		{"see the linked wikipedia article", "Other"},
+		{"data entered by volunteer team", "Other"},
+	}
+	for _, c := range corpus {
+		if err := nb.Learn(c.text, c.label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nb
+}
+
+func TestNewNaiveBayesValidation(t *testing.T) {
+	if _, err := NewNaiveBayes([]string{"only"}); err == nil {
+		t.Error("single label accepted")
+	}
+	if _, err := NewNaiveBayes([]string{"a", "a"}); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+}
+
+func TestClassifyBirdAnnotations(t *testing.T) {
+	nb := trainBirdClassifier(t)
+	if !nb.Trained() {
+		t.Fatal("Trained() = false after full training")
+	}
+	cases := map[string]string{
+		"observed eating stonewort and grasses":         "Behavior",
+		"this bird looks infected with avian influenza": "Disease",
+		"the wingspan seems very large, maybe 2 meters": "Anatomy",
+		"volunteer attached a wikipedia article":        "Other",
+	}
+	for text, want := range cases {
+		got, idx := nb.Classify(text)
+		if got != want {
+			t.Errorf("Classify(%q) = %q (idx %d), want %q", text, got, idx, want)
+		}
+		if nb.LabelIndex(got) != idx {
+			t.Errorf("index mismatch for %q: %d vs %d", got, idx, nb.LabelIndex(got))
+		}
+	}
+}
+
+func TestClassifyEmptyTextUsesPrior(t *testing.T) {
+	nb, _ := NewNaiveBayes([]string{"big", "small"})
+	for i := 0; i < 5; i++ {
+		nb.Learn("huge giant enormous", "big")
+	}
+	nb.Learn("tiny", "small")
+	label, _ := nb.Classify("")
+	if label != "big" {
+		t.Errorf("empty text classified %q, want prior-dominant %q", label, "big")
+	}
+}
+
+func TestLearnUnknownLabel(t *testing.T) {
+	nb, _ := NewNaiveBayes([]string{"a", "b"})
+	if err := nb.Learn("text", "c"); err == nil {
+		t.Error("Learn with unknown label succeeded")
+	}
+	if nb.Trained() {
+		t.Error("Trained() = true with no documents")
+	}
+}
+
+func TestLogPosteriorsShape(t *testing.T) {
+	nb := trainBirdClassifier(t)
+	scores := nb.LogPosteriors("feeding on stonewort")
+	if len(scores) != 4 {
+		t.Fatalf("len = %d", len(scores))
+	}
+	bi := nb.LabelIndex("Behavior")
+	for i, s := range scores {
+		if i != bi && s >= scores[bi] {
+			t.Errorf("label %d score %g >= Behavior %g", i, s, scores[bi])
+		}
+	}
+}
+
+func TestNaiveBayesSerializationRoundTrip(t *testing.T) {
+	nb := trainBirdClassifier(t)
+	data, err := json.Marshal(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back NaiveBayes
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Trained() {
+		t.Fatal("deserialized model not trained")
+	}
+	for _, text := range []string{
+		"eating stonewort", "avian influenza", "wingspan large", "wikipedia article",
+	} {
+		l1, _ := nb.Classify(text)
+		l2, _ := back.Classify(text)
+		if l1 != l2 {
+			t.Errorf("Classify(%q) diverged after round trip: %q vs %q", text, l1, l2)
+		}
+	}
+}
+
+func TestUnmarshalCorruptModel(t *testing.T) {
+	var nb NaiveBayes
+	for _, bad := range []string{
+		`{"labels":["a"]}`,
+		`{"labels":["a","b"],"doc_count":[1],"term_count":[1,1],"terms":[{},{}]}`,
+		`not json`,
+	} {
+		if err := json.Unmarshal([]byte(bad), &nb); err == nil {
+			t.Errorf("corrupt model %q accepted", bad)
+		}
+	}
+}
+
+func TestTopTermsForLabel(t *testing.T) {
+	nb := trainBirdClassifier(t)
+	top := nb.TopTermsForLabel("Disease", 3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	seen := map[string]bool{}
+	for _, term := range top {
+		seen[term] = true
+	}
+	if !seen["avian"] && !seen["infect"] && !seen["viru"] && !seen["sick"] && !seen["influenza"] {
+		t.Errorf("Disease top terms %v contain no disease vocabulary", top)
+	}
+	if nb.TopTermsForLabel("missing", 3) != nil {
+		t.Error("unknown label returned terms")
+	}
+}
+
+func TestIncrementalLearningShiftsDecision(t *testing.T) {
+	nb, _ := NewNaiveBayes([]string{"refute", "approve"})
+	nb.Learn("value is wrong incorrect error", "refute")
+	nb.Learn("confirmed verified correct", "approve")
+	text := "the measurement was checked against the logbook"
+	// Teach the model that "logbook checks" indicate approval.
+	for i := 0; i < 5; i++ {
+		nb.Learn("checked against logbook and confirmed", "approve")
+	}
+	if got, _ := nb.Classify(text); got != "approve" {
+		t.Errorf("after incremental training Classify = %q, want approve", got)
+	}
+}

@@ -1,0 +1,138 @@
+package textmining
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// SplitSentences segments text into sentences on '.', '!' and '?'
+// boundaries followed by whitespace, keeping the terminator with the
+// sentence. Common abbreviations ("e.g.", "Dr.", initials) do not split.
+// Newlines that end a non-empty line also terminate a sentence, which suits
+// the bulleted/line-oriented documents attached as annotations.
+func SplitSentences(text string) []string {
+	var out []string
+	var b strings.Builder
+	runes := []rune(text)
+	flush := func() {
+		s := strings.TrimSpace(b.String())
+		if s != "" {
+			out = append(out, s)
+		}
+		b.Reset()
+	}
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r == '\n' {
+			flush()
+			continue
+		}
+		b.WriteRune(r)
+		if r == '!' || r == '?' {
+			if i+1 >= len(runes) || unicode.IsSpace(runes[i+1]) {
+				flush()
+			}
+			continue
+		}
+		if r == '.' {
+			if i+1 < len(runes) && !unicode.IsSpace(runes[i+1]) {
+				continue // "3.14", "e.g.x" — not a boundary
+			}
+			if isAbbreviationBefore(runes, i) {
+				continue
+			}
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// isAbbreviationBefore reports whether the '.' at index i terminates a
+// known abbreviation or a single-letter initial.
+func isAbbreviationBefore(runes []rune, i int) bool {
+	start := i
+	for start > 0 && (unicode.IsLetter(runes[start-1]) || runes[start-1] == '.') {
+		start--
+	}
+	word := strings.ToLower(string(runes[start:i]))
+	switch word {
+	case "e.g", "i.e", "etc", "dr", "mr", "mrs", "ms", "prof", "vs", "fig", "cf", "approx", "sp", "spp":
+		return true
+	}
+	// Single-letter initial such as "J." in "J. Smith".
+	return len([]rune(word)) == 1
+}
+
+// ScoredSentence pairs a sentence with its extraction score and original
+// position.
+type ScoredSentence struct {
+	Text     string
+	Position int
+	Score    float64
+}
+
+// RankSentences scores every sentence of a document for extractive
+// summarization: a sentence scores the sum of its terms' document-level
+// frequencies (normalized by sentence length, dampened for very long
+// sentences), with a positional bonus for leading sentences — the classic
+// frequency+position heuristic from the summarization survey the paper
+// cites (ref [24]). Sentences are returned ordered by descending score.
+func RankSentences(sentences []string) []ScoredSentence {
+	// Document-level term frequencies.
+	docTF := NewVector()
+	sentTerms := make([][]string, len(sentences))
+	for i, s := range sentences {
+		ts := Terms(s)
+		sentTerms[i] = ts
+		for _, t := range ts {
+			docTF[t]++
+		}
+	}
+	scored := make([]ScoredSentence, len(sentences))
+	for i, s := range sentences {
+		var sum float64
+		for _, t := range sentTerms[i] {
+			sum += docTF[t]
+		}
+		n := float64(len(sentTerms[i]))
+		score := 0.0
+		if n > 0 {
+			score = sum / (n + 3) // dampen very short and very long sentences
+		}
+		// Positional bonus: first sentences of a document carry its gist.
+		score *= 1 + 0.5/float64(1+i)
+		scored[i] = ScoredSentence{Text: s, Position: i, Score: score}
+	}
+	sort.SliceStable(scored, func(a, b int) bool {
+		if scored[a].Score != scored[b].Score {
+			return scored[a].Score > scored[b].Score
+		}
+		return scored[a].Position < scored[b].Position
+	})
+	return scored
+}
+
+// ExtractSnippet produces an extractive summary of text: the k
+// highest-ranked sentences re-ordered into document order and joined. If
+// the document has at most k sentences the whole text is returned
+// normalized.
+func ExtractSnippet(text string, k int) string {
+	sentences := SplitSentences(text)
+	if len(sentences) == 0 {
+		return strings.TrimSpace(text)
+	}
+	ranked := RankSentences(sentences)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	chosen := make([]ScoredSentence, k)
+	copy(chosen, ranked[:k])
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].Position < chosen[j].Position })
+	parts := make([]string, k)
+	for i, c := range chosen {
+		parts[i] = c.Text
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,112 @@
+package textmining
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSplitSentences(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{
+			"The swan fed. It then flew away.",
+			[]string{"The swan fed.", "It then flew away."},
+		},
+		{
+			"Is it sick? No! It is fine.",
+			[]string{"Is it sick?", "No!", "It is fine."},
+		},
+		{
+			"Seen near Dr. Smith's pond. Confirmed.",
+			[]string{"Seen near Dr. Smith's pond.", "Confirmed."},
+		},
+		{
+			"Weights, e.g. 3.14 kg, vary. Done.",
+			[]string{"Weights, e.g. 3.14 kg, vary.", "Done."},
+		},
+		{
+			"Line one\nLine two",
+			[]string{"Line one", "Line two"},
+		},
+		{
+			"Observed by J. Smith. Verified.",
+			[]string{"Observed by J. Smith.", "Verified."},
+		},
+		{"", nil},
+		{"   \n  ", nil},
+	}
+	for _, c := range cases {
+		if got := SplitSentences(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitSentences(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRankSentencesOrder(t *testing.T) {
+	doc := []string{
+		"Swans feed on stonewort in shallow lakes.",
+		"The weather was mild.",
+		"Swan feeding depends on stonewort density in lakes.",
+	}
+	ranked := RankSentences(doc)
+	if len(ranked) != 3 {
+		t.Fatalf("len = %d", len(ranked))
+	}
+	// The two thematically central sentences must outrank the filler.
+	if ranked[2].Text != "The weather was mild." {
+		t.Errorf("filler sentence ranked %d: %v", 2, ranked)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Score < ranked[i].Score {
+			t.Errorf("ranking not descending at %d", i)
+		}
+	}
+}
+
+func TestExtractSnippet(t *testing.T) {
+	doc := "Swans feed on stonewort. The sky was blue that day. " +
+		"Stonewort grows in shallow lakes where swans gather. " +
+		"Swans prefer stonewort over other plants."
+	snip := ExtractSnippet(doc, 2)
+	sents := SplitSentences(snip)
+	if len(sents) != 2 {
+		t.Fatalf("snippet has %d sentences: %q", len(sents), snip)
+	}
+	if strings.Contains(snip, "sky was blue") {
+		t.Errorf("snippet kept the filler sentence: %q", snip)
+	}
+	// Snippet preserves document order.
+	full := SplitSentences(doc)
+	last := -1
+	for _, s := range sents {
+		pos := -1
+		for i, f := range full {
+			if f == s {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			t.Fatalf("snippet sentence %q not from document", s)
+		}
+		if pos < last {
+			t.Error("snippet sentences out of document order")
+		}
+		last = pos
+	}
+}
+
+func TestExtractSnippetSmallInputs(t *testing.T) {
+	if got := ExtractSnippet("One sentence only.", 3); got != "One sentence only." {
+		t.Errorf("small doc snippet = %q", got)
+	}
+	if got := ExtractSnippet("", 2); got != "" {
+		t.Errorf("empty doc snippet = %q", got)
+	}
+	if got := ExtractSnippet("   word   ", 1); got != "word" {
+		t.Errorf("bare word snippet = %q", got)
+	}
+}

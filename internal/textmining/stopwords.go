@@ -1,0 +1,27 @@
+package textmining
+
+// stopWords is a compact English stop-word list tuned for short annotation
+// texts: function words that carry no class or cluster signal.
+var stopWords = map[string]struct{}{}
+
+func init() {
+	for _, w := range []string{
+		"a", "an", "and", "are", "as", "at", "be", "been", "but", "by",
+		"can", "could", "did", "do", "does", "for", "from", "had", "has",
+		"have", "he", "her", "here", "his", "how", "i", "if", "in", "into",
+		"is", "it", "its", "just", "me", "my", "no", "not", "of", "on",
+		"or", "our", "out", "she", "so", "some", "than", "that", "the",
+		"their", "them", "then", "there", "these", "they", "this", "those",
+		"to", "too", "up", "was", "we", "were", "what", "when", "where",
+		"which", "who", "will", "with", "would", "you", "your",
+	} {
+		stopWords[w] = struct{}{}
+	}
+}
+
+// IsStopWord reports whether the (already lowercased) token is an English
+// stop word.
+func IsStopWord(token string) bool {
+	_, ok := stopWords[token]
+	return ok
+}

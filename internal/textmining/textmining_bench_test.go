@@ -1,0 +1,69 @@
+package textmining
+
+import "testing"
+
+const benchText = "Observed a large flock of swan geese feeding on stonewort " +
+	"beds near the north shore at dawn; two juveniles showed the same foraging " +
+	"behavior as the adults and one adult carried a leg band"
+
+func BenchmarkTokenize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Tokenize(benchText)
+	}
+}
+
+func BenchmarkTerms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Terms(benchText)
+	}
+}
+
+func BenchmarkVectorOf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		VectorOf(benchText)
+	}
+}
+
+func BenchmarkCosine(b *testing.B) {
+	v1 := VectorOf(benchText)
+	v2 := VectorOf("swan geese gathered on the stonewort beds every morning near the shore")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cosine(v1, v2)
+	}
+}
+
+func BenchmarkNaiveBayesClassify(b *testing.B) {
+	nb, err := NewNaiveBayes([]string{"Behavior", "Disease", "Anatomy", "Other"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := []struct{ text, label string }{
+		{"feeding foraging stonewort flock migration", "Behavior"},
+		{"influenza infection lesions parasite virus", "Disease"},
+		{"wingspan plumage bill neck weight", "Anatomy"},
+		{"photo camera duplicate record survey", "Other"},
+	}
+	for _, s := range samples {
+		for i := 0; i < 8; i++ {
+			nb.Learn(s.text, s.label)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nb.Classify(benchText)
+	}
+}
+
+func BenchmarkExtractSnippet(b *testing.B) {
+	doc := "Swan geese gathered on the stonewort beds every morning. " +
+		"Counts peaked at forty-one birds near the north shore. " +
+		"Two juveniles showed feeding behavior identical to the adults. " +
+		"Weather stayed mild for the whole survey week. " +
+		"One adult carried a leg band from the 2013 season. " +
+		"The stonewort density was highest in the shallow bays."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractSnippet(doc, 2)
+	}
+}

@@ -1,0 +1,96 @@
+// Package textmining provides the text-analysis substrate shared by the
+// InsightNotes summary types: tokenization, stop-word filtering, light
+// stemming, sparse term vectors with cosine similarity, TF-IDF weighting,
+// and sentence segmentation for extractive snippets.
+//
+// The implementations follow the techniques the paper cites: Naive Bayes
+// text classification (Manning et al., ref [12]) consumes the token stream;
+// stream clustering (ref [23]) and extractive summarization (ref [24]) use
+// the term vectors and sentence splitter.
+package textmining
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases text and splits it into word tokens consisting of
+// letters, digits, and internal apostrophes/hyphens. Punctuation is
+// discarded. It performs no stop-word filtering; see Terms for the full
+// pipeline.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	prevLetter := false
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+			prevLetter = true
+		case (r == '\'' || r == '-') && prevLetter && b.Len() > 0:
+			// keep intra-word apostrophes and hyphens ("don't", "blue-gray")
+			b.WriteRune(r)
+			prevLetter = false
+		default:
+			flush()
+			prevLetter = false
+		}
+	}
+	flush()
+	// Trim any trailing connector left by inputs like "word-".
+	for i, t := range tokens {
+		tokens[i] = strings.TrimRight(t, "'-")
+	}
+	return tokens
+}
+
+// Stem applies a light suffix-stripping stemmer (a small subset of Porter's
+// rules) good enough to conflate simple morphological variants such as
+// "feeding"/"feeds"/"feed" without the complexity of a full stemmer.
+func Stem(token string) string {
+	t := token
+	if len(t) > 4 {
+		switch {
+		case strings.HasSuffix(t, "ies"):
+			t = t[:len(t)-3] + "y"
+		case strings.HasSuffix(t, "sses"):
+			t = t[:len(t)-2]
+		case strings.HasSuffix(t, "ing") && len(t) > 5:
+			t = t[:len(t)-3]
+		case strings.HasSuffix(t, "edly") && len(t) > 6:
+			t = t[:len(t)-4]
+		case strings.HasSuffix(t, "ed") && len(t) > 4:
+			t = t[:len(t)-2]
+		case strings.HasSuffix(t, "ly") && len(t) > 4:
+			t = t[:len(t)-2]
+		case strings.HasSuffix(t, "es") && len(t) > 4:
+			t = t[:len(t)-2]
+		case strings.HasSuffix(t, "s") && !strings.HasSuffix(t, "ss"):
+			t = t[:len(t)-1]
+		}
+	} else if len(t) > 3 && strings.HasSuffix(t, "s") && !strings.HasSuffix(t, "ss") {
+		t = t[:len(t)-1]
+	}
+	return t
+}
+
+// Terms runs the full analysis pipeline — tokenize, drop stop words and
+// single-character tokens, stem — returning the terms used for vectors and
+// classification.
+func Terms(text string) []string {
+	raw := Tokenize(text)
+	terms := raw[:0]
+	for _, tok := range raw {
+		if len(tok) < 2 || IsStopWord(tok) {
+			continue
+		}
+		terms = append(terms, Stem(tok))
+	}
+	return terms
+}

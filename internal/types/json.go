@@ -1,0 +1,75 @@
+package types
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonValue is the serialization shape of a Value: an explicit kind tag so
+// INT/FLOAT and NULL round-trip exactly (plain JSON numbers would not).
+type jsonValue struct {
+	K Kind            `json:"k"`
+	V json.RawMessage `json:"v,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler. Values survive a round trip with
+// kind fidelity, which the zoom-in result cache relies on.
+func (v Value) MarshalJSON() ([]byte, error) {
+	var payload any
+	switch v.kind {
+	case KindNull:
+		return json.Marshal(jsonValue{K: KindNull})
+	case KindInt:
+		payload = v.i
+	case KindFloat:
+		payload = v.f
+	case KindString:
+		payload = v.s
+	case KindBool:
+		payload = v.b
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jsonValue{K: v.kind, V: raw})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var jv jsonValue
+	if err := json.Unmarshal(data, &jv); err != nil {
+		return err
+	}
+	switch jv.K {
+	case KindNull:
+		*v = Null()
+	case KindInt:
+		var i int64
+		if err := json.Unmarshal(jv.V, &i); err != nil {
+			return err
+		}
+		*v = NewInt(i)
+	case KindFloat:
+		var f float64
+		if err := json.Unmarshal(jv.V, &f); err != nil {
+			return err
+		}
+		*v = NewFloat(f)
+	case KindString:
+		var s string
+		if err := json.Unmarshal(jv.V, &s); err != nil {
+			return err
+		}
+		*v = NewString(s)
+	case KindBool:
+		var b bool
+		if err := json.Unmarshal(jv.V, &b); err != nil {
+			return err
+		}
+		*v = NewBool(b)
+	default:
+		return fmt.Errorf("types: unknown kind %d in JSON value", jv.K)
+	}
+	return nil
+}

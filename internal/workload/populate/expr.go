@@ -1,0 +1,18 @@
+package populate
+
+import (
+	"insightnotes/internal/sql"
+	"insightnotes/internal/types"
+)
+
+// eqID builds the predicate `id = n`.
+func eqID(n int) sql.Expr { return eqColumn("id", n) }
+
+// eqColumn builds the predicate `col = n`.
+func eqColumn(col string, n int) sql.Expr {
+	return &sql.BinaryExpr{
+		Op: "=",
+		L:  &sql.ColRef{Name: col},
+		R:  &sql.Literal{Val: types.NewInt(int64(n))},
+	}
+}

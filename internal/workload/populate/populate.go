@@ -1,0 +1,191 @@
+// Package populate seeds InsightNotes engines with the synthetic corpora
+// of package workload: the AKN-style annotated bird database used by the
+// examples and every benchmark, and the gene-curation scenario of §2.3.
+// It lives below workload so the text generators stay engine-independent.
+package populate
+
+import (
+	"fmt"
+
+	"insightnotes/internal/engine"
+	"insightnotes/internal/workload"
+)
+
+// BirdCorpusSpec configures PopulateBirds.
+type BirdCorpusSpec struct {
+	// Tuples is the number of bird rows.
+	Tuples int
+	// AnnotationsPerTuple is the average raw annotations attached to each
+	// tuple (the paper's 30×/120×/250× ratios).
+	AnnotationsPerTuple int
+	// DocumentFraction is the share of annotations carrying an attached
+	// document, in [0, 1].
+	DocumentFraction float64
+	// ZipfSkew, when > 1, distributes the annotation volume over tuples
+	// with a Zipf distribution of that exponent instead of uniformly —
+	// real corpora concentrate commentary on popular entities.
+	ZipfSkew float64
+	// TrainPerClass is the classifier training corpus size per class.
+	TrainPerClass int
+	// SkipInstances creates only the table and annotations (for baselines
+	// that do not use summaries).
+	SkipInstances bool
+}
+
+// DefaultBirdSpec returns a small default corpus.
+func DefaultBirdSpec() BirdCorpusSpec {
+	return BirdCorpusSpec{
+		Tuples:              16,
+		AnnotationsPerTuple: 30,
+		DocumentFraction:    0.05,
+		TrainPerClass:       6,
+	}
+}
+
+// PopulateBirds builds the demo's annotated ornithological database inside
+// db: the birds table, the ClassBird1/SimCluster/TextSummary1 instances
+// (trained and linked), and spec.Tuples × spec.AnnotationsPerTuple raw
+// annotations with class-skewed content. It returns the number of
+// annotations added.
+func Birds(db *engine.DB, g *workload.Generator, spec BirdCorpusSpec) (int, error) {
+	if spec.Tuples <= 0 {
+		return 0, fmt.Errorf("workload: spec.Tuples must be positive")
+	}
+	if _, err := db.Exec(
+		"CREATE TABLE birds (id INT, name TEXT, sci_name TEXT, region TEXT, wingspan FLOAT)"); err != nil {
+		return 0, err
+	}
+	for i := 0; i < spec.Tuples; i++ {
+		common, sci := workload.Species(i)
+		stmt := fmt.Sprintf("INSERT INTO birds VALUES (%d, '%s', '%s', '%s', %0.2f)",
+			i+1, escape(common), escape(sci), g.Region(), 0.3+float64(g.Intn(250))/100)
+		if _, err := db.Exec(stmt); err != nil {
+			return 0, err
+		}
+	}
+	if !spec.SkipInstances {
+		if err := InstallBirdInstances(db, g, spec.TrainPerClass); err != nil {
+			return 0, err
+		}
+	}
+	return AnnotateBirds(db, g, spec)
+}
+
+// InstallBirdInstances creates, trains, and links the demo's three summary
+// instances on the birds table.
+func InstallBirdInstances(db *engine.DB, g *workload.Generator, trainPerClass int) error {
+	if trainPerClass <= 0 {
+		trainPerClass = 6
+	}
+	stmts := []string{
+		"CREATE SUMMARY INSTANCE ClassBird1 TYPE Classifier LABELS ('Behavior', 'Disease', 'Anatomy', 'Other')",
+		"CREATE SUMMARY INSTANCE SimCluster TYPE Cluster WITH (threshold = 0.3)",
+		"CREATE SUMMARY INSTANCE TextSummary1 TYPE Snippet WITH (sentences = 2)",
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return err
+		}
+	}
+	if err := db.TrainClassifier("ClassBird1", g.TrainingSet(workload.BirdClasses, trainPerClass)); err != nil {
+		return err
+	}
+	for _, s := range []string{
+		"LINK SUMMARY ClassBird1 TO birds",
+		"LINK SUMMARY SimCluster TO birds",
+		"LINK SUMMARY TextSummary1 TO birds",
+	} {
+		if _, err := db.Exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AnnotateBirds streams spec.Tuples × spec.AnnotationsPerTuple annotations
+// into db (the table and any instances must already exist). It returns the
+// number added.
+func AnnotateBirds(db *engine.DB, g *workload.Generator, spec BirdCorpusSpec) (int, error) {
+	perTuple := make([]int, spec.Tuples)
+	if spec.ZipfSkew > 1 {
+		perTuple = g.ZipfCounts(spec.Tuples, spec.Tuples*spec.AnnotationsPerTuple, spec.ZipfSkew)
+	} else {
+		for i := range perTuple {
+			perTuple[i] = spec.AnnotationsPerTuple
+		}
+	}
+	total := 0
+	for i := 0; i < spec.Tuples; i++ {
+		for k := 0; k < perTuple[i]; k++ {
+			req := engine.AnnotationRequest{
+				Author: g.AuthorName(),
+				Table:  "birds",
+				Where:  eqID(i + 1),
+			}
+			class := g.PickClass(workload.BirdClasses)
+			req.Text = g.ClassText(class)
+			if g.Float64() < spec.DocumentFraction {
+				req.Title, req.Document = g.Document(class, 6)
+			}
+			if _, _, err := db.Annotate(req); err != nil {
+				return total, err
+			}
+			total++
+		}
+	}
+	return total, nil
+}
+
+// PopulateGenes builds the gene-curation scenario: a genes table with the
+// GeneClass classifier of §2.3 linked.
+func Genes(db *engine.DB, g *workload.Generator, tuples, annsPerTuple int) (int, error) {
+	if _, err := db.Exec("CREATE TABLE genes (gid INT, symbol TEXT, organism TEXT)"); err != nil {
+		return 0, err
+	}
+	organisms := []string{"H. sapiens", "M. musculus", "D. melanogaster", "S. cerevisiae"}
+	for i := 0; i < tuples; i++ {
+		stmt := fmt.Sprintf("INSERT INTO genes VALUES (%d, 'GENE%03d', '%s')",
+			i+1, i+1, organisms[i%len(organisms)])
+		if _, err := db.Exec(stmt); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := db.Exec(
+		"CREATE SUMMARY INSTANCE GeneClass TYPE Classifier LABELS ('FunctionPrediction', 'Provenance', 'Comment')"); err != nil {
+		return 0, err
+	}
+	if err := db.TrainClassifier("GeneClass", g.TrainingSet(workload.GeneClasses, 6)); err != nil {
+		return 0, err
+	}
+	if _, err := db.Exec("LINK SUMMARY GeneClass TO genes"); err != nil {
+		return 0, err
+	}
+	total := 0
+	for i := 0; i < tuples; i++ {
+		for k := 0; k < annsPerTuple; k++ {
+			class := g.PickClass(workload.GeneClasses)
+			_, _, err := db.Annotate(engine.AnnotationRequest{
+				Text:   g.ClassText(class),
+				Author: g.AuthorName(),
+				Table:  "genes",
+				Where:  eqColumn("gid", i+1),
+			})
+			if err != nil {
+				return total, err
+			}
+			total++
+		}
+	}
+	return total, nil
+}
+
+func escape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			out = append(out, '\'')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

@@ -1,0 +1,215 @@
+// Package workload generates the synthetic datasets behind the examples
+// and benchmarks: an AKN-style ornithological corpus (bird tuples plus
+// class-skewed free-text observations and attached documents, substituting
+// for the eBird/AKN data of the demonstration — see DESIGN.md §4), and a
+// smaller gene-curation corpus for the biological-database scenario the
+// paper's extensibility section describes.
+//
+// All output is deterministic in the seed, so benchmark runs and examples
+// are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Annotation classes used by the demo's ornithological classifier.
+var BirdClasses = []string{"Behavior", "Disease", "Anatomy", "Other"}
+
+// Classes used by the provenance-oriented classifier of Figure 2.
+var CurationClasses = []string{"Provenance", "Comment", "Question"}
+
+// Gene-curation classes from §2.3 of the paper.
+var GeneClasses = []string{"FunctionPrediction", "Provenance", "Comment"}
+
+// Generator produces deterministic synthetic data.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New creates a generator seeded for reproducibility.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// speciesNames is a pool of real bird species for base tuples.
+var speciesNames = []struct{ common, scientific string }{
+	{"Swan Goose", "Anser cygnoides"},
+	{"Mute Swan", "Cygnus olor"},
+	{"Whooper Swan", "Cygnus cygnus"},
+	{"Tundra Swan", "Cygnus columbianus"},
+	{"Canada Goose", "Branta canadensis"},
+	{"Snow Goose", "Anser caerulescens"},
+	{"Mallard", "Anas platyrhynchos"},
+	{"Northern Pintail", "Anas acuta"},
+	{"Common Loon", "Gavia immer"},
+	{"Great Blue Heron", "Ardea herodias"},
+	{"Bald Eagle", "Haliaeetus leucocephalus"},
+	{"Peregrine Falcon", "Falco peregrinus"},
+	{"American Robin", "Turdus migratorius"},
+	{"Blue Jay", "Cyanocitta cristata"},
+	{"Northern Cardinal", "Cardinalis cardinalis"},
+	{"Ruby-throated Hummingbird", "Archilochus colubris"},
+}
+
+var regions = []string{
+	"northeast", "southeast", "midwest", "northwest", "southwest",
+	"great lakes", "gulf coast", "mountain west",
+}
+
+// vocab maps each class to topic words; sentences are assembled from a
+// class pool plus shared filler so texts are clusterable but noisy.
+var vocab = map[string][]string{
+	"Behavior": {
+		"feeding", "stonewort", "foraging", "migrating", "nesting", "flock",
+		"courtship", "diving", "grazing", "roosting", "territorial", "preening",
+	},
+	"Disease": {
+		"influenza", "infection", "lesions", "parasite", "mites", "virus",
+		"lethargic", "sick", "outbreak", "botulism", "fungal", "symptoms",
+	},
+	"Anatomy": {
+		"wingspan", "plumage", "bill", "neck", "tail", "weight",
+		"feathers", "molt", "webbed", "crest", "talons", "measurement",
+	},
+	"Other": {
+		"photo", "camera", "duplicate", "volunteer", "record", "survey",
+		"checklist", "uploaded", "archive", "misc", "team", "note",
+	},
+	"Provenance": {
+		"derived", "imported", "source", "dataset", "experiment", "genbank",
+		"release", "pipeline", "lineage", "originated", "copied", "version",
+	},
+	"Comment": {
+		"wrong", "checking", "verify", "suspicious", "correct", "typo",
+		"confirm", "doubt", "revisit", "question", "odd", "estimate",
+	},
+	"Question": {
+		"why", "how", "which", "unclear", "unknown", "ambiguous",
+		"uncertain", "clarify", "identify", "confusing", "puzzling", "what",
+	},
+	"FunctionPrediction": {
+		"predicted", "regulate", "repair", "binding", "expression", "pathway",
+		"enzyme", "homolog", "domain", "transcription", "kinase", "motif",
+	},
+}
+
+var fillerWords = []string{
+	"observed", "near", "lake", "shore", "morning", "specimen", "adult",
+	"juvenile", "pair", "site", "today", "reported", "seen", "area",
+}
+
+// Species returns the i-th species (wrapping), for deterministic tuples.
+func Species(i int) (common, scientific string) {
+	s := speciesNames[i%len(speciesNames)]
+	return s.common, s.scientific
+}
+
+// NumSpecies reports the size of the species pool.
+func NumSpecies() int { return len(speciesNames) }
+
+// Region returns a deterministic region label.
+func (g *Generator) Region() string { return regions[g.rng.Intn(len(regions))] }
+
+// ClassText generates one free-text annotation body of the given class:
+// 18-40 words mixing class vocabulary with shared filler, matching the
+// length of real bird-watcher comments (the raw-size side of the E1
+// compression measurement depends on realistic text volume).
+func (g *Generator) ClassText(class string) string {
+	pool, ok := vocab[class]
+	if !ok {
+		pool = vocab["Other"]
+	}
+	n := 18 + g.rng.Intn(23)
+	words := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if g.rng.Intn(10) < 6 {
+			words = append(words, pool[g.rng.Intn(len(pool))])
+		} else {
+			words = append(words, fillerWords[g.rng.Intn(len(fillerWords))])
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// PickClass draws a class label from classes with a mild skew (earlier
+// classes more likely), matching the skewed counts of Figure 1.
+func (g *Generator) PickClass(classes []string) string {
+	// Weight class i by (len - i).
+	total := 0
+	for i := range classes {
+		total += len(classes) - i
+	}
+	r := g.rng.Intn(total)
+	for i := range classes {
+		r -= len(classes) - i
+		if r < 0 {
+			return classes[i]
+		}
+	}
+	return classes[len(classes)-1]
+}
+
+// Document generates a titled multi-sentence document (the large-object
+// annotations that Snippet instances condense). Sentences mix one theme
+// class with filler so extractive summarization has signal.
+func (g *Generator) Document(class string, sentences int) (title, body string) {
+	common, sci := Species(g.rng.Intn(NumSpecies()))
+	title = fmt.Sprintf("Field report: %s (%s)", common, sci)
+	var b strings.Builder
+	for i := 0; i < sentences; i++ {
+		words := strings.Split(g.ClassText(class), " ")
+		words[0] = strings.ToUpper(words[0][:1]) + words[0][1:]
+		b.WriteString(strings.Join(words, " "))
+		b.WriteString(". ")
+	}
+	return title, strings.TrimSpace(b.String())
+}
+
+// TrainingSet produces labeled samples (text, label) covering every class,
+// n per class — the training corpus for classifier instances.
+func (g *Generator) TrainingSet(classes []string, perClass int) [][2]string {
+	var out [][2]string
+	for _, c := range classes {
+		for i := 0; i < perClass; i++ {
+			out = append(out, [2]string{g.ClassText(c), c})
+		}
+	}
+	return out
+}
+
+// AuthorName returns a synthetic bird-watcher handle.
+func (g *Generator) AuthorName() string {
+	return fmt.Sprintf("watcher%03d", g.rng.Intn(500))
+}
+
+// Intn exposes the generator's RNG for callers that need auxiliary
+// deterministic choices.
+func (g *Generator) Intn(n int) int { return g.rng.Intn(n) }
+
+// Float64 exposes a deterministic uniform draw in [0, 1).
+func (g *Generator) Float64() float64 { return g.rng.Float64() }
+
+// ZipfCounts distributes total draws over n buckets with a Zipf
+// distribution of exponent s (> 1), modelling the skew of real annotation
+// corpora where popular entities attract most of the commentary. s <= 1
+// degrades to a uniform split.
+func (g *Generator) ZipfCounts(n, total int, s float64) []int {
+	counts := make([]int, n)
+	if n == 0 || total <= 0 {
+		return counts
+	}
+	if s <= 1 {
+		for i := 0; i < total; i++ {
+			counts[i%n]++
+		}
+		return counts
+	}
+	z := rand.NewZipf(g.rng, s, 1, uint64(n-1))
+	for i := 0; i < total; i++ {
+		counts[z.Uint64()]++
+	}
+	return counts
+}

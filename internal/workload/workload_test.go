@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"insightnotes/internal/textmining"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 50; i++ {
+		class := a.PickClass(BirdClasses)
+		if class != b.PickClass(BirdClasses) {
+			t.Fatal("PickClass nondeterministic")
+		}
+		if a.ClassText(class) != b.ClassText(class) {
+			t.Fatal("ClassText nondeterministic")
+		}
+	}
+	t1, d1 := a.Document("Behavior", 4)
+	t2, d2 := b.Document("Behavior", 4)
+	if t1 != t2 || d1 != d2 {
+		t.Error("Document nondeterministic")
+	}
+}
+
+func TestClassTextIsClassSeparable(t *testing.T) {
+	// A classifier trained on generated text must beat chance comfortably
+	// on held-out generated text — otherwise E-benchmarks over this corpus
+	// are meaningless.
+	g := New(42)
+	nb, err := textmining.NewNaiveBayes(BirdClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range g.TrainingSet(BirdClasses, 20) {
+		nb.Learn(s[0], s[1])
+	}
+	correct, total := 0, 0
+	for _, class := range BirdClasses {
+		for i := 0; i < 50; i++ {
+			got, _ := nb.Classify(g.ClassText(class))
+			if got == class {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.7 {
+		t.Errorf("classifier accuracy on synthetic corpus = %.2f, want >= 0.7", acc)
+	}
+}
+
+func TestPickClassSkew(t *testing.T) {
+	g := New(1)
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		counts[g.PickClass(BirdClasses)]++
+	}
+	if counts["Behavior"] <= counts["Other"] {
+		t.Errorf("skew missing: %v", counts)
+	}
+	for _, c := range BirdClasses {
+		if counts[c] == 0 {
+			t.Errorf("class %s never drawn", c)
+		}
+	}
+}
+
+func TestDocumentShape(t *testing.T) {
+	g := New(3)
+	title, body := g.Document("Disease", 5)
+	if !strings.HasPrefix(title, "Field report:") {
+		t.Errorf("title = %q", title)
+	}
+	sents := textmining.SplitSentences(body)
+	if len(sents) != 5 {
+		t.Errorf("sentences = %d", len(sents))
+	}
+}
+
+func TestSpeciesPool(t *testing.T) {
+	c0, s0 := Species(0)
+	if c0 != "Swan Goose" || s0 != "Anser cygnoides" {
+		t.Errorf("Species(0) = %q, %q", c0, s0)
+	}
+	cWrap, _ := Species(NumSpecies())
+	if cWrap != c0 {
+		t.Error("species pool does not wrap")
+	}
+}
+
+func TestZipfCounts(t *testing.T) {
+	g := New(17)
+	counts := g.ZipfCounts(10, 1000, 1.5)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1000 {
+		t.Fatalf("total = %d", total)
+	}
+	// Head bucket dominates the tail under skew.
+	if counts[0] <= counts[9]*2 {
+		t.Errorf("no skew: head %d vs tail %d", counts[0], counts[9])
+	}
+	// s <= 1 degrades to uniform.
+	uniform := g.ZipfCounts(4, 8, 0)
+	for i, c := range uniform {
+		if c != 2 {
+			t.Errorf("uniform[%d] = %d", i, c)
+		}
+	}
+	// Degenerate inputs.
+	if got := g.ZipfCounts(0, 10, 2); len(got) != 0 {
+		t.Errorf("n=0: %v", got)
+	}
+	if got := g.ZipfCounts(3, 0, 2); got[0]+got[1]+got[2] != 0 {
+		t.Errorf("total=0: %v", got)
+	}
+}
+
+func TestZipfCountsDeterministic(t *testing.T) {
+	a := New(4).ZipfCounts(8, 500, 1.3)
+	b := New(4).ZipfCounts(8, 500, 1.3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ZipfCounts nondeterministic")
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package zoomin
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// entryMeta is the bookkeeping the replacement policies score.
+type entryMeta struct {
+	QID        int
+	Size       int64
+	Complexity float64
+	LastRef    int64 // logical clock of the last reference
+	RefCount   int
+	Created    int64
+}
+
+// Policy chooses an eviction victim among cache entries.
+type Policy interface {
+	// Name identifies the policy in benchmark output.
+	Name() string
+	// Victim returns the index into metas of the entry to evict.
+	Victim(metas []entryMeta, clock int64) int
+}
+
+// RCO is the paper's replacement policy: Recency, Complexity, and Overhead.
+// An entry's retention value grows with the cost of recreating it (query
+// complexity), how often and how recently zoom-ins referenced it, and
+// shrinks with the disk space it occupies. The entry with the lowest value
+// is evicted.
+type RCO struct{}
+
+// Name implements Policy.
+func (RCO) Name() string { return "RCO" }
+
+// Victim implements Policy.
+func (RCO) Victim(metas []entryMeta, clock int64) int {
+	best := 0
+	bestVal := rcoValue(metas[0], clock)
+	for i := 1; i < len(metas); i++ {
+		if v := rcoValue(metas[i], clock); v < bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}
+
+func rcoValue(m entryMeta, clock int64) float64 {
+	recency := 1.0 / float64(1+clock-m.LastRef)
+	frequency := float64(1 + m.RefCount)
+	overhead := m.Complexity // cost to recreate on a miss
+	size := float64(m.Size)
+	if size <= 0 {
+		size = 1
+	}
+	return recency * frequency * overhead / size
+}
+
+// LRU is the baseline policy: evict the least recently referenced entry.
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "LRU" }
+
+// Victim implements Policy.
+func (LRU) Victim(metas []entryMeta, _ int64) int {
+	best := 0
+	for i := 1; i < len(metas); i++ {
+		if metas[i].LastRef < metas[best].LastRef {
+			best = i
+		}
+	}
+	return best
+}
+
+// CacheStats reports cache effectiveness for the E6 benchmarks.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	UsedBytes int64
+	Entries   int
+}
+
+// Cache is the limited disk-based materialization cache for query results.
+// Results are serialized into files under a spill directory and compete for
+// a byte budget under the configured replacement policy.
+type Cache struct {
+	mu     sync.Mutex
+	dir    string
+	budget int64
+	policy Policy
+
+	entries map[int]*entryMeta
+	used    int64
+	clock   int64
+	stats   CacheStats
+}
+
+// NewCache creates a cache writing under dir with the given byte budget and
+// policy. The directory is created if missing.
+func NewCache(dir string, budget int64, policy Policy) (*Cache, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("zoomin: cache budget must be positive")
+	}
+	if policy == nil {
+		policy = RCO{}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{
+		dir:     dir,
+		budget:  budget,
+		policy:  policy,
+		entries: make(map[int]*entryMeta),
+	}, nil
+}
+
+// PolicyName returns the active replacement policy's name.
+func (c *Cache) PolicyName() string { return c.policy.Name() }
+
+func (c *Cache) path(qid int) string {
+	return filepath.Join(c.dir, fmt.Sprintf("qid-%d.json", qid))
+}
+
+// Put materializes a result into the cache, evicting victims until the
+// budget admits it. Results larger than the entire budget are not admitted
+// (the query can always be re-executed).
+func (c *Cache) Put(r *CachedResult) error {
+	data, err := r.encode()
+	if err != nil {
+		return err
+	}
+	size := int64(len(data))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	if size > c.budget {
+		return nil // too large to cache; silently skip, recompute on demand
+	}
+	if old, ok := c.entries[r.QID]; ok {
+		c.used -= old.Size
+		delete(c.entries, r.QID)
+	}
+	for c.used+size > c.budget && len(c.entries) > 0 {
+		if err := c.evictOne(); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(c.path(r.QID), data, 0o644); err != nil {
+		return err
+	}
+	c.entries[r.QID] = &entryMeta{
+		QID:        r.QID,
+		Size:       size,
+		Complexity: r.Complexity,
+		LastRef:    c.clock,
+		Created:    c.clock,
+	}
+	c.used += size
+	return nil
+}
+
+// evictOne removes the policy's victim. Requires c.mu held and a non-empty
+// entry set.
+func (c *Cache) evictOne() error {
+	metas := make([]entryMeta, 0, len(c.entries))
+	for _, m := range c.entries {
+		metas = append(metas, *m)
+	}
+	victim := metas[c.policy.Victim(metas, c.clock)]
+	if err := os.Remove(c.path(victim.QID)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	c.used -= victim.Size
+	delete(c.entries, victim.QID)
+	c.stats.Evictions++
+	return nil
+}
+
+// Get loads a cached result, updating reference statistics. The boolean
+// reports a cache hit.
+func (c *Cache) Get(qid int) (*CachedResult, bool, error) {
+	c.mu.Lock()
+	c.clock++
+	meta, ok := c.entries[qid]
+	if !ok {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false, nil
+	}
+	meta.LastRef = c.clock
+	meta.RefCount++
+	path := c.path(qid)
+	c.stats.Hits++
+	c.mu.Unlock()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	r, err := decodeResult(data)
+	if err != nil {
+		return nil, false, err
+	}
+	return r, true, nil
+}
+
+// Contains reports whether qid is resident without touching statistics.
+func (c *Cache) Contains(qid int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[qid]
+	return ok
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.UsedBytes = c.used
+	s.Entries = len(c.entries)
+	return s
+}
+
+// ResetStats zeroes hit/miss/eviction counters (between benchmark phases).
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = CacheStats{}
+}

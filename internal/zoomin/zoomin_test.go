@@ -1,0 +1,251 @@
+package zoomin
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/exec"
+	"insightnotes/internal/sql"
+	"insightnotes/internal/summary"
+	"insightnotes/internal/textmining"
+	"insightnotes/internal/types"
+)
+
+func resultSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "c1", Kind: types.KindString},
+		types.Column{Name: "c3", Kind: types.KindInt},
+	)
+}
+
+// figure3Result builds a cached result shaped like Figure 3: rows r1/r2
+// with a two-label classifier (refute/approve) and a snippet object.
+func figure3Result(t *testing.T, qid int) *CachedResult {
+	t.Helper()
+	nb, err := textmining.NewNaiveBayes([]string{"refute", "approve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb.Learn("value wrong invalid needs verification", "refute")
+	nb.Learn("confirmed verified looks correct", "approve")
+	cls, _ := summary.NewClassifierInstance("NaiveBayesClass", nb)
+	snp, _ := summary.NewSnippetInstance("TextSummary", 2)
+
+	mkRow := func(c1 string, c3 int64, refuting []annotation.ID, docs []annotation.ID) *exec.Row {
+		env := summary.NewEnvelope()
+		for _, id := range refuting {
+			env.Add(cls, cls.Summarize(annotation.Annotation{ID: id, Text: "value wrong invalid"}), annotation.WholeRow(2))
+		}
+		for _, id := range docs {
+			env.Add(snp, snp.Summarize(annotation.Annotation{
+				ID: id, Title: fmt.Sprintf("Doc %d", id),
+				Document: "Experiment E results. Wikipedia article text. More detail here.",
+			}), annotation.WholeRow(2))
+		}
+		return &exec.Row{Tuple: types.Tuple{types.NewString(c1), types.NewInt(c3)}, Env: env}
+	}
+	rows := []*exec.Row{
+		mkRow("x", 5, []annotation.ID{1}, []annotation.ID{101, 102}),
+		mkRow("x", 10, []annotation.ID{2, 3}, nil),
+		mkRow("y", 7, nil, nil),
+	}
+	return BuildCachedResult(qid, "SELECT c1, c3 FROM t", resultSchema(), rows, 10)
+}
+
+func TestBuildCachedResultZoomStructure(t *testing.T) {
+	r := figure3Result(t, 101)
+	if len(r.Rows) != 3 || r.QID != 101 {
+		t.Fatalf("%+v", r)
+	}
+	row := r.Rows[0]
+	// Classifier index 1 = "refute".
+	ids, err := row.ZoomIDs("NaiveBayesClass", 1)
+	if err != nil || len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("ZoomIDs(refute) = %v, %v", ids, err)
+	}
+	// Snippet index 2 = second document.
+	ids, err = row.ZoomIDs("TextSummary", 2)
+	if err != nil || len(ids) != 1 || ids[0] != 102 {
+		t.Errorf("ZoomIDs(snippet 2) = %v, %v", ids, err)
+	}
+	if _, err := row.ZoomIDs("NaiveBayesClass", 9); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if ids, err := row.ZoomIDs("NoSuchInstance", 1); err != nil || ids != nil {
+		t.Errorf("missing instance = %v, %v", ids, err)
+	}
+	// Unannotated row has no zoom maps.
+	if r.Rows[2].Zoom != nil {
+		t.Error("unannotated row has zoom map")
+	}
+	if !strings.Contains(row.Rendered["NaiveBayesClass"], "refute") {
+		t.Errorf("rendered = %q", row.Rendered["NaiveBayesClass"])
+	}
+}
+
+func TestFilterRowsWithPredicate(t *testing.T) {
+	r := figure3Result(t, 101)
+	// Figure 3(a): Where C1 = 'x' selects r1 and r2.
+	stmt, _ := sql.Parse("SELECT c1 FROM t WHERE c1 = 'x'")
+	pred, err := exec.Compile(stmt.(*sql.Select).Where, r.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.FilterRows(pred)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("FilterRows = %d rows, %v", len(rows), err)
+	}
+	all, _ := r.FilterRows(nil)
+	if len(all) != 3 {
+		t.Errorf("nil predicate rows = %d", len(all))
+	}
+}
+
+func TestResultSerializationRoundTrip(t *testing.T) {
+	r := figure3Result(t, 7)
+	data, err := r.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.QID != 7 || len(back.Rows) != 3 || back.SQL != r.SQL {
+		t.Fatalf("%+v", back)
+	}
+	// Tuples round-trip with kind fidelity.
+	if back.Rows[0].Tuple[1].Kind() != types.KindInt || back.Rows[0].Tuple[1].Int() != 5 {
+		t.Errorf("tuple = %v", back.Rows[0].Tuple)
+	}
+	ids, err := back.Rows[1].ZoomIDs("NaiveBayesClass", 1)
+	if err != nil || len(ids) != 2 {
+		t.Errorf("zoom after round trip = %v, %v", ids, err)
+	}
+	if _, err := decodeResult([]byte("nonsense")); err == nil {
+		t.Error("corrupt data decoded")
+	}
+}
+
+func TestCachePutGetHit(t *testing.T) {
+	c, err := NewCache(t.TempDir(), 1<<20, RCO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := figure3Result(t, 1)
+	if err := c.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	got, hit, err := c.Get(1)
+	if err != nil || !hit || got.QID != 1 {
+		t.Fatalf("Get = %v, %v, %v", got, hit, err)
+	}
+	if _, hit, _ := c.Get(99); hit {
+		t.Error("missing qid hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.UsedBytes <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheBudgetEviction(t *testing.T) {
+	r := figure3Result(t, 1)
+	data, _ := r.encode()
+	one := int64(len(data))
+	c, err := NewCache(t.TempDir(), one*2+one/2, LRU{}) // fits 2 entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qid := 1; qid <= 3; qid++ {
+		rr := figure3Result(t, qid)
+		if err := c.Put(rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// LRU evicted qid 1.
+	if c.Contains(1) || !c.Contains(2) || !c.Contains(3) {
+		t.Error("LRU victim wrong")
+	}
+}
+
+func TestCacheRCOPrefersComplexEntries(t *testing.T) {
+	r := figure3Result(t, 1)
+	data, _ := r.encode()
+	one := int64(len(data))
+	c, err := NewCache(t.TempDir(), one*2+one/2, RCO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := figure3Result(t, 1)
+	cheap.Complexity = 1
+	costly := figure3Result(t, 2)
+	costly.Complexity = 1000
+	c.Put(cheap)
+	c.Put(costly)
+	// Both referenced equally; insert a third: RCO must evict the cheap one
+	// despite the costly one being older in LRU terms... reference costly
+	// first so LRU would pick it.
+	c.Get(2)
+	c.Get(1)
+	third := figure3Result(t, 3)
+	third.Complexity = 500
+	c.Put(third)
+	if !c.Contains(2) {
+		t.Error("RCO evicted the high-complexity entry")
+	}
+	if c.Contains(1) {
+		t.Error("RCO kept the cheap entry")
+	}
+}
+
+func TestCacheOversizedResultSkipped(t *testing.T) {
+	c, err := NewCache(t.TempDir(), 64, RCO{}) // tiny budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(figure3Result(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains(1) {
+		t.Error("oversized result admitted")
+	}
+}
+
+func TestCacheReplaceSameQID(t *testing.T) {
+	c, _ := NewCache(t.TempDir(), 1<<20, RCO{})
+	c.Put(figure3Result(t, 5))
+	used1 := c.Stats().UsedBytes
+	c.Put(figure3Result(t, 5)) // replace, not duplicate
+	st := c.Stats()
+	if st.Entries != 1 || st.UsedBytes != used1 {
+		t.Errorf("stats after replace = %+v", st)
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	if _, err := NewCache(t.TempDir(), 0, RCO{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	c, _ := NewCache(t.TempDir(), 1<<20, nil) // nil policy defaults to RCO
+	if c.PolicyName() != "RCO" {
+		t.Errorf("default policy = %q", c.PolicyName())
+	}
+}
+
+func TestCacheResetStats(t *testing.T) {
+	c, _ := NewCache(t.TempDir(), 1<<20, RCO{})
+	c.Put(figure3Result(t, 1))
+	c.Get(1)
+	c.ResetStats()
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
