@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test bench check vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: static analysis plus the full suite under
+# the race detector (the concurrency and cancellation tests depend on it).
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -11,6 +11,7 @@ package insightnotes
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"insightnotes/internal/annotation"
@@ -322,6 +323,57 @@ func BenchmarkEnvelopeProject(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := base.Clone()
 		e.Project([]int{0, 1})
+	}
+}
+
+// BenchmarkConcurrentReaders measures parallel SELECT throughput through
+// the network server: N client goroutines, one connection each, sharing
+// one engine. Reads take the engine's statement lock in shared mode, so
+// throughput should scale with goroutines until CPU saturation — the
+// scaling check recorded in EXPERIMENTS.md.
+func BenchmarkConcurrentReaders(b *testing.B) {
+	for _, gor := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", gor), func(b *testing.B) {
+			db := newBirdWorld(b, 16, 8)
+			srv, addr, err := Serve(db, "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			clients := make([]*Client, gor)
+			for i := range clients {
+				c, err := DialServer(addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				clients[i] = c
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := 0; i < gor; i++ {
+				n := b.N / gor
+				if i < b.N%gor {
+					n++
+				}
+				wg.Add(1)
+				go func(c *Client, n int) {
+					defer wg.Done()
+					for j := 0; j < n; j++ {
+						resp, err := c.Exec("SELECT id, name, wingspan FROM birds WHERE id <= 8")
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if !resp.OK {
+							b.Errorf("server error: %s", resp.Error)
+							return
+						}
+					}
+				}(clients[i], n)
+			}
+			wg.Wait()
+		})
 	}
 }
 

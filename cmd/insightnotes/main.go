@@ -176,12 +176,15 @@ func printResult(w io.Writer, res *engine.Result) {
 		headers[i] = c.QualifiedName()
 		widths[i] = len(headers[i])
 	}
+	// EXPLAIN output is a single "plan" column whose lines (operator
+	// descriptions, ANALYZE counters) must not be truncated.
+	planOutput := res.Schema.Len() == 1 && res.Schema.Columns[0].Name == "plan"
 	cells := make([][]string, len(res.Rows))
 	for r, row := range res.Rows {
 		cells[r] = make([]string, len(row.Tuple))
 		for i, v := range row.Tuple {
 			s := v.String()
-			if len(s) > 40 {
+			if len(s) > 40 && !planOutput {
 				s = s[:37] + "..."
 			}
 			cells[r][i] = s
@@ -215,5 +218,8 @@ func printResult(w io.Writer, res *engine.Result) {
 		fmt.Fprintf(w, "(%d row(s), QID = %d)\n", len(res.Rows), res.QID)
 	} else {
 		fmt.Fprintf(w, "(%d row(s))\n", len(res.Rows))
+	}
+	if res.Stats != nil {
+		fmt.Fprintf(w, "-- %s\n", res.Stats)
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	insightnotesd [-addr :7090] [-snapshot db.json] [-demo]
+//	insightnotesd [-addr :7090] [-snapshot db.json] [-demo] [-stmt-timeout 30s]
 //
 // With -snapshot the server loads the file at startup (if it exists) and
 // writes it back on SIGINT/SIGTERM shutdown.
@@ -28,6 +28,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7090", "listen address")
 	snapshot := flag.String("snapshot", "", "snapshot file to load at start and save at shutdown")
 	demo := flag.Bool("demo", false, "preload the annotated ornithological demo dataset")
+	stmtTimeout := flag.Duration("stmt-timeout", 0, "per-statement execution deadline (0 disables)")
 	flag.Parse()
 
 	var db *engine.DB
@@ -58,6 +59,7 @@ func main() {
 	}
 
 	srv := server.New(db)
+	srv.StatementTimeout = *stmtTimeout
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)

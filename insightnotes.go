@@ -51,6 +51,9 @@ type (
 	Config = engine.Config
 	// Result is the outcome of one executed statement.
 	Result = engine.Result
+	// StatementStats is the per-statement runtime summary attached to
+	// SELECT and EXPLAIN ANALYZE results.
+	StatementStats = engine.StatementStats
 	// AnnotationRequest describes a programmatic annotation ingestion.
 	AnnotationRequest = engine.AnnotationRequest
 	// TargetSpec scopes one attachment of a multi-target annotation.

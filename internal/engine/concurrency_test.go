@@ -1,14 +1,17 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 )
 
 // TestConcurrentQueriesAndWrites hammers the engine with parallel readers
-// (queries, zoom-ins) and writers (inserts, annotations, retractions) to
-// exercise the statement-level lock. Run with -race.
+// (queries, zoom-ins, EXPLAIN ANALYZE, cancelled statements) and writers
+// (inserts, annotations) to exercise the statement-level lock and the
+// per-statement execution contexts. Run with -race.
 func TestConcurrentQueriesAndWrites(t *testing.T) {
 	db := birdDB(t)
 	mustExec(t, db, "ADD ANNOTATION 'observed feeding at dawn' ON birds WHERE id = 1")
@@ -32,7 +35,8 @@ func TestConcurrentQueriesAndWrites(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 30; i++ {
-				if _, err := db.Query("SELECT id, name, wingspan FROM birds WHERE id <= 3"); err != nil {
+				if _, err := db.QueryContext(context.Background(),
+					"SELECT id, name, wingspan FROM birds WHERE id <= 3"); err != nil {
 					report(fmt.Errorf("query: %w", err))
 					return
 				}
@@ -42,9 +46,27 @@ func TestConcurrentQueriesAndWrites(t *testing.T) {
 					report(fmt.Errorf("zoom: %w", err))
 					return
 				}
+				if _, err := db.Exec("EXPLAIN ANALYZE SELECT id, name FROM birds WHERE id <= 2"); err != nil {
+					report(fmt.Errorf("explain analyze: %w", err))
+					return
+				}
 			}
 		}(g)
 	}
+	// Cancelled statements interleaved with live ones must fail cleanly
+	// without disturbing either side.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		for i := 0; i < 30; i++ {
+			if _, err := db.QueryContext(cancelled, "SELECT id FROM birds"); !errors.Is(err, context.Canceled) {
+				report(fmt.Errorf("cancelled query: got %v, want context.Canceled", err))
+				return
+			}
+		}
+	}()
 	// Writers.
 	for g := 0; g < 3; g++ {
 		wg.Add(1)

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"insightnotes/internal/exec"
 	"insightnotes/internal/plan"
@@ -9,6 +11,32 @@ import (
 	"insightnotes/internal/types"
 	"insightnotes/internal/zoomin"
 )
+
+// StatementStats summarizes the runtime of one executed statement: result
+// volume, pipeline work, envelope operations, and elapsed wall time. It is
+// attached to Result for SELECTs and surfaced by the REPL and the server
+// protocol as a one-line summary.
+type StatementStats struct {
+	// Rows is the number of result rows returned to the caller.
+	Rows int
+	// OpRows counts rows produced by all plan operators, intermediate
+	// rows included.
+	OpRows int64
+	// Merges counts envelope merge/combine operations (joins, grouping,
+	// duplicate elimination).
+	Merges int64
+	// Curates counts envelope curation operations (projection coverage
+	// remapping).
+	Curates int64
+	// Wall is the statement's elapsed wall time.
+	Wall time.Duration
+}
+
+// String renders the one-line per-statement summary.
+func (s *StatementStats) String() string {
+	return fmt.Sprintf("%d row(s) in %s (op_rows=%d merges=%d curates=%d)",
+		s.Rows, s.Wall.Round(time.Microsecond), s.OpRows, s.Merges, s.Curates)
+}
 
 // Result is the outcome of one statement.
 type Result struct {
@@ -27,6 +55,9 @@ type Result struct {
 	// Trace holds per-operator intermediate rows when tracing was
 	// requested (the Figure 5 under-the-hood view).
 	Trace []exec.TraceEntry
+	// Stats carries the per-statement runtime summary (SELECT and
+	// EXPLAIN ANALYZE; nil for other statements).
+	Stats *StatementStats
 	// ZoomAnnotations carries the raw annotations retrieved by a ZOOMIN
 	// command, grouped per matched result row.
 	ZoomAnnotations []ZoomRowResult
@@ -35,6 +66,13 @@ type Result struct {
 // Query plans and executes a SELECT, assigns a QID, and materializes the
 // result into the zoom-in cache.
 func (db *DB) Query(sqlText string) (*Result, error) {
+	return db.QueryContext(context.Background(), sqlText)
+}
+
+// QueryContext is Query under an explicit cancellation context: the
+// statement aborts with the context's error when ctx is cancelled or its
+// deadline expires, polled at row-batch granularity.
+func (db *DB) QueryContext(ctx context.Context, sqlText string) (*Result, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
@@ -45,7 +83,7 @@ func (db *DB) Query(sqlText string) (*Result, error) {
 	}
 	db.stmtMu.RLock()
 	defer db.stmtMu.RUnlock()
-	return db.querySelect(sel, sqlText, nil)
+	return db.querySelect(exec.NewContext(ctx), sel, sqlText)
 }
 
 // QueryWithOptions plans and executes a SELECT under explicit plan options
@@ -67,15 +105,21 @@ func (db *DB) QueryWithOptions(sqlText string, opts plan.Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Collect(op)
+	ec := exec.Background()
+	rows, err := exec.CollectContext(ec, op)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schema: op.Schema(), Rows: rows}, nil
+	return &Result{Schema: op.Schema(), Rows: rows, Stats: statementStats(ec, len(rows))}, nil
 }
 
 // QueryTraced is Query with the under-the-hood operator log enabled.
 func (db *DB) QueryTraced(sqlText string) (*Result, error) {
+	return db.QueryTracedContext(context.Background(), sqlText)
+}
+
+// QueryTracedContext is QueryTraced under an explicit cancellation context.
+func (db *DB) QueryTracedContext(ctx context.Context, sqlText string) (*Result, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
@@ -84,26 +128,33 @@ func (db *DB) QueryTraced(sqlText string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: QueryTraced expects a SELECT")
 	}
-	sink := &exec.TraceSink{}
 	db.stmtMu.RLock()
-	res, err := db.querySelect(sel, sqlText, sink)
-	db.stmtMu.RUnlock()
-	if err != nil {
-		return nil, err
-	}
-	res.Trace = sink.Entries()
-	return res, nil
+	defer db.stmtMu.RUnlock()
+	return db.querySelect(exec.NewContext(ctx).WithTrace(), sel, sqlText)
 }
 
-func (db *DB) querySelect(sel *sql.Select, sqlText string, sink *exec.TraceSink) (*Result, error) {
+// statementStats folds the execution context's counters into the
+// result-level summary.
+func statementStats(ec *exec.ExecContext, rows int) *StatementStats {
+	t := ec.Totals()
+	return &StatementStats{
+		Rows:    rows,
+		OpRows:  t.OpRows,
+		Merges:  t.Merges,
+		Curates: t.Curates,
+		Wall:    ec.Elapsed(),
+	}
+}
+
+func (db *DB) querySelect(ec *exec.ExecContext, sel *sql.Select, sqlText string) (*Result, error) {
 	opts := db.cfg.PlanOptions
-	opts.Trace = sink
+	opts.Trace = ec.Tracing()
 	p := plan.New(db.cat, db, opts)
 	op, err := p.PlanSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Collect(op)
+	rows, err := exec.CollectContext(ec, op)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +166,13 @@ func (db *DB) querySelect(sel *sql.Select, sqlText string, sink *exec.TraceSink)
 	if err := db.cache.Put(cached); err != nil {
 		return nil, err
 	}
-	return &Result{QID: qid, Schema: op.Schema(), Rows: rows}, nil
+	return &Result{
+		QID:    qid,
+		Schema: op.Schema(),
+		Rows:   rows,
+		Trace:  ec.TraceEntries(),
+		Stats:  statementStats(ec, len(rows)),
+	}, nil
 }
 
 // estimateComplexity is the RCO cost proxy: relations joined, aggregation,
@@ -135,8 +192,10 @@ func estimateComplexity(sel *sql.Select, resultRows int) float64 {
 
 // resultFor returns the cached result of qid, re-executing the remembered
 // SQL on a cache miss (and re-admitting the fresh result to the cache).
-// The boolean reports whether it was a cache hit.
-func (db *DB) resultFor(qid int) (*zoomin.CachedResult, bool, error) {
+// The re-execution runs under ctx, so a cancelled zoom-in never writes a
+// partial entry: Collect fails before the cache Put is reached. The
+// boolean reports whether it was a cache hit.
+func (db *DB) resultFor(ctx context.Context, qid int) (*zoomin.CachedResult, bool, error) {
 	cached, hit, err := db.cache.Get(qid)
 	if err != nil {
 		return nil, false, err
@@ -160,7 +219,7 @@ func (db *DB) resultFor(qid int) (*zoomin.CachedResult, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	rows, err := exec.Collect(op)
+	rows, err := exec.CollectContext(exec.NewContext(ctx), op)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,23 +15,37 @@ import (
 // Exec parses and executes one statement of any kind — SQL or InsightNotes
 // extension — and returns its result.
 func (db *DB) Exec(sqlText string) (*Result, error) {
+	return db.ExecContext(context.Background(), sqlText)
+}
+
+// ExecContext is Exec under an explicit cancellation context.
+func (db *DB) ExecContext(ctx context.Context, sqlText string) (*Result, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStatement(stmt, sqlText)
+	return db.ExecStatementContext(ctx, stmt, sqlText)
 }
 
 // ExecScript executes a semicolon-separated script, stopping at the first
 // error and returning the results of the completed statements.
 func (db *DB) ExecScript(script string) ([]*Result, error) {
+	return db.ExecScriptContext(context.Background(), script)
+}
+
+// ExecScriptContext is ExecScript under an explicit cancellation context,
+// checked before and during every statement.
+func (db *DB) ExecScriptContext(ctx context.Context, script string) ([]*Result, error) {
 	stmts, err := sql.ParseAll(script)
 	if err != nil {
 		return nil, err
 	}
 	var out []*Result
 	for _, stmt := range stmts {
-		res, err := db.ExecStatement(stmt, stmt.String())
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		res, err := db.ExecStatementContext(ctx, stmt, stmt.String())
 		if err != nil {
 			return out, err
 		}
@@ -41,14 +56,19 @@ func (db *DB) ExecScript(script string) ([]*Result, error) {
 
 // ExecStatement dispatches a parsed statement. sqlText is the original
 // statement text (used to re-execute SELECTs on zoom-in cache misses).
-// Read statements take the shared statement lock; everything else takes it
-// exclusively (see the DB type comment).
 func (db *DB) ExecStatement(stmt sql.Statement, sqlText string) (*Result, error) {
+	return db.ExecStatementContext(context.Background(), stmt, sqlText)
+}
+
+// ExecStatementContext dispatches a parsed statement under an explicit
+// cancellation context. Read statements take the shared statement lock;
+// everything else takes it exclusively (see the DB type comment).
+func (db *DB) ExecStatementContext(ctx context.Context, stmt sql.Statement, sqlText string) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.Select:
 		db.stmtMu.RLock()
 		defer db.stmtMu.RUnlock()
-		return db.querySelect(s, sqlText, nil)
+		return db.querySelect(exec.NewContext(ctx), s, sqlText)
 	case *sql.Show:
 		db.stmtMu.RLock()
 		defer db.stmtMu.RUnlock()
@@ -56,9 +76,9 @@ func (db *DB) ExecStatement(stmt sql.Statement, sqlText string) (*Result, error)
 	case *sql.Explain:
 		db.stmtMu.RLock()
 		defer db.stmtMu.RUnlock()
-		return db.execExplain(s)
+		return db.execExplain(ctx, s)
 	case *sql.ZoomIn:
-		results, hit, err := db.ZoomIn(ZoomInRequest{
+		results, hit, err := db.ZoomInContext(ctx, ZoomInRequest{
 			QID: s.QID, Where: s.Where, Instance: s.Instance, Index: s.Index,
 		})
 		if err != nil {
@@ -172,19 +192,32 @@ func (db *DB) ExecStatement(stmt sql.Statement, sqlText string) (*Result, error)
 }
 
 // execExplain plans the query and renders the operator tree, one node per
-// row.
-func (db *DB) execExplain(s *sql.Explain) (*Result, error) {
+// row. EXPLAIN ANALYZE additionally executes the plan under a timed
+// context and annotates every node with its runtime counters.
+func (db *DB) execExplain(ctx context.Context, s *sql.Explain) (*Result, error) {
 	p := plan.New(db.cat, db, db.cfg.PlanOptions)
 	op, err := p.PlanSelect(s.Query)
 	if err != nil {
 		return nil, err
 	}
+	rendered := exec.Explain(op)
+	var stats *StatementStats
+	if s.Analyze {
+		ec := exec.NewContext(ctx).WithTiming()
+		collected, err := exec.CollectContext(ec, op)
+		if err != nil {
+			return nil, err
+		}
+		rendered = exec.ExplainAnalyze(op)
+		stats = statementStats(ec, len(collected))
+		rendered += "\nTotal: " + stats.String()
+	}
 	schema := types.NewSchema(types.Column{Name: "plan", Kind: types.KindString})
 	var rows []*exec.Row
-	for _, line := range strings.Split(exec.Explain(op), "\n") {
+	for _, line := range strings.Split(rendered, "\n") {
 		rows = append(rows, &exec.Row{Tuple: types.Tuple{types.NewString(line)}})
 	}
-	return &Result{Schema: schema, Rows: rows}, nil
+	return &Result{Schema: schema, Rows: rows, Stats: stats}, nil
 }
 
 func (db *DB) execCreateTable(s *sql.CreateTable) (*Result, error) {

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"insightnotes/internal/annotation"
 	"insightnotes/internal/exec"
 	"insightnotes/internal/sql"
@@ -29,13 +31,20 @@ type ZoomInRequest struct {
 // materialization cache when resident; otherwise the referenced query is
 // transparently re-executed. The returned boolean reports the cache hit.
 func (db *DB) ZoomIn(req ZoomInRequest) ([]ZoomRowResult, bool, error) {
-	db.stmtMu.RLock()
-	defer db.stmtMu.RUnlock()
-	return db.zoomIn(req)
+	return db.ZoomInContext(context.Background(), req)
 }
 
-func (db *DB) zoomIn(req ZoomInRequest) ([]ZoomRowResult, bool, error) {
-	cached, hit, err := db.resultFor(req.QID)
+// ZoomInContext is ZoomIn under an explicit cancellation context. The
+// context governs the cache-miss re-execution path: a cancelled zoom-in
+// aborts the recreation query and leaves no partial cache entry.
+func (db *DB) ZoomInContext(ctx context.Context, req ZoomInRequest) ([]ZoomRowResult, bool, error) {
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	return db.zoomIn(ctx, req)
+}
+
+func (db *DB) zoomIn(ctx context.Context, req ZoomInRequest) ([]ZoomRowResult, bool, error) {
+	cached, hit, err := db.resultFor(ctx, req.QID)
 	if err != nil {
 		return nil, false, err
 	}

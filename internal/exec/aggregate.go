@@ -96,6 +96,7 @@ func (s *aggState) result(fn string, starCount int64) (types.Value, error) {
 // that key's output position and an annotation on an aggregated input
 // column follows the aggregate's output position.
 type GroupAggregate struct {
+	instr
 	child   Operator
 	keys    []*Compiled
 	aggs    []AggSpec
@@ -146,15 +147,16 @@ type aggGroup struct {
 }
 
 // Open implements Operator: drains the child and materializes the groups
-// in first-seen order.
-func (g *GroupAggregate) Open() error {
-	if err := g.child.Open(); err != nil {
+// in first-seen order. Cancellation mid-materialization aborts via the
+// child's row-batch polls.
+func (g *GroupAggregate) Open(ec *ExecContext) error {
+	if err := g.child.Open(ec); err != nil {
 		return err
 	}
 	groups := make(map[uint64][]*aggGroup)
 	var order []*aggGroup
 	for {
-		row, err := g.child.Next()
+		row, err := g.child.Next(ec)
 		if err != nil {
 			return err
 		}
@@ -193,6 +195,10 @@ func (g *GroupAggregate) Open() error {
 			}
 			grp.states[i].add(v)
 		}
+		if row.Env != nil {
+			g.curated(ec)
+			g.merged(ec)
+		}
 		grp.env.Env = envCombine(grp.env.Env, envRemap(row.Env, g.mapping))
 	}
 	if len(g.keys) == 0 && len(order) == 0 {
@@ -221,12 +227,14 @@ func (g *GroupAggregate) Open() error {
 }
 
 // Next implements Operator.
-func (g *GroupAggregate) Next() (*Row, error) {
+func (g *GroupAggregate) Next(ec *ExecContext) (*Row, error) {
 	if g.pos >= len(g.out) {
 		return nil, nil
 	}
+	start := g.begin(ec)
 	r := g.out[g.pos]
 	g.pos++
+	g.produced(ec, start, r)
 	return r, nil
 }
 
@@ -241,6 +249,7 @@ func (g *GroupAggregate) Close() error {
 // elimination transformation: a reported tuple's summaries reflect every
 // input duplicate's annotations.
 type Distinct struct {
+	instr
 	child Operator
 	out   []*Row
 	pos   int
@@ -255,14 +264,14 @@ func (d *Distinct) Schema() types.Schema { return d.child.Schema() }
 // Open implements Operator: duplicate elimination is pipeline-breaking
 // because a later duplicate can still add annotations to an earlier
 // survivor's envelope.
-func (d *Distinct) Open() error {
-	if err := d.child.Open(); err != nil {
+func (d *Distinct) Open(ec *ExecContext) error {
+	if err := d.child.Open(ec); err != nil {
 		return err
 	}
 	seen := make(map[uint64][]*Row)
 	d.out = d.out[:0]
 	for {
-		row, err := d.child.Next()
+		row, err := d.child.Next(ec)
 		if err != nil {
 			return err
 		}
@@ -282,6 +291,9 @@ func (d *Distinct) Open() error {
 			d.out = append(d.out, row)
 			continue
 		}
+		if row.Env != nil {
+			d.merged(ec)
+		}
 		match.Env = envCombine(match.Env, row.Env)
 	}
 	d.pos = 0
@@ -289,12 +301,14 @@ func (d *Distinct) Open() error {
 }
 
 // Next implements Operator.
-func (d *Distinct) Next() (*Row, error) {
+func (d *Distinct) Next(ec *ExecContext) (*Row, error) {
 	if d.pos >= len(d.out) {
 		return nil, nil
 	}
+	start := d.begin(ec)
 	r := d.out[d.pos]
 	d.pos++
+	d.produced(ec, start, r)
 	return r, nil
 }
 

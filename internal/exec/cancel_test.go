@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"insightnotes/internal/types"
+)
+
+// intValues builds a single-column table of n integer rows.
+func intValues(n int) *ValuesOp {
+	schema := types.NewSchema(types.Column{Name: "n", Kind: types.KindInt})
+	rows := make([]*Row, n)
+	for i := range rows {
+		rows[i] = &Row{Tuple: types.Tuple{types.NewInt(int64(i))}}
+	}
+	return NewValues(schema, rows)
+}
+
+// cancelAfter passes rows through and fires cancel once the wrapped
+// operator has produced n of them — a deterministic mid-execution
+// cancellation trigger.
+type cancelAfter struct {
+	Operator
+	n      int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Next(ec *ExecContext) (*Row, error) {
+	row, err := c.Operator.Next(ec)
+	if row != nil {
+		c.seen++
+		if c.seen == c.n {
+			c.cancel()
+		}
+	}
+	return row, err
+}
+
+// closeTracker records whether Open and Close reached the wrapped operator.
+type closeTracker struct {
+	Operator
+	opened, closed bool
+}
+
+func (c *closeTracker) Open(ec *ExecContext) error {
+	c.opened = true
+	return c.Operator.Open(ec)
+}
+
+func (c *closeTracker) Close() error {
+	c.closed = true
+	return c.Operator.Close()
+}
+
+func TestCancelMidScan(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	values := intValues(10 * CancelCheckInterval)
+	op := &cancelAfter{Operator: values, n: 10, cancel: cancel}
+	_, err := CollectContext(NewContext(ctx), op)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	produced := values.Stats().Rows
+	if produced < 10 || produced > 10+CancelCheckInterval {
+		t.Fatalf("scan produced %d rows; want cancellation within %d rows of the trigger",
+			produced, CancelCheckInterval)
+	}
+}
+
+func TestPreCancelledContextFailsFast(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Three rows never reach the row-batch poll interval; the unconditional
+	// entry check must still fail the statement.
+	tracked := &closeTracker{Operator: intValues(3)}
+	rows, err := CollectContext(NewContext(ctx), tracked)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("got %d rows from a cancelled statement", len(rows))
+	}
+	if tracked.opened {
+		t.Fatal("operator opened despite pre-cancelled context")
+	}
+}
+
+func TestDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := CollectContext(NewContext(ctx), intValues(3))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCancelMidHashJoinBuild(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	left := &closeTracker{Operator: intValues(4)}
+	buildInput := &closeTracker{Operator: intValues(10 * CancelCheckInterval)}
+	right := &cancelAfter{Operator: buildInput, n: 5, cancel: cancel}
+	join := NewHashJoin(left, right,
+		[]*Compiled{colRef(t, "n", left.Schema())},
+		[]*Compiled{colRef(t, "n", buildInput.Schema())})
+	_, err := CollectContext(NewContext(ctx), join)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The join's Open failed mid-build after opening both children; the
+	// collector must still cascade Close through the whole tree.
+	if !left.opened || !buildInput.opened {
+		t.Fatal("join children were not opened before the build cancellation")
+	}
+	if !left.closed || !buildInput.closed {
+		t.Fatalf("leaked open operators after cancelled build: left closed=%v right closed=%v",
+			left.closed, buildInput.closed)
+	}
+}
+
+func TestCancelMidNestedLoopProbe(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	left := &closeTracker{Operator: intValues(50)}
+	right := &closeTracker{Operator: intValues(100)}
+	join := NewNestedLoopJoin(left, right, nil) // cross join: 5000 inner iterations
+	op := &cancelAfter{Operator: join, n: 5, cancel: cancel}
+	_, err := CollectContext(NewContext(ctx), op)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if join.Stats().Rows >= 5000 {
+		t.Fatal("cross join ran to completion despite cancellation")
+	}
+	if !left.closed || !right.closed {
+		t.Fatalf("leaked open operators: left closed=%v right closed=%v", left.closed, right.closed)
+	}
+}
+
+func TestExplainAnalyzeCounters(t *testing.T) {
+	values := intValues(5)
+	limit := NewLimit(values, 3)
+	ec := Background().WithTiming()
+	rows, err := CollectContext(ec, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	out := ExplainAnalyze(limit)
+	if !strings.Contains(out, "Limit 3  (rows=3") {
+		t.Fatalf("EXPLAIN ANALYZE missing limit counters:\n%s", out)
+	}
+	if !strings.Contains(out, "Values (5 rows)  (rows=3") {
+		t.Fatalf("EXPLAIN ANALYZE missing values counters:\n%s", out)
+	}
+	totals := ec.Totals()
+	if totals.OpRows != 6 { // 3 from the values leaf + 3 from the limit
+		t.Fatalf("statement OpRows = %d, want 6", totals.OpRows)
+	}
+}

@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"context"
+	"time"
+)
+
+// CancelCheckInterval is the row-batch granularity of cooperative
+// cancellation: row-producing leaf operators poll the statement context
+// once every this many Next calls, so long scans, join builds, and
+// zoom-in re-executions abort promptly without paying a context poll on
+// every row.
+const CancelCheckInterval = 32
+
+// StatementTotals are the statement-wide execution counters accumulated
+// across every operator of one statement's plan.
+type StatementTotals struct {
+	// OpRows is the total number of rows produced by all operators
+	// (intermediate rows included) — a proxy for pipeline work.
+	OpRows int64
+	// Merges counts envelope merge/combine operations (joins, grouping,
+	// duplicate elimination).
+	Merges int64
+	// Curates counts envelope curation operations (projection coverage
+	// remapping).
+	Curates int64
+}
+
+// ExecContext is the per-statement execution context threaded through
+// every Operator.Open/Next call. It carries the caller's cancellation
+// context, the per-statement runtime statistics collector, and — when the
+// under-the-hood trace is requested — the per-statement trace sink.
+//
+// One ExecContext belongs to exactly one statement execution on one
+// goroutine; it is not safe for concurrent use. A nil *ExecContext is
+// tolerated everywhere (no cancellation, no stats, no trace), which keeps
+// ad-hoc operator drivers in tests simple.
+type ExecContext struct {
+	ctx    context.Context
+	calls  int
+	timed  bool
+	trace  *TraceSink
+	totals StatementTotals
+	start  time.Time
+}
+
+// NewContext creates an execution context over ctx (nil means
+// context.Background()).
+func NewContext(ctx context.Context) *ExecContext {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &ExecContext{ctx: ctx, start: time.Now()}
+}
+
+// Background is a context with no cancellation, for tests and internal
+// drivers.
+func Background() *ExecContext { return NewContext(context.Background()) }
+
+// WithTrace attaches a fresh per-statement trace sink and returns ec.
+func (ec *ExecContext) WithTrace() *ExecContext {
+	ec.trace = &TraceSink{}
+	return ec
+}
+
+// WithTiming enables per-operator wall-time collection (EXPLAIN ANALYZE)
+// and returns ec. Timing is opt-in because it costs two clock reads per
+// operator per row.
+func (ec *ExecContext) WithTiming() *ExecContext {
+	ec.timed = true
+	return ec
+}
+
+// Context returns the underlying cancellation context.
+func (ec *ExecContext) Context() context.Context {
+	if ec == nil {
+		return context.Background()
+	}
+	return ec.ctx
+}
+
+// Tracing reports whether the under-the-hood trace is being collected.
+func (ec *ExecContext) Tracing() bool { return ec != nil && ec.trace != nil }
+
+// TraceEntries returns the accumulated trace entries (nil when tracing was
+// not enabled).
+func (ec *ExecContext) TraceEntries() []TraceEntry {
+	if ec == nil || ec.trace == nil {
+		return nil
+	}
+	return ec.trace.Entries()
+}
+
+// Totals returns the statement-wide counters accumulated so far.
+func (ec *ExecContext) Totals() StatementTotals {
+	if ec == nil {
+		return StatementTotals{}
+	}
+	return ec.totals
+}
+
+// Elapsed is the wall time since the context was created.
+func (ec *ExecContext) Elapsed() time.Duration {
+	if ec == nil {
+		return 0
+	}
+	return time.Since(ec.start)
+}
+
+// Err polls the underlying context unconditionally — used at statement
+// entry so an already-cancelled or expired context fails fast regardless
+// of input size.
+func (ec *ExecContext) Err() error {
+	if ec == nil {
+		return nil
+	}
+	return ec.ctx.Err()
+}
+
+// checkCancel is the row-batch cancellation poll called by row-producing
+// leaf operators on every Next: the shared call counter keeps the poll
+// rate bounded at one context check per CancelCheckInterval rows across
+// the whole plan.
+func (ec *ExecContext) checkCancel() error {
+	if ec == nil {
+		return nil
+	}
+	ec.calls++
+	if ec.calls%CancelCheckInterval != 0 {
+		return nil
+	}
+	return ec.ctx.Err()
+}
+
+// ---- per-operator instrumentation ----
+
+// OpStats are the runtime counters of one operator instance, surfaced by
+// EXPLAIN ANALYZE.
+type OpStats struct {
+	// Rows produced by Next over the operator's lifetime.
+	Rows int64
+	// Merges counts envelope merge/combine operations performed here.
+	Merges int64
+	// Curates counts envelope curation (coverage remap) operations.
+	Curates int64
+	// Wall is cumulative time spent inside Next, inclusive of children.
+	// Collected only when the context enables timing.
+	Wall time.Duration
+}
+
+// Instrumented is implemented by operators exposing runtime counters; all
+// operators in this package implement it via the embedded instr.
+type Instrumented interface {
+	Stats() OpStats
+}
+
+// instr is the embedded per-operator stats carrier.
+type instr struct {
+	st OpStats
+}
+
+// Stats implements Instrumented.
+func (i *instr) Stats() OpStats { return i.st }
+
+// begin starts a wall-time measurement when timing is enabled.
+func (i *instr) begin(ec *ExecContext) time.Time {
+	if ec == nil || !ec.timed {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// produced records a Next outcome: a row (nil at end of stream) and the
+// elapsed wall time when timing is enabled.
+func (i *instr) produced(ec *ExecContext, start time.Time, row *Row) {
+	if row != nil {
+		i.st.Rows++
+		if ec != nil {
+			ec.totals.OpRows++
+		}
+	}
+	if ec != nil && ec.timed {
+		i.st.Wall += time.Since(start)
+	}
+}
+
+// merged records one envelope merge/combine operation.
+func (i *instr) merged(ec *ExecContext) {
+	i.st.Merges++
+	if ec != nil {
+		ec.totals.Merges++
+	}
+}
+
+// curated records one envelope curation operation.
+func (i *instr) curated(ec *ExecContext) {
+	i.st.Curates++
+	if ec != nil {
+		ec.totals.Curates++
+	}
+}

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Described is implemented by operators that can report their role and
@@ -33,6 +34,38 @@ func explainInto(b *strings.Builder, op Operator, depth int) {
 		return
 	}
 	fmt.Fprintf(b, "%T\n", op)
+}
+
+// ExplainAnalyze renders the operator tree rooted at op after execution,
+// annotating each node with its runtime counters: rows produced, envelope
+// merge and curate operations, and wall time spent inside the operator
+// (inclusive of children; collected when the statement context enabled
+// timing). This is the EXPLAIN ANALYZE rendering.
+func ExplainAnalyze(op Operator) string {
+	var b strings.Builder
+	explainAnalyzeInto(&b, op, 0)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func explainAnalyzeInto(b *strings.Builder, op Operator, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	d, described := op.(Described)
+	if described {
+		b.WriteString(d.Describe())
+	} else {
+		fmt.Fprintf(b, "%T", op)
+	}
+	if in, ok := op.(Instrumented); ok {
+		st := in.Stats()
+		fmt.Fprintf(b, "  (rows=%d merges=%d curates=%d time=%s)",
+			st.Rows, st.Merges, st.Curates, st.Wall.Round(time.Microsecond))
+	}
+	b.WriteByte('\n')
+	if described {
+		for _, child := range d.Children() {
+			explainAnalyzeInto(b, child, depth+1)
+		}
+	}
 }
 
 // Describe implements Described.

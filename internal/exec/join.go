@@ -10,6 +10,7 @@ import (
 // side's column coverage shifted past the left width — the paper's
 // summary-merging join operator (Figure 2, step 3).
 type HashJoin struct {
+	instr
 	left, right         Operator
 	leftKeys, rightKeys []*Compiled
 	schema              types.Schema
@@ -37,16 +38,18 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []*Compiled) *HashJoi
 func (j *HashJoin) Schema() types.Schema { return j.schema }
 
 // Open implements Operator: builds the hash table over the right input.
-func (j *HashJoin) Open() error {
-	if err := j.left.Open(); err != nil {
+// Cancellation during the build aborts via the row-batch polls of the
+// right input's leaf operators.
+func (j *HashJoin) Open(ec *ExecContext) error {
+	if err := j.left.Open(ec); err != nil {
 		return err
 	}
-	if err := j.right.Open(); err != nil {
+	if err := j.right.Open(ec); err != nil {
 		return err
 	}
 	j.build = make(map[uint64][]*Row)
 	for {
-		row, err := j.right.Next()
+		row, err := j.right.Next(ec)
 		if err != nil {
 			return err
 		}
@@ -104,7 +107,8 @@ func (j *HashJoin) keysEqual(lt, rt types.Tuple) (bool, error) {
 }
 
 // Next implements Operator.
-func (j *HashJoin) Next() (*Row, error) {
+func (j *HashJoin) Next(ec *ExecContext) (*Row, error) {
+	start := j.begin(ec)
 	for {
 		if j.cur != nil && j.pendIdx < len(j.pending) {
 			right := j.pending[j.pendIdx]
@@ -117,10 +121,15 @@ func (j *HashJoin) Next() (*Row, error) {
 				continue
 			}
 			leftWidth := j.left.Schema().Len()
+			if right.Env != nil {
+				j.merged(ec)
+			}
 			env := envMerge(envClone(j.cur.Env), right.Env, leftWidth)
-			return &Row{Tuple: j.cur.Tuple.Concat(right.Tuple), Env: env}, nil
+			out := &Row{Tuple: j.cur.Tuple.Concat(right.Tuple), Env: env}
+			j.produced(ec, start, out)
+			return out, nil
 		}
-		row, err := j.left.Next()
+		row, err := j.left.Next(ec)
 		if err != nil {
 			return nil, err
 		}
@@ -154,6 +163,7 @@ func (j *HashJoin) Close() error {
 // NestedLoopJoin joins on an arbitrary condition compiled against the
 // concatenated schema. It materializes the right input once.
 type NestedLoopJoin struct {
+	instr
 	left, right Operator
 	cond        *Compiled // nil = cross join
 	schema      types.Schema
@@ -177,17 +187,18 @@ func NewNestedLoopJoin(left, right Operator, cond *Compiled) *NestedLoopJoin {
 // Schema implements Operator.
 func (j *NestedLoopJoin) Schema() types.Schema { return j.schema }
 
-// Open implements Operator.
-func (j *NestedLoopJoin) Open() error {
-	if err := j.left.Open(); err != nil {
+// Open implements Operator. Cancellation during the right-side
+// materialization aborts via the row-batch polls of its leaf operators.
+func (j *NestedLoopJoin) Open(ec *ExecContext) error {
+	if err := j.left.Open(ec); err != nil {
 		return err
 	}
-	if err := j.right.Open(); err != nil {
+	if err := j.right.Open(ec); err != nil {
 		return err
 	}
 	j.rightRows = j.rightRows[:0]
 	for {
-		row, err := j.right.Next()
+		row, err := j.right.Next(ec)
 		if err != nil {
 			return err
 		}
@@ -202,19 +213,24 @@ func (j *NestedLoopJoin) Open() error {
 }
 
 // Next implements Operator.
-func (j *NestedLoopJoin) Next() (*Row, error) {
+func (j *NestedLoopJoin) Next(ec *ExecContext) (*Row, error) {
+	start := j.begin(ec)
 	for {
 		if j.cur == nil || j.ri >= len(j.rightRows) {
-			row, err := j.left.Next()
+			row, err := j.left.Next(ec)
 			if err != nil {
 				return nil, err
 			}
 			if row == nil {
+				j.produced(ec, start, nil)
 				return nil, nil
 			}
 			j.cur = row
 			j.ri = 0
 			continue
+		}
+		if err := ec.checkCancel(); err != nil {
+			return nil, err
 		}
 		right := j.rightRows[j.ri]
 		j.ri++
@@ -229,8 +245,13 @@ func (j *NestedLoopJoin) Next() (*Row, error) {
 			}
 		}
 		leftWidth := j.left.Schema().Len()
+		if right.Env != nil {
+			j.merged(ec)
+		}
 		env := envMerge(envClone(j.cur.Env), right.Env, leftWidth)
-		return &Row{Tuple: joined, Env: env}, nil
+		out := &Row{Tuple: joined, Env: env}
+		j.produced(ec, start, out)
+		return out, nil
 	}
 }
 

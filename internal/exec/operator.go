@@ -15,14 +15,16 @@ type Row struct {
 
 // Operator is a Volcano-style iterator. Next returns (nil, nil) when the
 // stream is exhausted. Implementations own their children: Open/Close
-// cascade.
+// cascade. Open and Next receive the per-statement ExecContext, which
+// carries cancellation, runtime statistics, and the optional trace sink;
+// a nil context is tolerated (tests, internal drivers).
 type Operator interface {
 	// Schema describes the tuples the operator produces.
 	Schema() types.Schema
 	// Open prepares the operator for iteration.
-	Open() error
+	Open(ec *ExecContext) error
 	// Next produces the next row, or (nil, nil) at end of stream.
-	Next() (*Row, error)
+	Next(ec *ExecContext) (*Row, error)
 	// Close releases resources.
 	Close() error
 }

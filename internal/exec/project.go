@@ -8,6 +8,7 @@ import (
 // Filter passes rows whose predicate evaluates to true. Selection does not
 // change the summary objects (Figure 2, step 2).
 type Filter struct {
+	instr
 	child Operator
 	pred  *Compiled
 }
@@ -21,13 +22,15 @@ func NewFilter(child Operator, pred *Compiled) *Filter {
 func (f *Filter) Schema() types.Schema { return f.child.Schema() }
 
 // Open implements Operator.
-func (f *Filter) Open() error { return f.child.Open() }
+func (f *Filter) Open(ec *ExecContext) error { return f.child.Open(ec) }
 
 // Next implements Operator.
-func (f *Filter) Next() (*Row, error) {
+func (f *Filter) Next(ec *ExecContext) (*Row, error) {
+	start := f.begin(ec)
 	for {
-		row, err := f.child.Next()
+		row, err := f.child.Next(ec)
 		if err != nil || row == nil {
+			f.produced(ec, start, nil)
 			return nil, err
 		}
 		v, err := f.pred.Eval(row.Tuple)
@@ -35,6 +38,7 @@ func (f *Filter) Next() (*Row, error) {
 			return nil, err
 		}
 		if v.Truthy() {
+			f.produced(ec, start, row)
 			return row, nil
 		}
 	}
@@ -56,6 +60,7 @@ type ProjectItem struct {
 // column it covers; annotations covering no surviving column are
 // eliminated from the summary objects (Figure 2, step 1).
 type Project struct {
+	instr
 	child   Operator
 	items   []ProjectItem
 	schema  types.Schema
@@ -86,12 +91,14 @@ func NewProject(child Operator, items []ProjectItem) *Project {
 func (p *Project) Schema() types.Schema { return p.schema }
 
 // Open implements Operator.
-func (p *Project) Open() error { return p.child.Open() }
+func (p *Project) Open(ec *ExecContext) error { return p.child.Open(ec) }
 
 // Next implements Operator.
-func (p *Project) Next() (*Row, error) {
-	row, err := p.child.Next()
+func (p *Project) Next(ec *ExecContext) (*Row, error) {
+	start := p.begin(ec)
+	row, err := p.child.Next(ec)
 	if err != nil || row == nil {
+		p.produced(ec, start, nil)
 		return nil, err
 	}
 	out := make(types.Tuple, len(p.items))
@@ -102,7 +109,12 @@ func (p *Project) Next() (*Row, error) {
 		}
 		out[i] = v
 	}
-	return &Row{Tuple: out, Env: envRemap(row.Env, p.mapping)}, nil
+	if row.Env != nil {
+		p.curated(ec)
+	}
+	res := &Row{Tuple: out, Env: envRemap(row.Env, p.mapping)}
+	p.produced(ec, start, res)
+	return res, nil
 }
 
 // Close implements Operator.
@@ -110,6 +122,7 @@ func (p *Project) Close() error { return p.child.Close() }
 
 // Limit passes through at most n rows.
 type Limit struct {
+	instr
 	child Operator
 	n     int
 	seen  int
@@ -122,18 +135,21 @@ func NewLimit(child Operator, n int) *Limit { return &Limit{child: child, n: n} 
 func (l *Limit) Schema() types.Schema { return l.child.Schema() }
 
 // Open implements Operator.
-func (l *Limit) Open() error { l.seen = 0; return l.child.Open() }
+func (l *Limit) Open(ec *ExecContext) error { l.seen = 0; return l.child.Open(ec) }
 
 // Next implements Operator.
-func (l *Limit) Next() (*Row, error) {
+func (l *Limit) Next(ec *ExecContext) (*Row, error) {
 	if l.seen >= l.n {
 		return nil, nil
 	}
-	row, err := l.child.Next()
+	start := l.begin(ec)
+	row, err := l.child.Next(ec)
 	if err != nil || row == nil {
+		l.produced(ec, start, nil)
 		return nil, err
 	}
 	l.seen++
+	l.produced(ec, start, row)
 	return row, nil
 }
 

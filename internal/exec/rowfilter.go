@@ -12,6 +12,7 @@ import (
 // predicate observes are the ones flowing at that plan position — for
 // predicates over a base relation, the maintained (stored) summaries.
 type RowFilter struct {
+	instr
 	child Operator
 	pred  *Compiled // compiled with CompileRow
 }
@@ -25,13 +26,15 @@ func NewRowFilter(child Operator, pred *Compiled) *RowFilter {
 func (f *RowFilter) Schema() types.Schema { return f.child.Schema() }
 
 // Open implements Operator.
-func (f *RowFilter) Open() error { return f.child.Open() }
+func (f *RowFilter) Open(ec *ExecContext) error { return f.child.Open(ec) }
 
 // Next implements Operator.
-func (f *RowFilter) Next() (*Row, error) {
+func (f *RowFilter) Next(ec *ExecContext) (*Row, error) {
+	start := f.begin(ec)
 	for {
-		row, err := f.child.Next()
+		row, err := f.child.Next(ec)
 		if err != nil || row == nil {
+			f.produced(ec, start, nil)
 			return nil, err
 		}
 		v, err := f.pred.EvalRow(row)
@@ -39,6 +42,7 @@ func (f *RowFilter) Next() (*Row, error) {
 			return nil, err
 		}
 		if v.Truthy() {
+			f.produced(ec, start, row)
 			return row, nil
 		}
 	}
@@ -51,6 +55,7 @@ func (f *RowFilter) Close() error { return f.child.Close() }
 // "sorting the data tuples according to summary-based predicates". Keys
 // are evaluated over the rows as reported (post-projection summaries).
 type RowSort struct {
+	instr
 	child Operator
 	keys  []SortKey // Exprs compiled with CompileRow
 	out   []*Row
@@ -66,8 +71,8 @@ func NewRowSort(child Operator, keys []SortKey) *RowSort {
 func (s *RowSort) Schema() types.Schema { return s.child.Schema() }
 
 // Open implements Operator.
-func (s *RowSort) Open() error {
-	if err := s.child.Open(); err != nil {
+func (s *RowSort) Open(ec *ExecContext) error {
+	if err := s.child.Open(ec); err != nil {
 		return err
 	}
 	s.out = s.out[:0]
@@ -77,7 +82,7 @@ func (s *RowSort) Open() error {
 	}
 	var rows []keyed
 	for {
-		row, err := s.child.Next()
+		row, err := s.child.Next(ec)
 		if err != nil {
 			return err
 		}
@@ -115,12 +120,14 @@ func (s *RowSort) Open() error {
 }
 
 // Next implements Operator.
-func (s *RowSort) Next() (*Row, error) {
+func (s *RowSort) Next(ec *ExecContext) (*Row, error) {
 	if s.pos >= len(s.out) {
 		return nil, nil
 	}
+	start := s.begin(ec)
 	r := s.out[s.pos]
 	s.pos++
+	s.produced(ec, start, r)
 	return r, nil
 }
 

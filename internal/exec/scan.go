@@ -19,6 +19,7 @@ type EnvelopeSource interface {
 // Scan is a full-table scan producing rows under an alias, each carrying a
 // clone of its stored summary envelope.
 type Scan struct {
+	instr
 	table  *catalog.Table
 	alias  string
 	envs   EnvelopeSource
@@ -48,7 +49,10 @@ func (s *Scan) Schema() types.Schema { return s.schema }
 
 // Open implements Operator: it snapshots the table's rows so concurrent
 // DML does not disturb the iteration.
-func (s *Scan) Open() error {
+func (s *Scan) Open(ec *ExecContext) error {
+	if err := ec.Err(); err != nil {
+		return err
+	}
 	s.rows = s.rows[:0]
 	s.tups = s.tups[:0]
 	s.pos = 0
@@ -60,17 +64,23 @@ func (s *Scan) Open() error {
 }
 
 // Next implements Operator.
-func (s *Scan) Next() (*Row, error) {
+func (s *Scan) Next(ec *ExecContext) (*Row, error) {
+	if err := ec.checkCancel(); err != nil {
+		return nil, err
+	}
 	if s.pos >= len(s.rows) {
 		return nil, nil
 	}
+	start := s.begin(ec)
 	i := s.pos
 	s.pos++
 	var env *summary.Envelope
 	if s.envs != nil {
 		env = envClone(s.envs.EnvelopeFor(s.table.Name(), s.rows[i]))
 	}
-	return &Row{Tuple: s.tups[i], Env: env}, nil
+	row := &Row{Tuple: s.tups[i], Env: env}
+	s.produced(ec, start, row)
+	return row, nil
 }
 
 // Close implements Operator.
@@ -83,6 +93,7 @@ func (s *Scan) Close() error {
 // IndexScan produces the rows of tbl whose column equals a constant, via a
 // secondary index.
 type IndexScan struct {
+	instr
 	table  *catalog.Table
 	alias  string
 	col    string
@@ -114,7 +125,10 @@ func NewIndexScan(tbl *catalog.Table, alias, col string, val types.Value, envs E
 func (s *IndexScan) Schema() types.Schema { return s.schema }
 
 // Open implements Operator.
-func (s *IndexScan) Open() error {
+func (s *IndexScan) Open(ec *ExecContext) error {
+	if err := ec.Err(); err != nil {
+		return err
+	}
 	rows, err := s.table.LookupByIndex(s.col, s.val)
 	if err != nil {
 		return err
@@ -125,8 +139,12 @@ func (s *IndexScan) Open() error {
 }
 
 // Next implements Operator.
-func (s *IndexScan) Next() (*Row, error) {
+func (s *IndexScan) Next(ec *ExecContext) (*Row, error) {
+	if err := ec.checkCancel(); err != nil {
+		return nil, err
+	}
 	for s.pos < len(s.rows) {
+		start := s.begin(ec)
 		row := s.rows[s.pos]
 		s.pos++
 		tu, err := s.table.Get(row)
@@ -137,7 +155,9 @@ func (s *IndexScan) Next() (*Row, error) {
 		if s.envs != nil {
 			env = envClone(s.envs.EnvelopeFor(s.table.Name(), row))
 		}
-		return &Row{Tuple: tu, Env: env}, nil
+		out := &Row{Tuple: tu, Env: env}
+		s.produced(ec, start, out)
+		return out, nil
 	}
 	return nil, nil
 }
@@ -151,6 +171,7 @@ func (s *IndexScan) Close() error {
 // IndexRangeScan produces the rows of tbl whose indexed column lies in a
 // value range, via a B+tree range scan. Nil bounds are open.
 type IndexRangeScan struct {
+	instr
 	table  *catalog.Table
 	alias  string
 	col    string
@@ -183,7 +204,10 @@ func NewIndexRangeScan(tbl *catalog.Table, alias, col string, lo, hi *types.Valu
 func (s *IndexRangeScan) Schema() types.Schema { return s.schema }
 
 // Open implements Operator.
-func (s *IndexRangeScan) Open() error {
+func (s *IndexRangeScan) Open(ec *ExecContext) error {
+	if err := ec.Err(); err != nil {
+		return err
+	}
 	rows, err := s.table.LookupByIndexRange(s.col, s.lo, s.hi, s.loInc, s.hiInc)
 	if err != nil {
 		return err
@@ -194,8 +218,12 @@ func (s *IndexRangeScan) Open() error {
 }
 
 // Next implements Operator.
-func (s *IndexRangeScan) Next() (*Row, error) {
+func (s *IndexRangeScan) Next(ec *ExecContext) (*Row, error) {
+	if err := ec.checkCancel(); err != nil {
+		return nil, err
+	}
 	for s.pos < len(s.rows) {
+		start := s.begin(ec)
 		row := s.rows[s.pos]
 		s.pos++
 		tu, err := s.table.Get(row)
@@ -206,7 +234,9 @@ func (s *IndexRangeScan) Next() (*Row, error) {
 		if s.envs != nil {
 			env = envClone(s.envs.EnvelopeFor(s.table.Name(), row))
 		}
-		return &Row{Tuple: tu, Env: env}, nil
+		out := &Row{Tuple: tu, Env: env}
+		s.produced(ec, start, out)
+		return out, nil
 	}
 	return nil, nil
 }
@@ -243,6 +273,7 @@ func (s *IndexRangeScan) Children() []Operator { return nil }
 // ValuesOp produces a fixed in-memory row set — used by tests and by
 // zoom-in re-filtering of cached results.
 type ValuesOp struct {
+	instr
 	schema types.Schema
 	rows   []*Row
 	pos    int
@@ -257,15 +288,23 @@ func NewValues(schema types.Schema, rows []*Row) *ValuesOp {
 func (v *ValuesOp) Schema() types.Schema { return v.schema }
 
 // Open implements Operator.
-func (v *ValuesOp) Open() error { v.pos = 0; return nil }
+func (v *ValuesOp) Open(ec *ExecContext) error {
+	v.pos = 0
+	return ec.Err()
+}
 
 // Next implements Operator.
-func (v *ValuesOp) Next() (*Row, error) {
+func (v *ValuesOp) Next(ec *ExecContext) (*Row, error) {
+	if err := ec.checkCancel(); err != nil {
+		return nil, err
+	}
 	if v.pos >= len(v.rows) {
 		return nil, nil
 	}
+	start := v.begin(ec)
 	r := v.rows[v.pos]
 	v.pos++
+	v.produced(ec, start, r)
 	return r, nil
 }
 

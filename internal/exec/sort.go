@@ -16,6 +16,7 @@ type SortKey struct {
 // equal keys preserve input order, and it does not touch summary envelopes
 // (ordering is a pure data operation).
 type Sort struct {
+	instr
 	child Operator
 	keys  []SortKey
 	out   []*Row
@@ -31,8 +32,8 @@ func NewSort(child Operator, keys []SortKey) *Sort {
 func (s *Sort) Schema() types.Schema { return s.child.Schema() }
 
 // Open implements Operator.
-func (s *Sort) Open() error {
-	if err := s.child.Open(); err != nil {
+func (s *Sort) Open(ec *ExecContext) error {
+	if err := s.child.Open(ec); err != nil {
 		return err
 	}
 	s.out = s.out[:0]
@@ -42,7 +43,7 @@ func (s *Sort) Open() error {
 	}
 	var rows []keyed
 	for {
-		row, err := s.child.Next()
+		row, err := s.child.Next(ec)
 		if err != nil {
 			return err
 		}
@@ -80,12 +81,14 @@ func (s *Sort) Open() error {
 }
 
 // Next implements Operator.
-func (s *Sort) Next() (*Row, error) {
+func (s *Sort) Next(ec *ExecContext) (*Row, error) {
 	if s.pos >= len(s.out) {
 		return nil, nil
 	}
+	start := s.begin(ec)
 	r := s.out[s.pos]
 	s.pos++
+	s.produced(ec, start, r)
 	return r, nil
 }
 
@@ -95,16 +98,29 @@ func (s *Sort) Close() error {
 	return s.child.Close()
 }
 
-// Collect drains an operator into a row slice, opening and closing it.
-// It is the execution entry point used by the engine and tests.
+// Collect drains an operator into a row slice under a background context —
+// the convenience entry point for tests and internal drivers.
 func Collect(op Operator) ([]*Row, error) {
-	if err := op.Open(); err != nil {
+	return CollectContext(nil, op)
+}
+
+// CollectContext drains an operator into a row slice under ec, opening and
+// closing it. It is the execution entry point used by the engine: the
+// context is checked up front so an already-cancelled statement fails fast,
+// and Close cascades even when Open fails partway (a join may have opened
+// its children before its build was cancelled).
+func CollectContext(ec *ExecContext, op Operator) ([]*Row, error) {
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	if err := op.Open(ec); err != nil {
+		op.Close()
 		return nil, err
 	}
 	defer op.Close()
 	var out []*Row
 	for {
-		row, err := op.Next()
+		row, err := op.Next(ec)
 		if err != nil {
 			return nil, err
 		}

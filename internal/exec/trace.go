@@ -1,8 +1,6 @@
 package exec
 
 import (
-	"sync"
-
 	"insightnotes/internal/types"
 )
 
@@ -17,56 +15,58 @@ type TraceEntry struct {
 	Summary string // rendered envelope; empty when the row carries none
 }
 
-// TraceSink accumulates trace entries from the operators of one query.
+// TraceSink accumulates trace entries from the operators of one query. It
+// is owned by the statement's ExecContext: one sink per statement, written
+// from the single goroutine executing that statement, so no locking is
+// needed and concurrent queries can never interleave each other's traces.
 type TraceSink struct {
-	mu      sync.Mutex
 	entries []TraceEntry
 }
 
 // Add appends one entry.
 func (s *TraceSink) Add(e TraceEntry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.entries = append(s.entries, e)
 }
 
 // Entries returns the accumulated entries in observation order.
 func (s *TraceSink) Entries() []TraceEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return append([]TraceEntry(nil), s.entries...)
 }
 
 // Trace is a transparent operator that logs every row passing a pipeline
-// stage into a sink.
+// stage into the statement's trace sink (carried by the ExecContext). When
+// the executing statement has no sink attached, rows pass through
+// untouched.
 type Trace struct {
+	instr
 	child Operator
 	stage string
-	sink  *TraceSink
 }
 
 // NewTrace wraps child, logging rows under the given stage label.
-func NewTrace(child Operator, stage string, sink *TraceSink) *Trace {
-	return &Trace{child: child, stage: stage, sink: sink}
+func NewTrace(child Operator, stage string) *Trace {
+	return &Trace{child: child, stage: stage}
 }
 
 // Schema implements Operator.
 func (t *Trace) Schema() types.Schema { return t.child.Schema() }
 
 // Open implements Operator.
-func (t *Trace) Open() error { return t.child.Open() }
+func (t *Trace) Open(ec *ExecContext) error { return t.child.Open(ec) }
 
 // Next implements Operator.
-func (t *Trace) Next() (*Row, error) {
-	row, err := t.child.Next()
+func (t *Trace) Next(ec *ExecContext) (*Row, error) {
+	row, err := t.child.Next(ec)
 	if err != nil || row == nil {
 		return row, err
 	}
-	entry := TraceEntry{Stage: t.stage, Tuple: row.Tuple.Clone()}
-	if row.Env != nil && !row.Env.IsEmpty() {
-		entry.Summary = row.Env.Render()
+	if ec != nil && ec.trace != nil {
+		entry := TraceEntry{Stage: t.stage, Tuple: row.Tuple.Clone()}
+		if row.Env != nil && !row.Env.IsEmpty() {
+			entry.Summary = row.Env.Render()
+		}
+		ec.trace.Add(entry)
 	}
-	t.sink.Add(entry)
 	return row, nil
 }
 

@@ -30,7 +30,9 @@ type Options struct {
 	// Trace, when set, wraps every pipeline stage with a logging operator
 	// so intermediate tuples and their summary objects can be visualized —
 	// the demonstration's "under-the-hood execution" feature (Figure 5).
-	Trace *exec.TraceSink
+	// The entries land in the per-statement sink owned by the ExecContext
+	// the plan is executed under.
+	Trace bool
 }
 
 // Planner compiles SELECT statements into operator trees.
@@ -628,10 +630,10 @@ func (p *Planner) summaryPredBindsTo(e sql.Expr, r *relation, rels []*relation) 
 
 // trace wraps op with a logging stage when tracing is enabled.
 func (p *Planner) trace(op exec.Operator, stage string) exec.Operator {
-	if p.opts.Trace == nil {
+	if !p.opts.Trace {
 		return op
 	}
-	return exec.NewTrace(op, stage, p.opts.Trace)
+	return exec.NewTrace(op, stage)
 }
 
 func andExpr(a, b sql.Expr) sql.Expr {

@@ -9,17 +9,22 @@
 // QID, result columns, and rows with their rendered summary objects and
 // zoom labels.
 //
-// Statements execute under a server-wide mutex: the engine is a
-// single-writer system and the server provides statement-level isolation.
+// Statements execute directly against the engine's statement-level
+// reader/writer lock: reads (SELECT, SHOW, EXPLAIN, ZOOMIN) from separate
+// connections run concurrently, writes are exclusive. Each statement runs
+// under its own context; an optional per-statement deadline
+// (Server.StatementTimeout) aborts runaway queries with a timeout error.
 package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"insightnotes/internal/engine"
 	"insightnotes/internal/types"
@@ -42,6 +47,9 @@ type Response struct {
 	Columns []string   `json:"columns,omitempty"`
 	Rows    []RowJSON  `json:"rows,omitempty"`
 	Trace   []TraceRow `json:"trace,omitempty"`
+	// Stats is the per-statement runtime summary line (rows, wall time,
+	// envelope operations) for statements that report one.
+	Stats string `json:"stats,omitempty"`
 }
 
 // RowJSON is one result row on the wire.
@@ -64,10 +72,19 @@ type TraceRow struct {
 type Server struct {
 	db *engine.DB
 
-	mu       sync.Mutex // serializes statement execution
+	// StatementTimeout, when positive, bounds each statement's execution:
+	// the statement's context expires after this duration and the engine
+	// aborts it at its next cancellation poll. Set before Listen.
+	StatementTimeout time.Duration
+
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   chan struct{}
+
+	// testHookExec, when set, is invoked at the top of every statement
+	// execution — before the engine is entered — so tests can observe and
+	// synchronize concurrent statements deterministically.
+	testHookExec func(Request)
 }
 
 // New creates a server over db.
@@ -140,21 +157,33 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// execute runs one statement under the server mutex.
+// execute runs one statement under a fresh per-statement context.
+// Concurrency control lives in the engine's statement-level reader/writer
+// lock, so read statements from different connections overlap.
 func (s *Server) execute(req Request) Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.testHookExec != nil {
+		s.testHookExec(req)
+	}
+	ctx := context.Background()
+	if s.StatementTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.StatementTimeout)
+		defer cancel()
+	}
 	var res *engine.Result
 	var err error
 	if req.Trace {
-		res, err = s.db.QueryTraced(req.Stmt)
+		res, err = s.db.QueryTracedContext(ctx, req.Stmt)
 	} else {
-		res, err = s.db.Exec(req.Stmt)
+		res, err = s.db.ExecContext(ctx, req.Stmt)
 	}
 	if err != nil {
 		return Response{Error: err.Error()}
 	}
 	resp := Response{OK: true, Message: res.Message, QID: res.QID}
+	if res.Stats != nil {
+		resp.Stats = res.Stats.String()
+	}
 	for _, c := range res.Schema.Columns {
 		resp.Columns = append(resp.Columns, c.QualifiedName())
 	}

@@ -193,10 +193,13 @@ type Insert struct {
 	Rows  [][]Expr
 }
 
-// Explain is EXPLAIN SELECT ...: report the physical plan (the operator
-// tree with its summary-manipulation stages) without executing it.
+// Explain is EXPLAIN [ANALYZE] SELECT ...: report the physical plan (the
+// operator tree with its summary-manipulation stages). With ANALYZE the
+// query is executed and each operator is annotated with its runtime
+// statistics (rows produced, envelope merges/curates, wall time).
 type Explain struct {
-	Query *Select
+	Query   *Select
+	Analyze bool
 }
 
 // Update is UPDATE table SET col = expr, ... [WHERE cond]. Annotations
@@ -449,7 +452,12 @@ func (s *Select) String() string {
 }
 
 // String implements Statement.
-func (s *Explain) String() string { return "EXPLAIN " + s.Query.String() }
+func (s *Explain) String() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + s.Query.String()
+	}
+	return "EXPLAIN " + s.Query.String()
+}
 
 // String implements Statement.
 func (s *Update) String() string {

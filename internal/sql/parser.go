@@ -159,14 +159,15 @@ func (p *Parser) parseStatement() (Statement, error) {
 	switch {
 	case p.isKeyword("EXPLAIN"):
 		p.advance()
+		analyze := p.acceptKeyword("ANALYZE")
 		if !p.isKeyword("SELECT") {
-			return nil, p.errf("EXPLAIN supports SELECT statements")
+			return nil, p.errf("EXPLAIN supports [ANALYZE] SELECT statements")
 		}
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Query: sel.(*Select)}, nil
+		return &Explain{Query: sel.(*Select), Analyze: analyze}, nil
 	case p.isKeyword("SELECT"):
 		return p.parseSelect()
 	case p.isKeyword("CREATE"):

@@ -430,3 +430,22 @@ func TestParseKeywordAsIdentifierRejected(t *testing.T) {
 	mustFail(t, "CREATE TABLE select (a INT)")
 	mustFail(t, "SELECT from FROM t")
 }
+
+func TestParseExplain(t *testing.T) {
+	s := mustParse(t, "EXPLAIN SELECT a FROM t")
+	ex, ok := s.(*Explain)
+	if !ok || ex.Analyze {
+		t.Fatalf("got %#v, want plain Explain", s)
+	}
+	s = mustParse(t, "EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1")
+	ex, ok = s.(*Explain)
+	if !ok || !ex.Analyze {
+		t.Fatalf("got %#v, want Explain{Analyze: true}", s)
+	}
+	// String round-trips through the parser.
+	if got := mustParse(t, ex.String()).String(); got != ex.String() {
+		t.Errorf("round trip failed: %q vs %q", got, ex.String())
+	}
+	mustFail(t, "EXPLAIN ANALYZE INSERT INTO t VALUES (1)")
+	mustFail(t, "EXPLAIN ANALYZE ANALYZE SELECT a FROM t")
+}

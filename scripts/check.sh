@@ -1,0 +1,10 @@
+#!/bin/sh
+# Pre-merge gate: go vet plus the full test suite under the race detector.
+# Equivalent to `make check`, for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+echo ">> go vet ./..."
+go vet ./...
+echo ">> go test -race ./..."
+go test -race ./...
+echo "OK"
