@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check vet race
+.PHONY: build test bench bench-metrics check vet race
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,10 @@ check: vet race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-metrics measures observability overhead: the raw registry hot paths
+# and the end-to-end statement cost with metrics on vs off. Numbers are
+# recorded in EXPERIMENTS.md (E12) with a ≤5% end-to-end budget.
+bench-metrics:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/metrics/
+	$(GO) test -bench='BenchmarkInstrumentationOverhead|BenchmarkConcurrentReaders' -benchmem -run=^$$ .

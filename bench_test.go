@@ -377,6 +377,34 @@ func BenchmarkConcurrentReaders(b *testing.B) {
 	}
 }
 
+// BenchmarkInstrumentationOverhead quantifies the metrics hot-path cost:
+// the same scan-heavy query stream with the registry enabled (default) and
+// disabled (Config.DisableMetrics). The on/off delta is the per-statement
+// price of statement counters, latency histograms, per-operator folding,
+// and sampled timing — recorded in EXPERIMENTS.md with a ≤5% budget.
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	for name, disable := range map[string]bool{"metricsOn": false, "metricsOff": true} {
+		b.Run(name, func(b *testing.B) {
+			db, err := engine.Open(engine.Config{CacheDir: b.TempDir(), DisableMetrics: disable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := workload.New(10)
+			if _, err := populate.Birds(db, g, populate.BirdCorpusSpec{
+				Tuples: 16, AnnotationsPerTuple: 8, TrainPerClass: 8,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query("SELECT id, name, wingspan FROM birds WHERE id <= 8"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // eqID builds the predicate `id = n` for programmatic annotation targets.
 func eqID(n int) sql.Expr {
 	return &sql.BinaryExpr{

@@ -77,6 +77,7 @@ InsightNotes extensions:
   LINK SUMMARY name TO table;   UNLINK SUMMARY name FROM table;
   ZOOMIN REFERENCE QID n [WHERE cond] ON instance INDEX k;
   SHOW TABLES; SHOW SUMMARIES; SHOW ANNOTATIONS ON table;
+  SHOW METRICS [LIKE 'insightnotes_zoomin_%'];
 REPL commands:
   \trace SELECT ...;   run a query with the per-operator summary trace
   \stats               zoom-in cache statistics

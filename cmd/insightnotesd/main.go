@@ -6,17 +6,23 @@
 // Usage:
 //
 //	insightnotesd [-addr :7090] [-snapshot db.json] [-demo] [-stmt-timeout 30s]
+//	              [-metrics-addr 127.0.0.1:7091] [-slow-query-ms 250] [-slow-query-log slow.jsonl]
 //
 // With -snapshot the server loads the file at startup (if it exists) and
-// writes it back on SIGINT/SIGTERM shutdown.
+// writes it back on SIGINT/SIGTERM shutdown. With -metrics-addr an HTTP
+// sidecar serves Prometheus metrics at /metrics and the pprof suite under
+// /debug/pprof/. With -slow-query-ms statements at or above the threshold
+// are logged as JSON lines to -slow-query-log (stderr by default).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"insightnotes/internal/engine"
 	"insightnotes/internal/server"
@@ -29,13 +35,31 @@ func main() {
 	snapshot := flag.String("snapshot", "", "snapshot file to load at start and save at shutdown")
 	demo := flag.Bool("demo", false, "preload the annotated ornithological demo dataset")
 	stmtTimeout := flag.Duration("stmt-timeout", 0, "per-statement execution deadline (0 disables)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics and /debug/pprof (empty disables)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "slow-query threshold in milliseconds (0 disables the slow-query log)")
+	slowQueryLog := flag.String("slow-query-log", "", "slow-query log file, JSON lines (default stderr)")
 	flag.Parse()
+
+	cfg := engine.Config{}
+	if *slowQueryMS > 0 {
+		cfg.SlowQueryThreshold = time.Duration(*slowQueryMS) * time.Millisecond
+		sinkW := os.Stderr
+		if *slowQueryLog != "" {
+			f, err := os.OpenFile(*slowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(fmt.Errorf("opening slow-query log: %w", err))
+			}
+			defer f.Close()
+			sinkW = f
+		}
+		cfg.SlowQueryLog = engine.NewJSONSlowQueryLog(sinkW)
+	}
 
 	var db *engine.DB
 	var err error
 	if *snapshot != "" {
 		if _, statErr := os.Stat(*snapshot); statErr == nil {
-			db, err = engine.LoadFile(*snapshot, engine.Config{})
+			db, err = engine.LoadFile(*snapshot, cfg)
 			if err != nil {
 				fatal(fmt.Errorf("loading %s: %w", *snapshot, err))
 			}
@@ -43,7 +67,7 @@ func main() {
 		}
 	}
 	if db == nil {
-		db, err = engine.Open(engine.Config{})
+		db, err = engine.Open(cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -56,6 +80,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("demo dataset loaded")
+	}
+
+	if *metricsAddr != "" {
+		ms := &http.Server{Addr: *metricsAddr, Handler: server.NewDebugMux(db)}
+		go func() {
+			if err := ms.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "metrics sidecar:", err)
+			}
+		}()
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", *metricsAddr)
 	}
 
 	srv := server.New(db)

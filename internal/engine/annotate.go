@@ -313,5 +313,8 @@ func (db *DB) trainClassifier(instanceName string, samples [][2]string) error {
 	db.mu.Lock()
 	delete(db.digests, instanceName)
 	db.mu.Unlock()
+	if m := db.metrics; m != nil {
+		m.retrain.Add(int64(len(samples)))
+	}
 	return nil
 }

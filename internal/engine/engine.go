@@ -13,6 +13,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"insightnotes/internal/annotation"
 	"insightnotes/internal/catalog"
@@ -40,6 +41,17 @@ type Config struct {
 	// DisableSummarizeOnce turns off the invariant-driven digest cache,
 	// for the E5 ablation.
 	DisableSummarizeOnce bool
+	// DisableMetrics turns off the metrics registry entirely: no counters
+	// are registered and every observation path is a no-op. For overhead
+	// benchmarks and minimal embedded use.
+	DisableMetrics bool
+	// SlowQueryThreshold, when positive, marks statements whose wall time
+	// reaches it as slow: they increment the slow-query counter and are
+	// emitted to SlowQueryLog.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives structured entries for slow statements (nil
+	// disables emission; the counter still counts). See NewJSONSlowQueryLog.
+	SlowQueryLog SlowQuerySink
 }
 
 // DB is one InsightNotes database instance.
@@ -68,6 +80,9 @@ type DB struct {
 	cache   *zoomin.Cache
 	queries map[int]string // QID → SQL text, for cache-miss re-execution
 	nextQID atomic.Int64
+	// metrics is the engine-wide observability registry (nil when
+	// Config.DisableMetrics is set).
+	metrics *dbMetrics
 	// annClock supplies Created timestamps deterministically when callers
 	// don't provide one.
 	annClock atomic.Int64
@@ -95,8 +110,11 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.PlanOptions.Counters == nil {
+		cfg.PlanOptions.Counters = &plan.Counters{}
+	}
 	pool := storage.NewBufferPool(storage.NewMemStore(), cfg.PoolFrames)
-	return &DB{
+	db := &DB{
 		cfg:       cfg,
 		pool:      pool,
 		cat:       catalog.New(pool),
@@ -105,7 +123,11 @@ func Open(cfg Config) (*DB, error) {
 		digests:   make(map[string]map[annotation.ID]summary.Digest),
 		cache:     cache,
 		queries:   make(map[int]string),
-	}, nil
+	}
+	if !cfg.DisableMetrics {
+		db.metrics = newDBMetrics(db)
+	}
+	return db, nil
 }
 
 // MustOpen is Open for tests and examples; it panics on error.
@@ -165,7 +187,13 @@ func (db *DB) digestFor(in *summary.Instance, a annotation.Annotation) summary.D
 		db.digests[in.Name] = byAnn
 	}
 	if d, ok := byAnn[a.ID]; ok {
+		if m := db.metrics; m != nil {
+			m.digestHits.Inc()
+		}
 		return d
+	}
+	if m := db.metrics; m != nil {
+		m.digestMisses.Inc()
 	}
 	d := in.Summarize(a)
 	byAnn[a.ID] = d

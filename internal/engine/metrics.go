@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"insightnotes/internal/exec"
+	"insightnotes/internal/metrics"
+	"insightnotes/internal/sql"
+)
+
+// timingSampleInterval is the statement sampling rate for per-operator
+// wall-time histograms. Timing costs two clock reads per operator per row,
+// so instead of paying it on every statement, every Nth statement runs with
+// timing enabled and feeds the insightnotes_exec_op_seconds histograms.
+// Counters (rows, merges, curates) are exact on every statement; only the
+// latency histograms are sampled.
+const timingSampleInterval = 16
+
+// dbMetrics owns every metric the engine registers. A nil *dbMetrics
+// (Config.DisableMetrics) turns all observation paths into no-ops; the
+// metrics package's collectors are themselves nil-safe, so the hot paths
+// stay branch-light either way.
+type dbMetrics struct {
+	reg *metrics.Registry
+
+	statements  *metrics.CounterVec   // {kind}
+	errors      *metrics.CounterVec   // {kind}
+	seconds     *metrics.HistogramVec // {kind}
+	slowQueries *metrics.Counter
+	resultRows  *metrics.Counter
+
+	opSeconds *metrics.HistogramVec // {op}, sampled
+	opRows    *metrics.CounterVec   // {op}
+	opMerges  *metrics.CounterVec   // {op}
+	opCurates *metrics.CounterVec   // {op}
+
+	digestHits   *metrics.Counter
+	digestMisses *metrics.Counter
+	retrain      *metrics.Counter
+
+	zoomRequests  *metrics.Counter
+	zoomCancelled *metrics.Counter
+
+	// sampleClock drives the timing sampling described above.
+	sampleClock atomic.Int64
+}
+
+// newDBMetrics builds the registry for db: event counters owned here, plus
+// function-backed collectors reading the engine's existing bookkeeping
+// (zoom-in cache stats, annotation store sizes, summary store sizes, plan
+// counters) at scrape time — those sources stay the single source of truth
+// and are never double-counted.
+func newDBMetrics(db *DB) *dbMetrics {
+	reg := metrics.NewRegistry()
+	m := &dbMetrics{
+		reg:        reg,
+		statements: reg.CounterVec(metrics.NameEngineStatementsTotal, "Statements executed, by statement kind.", "kind"),
+		errors:     reg.CounterVec(metrics.NameEngineStatementErrorsTotal, "Statements that returned an error, by statement kind.", "kind"),
+		seconds: reg.HistogramVec(metrics.NameEngineStatementSeconds,
+			"Statement wall time in seconds, by statement kind.", "kind", metrics.DefLatencyBuckets),
+		slowQueries: reg.Counter(metrics.NameEngineSlowQueriesTotal,
+			"Statements at or above the slow-query threshold."),
+		resultRows: reg.Counter(metrics.NameEngineResultRowsTotal,
+			"Result rows returned to callers."),
+		opSeconds: reg.HistogramVec(metrics.NameExecOpSeconds,
+			"Cumulative per-statement operator wall time in seconds, by operator type (sampled).",
+			"op", metrics.DefLatencyBuckets),
+		opRows: reg.CounterVec(metrics.NameExecOpRowsTotal,
+			"Rows produced by plan operators (intermediate rows included), by operator type.", "op"),
+		opMerges: reg.CounterVec(metrics.NameExecOpMergesTotal,
+			"Envelope merge/combine operations, by operator type.", "op"),
+		opCurates: reg.CounterVec(metrics.NameExecOpCuratesTotal,
+			"Envelope curation (coverage remap) operations, by operator type.", "op"),
+		digestHits: reg.Counter(metrics.NameSummaryDigestHitsTotal,
+			"Summarize-once digest cache hits (summarization skipped)."),
+		digestMisses: reg.Counter(metrics.NameSummaryDigestMissesTotal,
+			"Summarize-once digest cache misses (summarization performed)."),
+		retrain: reg.Counter(metrics.NameSummaryRetrainTotal,
+			"Classifier training samples ingested (each invalidates cached digests)."),
+		zoomRequests: reg.Counter(metrics.NameZoominRequestsTotal,
+			"Zoom-in requests (SQL and programmatic)."),
+		zoomCancelled: reg.Counter(metrics.NameZoominCancelledTotal,
+			"Zoom-in requests aborted by context cancellation or deadline."),
+	}
+
+	// Zoom-in materialization cache: the cache's own stats are authoritative.
+	cache := db.cache
+	reg.CounterFunc(metrics.NameZoominCacheHitsTotal, "Zoom-in cache hits.",
+		func() float64 { return float64(cache.Stats().Hits) })
+	reg.CounterFunc(metrics.NameZoominCacheMissesTotal, "Zoom-in cache misses (result re-executed).",
+		func() float64 { return float64(cache.Stats().Misses) })
+	reg.CounterFunc(metrics.NameZoominCacheEvictionsTotal, "Zoom-in cache evictions under the byte budget.",
+		func() float64 { return float64(cache.Stats().Evictions) })
+	reg.CounterFunc(metrics.NameZoominCachePutsTotal, "Results admitted into the zoom-in cache.",
+		func() float64 { return float64(cache.Stats().Puts) })
+	reg.CounterFunc(metrics.NameZoominCacheRejectedTotal, "Results too large for the zoom-in cache budget.",
+		func() float64 { return float64(cache.Stats().Rejected) })
+	reg.GaugeFunc(metrics.NameZoominCacheBytes, "Bytes resident in the zoom-in cache.",
+		func() float64 { return float64(cache.Stats().UsedBytes) })
+	reg.GaugeFunc(metrics.NameZoominCacheEntries, "Entries resident in the zoom-in cache.",
+		func() float64 { return float64(cache.Stats().Entries) })
+
+	// Metadata store sizes — the paper's motivating quantity ("even
+	// metadata is getting big").
+	reg.GaugeFunc(metrics.NameEngineAnnotations, "Raw annotations stored.",
+		func() float64 { return float64(db.anns.Count()) })
+	reg.GaugeFunc(metrics.NameEngineAnnotationBytes, "Approximate bytes of raw annotation text stored.",
+		func() float64 { return float64(db.anns.RawBytes()) })
+	reg.GaugeFunc(metrics.NameEngineEnvelopes, "Maintained per-tuple summary envelopes.",
+		func() float64 {
+			db.mu.RLock()
+			defer db.mu.RUnlock()
+			n := 0
+			for _, rows := range db.envelopes {
+				n += len(rows)
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc(metrics.NameEngineSummaryBytes, "Approximate bytes of the summary store (all tables).",
+		func() float64 {
+			db.mu.RLock()
+			defer db.mu.RUnlock()
+			var n int64
+			for _, envs := range db.envelopes {
+				for _, env := range envs {
+					n += int64(env.ApproxBytes())
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc(metrics.NameEngineDigestEntries, "Cached summarize-once digests.",
+		func() float64 {
+			db.mu.RLock()
+			defer db.mu.RUnlock()
+			n := 0
+			for _, byAnn := range db.digests {
+				n += len(byAnn)
+			}
+			return float64(n)
+		})
+
+	// Summarize calls, summed over all registered instances at scrape time.
+	reg.CounterFunc(metrics.NameSummarySummarizeTotal, "Summarize invocations across all summary instances.",
+		func() float64 {
+			var n int64
+			for _, name := range db.cat.InstanceNames() {
+				if in, err := db.cat.Instance(name); err == nil {
+					n += in.SummarizeCalls()
+				}
+			}
+			return float64(n)
+		})
+
+	// Planner decision counters, shared with every planner the DB builds.
+	pc := db.cfg.PlanOptions.Counters
+	reg.CounterFunc(metrics.NamePlanPlansTotal, "SELECT plans built.",
+		func() float64 { return float64(pc.Plans.Load()) })
+	paths := reg.CounterVec(metrics.NamePlanAccessPathsTotal,
+		"Access paths chosen per planned base relation, by path type.", "path")
+	paths.WithFunc("full_scan", func() float64 { return float64(pc.FullScans.Load()) })
+	paths.WithFunc("index_scan", func() float64 { return float64(pc.IndexScans.Load()) })
+	paths.WithFunc("index_range_scan", func() float64 { return float64(pc.IndexRangeScans.Load()) })
+
+	return m
+}
+
+// Metrics exposes the engine's metric registry for scraping (the /metrics
+// sidecar and the server's SHOW METRICS path). Nil when metrics are
+// disabled.
+func (db *DB) Metrics() *metrics.Registry {
+	if db.metrics == nil {
+		return nil
+	}
+	return db.metrics.reg
+}
+
+// newExecContext builds the per-statement execution context, enabling
+// operator timing on sampled statements (see timingSampleInterval).
+func (db *DB) newExecContext(ctx context.Context) *exec.ExecContext {
+	ec := exec.NewContext(ctx)
+	if m := db.metrics; m != nil && m.sampleClock.Add(1)%timingSampleInterval == 0 {
+		ec.WithTiming()
+	}
+	return ec
+}
+
+// finishStatement records one completed statement: kind-labeled counters and
+// latency, result-row volume, and — when the statement crossed the
+// configured threshold — the slow-query counter and structured log entry.
+func (db *DB) finishStatement(kind, sqlText string, start time.Time, res *Result, err error) {
+	wall := time.Since(start)
+	if m := db.metrics; m != nil {
+		m.statements.With(kind).Inc()
+		if err != nil {
+			m.errors.With(kind).Inc()
+		}
+		m.seconds.With(kind).Observe(wall.Seconds())
+		if res != nil {
+			m.resultRows.Add(int64(len(res.Rows)))
+		}
+	}
+	if thr := db.cfg.SlowQueryThreshold; thr > 0 && wall >= thr {
+		if m := db.metrics; m != nil {
+			m.slowQueries.Inc()
+		}
+		if sink := db.cfg.SlowQueryLog; sink != nil {
+			sink.EmitSlowQuery(slowQueryEntry(kind, sqlText, wall, res, err))
+		}
+	}
+}
+
+// foldOpStats folds one executed plan's per-operator counters into the
+// cumulative per-operator-type families and returns the per-operator rows
+// for Result.Ops. Latency histograms are fed only on timed (sampled)
+// statements; the other counters are exact.
+func (db *DB) foldOpStats(op exec.Operator, ec *exec.ExecContext) []OpStat {
+	var ops []OpStat
+	m := db.metrics
+	timed := ec.Timed()
+	exec.WalkStats(op, func(name string, st exec.OpStats) {
+		ops = append(ops, OpStat{
+			Op: name, Rows: st.Rows, Merges: st.Merges, Curates: st.Curates,
+			WallMicros: st.Wall.Microseconds(),
+		})
+		if m == nil {
+			return
+		}
+		m.opRows.With(name).Add(st.Rows)
+		if st.Merges > 0 {
+			m.opMerges.With(name).Add(st.Merges)
+		}
+		if st.Curates > 0 {
+			m.opCurates.With(name).Add(st.Curates)
+		}
+		if timed {
+			m.opSeconds.With(name).Observe(st.Wall.Seconds())
+		}
+	})
+	return ops
+}
+
+// statementKind maps a parsed statement to its metric label. Labels are
+// stable: they are the {kind} values of the insightnotes_engine_statement*
+// families.
+func statementKind(stmt sql.Statement) string {
+	switch stmt.(type) {
+	case *sql.Select:
+		return "select"
+	case *sql.Show:
+		return "show"
+	case *sql.Explain:
+		return "explain"
+	case *sql.ZoomIn:
+		return "zoomin"
+	case *sql.AddAnnotation:
+		return "annotate"
+	case *sql.DropAnnotation:
+		return "drop_annotation"
+	case *sql.TrainSummary:
+		return "train"
+	case *sql.LinkSummary:
+		return "link"
+	case *sql.CreateTable:
+		return "create_table"
+	case *sql.CreateIndex:
+		return "create_index"
+	case *sql.DropTable:
+		return "drop_table"
+	case *sql.Insert:
+		return "insert"
+	case *sql.Update:
+		return "update"
+	case *sql.Delete:
+		return "delete"
+	case *sql.CreateSummaryInstance:
+		return "create_summary"
+	case *sql.DropSummaryInstance:
+		return "drop_summary"
+	default:
+		return "other"
+	}
+}

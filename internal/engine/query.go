@@ -58,6 +58,10 @@ type Result struct {
 	// Stats carries the per-statement runtime summary (SELECT and
 	// EXPLAIN ANALYZE; nil for other statements).
 	Stats *StatementStats
+	// Ops holds the per-operator runtime breakdown of a SELECT's plan, in
+	// depth-first plan order. Feeds the structured server response and the
+	// slow-query log.
+	Ops []OpStat
 	// ZoomAnnotations carries the raw annotations retrieved by a ZOOMIN
 	// command, grouped per matched result row.
 	ZoomAnnotations []ZoomRowResult
@@ -83,7 +87,10 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string) (*Result, error)
 	}
 	db.stmtMu.RLock()
 	defer db.stmtMu.RUnlock()
-	return db.querySelect(exec.NewContext(ctx), sel, sqlText)
+	start := time.Now()
+	res, err := db.querySelect(db.newExecContext(ctx), sel, sqlText)
+	db.finishStatement("select", sqlText, start, res, err)
+	return res, err
 }
 
 // QueryWithOptions plans and executes a SELECT under explicit plan options
@@ -130,7 +137,10 @@ func (db *DB) QueryTracedContext(ctx context.Context, sqlText string) (*Result, 
 	}
 	db.stmtMu.RLock()
 	defer db.stmtMu.RUnlock()
-	return db.querySelect(exec.NewContext(ctx).WithTrace(), sel, sqlText)
+	start := time.Now()
+	res, err := db.querySelect(db.newExecContext(ctx).WithTrace(), sel, sqlText)
+	db.finishStatement("select", sqlText, start, res, err)
+	return res, err
 }
 
 // statementStats folds the execution context's counters into the
@@ -155,6 +165,7 @@ func (db *DB) querySelect(ec *exec.ExecContext, sel *sql.Select, sqlText string)
 		return nil, err
 	}
 	rows, err := exec.CollectContext(ec, op)
+	ops := db.foldOpStats(op, ec)
 	if err != nil {
 		return nil, err
 	}
@@ -172,6 +183,7 @@ func (db *DB) querySelect(ec *exec.ExecContext, sel *sql.Select, sqlText string)
 		Rows:   rows,
 		Trace:  ec.TraceEntries(),
 		Stats:  statementStats(ec, len(rows)),
+		Ops:    ops,
 	}, nil
 }
 
@@ -219,7 +231,9 @@ func (db *DB) resultFor(ctx context.Context, qid int) (*zoomin.CachedResult, boo
 	if err != nil {
 		return nil, false, err
 	}
-	rows, err := exec.CollectContext(exec.NewContext(ctx), op)
+	ec := db.newExecContext(ctx)
+	rows, err := exec.CollectContext(ec, op)
+	db.foldOpStats(op, ec)
 	if err != nil {
 		return nil, false, err
 	}

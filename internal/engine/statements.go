@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"insightnotes/internal/annotation"
 	"insightnotes/internal/exec"
@@ -64,11 +65,18 @@ func (db *DB) ExecStatement(stmt sql.Statement, sqlText string) (*Result, error)
 // cancellation context. Read statements take the shared statement lock;
 // everything else takes it exclusively (see the DB type comment).
 func (db *DB) ExecStatementContext(ctx context.Context, stmt sql.Statement, sqlText string) (*Result, error) {
+	start := time.Now()
+	res, err := db.execStatementContext(ctx, stmt, sqlText)
+	db.finishStatement(statementKind(stmt), sqlText, start, res, err)
+	return res, err
+}
+
+func (db *DB) execStatementContext(ctx context.Context, stmt sql.Statement, sqlText string) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.Select:
 		db.stmtMu.RLock()
 		defer db.stmtMu.RUnlock()
-		return db.querySelect(exec.NewContext(ctx), s, sqlText)
+		return db.querySelect(db.newExecContext(ctx), s, sqlText)
 	case *sql.Show:
 		db.stmtMu.RLock()
 		defer db.stmtMu.RUnlock()
@@ -324,6 +332,28 @@ func (db *DB) execShow(s *sql.Show) (*Result, error) {
 					types.NewString(a.Preview(80)),
 				}})
 			}
+		}
+		return &Result{Schema: schema, Rows: rows}, nil
+	case "METRICS":
+		schema := types.NewSchema(
+			types.Column{Name: "metric", Kind: types.KindString},
+			types.Column{Name: "type", Kind: types.KindString},
+			types.Column{Name: "value", Kind: types.KindFloat},
+		)
+		reg := db.Metrics()
+		if reg == nil {
+			return &Result{Schema: schema, Message: "metrics disabled"}, nil
+		}
+		var rows []*exec.Row
+		for _, sm := range reg.Samples() {
+			if s.Pattern != "" && !exec.LikeMatch(sm.Name, s.Pattern) {
+				continue
+			}
+			rows = append(rows, &exec.Row{Tuple: types.Tuple{
+				types.NewString(sm.Name),
+				types.NewString(sm.Type),
+				types.NewFloat(sm.Value),
+			}})
 		}
 		return &Result{Schema: schema, Rows: rows}, nil
 	default:

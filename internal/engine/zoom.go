@@ -40,7 +40,14 @@ func (db *DB) ZoomIn(req ZoomInRequest) ([]ZoomRowResult, bool, error) {
 func (db *DB) ZoomInContext(ctx context.Context, req ZoomInRequest) ([]ZoomRowResult, bool, error) {
 	db.stmtMu.RLock()
 	defer db.stmtMu.RUnlock()
-	return db.zoomIn(ctx, req)
+	out, hit, err := db.zoomIn(ctx, req)
+	if m := db.metrics; m != nil {
+		m.zoomRequests.Inc()
+		if cancellationCause(err) != "" {
+			m.zoomCancelled.Inc()
+		}
+	}
+	return out, hit, err
 }
 
 func (db *DB) zoomIn(ctx context.Context, req ZoomInRequest) ([]ZoomRowResult, bool, error) {

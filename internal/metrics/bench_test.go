@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkCounterInc is the raw hot-path cost of one sharded increment —
+// the price every instrumented row batch pays.
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("insightnotes_bench_inc_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterIncParallel measures contention across goroutines — the
+// case the per-CPU sharding exists for.
+func BenchmarkCounterIncParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("insightnotes_bench_par_total", "bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkPlainAtomicParallel is the unsharded baseline for comparison.
+func BenchmarkPlainAtomicParallel(b *testing.B) {
+	var n atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n.Add(1)
+		}
+	})
+}
+
+// BenchmarkHistogramObserve is the per-statement latency-record cost.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("insightnotes_bench_seconds", "bench", DefLatencyBuckets)
+	d := (350 * time.Microsecond).Seconds()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(d)
+	}
+}

@@ -1,0 +1,55 @@
+package metrics
+
+// Every metric name the engine registers, declared once. The taxonomy is
+// insightnotes_<layer>_<name>{label}; counters end in _total. The
+// scripts/check.sh lint rejects any insightnotes_* string literal in
+// non-test code that is not declared in this file, so renames happen here
+// (and show up in review) or not at all.
+const (
+	// engine layer — statement execution.
+	NameEngineStatementsTotal      = "insightnotes_engine_statements_total"       // counter{kind}
+	NameEngineStatementErrorsTotal = "insightnotes_engine_statement_errors_total" // counter{kind}
+	NameEngineStatementSeconds     = "insightnotes_engine_statement_seconds"      // histogram{kind}
+	NameEngineSlowQueriesTotal     = "insightnotes_engine_slow_queries_total"     // counter
+	NameEngineResultRowsTotal      = "insightnotes_engine_result_rows_total"      // counter
+
+	// engine layer — metadata store sizes (gauges).
+	NameEngineAnnotations     = "insightnotes_engine_annotations"      // gauge
+	NameEngineAnnotationBytes = "insightnotes_engine_annotation_bytes" // gauge
+	NameEngineEnvelopes       = "insightnotes_engine_envelopes"        // gauge
+	NameEngineSummaryBytes    = "insightnotes_engine_summary_bytes"    // gauge
+	NameEngineDigestEntries   = "insightnotes_engine_digest_entries"   // gauge
+
+	// summary layer — maintenance.
+	NameSummarySummarizeTotal    = "insightnotes_summary_summarize_total"     // counter (per-instance Summarize calls)
+	NameSummaryDigestHitsTotal   = "insightnotes_summary_digest_hits_total"   // counter (summarize-once reuse)
+	NameSummaryDigestMissesTotal = "insightnotes_summary_digest_misses_total" // counter
+	NameSummaryRetrainTotal      = "insightnotes_summary_retrain_total"       // counter (classifier samples trained)
+
+	// exec layer — per-operator-type pipeline work.
+	NameExecOpSeconds      = "insightnotes_exec_op_seconds"       // histogram{op} (sampled timing)
+	NameExecOpRowsTotal    = "insightnotes_exec_op_rows_total"    // counter{op}
+	NameExecOpMergesTotal  = "insightnotes_exec_op_merges_total"  // counter{op}
+	NameExecOpCuratesTotal = "insightnotes_exec_op_curates_total" // counter{op}
+
+	// plan layer — planning decisions.
+	NamePlanPlansTotal       = "insightnotes_plan_plans_total"        // counter
+	NamePlanAccessPathsTotal = "insightnotes_plan_access_paths_total" // counter{path}
+
+	// zoomin layer — RCO materialization cache and zoom-in execution.
+	NameZoominCacheHitsTotal      = "insightnotes_zoomin_cache_hits_total"      // counter
+	NameZoominCacheMissesTotal    = "insightnotes_zoomin_cache_misses_total"    // counter
+	NameZoominCacheEvictionsTotal = "insightnotes_zoomin_cache_evictions_total" // counter
+	NameZoominCachePutsTotal      = "insightnotes_zoomin_cache_puts_total"      // counter
+	NameZoominCacheRejectedTotal  = "insightnotes_zoomin_cache_rejected_total"  // counter (results larger than the budget)
+	NameZoominCacheBytes          = "insightnotes_zoomin_cache_bytes"           // gauge
+	NameZoominCacheEntries        = "insightnotes_zoomin_cache_entries"         // gauge
+	NameZoominRequestsTotal       = "insightnotes_zoomin_requests_total"        // counter
+	NameZoominCancelledTotal      = "insightnotes_zoomin_cancelled_total"       // counter
+
+	// server layer — network front end.
+	NameServerConnectionsTotal   = "insightnotes_server_connections_total"    // counter
+	NameServerActiveConnections  = "insightnotes_server_active_connections"   // gauge
+	NameServerRequestsTotal      = "insightnotes_server_requests_total"       // counter
+	NameServerRequestErrorsTotal = "insightnotes_server_request_errors_total" // counter
+)

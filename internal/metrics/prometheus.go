@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with HELP and TYPE
+// lines, histogram buckets cumulative and ascending with a trailing +Inf.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.snapshot() {
+			if f.kind == KindHistogram {
+				writeHistogram(bw, f, s)
+				continue
+			}
+			fmt.Fprintf(bw, "%s %s\n", sampleName(f.name, f.label, s.labelValue, ""), formatFloat(s.value()))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(w io.Writer, f *family, s *series) {
+	cum := int64(0)
+	for i, ub := range s.hist.upper {
+		cum += s.hist.counts[i].n.Load()
+		fmt.Fprintf(w, "%s %d\n", sampleName(f.name+"_bucket", f.label, s.labelValue, formatFloat(ub)), cum)
+	}
+	cum += s.hist.counts[len(s.hist.upper)].n.Load()
+	fmt.Fprintf(w, "%s %d\n", sampleName(f.name+"_bucket", f.label, s.labelValue, "+Inf"), cum)
+	fmt.Fprintf(w, "%s %s\n", sampleName(f.name+"_sum", f.label, s.labelValue, ""), formatFloat(s.hist.Sum()))
+	fmt.Fprintf(w, "%s %d\n", sampleName(f.name+"_count", f.label, s.labelValue, ""), cum)
+}
+
+// sampleName assembles a sample name with its optional label pair and the
+// histogram le bound: name{label="value",le="0.005"}.
+func sampleName(name, label, labelValue, le string) string {
+	if (label == "" || labelValue == "") && le == "" {
+		return name
+	}
+	var parts []string
+	if label != "" && labelValue != "" {
+		parts = append(parts, label+`="`+escapeLabel(labelValue)+`"`)
+	}
+	if le != "" {
+		parts = append(parts, `le="`+le+`"`)
+	}
+	return name + "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry at an HTTP endpoint in the text exposition
+// format. A nil registry (metrics disabled) answers 503.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "metrics disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

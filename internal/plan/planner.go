@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"insightnotes/internal/catalog"
 	"insightnotes/internal/exec"
@@ -33,6 +34,23 @@ type Options struct {
 	// The entries land in the per-statement sink owned by the ExecContext
 	// the plan is executed under.
 	Trace bool
+	// Counters, when set, receives planning-decision counts (plans built,
+	// access paths chosen). Shared across planner instances; safe for
+	// concurrent use.
+	Counters *Counters
+}
+
+// Counters are cumulative planning-decision counts, incremented by every
+// planner sharing them. All fields are atomic; a nil *Counters disables
+// counting.
+type Counters struct {
+	// Plans is the number of SELECT plans built.
+	Plans atomic.Int64
+	// FullScans, IndexScans, and IndexRangeScans count access-path choices,
+	// one per base relation planned.
+	FullScans       atomic.Int64
+	IndexScans      atomic.Int64
+	IndexRangeScans atomic.Int64
 }
 
 // Planner compiles SELECT statements into operator trees.
@@ -60,6 +78,9 @@ type relation struct {
 func (p *Planner) PlanSelect(s *sql.Select) (exec.Operator, error) {
 	if len(s.From) == 0 {
 		return nil, fmt.Errorf("plan: query needs a FROM clause")
+	}
+	if c := p.opts.Counters; c != nil {
+		c.Plans.Add(1)
 	}
 	// Resolve relations (FROM entries then JOIN entries).
 	var rels []*relation
@@ -355,6 +376,16 @@ func (p *Planner) accessPath(r *relation, preds []sql.Expr) (exec.Operator, []sq
 	}
 	if op == nil {
 		op = exec.NewScan(r.table, r.ref.EffectiveAlias(), p.envs)
+	}
+	if c := p.opts.Counters; c != nil {
+		switch op.(type) {
+		case *exec.IndexScan:
+			c.IndexScans.Add(1)
+		case *exec.IndexRangeScan:
+			c.IndexRangeScans.Add(1)
+		default:
+			c.FullScans.Add(1)
+		}
 	}
 	for _, e := range local {
 		c, err := exec.Compile(e, r.schema)

@@ -1,6 +1,10 @@
 package server
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -119,7 +123,7 @@ func TestServerStatementTimeout(t *testing.T) {
 }
 
 // TestServerStatsLine checks the per-statement summary surfaced in the
-// protocol response.
+// protocol response, in both its legacy string and structured forms.
 func TestServerStatsLine(t *testing.T) {
 	_, c := startServer(t)
 	mustClient(t, c, "CREATE TABLE t (a INT)")
@@ -127,6 +131,19 @@ func TestServerStatsLine(t *testing.T) {
 	resp := mustClient(t, c, "SELECT a FROM t")
 	if !strings.HasPrefix(resp.Stats, "2 row(s) in ") {
 		t.Fatalf("stats = %q", resp.Stats)
+	}
+	d := resp.StatsDetail
+	if d == nil || d.Rows != 2 || d.OpRows == 0 || d.WallMicros < 0 {
+		t.Fatalf("stats_detail = %+v", d)
+	}
+	foundScan := false
+	for _, op := range d.Ops {
+		if op.Op == "scan" && op.Rows == 2 {
+			foundScan = true
+		}
+	}
+	if !foundScan {
+		t.Fatalf("stats_detail ops missing scan: %+v", d.Ops)
 	}
 	resp = mustClient(t, c, "EXPLAIN ANALYZE SELECT a FROM t")
 	if resp.Stats == "" {
@@ -140,5 +157,157 @@ func TestServerStatsLine(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("EXPLAIN ANALYZE rows missing counters: %+v", resp.Rows)
+	}
+}
+
+// TestServerShowMetricsUnderLoad hammers SHOW METRICS from reader
+// goroutines while writers run DML on separate connections. Metric scrapes
+// walk every family (including function-backed collectors reading engine
+// state) while counters are being incremented, so this is the race
+// regression test for the whole registry — run it under -race.
+func TestServerShowMetricsUnderLoad(t *testing.T) {
+	srv, c := startServer(t)
+	mustClient(t, c, "CREATE TABLE t (a INT, b TEXT)")
+	mustClient(t, c, "INSERT INTO t VALUES (1, 'x')")
+
+	addr := srv.listener.Addr().String()
+	const readers, writers, iters = 4, 2, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+writers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < iters; i++ {
+				resp, err := cl.Exec("SHOW METRICS LIKE 'insightnotes_engine_%'")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !resp.OK || len(resp.Rows) == 0 {
+					errs <- fmt.Errorf("SHOW METRICS under load: %+v", resp)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < iters; i++ {
+				stmts := []string{
+					fmt.Sprintf("INSERT INTO t VALUES (%d, 'w%d')", 100*g+i, g),
+					"SELECT a FROM t WHERE a >= 0",
+					fmt.Sprintf("UPDATE t SET b = 'u' WHERE a = %d", 100*g+i),
+				}
+				for _, stmt := range stmts {
+					if resp, err := cl.Exec(stmt); err != nil || !resp.OK {
+						errs <- fmt.Errorf("writer %q: %v %+v", stmt, err, resp)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The registry observed every statement that ran above.
+	resp := mustClient(t, c, "SHOW METRICS LIKE 'insightnotes_server_requests_total'")
+	if len(resp.Rows) != 1 {
+		t.Fatalf("requests sample missing: %+v", resp.Rows)
+	}
+	if got := resp.Rows[0].Values[2].Float(); got < float64(readers*iters+writers*iters*3) {
+		t.Fatalf("requests counter = %v, want >= %d", got, readers*iters+writers*iters*3)
+	}
+}
+
+// TestDebugMuxMetricsEndpoint scrapes the HTTP sidecar and checks the
+// exposition contains the engine families fed by real statements.
+func TestDebugMuxMetricsEndpoint(t *testing.T) {
+	db, err := engine.Open(engine.Config{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT a FROM t"); err != nil {
+		t.Fatal(err)
+	}
+
+	hs := httptest.NewServer(NewDebugMux(db))
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE insightnotes_engine_statements_total counter",
+		`insightnotes_engine_statements_total{kind="select"} 1`,
+		"# TYPE insightnotes_zoomin_cache_hits_total counter",
+		"# TYPE insightnotes_exec_op_seconds histogram",
+		"insightnotes_zoomin_cache_puts_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// pprof index responds on the same mux.
+	pr, err := http.Get(hs.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", pr.StatusCode)
+	}
+
+	// Metrics disabled: /metrics answers 503 rather than an empty page.
+	off, err := engine.Open(engine.Config{CacheDir: t.TempDir(), DisableMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(NewDebugMux(off))
+	defer hs2.Close()
+	r2, err := http.Get(hs2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("disabled /metrics status = %d, want 503", r2.StatusCode)
 	}
 }

@@ -1,0 +1,33 @@
+// HTTP observability sidecar: a debug mux serving the engine's metric
+// registry in Prometheus text exposition format plus the standard pprof
+// profiling endpoints. The sidecar is separate from the statement protocol
+// so scrapes and profiles never compete with client connections, and so
+// deployments can bind it to a loopback or management interface only.
+
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"insightnotes/internal/engine"
+	"insightnotes/internal/metrics"
+)
+
+// NewDebugMux builds the sidecar handler for db:
+//
+//	/metrics        Prometheus text exposition of the engine registry
+//	/debug/pprof/*  the net/http/pprof profiling suite
+//
+// Serve it with http.Server on a dedicated address (insightnotesd's
+// -metrics-addr flag). When db has metrics disabled, /metrics answers 503.
+func NewDebugMux(db *engine.DB) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(db.Metrics()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

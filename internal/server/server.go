@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"insightnotes/internal/engine"
+	"insightnotes/internal/metrics"
 	"insightnotes/internal/types"
 )
 
@@ -48,8 +49,36 @@ type Response struct {
 	Rows    []RowJSON  `json:"rows,omitempty"`
 	Trace   []TraceRow `json:"trace,omitempty"`
 	// Stats is the per-statement runtime summary line (rows, wall time,
-	// envelope operations) for statements that report one.
+	// envelope operations) for statements that report one. Kept for
+	// existing clients; StatsDetail carries the same numbers structured.
 	Stats string `json:"stats,omitempty"`
+	// StatsDetail is the structured form of Stats, including the
+	// per-operator breakdown of the statement's plan.
+	StatsDetail *StatsJSON `json:"stats_detail,omitempty"`
+}
+
+// StatsJSON is the structured per-statement runtime summary on the wire.
+type StatsJSON struct {
+	// Rows is the number of result rows returned.
+	Rows int `json:"rows"`
+	// WallMicros is the statement's elapsed wall time in microseconds.
+	WallMicros int64 `json:"wall_us"`
+	// OpRows counts rows produced by all plan operators.
+	OpRows int64 `json:"op_rows"`
+	// Merges and Curates count envelope operations.
+	Merges  int64 `json:"merges"`
+	Curates int64 `json:"curates"`
+	// Ops is the per-operator breakdown in depth-first plan order.
+	Ops []OpStatJSON `json:"ops,omitempty"`
+}
+
+// OpStatJSON is one operator's runtime counters on the wire.
+type OpStatJSON struct {
+	Op         string `json:"op"`
+	Rows       int64  `json:"rows"`
+	Merges     int64  `json:"merges,omitempty"`
+	Curates    int64  `json:"curates,omitempty"`
+	WallMicros int64  `json:"wall_us,omitempty"`
 }
 
 // RowJSON is one result row on the wire.
@@ -85,11 +114,26 @@ type Server struct {
 	// execution — before the engine is entered — so tests can observe and
 	// synchronize concurrent statements deterministically.
 	testHookExec func(Request)
+
+	// Front-end metrics; nil handles (metrics disabled) are no-ops.
+	connections   *metrics.Counter
+	activeConns   *metrics.Gauge
+	requests      *metrics.Counter
+	requestErrors *metrics.Counter
 }
 
-// New creates a server over db.
+// New creates a server over db. When the engine's metric registry is
+// enabled, the server registers its front-end metrics there (get-or-create,
+// so multiple servers over one DB share the counters).
 func New(db *engine.DB) *Server {
-	return &Server{db: db, closed: make(chan struct{})}
+	s := &Server{db: db, closed: make(chan struct{})}
+	if reg := db.Metrics(); reg != nil {
+		s.connections = reg.Counter(metrics.NameServerConnectionsTotal, "Client connections accepted.")
+		s.activeConns = reg.Gauge(metrics.NameServerActiveConnections, "Client connections currently open.")
+		s.requests = reg.Counter(metrics.NameServerRequestsTotal, "Protocol requests received.")
+		s.requestErrors = reg.Counter(metrics.NameServerRequestErrorsTotal, "Protocol requests answered with an error.")
+	}
+	return s
 }
 
 // Listen binds addr (e.g. "127.0.0.1:7090") and starts accepting
@@ -132,6 +176,9 @@ func (s *Server) acceptLoop() {
 // serveConn handles one client connection until EOF.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	s.connections.Inc()
+	s.activeConns.Add(1)
+	defer s.activeConns.Add(-1)
 	in := bufio.NewScanner(conn)
 	in.Buffer(make([]byte, 1<<20), 16<<20)
 	out := bufio.NewWriter(conn)
@@ -143,10 +190,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		var req Request
 		resp := Response{}
+		s.requests.Inc()
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp.Error = fmt.Sprintf("bad request: %v", err)
 		} else {
 			resp = s.execute(req)
+		}
+		if !resp.OK {
+			s.requestErrors.Inc()
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
@@ -183,6 +234,20 @@ func (s *Server) execute(req Request) Response {
 	resp := Response{OK: true, Message: res.Message, QID: res.QID}
 	if res.Stats != nil {
 		resp.Stats = res.Stats.String()
+		detail := &StatsJSON{
+			Rows:       res.Stats.Rows,
+			WallMicros: res.Stats.Wall.Microseconds(),
+			OpRows:     res.Stats.OpRows,
+			Merges:     res.Stats.Merges,
+			Curates:    res.Stats.Curates,
+		}
+		for _, op := range res.Ops {
+			detail.Ops = append(detail.Ops, OpStatJSON{
+				Op: op.Op, Rows: op.Rows, Merges: op.Merges,
+				Curates: op.Curates, WallMicros: op.WallMicros,
+			})
+		}
+		resp.StatsDetail = detail
 	}
 	for _, c := range res.Schema.Columns {
 		resp.Columns = append(resp.Columns, c.QualifiedName())

@@ -335,8 +335,11 @@ type ZoomIn struct {
 
 // Show is SHOW TABLES | SHOW SUMMARIES | SHOW ANNOTATIONS ON table.
 type Show struct {
-	What  string // "TABLES", "SUMMARIES", "ANNOTATIONS"
+	What  string // "TABLES", "SUMMARIES", "ANNOTATIONS", "METRICS"
 	Table string
+	// Pattern is the optional LIKE filter of SHOW METRICS, matched against
+	// flattened sample names.
+	Pattern string
 }
 
 func (*Explain) stmtNode()               {}
@@ -538,6 +541,9 @@ func (s *ZoomIn) String() string {
 func (s *Show) String() string {
 	if s.What == "ANNOTATIONS" {
 		return "SHOW ANNOTATIONS ON " + s.Table
+	}
+	if s.What == "METRICS" && s.Pattern != "" {
+		return "SHOW METRICS LIKE '" + s.Pattern + "'"
 	}
 	return "SHOW " + s.What
 }

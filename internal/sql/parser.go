@@ -833,8 +833,18 @@ func (p *Parser) parseShow() (Statement, error) {
 			return nil, err
 		}
 		return &Show{What: "ANNOTATIONS", Table: table}, nil
+	case p.acceptKeyword("METRICS"):
+		s := &Show{What: "METRICS"}
+		if p.acceptKeyword("LIKE") {
+			pattern, err := p.expectString("metric name pattern")
+			if err != nil {
+				return nil, err
+			}
+			s.Pattern = pattern
+		}
+		return s, nil
 	default:
-		return nil, p.errf("expected TABLES, SUMMARIES, or ANNOTATIONS after SHOW")
+		return nil, p.errf("expected TABLES, SUMMARIES, ANNOTATIONS, or METRICS after SHOW")
 	}
 }
 

@@ -316,6 +316,17 @@ func TestParseShow(t *testing.T) {
 	if s.What != "ANNOTATIONS" || s.Table != "birds" {
 		t.Errorf("%+v", s)
 	}
+	if s := mustParse(t, "SHOW METRICS").(*Show); s.What != "METRICS" || s.Pattern != "" {
+		t.Errorf("%+v", s)
+	}
+	s = mustParse(t, "SHOW METRICS LIKE 'insightnotes_zoomin_%'").(*Show)
+	if s.What != "METRICS" || s.Pattern != "insightnotes_zoomin_%" {
+		t.Errorf("%+v", s)
+	}
+	if got := s.String(); got != "SHOW METRICS LIKE 'insightnotes_zoomin_%'" {
+		t.Errorf("round-trip: %q", got)
+	}
+	mustFail(t, "SHOW METRICS LIKE")
 	mustFail(t, "SHOW INDEXES")
 }
 

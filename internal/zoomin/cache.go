@@ -75,11 +75,17 @@ func (LRU) Victim(metas []entryMeta, _ int64) int {
 	return best
 }
 
-// CacheStats reports cache effectiveness for the E6 benchmarks.
+// CacheStats reports cache effectiveness for the E6 benchmarks and the
+// metrics registry's function-backed collectors.
 type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	// Puts counts results admitted into the cache.
+	Puts int64
+	// Rejected counts results larger than the whole budget, which are never
+	// admitted (the query is re-executed on demand instead).
+	Rejected  int64
 	UsedBytes int64
 	Entries   int
 }
@@ -139,7 +145,8 @@ func (c *Cache) Put(r *CachedResult) error {
 	defer c.mu.Unlock()
 	c.clock++
 	if size > c.budget {
-		return nil // too large to cache; silently skip, recompute on demand
+		c.stats.Rejected++
+		return nil // too large to cache; skip, recompute on demand
 	}
 	if old, ok := c.entries[r.QID]; ok {
 		c.used -= old.Size
@@ -161,6 +168,7 @@ func (c *Cache) Put(r *CachedResult) error {
 		Created:    c.clock,
 	}
 	c.used += size
+	c.stats.Puts++
 	return nil
 }
 

@@ -1,8 +1,36 @@
 #!/bin/sh
-# Pre-merge gate: go vet plus the full test suite under the race detector.
-# Equivalent to `make check`, for environments without make.
+# Pre-merge gate: metric-name lint, go vet, and the full test suite under
+# the race detector. Equivalent to `make check` plus the lint, for
+# environments without make.
 set -eu
 cd "$(dirname "$0")/.."
+
+# Metric-name lint: every insightnotes_* metric-name literal used by
+# non-test code must be declared in internal/metrics/names.go, and every
+# declared name must follow the insightnotes_<layer>_<name> scheme. This
+# keeps the metric taxonomy reviewable in one file — a rename that skips
+# names.go fails here.
+echo ">> metric-name lint"
+fail=0
+used=$(grep -rhoE '"insightnotes_[a-z0-9_]+"' \
+	--include='*.go' --exclude='*_test.go' \
+	internal cmd | grep -v 'internal/metrics/names.go' | sort -u || true)
+for lit in $used; do
+	name=$(printf '%s' "$lit" | tr -d '"')
+	if ! grep -q "\"$name\"" internal/metrics/names.go; then
+		echo "  undeclared metric name $name (declare it in internal/metrics/names.go)" >&2
+		fail=1
+	fi
+done
+declared=$(grep -oE '"insightnotes_[a-z0-9_]+"' internal/metrics/names.go | tr -d '"' | sort -u)
+for name in $declared; do
+	if ! printf '%s' "$name" | grep -qE '^insightnotes_[a-z][a-z0-9]*_[a-z][a-z0-9_]*$'; then
+		echo "  declared name $name violates the insightnotes_<layer>_<name> scheme" >&2
+		fail=1
+	fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
 echo ">> go vet ./..."
 go vet ./...
 echo ">> go test -race ./..."
