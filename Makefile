@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-metrics check vet race
+.PHONY: build test bench bench-metrics bench-wal crash-sim check vet race
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,13 @@ bench:
 bench-metrics:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/metrics/
 	$(GO) test -bench='BenchmarkInstrumentationOverhead|BenchmarkConcurrentReaders' -benchmem -run=^$$ .
+
+# bench-wal measures durability overhead (fsync-per-commit INSERT vs
+# in-memory) and cold-start WAL replay speed. Recorded in E13.
+bench-wal:
+	$(GO) test -bench='BenchmarkInsertMemory|BenchmarkInsertDurable|BenchmarkRecoveryReplay' -benchmem -run=^$$ ./internal/engine/
+
+# crash-sim is the fault-injection gate on its own: every registered
+# failpoint in the WAL/snapshot paths, three runs, race detector on.
+crash-sim:
+	$(GO) test -run TestCrashRecovery -count=3 -race ./internal/engine/

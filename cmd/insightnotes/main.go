@@ -6,14 +6,18 @@
 //
 // Usage:
 //
-//	insightnotes [-demo] [-script file.sql]
+//	insightnotes [-demo] [-script file.sql] [-connect 127.0.0.1:7090]
 //
 // With -demo the REPL starts pre-loaded with the annotated ornithological
-// dataset used throughout the paper's demonstration.
+// dataset used throughout the paper's demonstration. With -connect the
+// REPL speaks to a running insightnotesd over TCP instead of an
+// in-process engine, retrying transient connection failures with capped
+// exponential backoff.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +26,7 @@ import (
 
 	"insightnotes/internal/bench"
 	"insightnotes/internal/engine"
+	"insightnotes/internal/server"
 	"insightnotes/internal/workload"
 	"insightnotes/internal/workload/populate"
 )
@@ -29,7 +34,13 @@ import (
 func main() {
 	demo := flag.Bool("demo", false, "preload the annotated ornithological demo dataset")
 	script := flag.String("script", "", "execute a SQL script file before starting the REPL")
+	connect := flag.String("connect", "", "address of a running insightnotesd to connect to (empty runs in-process)")
 	flag.Parse()
+
+	if *connect != "" {
+		replRemote(*connect)
+		return
+	}
 
 	db, err := engine.Open(engine.Config{})
 	if err != nil {
@@ -64,6 +75,149 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "insightnotes:", err)
 	os.Exit(1)
+}
+
+// dialAttempts and dialBackoff shape the remote REPL's resilience: a
+// handful of capped, jittered retries covers a server that is still
+// binding or briefly restarting without hanging a dead address forever.
+const dialAttempts = 6
+
+var dialBackoff = server.Backoff{}
+
+// replRemote is the REPL over a TCP connection to insightnotesd. A
+// failed round trip (server restart, network blip) reconnects with
+// backoff and retries the statement once before reporting the error.
+func replRemote(addr string) {
+	ctx := context.Background()
+	c, err := server.DialRetry(ctx, addr, dialAttempts, dialBackoff)
+	if err != nil {
+		fatal(fmt.Errorf("connecting to %s: %w", addr, err))
+	}
+	defer func() { c.Close() }()
+	fmt.Printf("connected to %s (type \\help)\n", addr)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("insightnotes> ")
+		} else {
+			fmt.Print("          ... ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if trimmed == `\q` || trimmed == `\quit` {
+				return
+			}
+			fmt.Println(`remote mode supports \quit; statements end with ';'`)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.Contains(line, ";") {
+			stmt := strings.TrimSpace(buf.String())
+			buf.Reset()
+			resp, err := c.Exec(stmt)
+			if err != nil {
+				fmt.Println("connection lost:", err, "— reconnecting...")
+				c.Close()
+				c, err = server.DialRetry(ctx, addr, dialAttempts, dialBackoff)
+				if err != nil {
+					fatal(fmt.Errorf("reconnecting to %s: %w", addr, err))
+				}
+				resp, err = c.Exec(stmt)
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				printResponse(os.Stdout, resp)
+			}
+		}
+		prompt()
+	}
+}
+
+// printResponse renders a wire response in the same tabular style the
+// in-process REPL uses for engine results.
+func printResponse(w io.Writer, resp *server.Response) {
+	if resp.Error != "" {
+		fmt.Fprintln(w, "error:", resp.Error)
+		return
+	}
+	if resp.Message != "" {
+		fmt.Fprintln(w, resp.Message)
+	}
+	if len(resp.Columns) == 0 {
+		return
+	}
+	widths := make([]int, len(resp.Columns))
+	for i, c := range resp.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(resp.Rows))
+	for r, row := range resp.Rows {
+		cells[r] = make([]string, len(resp.Columns))
+		for i := range resp.Columns {
+			s := ""
+			if i < len(row.Values) {
+				s = row.Values[i].String()
+			}
+			if len(s) > 40 {
+				s = s[:37] + "..."
+			}
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	line := func(cols []string) {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = c + strings.Repeat(" ", widths[i]-len(c))
+		}
+		fmt.Fprintln(w, "| "+strings.Join(parts, " | ")+" |")
+	}
+	line(resp.Columns)
+	sep := make([]string, len(resp.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for r, row := range resp.Rows {
+		line(cells[r])
+		for _, name := range sortedKeys(row.Summaries) {
+			for _, l := range strings.Split(row.Summaries[name], "\n") {
+				fmt.Fprintf(w, "    ~ %s\n", l)
+			}
+		}
+	}
+	if resp.QID != 0 {
+		fmt.Fprintf(w, "(%d row(s), QID = %d)\n", len(resp.Rows), resp.QID)
+	} else {
+		fmt.Fprintf(w, "(%d row(s))\n", len(resp.Rows))
+	}
+	if resp.Stats != "" {
+		fmt.Fprintf(w, "-- %s\n", resp.Stats)
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
 }
 
 const help = `statements end with ';'. SQL: CREATE TABLE / CREATE INDEX / INSERT /

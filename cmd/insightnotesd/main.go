@@ -5,14 +5,23 @@
 //
 // Usage:
 //
-//	insightnotesd [-addr :7090] [-snapshot db.json] [-demo] [-stmt-timeout 30s]
+//	insightnotesd [-addr :7090] [-data-dir dir] [-snapshot db.json] [-demo]
+//	              [-stmt-timeout 30s] [-drain-timeout 10s] [-checkpoint-bytes 8388608]
 //	              [-metrics-addr 127.0.0.1:7091] [-slow-query-ms 250] [-slow-query-log slow.jsonl]
 //
-// With -snapshot the server loads the file at startup (if it exists) and
-// writes it back on SIGINT/SIGTERM shutdown. With -metrics-addr an HTTP
-// sidecar serves Prometheus metrics at /metrics and the pprof suite under
-// /debug/pprof/. With -slow-query-ms statements at or above the threshold
-// are logged as JSON lines to -slow-query-log (stderr by default).
+// With -data-dir the engine runs crash-safe: every mutation is written to
+// a fsynced write-ahead log before it is acknowledged, startup recovers
+// the latest snapshot plus the WAL tail, and checkpoints (the CHECKPOINT
+// statement, the -checkpoint-bytes size trigger, and shutdown) rewrite
+// the snapshot and rotate the log.
+//
+// With -snapshot (durability off) the server loads the file at startup
+// (if it exists) and writes it back on SIGINT/SIGTERM shutdown. On
+// shutdown in-flight statements drain for at most -drain-timeout before
+// being cancelled. With -metrics-addr an HTTP sidecar serves Prometheus
+// metrics at /metrics and the pprof suite under /debug/pprof/. With
+// -slow-query-ms statements at or above the threshold are logged as JSON
+// lines to -slow-query-log (stderr by default).
 package main
 
 import (
@@ -32,9 +41,12 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7090", "listen address")
-	snapshot := flag.String("snapshot", "", "snapshot file to load at start and save at shutdown")
+	dataDir := flag.String("data-dir", "", "durable data directory (snapshot + write-ahead log); empty runs in-memory")
+	ckptBytes := flag.Int64("checkpoint-bytes", 0, "auto-checkpoint when the WAL reaches this size (0 = 8 MiB default, negative disables)")
+	snapshot := flag.String("snapshot", "", "snapshot file to load at start and save at shutdown (ignored with -data-dir)")
 	demo := flag.Bool("demo", false, "preload the annotated ornithological demo dataset")
 	stmtTimeout := flag.Duration("stmt-timeout", 0, "per-statement execution deadline (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown bound on draining in-flight statements (0 waits without bound)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics and /debug/pprof (empty disables)")
 	slowQueryMS := flag.Int("slow-query-ms", 0, "slow-query threshold in milliseconds (0 disables the slow-query log)")
 	slowQueryLog := flag.String("slow-query-log", "", "slow-query log file, JSON lines (default stderr)")
@@ -57,7 +69,17 @@ func main() {
 
 	var db *engine.DB
 	var err error
-	if *snapshot != "" {
+	switch {
+	case *dataDir != "":
+		var info engine.RecoveryInfo
+		db, info, err = engine.OpenDurable(cfg, engine.DurabilityOptions{
+			Dir: *dataDir, AutoCheckpointBytes: *ckptBytes,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("opening data dir %s: %w", *dataDir, err))
+		}
+		fmt.Printf("%s: %s\n", *dataDir, info)
+	case *snapshot != "":
 		if _, statErr := os.Stat(*snapshot); statErr == nil {
 			db, err = engine.LoadFile(*snapshot, cfg)
 			if err != nil {
@@ -105,10 +127,22 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down...")
-	if err := srv.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "close:", err)
+	if err := srv.Shutdown(*drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
 	}
-	if *snapshot != "" {
+	switch {
+	case db.Durable():
+		// Final checkpoint: the WAL alone would recover the state, but an
+		// up-to-date snapshot makes the next startup replay nothing.
+		if _, err := db.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "final checkpoint:", err)
+		} else {
+			fmt.Printf("final checkpoint written to %s\n", *dataDir)
+		}
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "close:", err)
+		}
+	case *snapshot != "":
 		if err := db.SaveFile(*snapshot); err != nil {
 			fatal(fmt.Errorf("saving %s: %w", *snapshot, err))
 		}

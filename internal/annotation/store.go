@@ -187,6 +187,24 @@ func (s *Store) Restore(a Annotation, targets []Target) error {
 	return nil
 }
 
+// NextID exposes the id allocator position (snapshot persistence).
+func (s *Store) NextID() ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextID
+}
+
+// EnsureNextID advances the id allocator to at least next (snapshot
+// restore): annotation ids are never reused even when the most recent
+// annotations were retracted before the snapshot was taken.
+func (s *Store) EnsureNextID(next ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if next > s.nextID {
+		s.nextID = next
+	}
+}
+
 // Get retrieves an annotation by id.
 func (s *Store) Get(id ID) (Annotation, error) {
 	s.mu.RLock()

@@ -140,6 +140,26 @@ func (t *Table) InsertWithID(row types.RowID, tu types.Tuple) error {
 	return nil
 }
 
+// NextRow exposes the row-id allocator position (snapshot persistence):
+// the id the next Insert will assign.
+func (t *Table) NextRow() types.RowID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nextRow
+}
+
+// EnsureNextRow advances the row-id allocator to at least next (snapshot
+// restore). Ids are never reused even across a crash: without this, a
+// table whose highest-id rows were deleted before the snapshot would
+// re-assign their ids after recovery.
+func (t *Table) EnsureNextRow(next types.RowID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if next > t.nextRow {
+		t.nextRow = next
+	}
+}
+
 // Get returns the tuple of row id.
 func (t *Table) Get(row types.RowID) (types.Tuple, error) {
 	t.mu.RLock()

@@ -111,7 +111,6 @@ func (db *DB) annotateTargets(a annotation.Annotation, specs []TargetSpec) (anno
 	// Incremental maintenance: update each linked instance's object on
 	// every target tuple.
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	for _, r := range all {
 		for _, in := range db.cat.InstancesFor(r.table) {
 			if db.cfg.DisableSummarizeOnce || !in.Props.SummarizeOnce() {
@@ -127,6 +126,21 @@ func (db *DB) annotateTargets(a annotation.Annotation, specs []TargetSpec) (anno
 				db.envelopeForUpdate(r.table, row).Add(in, d, r.cols)
 			}
 		}
+	}
+	db.mu.Unlock()
+
+	// Log the fully resolved annotation — assigned id, engine-clock
+	// timestamp, and the matched target rows — so replay does not depend
+	// on re-evaluating the WHERE clauses.
+	sa := snapshotAnnotate{
+		ID: id, Author: a.Author, Created: a.Created,
+		Text: a.Text, Title: a.Title, Document: a.Document,
+	}
+	for _, tg := range targets {
+		sa.Targets = append(sa.Targets, snapshotTarget{Table: tg.Table, Row: tg.Row, Cols: tg.Columns})
+	}
+	if err := db.logRecord(walTypeAnnotate, walAnnotate{Ann: sa}); err != nil {
+		return 0, 0, err
 	}
 	return id, len(targets), nil
 }
@@ -192,7 +206,10 @@ func (db *DB) matchRows(tbl interface {
 func (db *DB) LinkInstance(instanceName, table string) error {
 	db.stmtMu.Lock()
 	defer db.stmtMu.Unlock()
-	return db.linkInstance(instanceName, table)
+	if err := db.linkInstance(instanceName, table); err != nil {
+		return err
+	}
+	return db.logRecord(walTypeLink, walLink{Instance: instanceName, Table: table})
 }
 
 func (db *DB) linkInstance(instanceName, table string) error {
@@ -228,7 +245,10 @@ func (db *DB) linkInstance(instanceName, table string) error {
 func (db *DB) UnlinkInstance(instanceName, table string) error {
 	db.stmtMu.Lock()
 	defer db.stmtMu.Unlock()
-	return db.unlinkInstance(instanceName, table)
+	if err := db.unlinkInstance(instanceName, table); err != nil {
+		return err
+	}
+	return db.logRecord(walTypeLink, walLink{Instance: instanceName, Table: table, Unlink: true})
 }
 
 func (db *DB) unlinkInstance(instanceName, table string) error {
@@ -293,7 +313,10 @@ func (db *DB) rebuildSummaries(table string) (int, error) {
 func (db *DB) TrainClassifier(instanceName string, samples [][2]string) error {
 	db.stmtMu.Lock()
 	defer db.stmtMu.Unlock()
-	return db.trainClassifier(instanceName, samples)
+	if err := db.trainClassifier(instanceName, samples); err != nil {
+		return err
+	}
+	return db.logRecord(walTypeTrain, walTrain{Instance: instanceName, Samples: samples})
 }
 
 func (db *DB) trainClassifier(instanceName string, samples [][2]string) error {

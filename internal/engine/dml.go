@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"insightnotes/internal/annotation"
+	"insightnotes/internal/catalog"
 	"insightnotes/internal/exec"
 	"insightnotes/internal/sql"
 	"insightnotes/internal/types"
@@ -38,6 +39,10 @@ func (db *DB) execUpdate(s *sql.Update) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The WAL record carries post-images, not the SET expressions: replay
+	// must not depend on re-matching the WHERE clause against a state
+	// that later records will change.
+	images := make([]snapshotRow, 0, len(rows))
 	for _, row := range rows {
 		tu, err := tbl.Get(row)
 		if err != nil {
@@ -54,6 +59,10 @@ func (db *DB) execUpdate(s *sql.Update) (*Result, error) {
 		if err := tbl.Update(row, updated); err != nil {
 			return nil, err
 		}
+		images = append(images, snapshotRow{ID: row, Values: updated})
+	}
+	if err := db.logRecord(walTypeUpdate, walRows{Table: tbl.Name(), Rows: images}); err != nil {
+		return nil, err
 	}
 	return &Result{
 		Message: fmt.Sprintf("%d row(s) updated in %s", len(rows), tbl.Name()),
@@ -75,26 +84,41 @@ func (db *DB) execDelete(s *sql.Delete) (*Result, error) {
 	}
 	orphanedTotal := 0
 	for _, row := range rows {
-		if err := tbl.Delete(row); err != nil {
-			return nil, err
-		}
-		_, orphaned, err := db.anns.DetachRow(tbl.Name(), row)
+		orphaned, err := db.deleteRow(tbl, row)
 		if err != nil {
 			return nil, err
 		}
 		orphanedTotal += len(orphaned)
-		db.mu.Lock()
-		delete(db.envelopes[tbl.Name()], row)
-		for _, id := range orphaned {
-			db.dropDigestsLocked(id)
-		}
-		db.mu.Unlock()
+	}
+	if err := db.logRecord(walTypeDelete, walDelete{Table: tbl.Name(), Rows: rows}); err != nil {
+		return nil, err
 	}
 	msg := fmt.Sprintf("%d row(s) deleted from %s", len(rows), tbl.Name())
 	if orphanedTotal > 0 {
 		msg += fmt.Sprintf(" (%d orphaned annotation(s) removed)", orphanedTotal)
 	}
 	return &Result{Message: msg, Count: len(rows)}, nil
+}
+
+// deleteRow deletes one row, detaches its annotations, and drops its
+// summary envelope, returning the annotation ids orphaned by the
+// deletion. Shared by DELETE execution and WAL replay. Callers hold the
+// exclusive statement lock.
+func (db *DB) deleteRow(tbl *catalog.Table, row types.RowID) ([]annotation.ID, error) {
+	if err := tbl.Delete(row); err != nil {
+		return nil, err
+	}
+	_, orphaned, err := db.anns.DetachRow(tbl.Name(), row)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	delete(db.envelopes[tbl.Name()], row)
+	for _, id := range orphaned {
+		db.dropDigestsLocked(id)
+	}
+	db.mu.Unlock()
+	return orphaned, nil
 }
 
 // DropAnnotation retracts one annotation: the raw record and its targets
@@ -104,7 +128,10 @@ func (db *DB) execDelete(s *sql.Delete) (*Result, error) {
 func (db *DB) DropAnnotation(id annotation.ID) error {
 	db.stmtMu.Lock()
 	defer db.stmtMu.Unlock()
-	return db.dropAnnotation(id)
+	if err := db.dropAnnotation(id); err != nil {
+		return err
+	}
+	return db.logRecord(walTypeDropAnnotation, walDropAnnotation{ID: id})
 }
 
 func (db *DB) dropAnnotation(id annotation.ID) error {

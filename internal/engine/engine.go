@@ -17,10 +17,12 @@ import (
 
 	"insightnotes/internal/annotation"
 	"insightnotes/internal/catalog"
+	"insightnotes/internal/metrics"
 	"insightnotes/internal/plan"
 	"insightnotes/internal/storage"
 	"insightnotes/internal/summary"
 	"insightnotes/internal/types"
+	"insightnotes/internal/wal"
 	"insightnotes/internal/zoomin"
 )
 
@@ -86,6 +88,21 @@ type DB struct {
 	// annClock supplies Created timestamps deterministically when callers
 	// don't provide one.
 	annClock atomic.Int64
+
+	// Durability state (nil/zero when the DB was opened without OpenDurable;
+	// see durability.go). wal is attached only after recovery completes, so
+	// replayed mutations are never re-logged.
+	wal           *wal.Log
+	walDir        string
+	autoCkptBytes int64
+	// recoveredLSN is the included-LSN mark of the snapshot this DB was
+	// loaded from (0 when fresh); WAL replay skips records at or below it.
+	recoveredLSN uint64
+	// recovery reports what the last OpenDurable found (for metrics).
+	recovery RecoveryInfo
+	// ckptTotal / ckptSeconds observe checkpoints when metrics are enabled.
+	ckptTotal   *metrics.Counter
+	ckptSeconds *metrics.Histogram
 }
 
 // Open creates a DB with the given configuration.
@@ -225,10 +242,14 @@ func (db *DB) StoredEnvelope(table string, row types.RowID) *summary.Envelope {
 	return env.Clone()
 }
 
-// Close releases the zoom-in cache directory when the engine created it.
+// Close releases the durability log (when attached) and the zoom-in
+// cache directory when the engine created it.
 func (db *DB) Close() error {
 	// The engine owns CacheDir only when it generated a temp dir; removing
 	// a user-supplied directory would be hostile. Detect by prefix.
+	if db.wal != nil {
+		return db.wal.Close()
+	}
 	return nil
 }
 

@@ -278,6 +278,8 @@ func statementKind(stmt sql.Statement) string {
 		return "create_summary"
 	case *sql.DropSummaryInstance:
 		return "drop_summary"
+	case *sql.Checkpoint:
+		return "checkpoint"
 	default:
 		return "other"
 	}

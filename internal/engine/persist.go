@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"insightnotes/internal/annotation"
+	"insightnotes/internal/failpoint"
 	"insightnotes/internal/summary"
 	"insightnotes/internal/types"
 )
@@ -18,14 +19,29 @@ import (
 // they are deterministically rebuilt from the raw annotations on load
 // (per-tuple annotations replay in id order, the same order incremental
 // maintenance observed them).
+//
+// For durability (see durability.go) the snapshot additionally records
+// the WAL LSN it includes, so recovery can skip already-captured log
+// records, and the id-allocator positions (per-table next row id, next
+// annotation id, annotation clock), so ids assigned after recovery never
+// collide with ids whose rows or annotations were deleted before the
+// snapshot was taken.
 const snapshotVersion = 1
 
 type snapshot struct {
-	Version     int                `json:"version"`
+	Version int `json:"version"`
+	// LSN is the WAL position the snapshot includes; replay skips
+	// records at or below it. Zero for standalone Save snapshots.
+	LSN         uint64             `json:"lsn,omitempty"`
 	Tables      []snapshotTable    `json:"tables"`
 	Instances   []json.RawMessage  `json:"instances"`
 	Links       []snapshotLink     `json:"links"`
 	Annotations []snapshotAnnotate `json:"annotations"`
+	// NextAnnotationID / AnnClock restore the annotation id allocator and
+	// ingestion clock (zero in pre-durability snapshots: derived from the
+	// stored annotations instead, the old behaviour).
+	NextAnnotationID annotation.ID `json:"next_annotation_id,omitempty"`
+	AnnClock         int64         `json:"ann_clock,omitempty"`
 }
 
 type snapshotTable struct {
@@ -33,6 +49,9 @@ type snapshotTable struct {
 	Columns []snapshotColumn `json:"columns"`
 	Indexes []string         `json:"indexes,omitempty"`
 	Rows    []snapshotRow    `json:"rows"`
+	// NextRow restores the row-id allocator (zero in pre-durability
+	// snapshots: derived from the stored rows).
+	NextRow types.RowID `json:"next_row,omitempty"`
 }
 
 type snapshotColumn struct {
@@ -71,24 +90,35 @@ type snapshotTarget struct {
 func (db *DB) Save(w io.Writer) error {
 	db.stmtMu.RLock()
 	defer db.stmtMu.RUnlock()
-	snap := snapshot{Version: snapshotVersion}
+	return db.writeSnapshot(w, 0)
+}
+
+// writeSnapshot serializes the state with the given included-LSN mark.
+// Callers hold the statement lock (shared or exclusive).
+func (db *DB) writeSnapshot(w io.Writer, lsn uint64) error {
+	snap := snapshot{
+		Version:          snapshotVersion,
+		LSN:              lsn,
+		NextAnnotationID: db.anns.NextID(),
+		AnnClock:         db.annClock.Load(),
+	}
 	for _, name := range db.cat.TableNames() {
 		tbl, err := db.cat.Table(name)
 		if err != nil {
 			return err
 		}
-		st := snapshotTable{Name: tbl.Name(), Indexes: tbl.IndexedColumns()}
+		st := snapshotTable{
+			Name:    tbl.Name(),
+			Indexes: tbl.IndexedColumns(),
+			NextRow: tbl.NextRow(),
+		}
 		for _, c := range tbl.Schema().Columns {
 			st.Columns = append(st.Columns, snapshotColumn{Name: c.Name, Kind: c.Kind})
 		}
-		var scanErr error
 		tbl.Scan(func(row types.RowID, tu types.Tuple) bool {
 			st.Rows = append(st.Rows, snapshotRow{ID: row, Values: tu})
 			return true
 		})
-		if scanErr != nil {
-			return scanErr
-		}
 		snap.Tables = append(snap.Tables, st)
 	}
 	for _, name := range db.cat.InstanceNames() {
@@ -144,15 +174,21 @@ func sortAnnotations(as []snapshotAnnotate) {
 	}
 }
 
-// SaveFile is Save to a file path (written atomically via a temp file).
-func (db *DB) SaveFile(path string) error {
+// snapshotToFile writes a snapshot atomically: temp file, flush, fsync,
+// rename. The checkpoint failpoints are evaluated here so crash tests
+// cover every ordering of "temp written / snapshot published / WAL
+// reset". Callers hold the statement lock.
+func (db *DB) snapshotToFile(path string, lsn uint64) error {
+	if err := failpoint.Eval(failpoint.CheckpointSnapshotWrite); err != nil {
+		return err
+	}
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	bw := bufio.NewWriter(f)
-	if err := db.Save(bw); err != nil {
+	if err := db.writeSnapshot(bw, lsn); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -171,12 +207,34 @@ func (db *DB) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := failpoint.Eval(failpoint.CheckpointBeforeRename); err != nil {
+		os.Remove(tmp)
+		return err
+	}
 	return os.Rename(tmp, path)
+}
+
+// SaveFile is Save to a file path (written atomically via a temp file).
+func (db *DB) SaveFile(path string) error {
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	return db.snapshotToFile(path, 0)
+}
+
+// corruptf builds the uniform descriptive error for malformed snapshots.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("engine: corrupt snapshot: %s", fmt.Sprintf(format, args...))
 }
 
 // Load restores a database from a snapshot produced by Save into a fresh
 // DB with the given configuration. Summary objects are rebuilt by
 // replaying the raw annotations through the maintenance path.
+//
+// Load validates the snapshot defensively — truncated or non-JSON input,
+// unsupported versions, duplicate tables or rows, unknown instance
+// types, and annotations targeting missing tables or rows all produce a
+// descriptive error, never a panic: a corrupt snapshot must fail the
+// recovery cleanly rather than take down (or silently skew) the engine.
 func Load(r io.Reader, cfg Config) (*DB, error) {
 	db, err := Open(cfg)
 	if err != nil {
@@ -184,72 +242,107 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 	}
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("engine: corrupt snapshot: %w", err)
+		return nil, corruptf("%v", err)
 	}
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("engine: unsupported snapshot version %d", snap.Version)
 	}
 	for _, st := range snap.Tables {
+		if st.Name == "" {
+			return nil, corruptf("table with empty name")
+		}
+		if len(st.Columns) == 0 {
+			return nil, corruptf("table %q has no columns", st.Name)
+		}
 		cols := make([]types.Column, len(st.Columns))
 		for i, c := range st.Columns {
 			cols[i] = types.Column{Name: c.Name, Kind: c.Kind}
 		}
 		tbl, err := db.cat.CreateTable(st.Name, types.Schema{Columns: cols})
 		if err != nil {
-			return nil, err
+			return nil, corruptf("table %q: %v", st.Name, err)
 		}
 		for _, row := range st.Rows {
 			if err := tbl.InsertWithID(row.ID, types.Tuple(row.Values)); err != nil {
-				return nil, err
+				return nil, corruptf("table %q row %d: %v", st.Name, row.ID, err)
 			}
 		}
 		for _, idx := range st.Indexes {
 			if err := tbl.CreateIndex(idx); err != nil {
-				return nil, err
+				return nil, corruptf("table %q index %q: %v", st.Name, idx, err)
 			}
 		}
+		tbl.EnsureNextRow(st.NextRow)
 	}
-	for _, raw := range snap.Instances {
+	for i, raw := range snap.Instances {
 		in := new(summary.Instance)
 		if err := json.Unmarshal(raw, in); err != nil {
-			return nil, err
+			return nil, corruptf("instance %d: %v", i, err)
 		}
 		if err := db.cat.RegisterInstance(in); err != nil {
-			return nil, err
+			return nil, corruptf("instance %q: %v", in.Name, err)
 		}
 	}
 	for _, l := range snap.Links {
 		if err := db.cat.Link(l.Instance, l.Table); err != nil {
-			return nil, err
+			return nil, corruptf("link %s -> %s: %v", l.Instance, l.Table, err)
 		}
 	}
 	// Restore raw annotations, then replay them through maintenance in id
 	// order (the order the original incremental maintenance saw them).
 	for _, sa := range snap.Annotations {
+		if sa.ID <= 0 {
+			return nil, corruptf("annotation with invalid id %d", sa.ID)
+		}
+		if len(sa.Targets) == 0 {
+			return nil, corruptf("annotation %d has no targets", sa.ID)
+		}
 		a := annotation.Annotation{
 			ID: sa.ID, Author: sa.Author, Created: sa.Created,
 			Text: sa.Text, Title: sa.Title, Document: sa.Document,
 		}
 		targets := make([]annotation.Target, len(sa.Targets))
 		for i, tg := range sa.Targets {
+			tbl, err := db.cat.Table(tg.Table)
+			if err != nil {
+				return nil, corruptf("annotation %d targets unknown table %q", sa.ID, tg.Table)
+			}
+			if _, err := tbl.Get(tg.Row); err != nil {
+				return nil, corruptf("annotation %d targets missing row %d of %q", sa.ID, tg.Row, tg.Table)
+			}
 			targets[i] = annotation.Target{Table: tg.Table, Row: tg.Row, Columns: tg.Cols}
 		}
-		if err := db.anns.Restore(a, targets); err != nil {
-			return nil, err
-		}
-		db.mu.Lock()
-		for _, tg := range targets {
-			for _, in := range db.cat.InstancesFor(tg.Table) {
-				d := db.digestFor(in, a)
-				db.envelopeForUpdate(tg.Table, tg.Row).Add(in, d, tg.Columns)
-			}
-		}
-		db.mu.Unlock()
-		if a.Created > db.annClock.Load() {
-			db.annClock.Store(a.Created)
+		if err := db.restoreAnnotation(a, targets); err != nil {
+			return nil, corruptf("annotation %d: %v", sa.ID, err)
 		}
 	}
+	db.anns.EnsureNextID(snap.NextAnnotationID)
+	if snap.AnnClock > db.annClock.Load() {
+		db.annClock.Store(snap.AnnClock)
+	}
+	db.recoveredLSN = snap.LSN
 	return db, nil
+}
+
+// restoreAnnotation re-adds one annotation under its original id and
+// replays it through incremental maintenance — shared by snapshot Load
+// and WAL replay.
+func (db *DB) restoreAnnotation(a annotation.Annotation, targets []annotation.Target) error {
+	if err := db.anns.Restore(a, targets); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	for _, tg := range targets {
+		for _, in := range db.cat.InstancesFor(tg.Table) {
+			d := db.digestFor(in, a)
+			db.envelopeForUpdate(tg.Table, tg.Row).Add(in, d, tg.Columns)
+		}
+	}
+	db.mu.Unlock()
+	if a.Created > db.annClock.Load() {
+		db.annClock.Store(a.Created)
+	}
+	return nil
 }
 
 // LoadFile is Load from a file path.

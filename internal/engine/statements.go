@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -64,10 +65,22 @@ func (db *DB) ExecStatement(stmt sql.Statement, sqlText string) (*Result, error)
 // ExecStatementContext dispatches a parsed statement under an explicit
 // cancellation context. Read statements take the shared statement lock;
 // everything else takes it exclusively (see the DB type comment).
-func (db *DB) ExecStatementContext(ctx context.Context, stmt sql.Statement, sqlText string) (*Result, error) {
+//
+// A panic in statement execution is contained here: it becomes an error
+// on this statement instead of tearing down the process (the deferred
+// lock releases run during unwinding, so the engine stays usable).
+func (db *DB) ExecStatementContext(ctx context.Context, stmt sql.Statement, sqlText string) (res *Result, err error) {
 	start := time.Now()
-	res, err := db.execStatementContext(ctx, stmt, sqlText)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("engine: internal error executing statement: %v", r)
+			}
+		}()
+		res, err = db.execStatementContext(ctx, stmt, sqlText)
+	}()
 	db.finishStatement(statementKind(stmt), sqlText, start, res, err)
+	db.maybeAutoCheckpoint()
 	return res, err
 }
 
@@ -140,6 +153,15 @@ func (db *DB) execStatementContext(ctx context.Context, stmt sql.Statement, sqlT
 			return nil, err
 		}
 		return &Result{Message: fmt.Sprintf("%s linked to %s", s.Instance, s.Table)}, nil
+	case *sql.Checkpoint:
+		ci, err := db.Checkpoint()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Message: fmt.Sprintf("checkpoint complete: snapshot %d byte(s) at lsn %d, %d wal byte(s) released",
+				ci.SnapshotBytes, ci.LSN, ci.ReleasedWALBytes),
+		}, nil
 	}
 	// Remaining statements are writes executed under the exclusive lock.
 	db.stmtMu.Lock()
@@ -155,6 +177,9 @@ func (db *DB) execStatementContext(ctx context.Context, stmt sql.Statement, sqlT
 		if err := tbl.CreateIndex(s.Column); err != nil {
 			return nil, err
 		}
+		if err := db.logRecord(walTypeCreateIndex, walCreateIndex{Table: tbl.Name(), Column: s.Column}); err != nil {
+			return nil, err
+		}
 		return &Result{Message: fmt.Sprintf("index created on %s(%s)", tbl.Name(), s.Column)}, nil
 	case *sql.DropTable:
 		tbl, err := db.cat.Table(s.Name)
@@ -162,12 +187,12 @@ func (db *DB) execStatementContext(ctx context.Context, stmt sql.Statement, sqlT
 			return nil, err
 		}
 		name := tbl.Name()
-		if err := db.cat.DropTable(name); err != nil {
+		if err := db.dropTable(name); err != nil {
 			return nil, err
 		}
-		db.mu.Lock()
-		delete(db.envelopes, name)
-		db.mu.Unlock()
+		if err := db.logRecord(walTypeDropTable, walDropTable{Name: name}); err != nil {
+			return nil, err
+		}
 		return &Result{Message: "table dropped"}, nil
 	case *sql.Insert:
 		return db.execInsert(s)
@@ -183,14 +208,21 @@ func (db *DB) execStatementContext(ctx context.Context, stmt sql.Statement, sqlT
 		if err := db.cat.RegisterInstance(in); err != nil {
 			return nil, err
 		}
-		return &Result{Message: fmt.Sprintf("summary instance %s (%s) created", in.Name, in.Type)}, nil
-	case *sql.DropSummaryInstance:
-		for _, tbl := range db.cat.TablesFor(s.Name) {
-			if err := db.unlinkInstance(s.Name, tbl); err != nil {
+		if db.wal != nil {
+			raw, err := json.Marshal(in)
+			if err != nil {
+				return nil, err
+			}
+			if err := db.logRecord(walTypeCreateInstance, walCreateInstance{Instance: raw}); err != nil {
 				return nil, err
 			}
 		}
-		if err := db.cat.DropInstance(s.Name); err != nil {
+		return &Result{Message: fmt.Sprintf("summary instance %s (%s) created", in.Name, in.Type)}, nil
+	case *sql.DropSummaryInstance:
+		if err := db.dropInstance(s.Name); err != nil {
+			return nil, err
+		}
+		if err := db.logRecord(walTypeDropInstance, walDropInstance{Name: s.Name}); err != nil {
 			return nil, err
 		}
 		return &Result{Message: "summary instance dropped"}, nil
@@ -230,13 +262,44 @@ func (db *DB) execExplain(ctx context.Context, s *sql.Explain) (*Result, error) 
 
 func (db *DB) execCreateTable(s *sql.CreateTable) (*Result, error) {
 	cols := make([]types.Column, len(s.Cols))
+	scols := make([]snapshotColumn, len(s.Cols))
 	for i, c := range s.Cols {
 		cols[i] = types.Column{Name: c.Name, Kind: c.Kind}
+		scols[i] = snapshotColumn{Name: c.Name, Kind: c.Kind}
 	}
-	if _, err := db.cat.CreateTable(s.Name, types.Schema{Columns: cols}); err != nil {
+	tbl, err := db.cat.CreateTable(s.Name, types.Schema{Columns: cols})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.logRecord(walTypeCreateTable, walCreateTable{Name: tbl.Name(), Columns: scols}); err != nil {
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("table %s created", s.Name)}, nil
+}
+
+// dropTable removes a table and its maintained envelopes; name must be
+// the canonical table name. Shared by the DROP TABLE statement and WAL
+// replay. Callers hold the exclusive statement lock.
+func (db *DB) dropTable(name string) error {
+	if err := db.cat.DropTable(name); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	delete(db.envelopes, name)
+	db.mu.Unlock()
+	return nil
+}
+
+// dropInstance unlinks an instance everywhere and deregisters it. Shared
+// by the DROP SUMMARY INSTANCE statement and WAL replay. Callers hold
+// the exclusive statement lock.
+func (db *DB) dropInstance(name string) error {
+	for _, tbl := range db.cat.TablesFor(name) {
+		if err := db.unlinkInstance(name, tbl); err != nil {
+			return err
+		}
+	}
+	return db.cat.DropInstance(name)
 }
 
 func (db *DB) execInsert(s *sql.Insert) (*Result, error) {
@@ -245,7 +308,7 @@ func (db *DB) execInsert(s *sql.Insert) (*Result, error) {
 		return nil, err
 	}
 	empty := types.Schema{}
-	n := 0
+	inserted := make([]snapshotRow, 0, len(s.Rows))
 	for _, row := range s.Rows {
 		tu := make(types.Tuple, len(row))
 		for i, e := range row {
@@ -259,11 +322,16 @@ func (db *DB) execInsert(s *sql.Insert) (*Result, error) {
 			}
 			tu[i] = v
 		}
-		if _, err := tbl.Insert(tu); err != nil {
+		id, err := tbl.Insert(tu)
+		if err != nil {
 			return nil, err
 		}
-		n++
+		inserted = append(inserted, snapshotRow{ID: id, Values: tu})
 	}
+	if err := db.logRecord(walTypeInsert, walRows{Table: tbl.Name(), Rows: inserted}); err != nil {
+		return nil, err
+	}
+	n := len(inserted)
 	return &Result{Message: fmt.Sprintf("%d row(s) inserted into %s", n, tbl.Name()), Count: n}, nil
 }
 

@@ -1,0 +1,74 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisabledEvalIsNil(t *testing.T) {
+	Reset()
+	if err := Eval("fp/test/unarmed"); err != nil {
+		t.Fatalf("disabled failpoint returned %v", err)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	Reset()
+	boom := errors.New("boom")
+	EnableError("fp/test/a", boom)
+	if err := Eval("fp/test/a"); !errors.Is(err, boom) {
+		t.Fatalf("enabled failpoint returned %v, want boom", err)
+	}
+	// Other names stay unaffected.
+	if err := Eval("fp/test/b"); err != nil {
+		t.Fatalf("unrelated failpoint returned %v", err)
+	}
+	Disable("fp/test/a")
+	if err := Eval("fp/test/a"); err != nil {
+		t.Fatalf("disabled failpoint returned %v", err)
+	}
+	// Double-disable must not corrupt the enabled count.
+	Disable("fp/test/a")
+	if enabled.Load() != 0 {
+		t.Fatalf("enabled count = %d after full disable", enabled.Load())
+	}
+}
+
+func TestEnableAfter(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("boom")
+	EnableAfter("fp/test/after", 2, boom)
+	for i := 0; i < 2; i++ {
+		if err := Eval("fp/test/after"); err != nil {
+			t.Fatalf("evaluation %d fired early: %v", i+1, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := Eval("fp/test/after"); !errors.Is(err, boom) {
+			t.Fatalf("evaluation %d after threshold returned %v", i+3, err)
+		}
+	}
+}
+
+func TestCrashSentinel(t *testing.T) {
+	err := CrashError(WALAppendPartial)
+	if !IsCrash(err) {
+		t.Fatalf("CrashError not recognized by IsCrash: %v", err)
+	}
+	if IsCrash(errors.New("ordinary")) {
+		t.Fatal("ordinary error classified as crash")
+	}
+}
+
+func TestPanickingActionPropagates(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("fp/test/panic", func() error { panic("kaboom") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	_ = Eval("fp/test/panic")
+}

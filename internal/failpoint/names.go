@@ -1,0 +1,31 @@
+package failpoint
+
+// Every failpoint name the engine evaluates, declared once. The naming
+// scheme is fp/<layer>/<point>; the scripts/check.sh lint rejects any
+// fp/* string literal anywhere in the tree that is not declared in this
+// file, so the failpoint catalog stays reviewable in one place (mirroring
+// the metric-name lint over internal/metrics/names.go).
+const (
+	// WAL append path (internal/wal). Before: nothing has been written.
+	// Partial: with a crash action, a prefix of the frame is written and
+	// the log dies — the torn-record case recovery must truncate. Before
+	// sync: the frame is fully written but not yet fsynced; the append is
+	// rolled back by truncation, modeling bytes that never reached disk.
+	WALAppendBefore     = "fp/wal/append_before"
+	WALAppendPartial    = "fp/wal/append_partial"
+	WALAppendBeforeSync = "fp/wal/append_before_sync"
+
+	// Snapshot/checkpoint write path (internal/engine). SnapshotWrite
+	// fails the temp-file write; BeforeRename crashes with the temp file
+	// complete but the snapshot not yet published; AfterRename crashes
+	// with the new snapshot published but the WAL not yet reset — the
+	// case the LSN skip logic exists for.
+	CheckpointSnapshotWrite = "fp/engine/checkpoint_snapshot_write"
+	CheckpointBeforeRename  = "fp/engine/checkpoint_before_rename"
+	CheckpointAfterRename   = "fp/engine/checkpoint_after_rename"
+
+	// Server statement execution (internal/server), evaluated at the top
+	// of every request; the panic-isolation regression test enables it
+	// with a panicking action.
+	ServerExecPanic = "fp/server/exec_panic"
+)

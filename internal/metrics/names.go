@@ -52,4 +52,19 @@ const (
 	NameServerActiveConnections  = "insightnotes_server_active_connections"   // gauge
 	NameServerRequestsTotal      = "insightnotes_server_requests_total"       // counter
 	NameServerRequestErrorsTotal = "insightnotes_server_request_errors_total" // counter
+	NameServerPanicsTotal        = "insightnotes_server_panics_total"         // counter (statements that panicked and were isolated)
+
+	// wal layer — durability: append log, checkpointing, and recovery.
+	NameWALAppendsTotal        = "insightnotes_wal_appends_total"         // counter (records committed)
+	NameWALAppendErrorsTotal   = "insightnotes_wal_append_errors_total"   // counter
+	NameWALBytesTotal          = "insightnotes_wal_bytes_total"           // counter (framed bytes committed)
+	NameWALFsyncSeconds        = "insightnotes_wal_fsync_seconds"         // histogram (commit fsync latency)
+	NameWALSizeBytes           = "insightnotes_wal_size_bytes"            // gauge (current log size)
+	NameWALLastLSN             = "insightnotes_wal_last_lsn"              // gauge
+	NameWALCheckpointsTotal    = "insightnotes_wal_checkpoints_total"     // counter
+	NameWALCheckpointSeconds   = "insightnotes_wal_checkpoint_seconds"    // histogram
+	NameWALRecoveryReplayed    = "insightnotes_wal_recovery_replayed"     // gauge (records replayed at last startup)
+	NameWALRecoverySkipped     = "insightnotes_wal_recovery_skipped"      // gauge (stale records skipped by LSN at last startup)
+	NameWALRecoveryTornTotal   = "insightnotes_wal_recovery_torn_total"   // counter (torn tails truncated at startup: 0 or 1 per process)
+	NameWALSnapshotLoadedTotal = "insightnotes_wal_snapshot_loaded_total" // counter (startups that recovered from a snapshot)
 )

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with jitter. The zero
+// value uses the defaults noted on each field. Delays are deterministic
+// functions of the attempt number except for the jitter term, which is
+// drawn from Rand — injectable so tests can pin the schedule.
+type Backoff struct {
+	// Base is the delay before the first retry (default 50ms).
+	Base time.Duration
+	// Max caps the grown delay, before jitter (default 2s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of the delay drawn uniformly at random and
+	// added on top, de-synchronizing clients that fail together
+	// (default 0.5; negative disables).
+	Jitter float64
+	// Rand supplies the jitter draw in [0,1) (default math/rand).
+	Rand func() float64
+}
+
+// Delay returns the pause before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt && d < float64(max); i++ {
+		d *= factor
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	jitter := b.Jitter
+	if b.Jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 {
+		rnd := b.Rand
+		if rnd == nil {
+			rnd = rand.Float64
+		}
+		d += d * jitter * rnd()
+	}
+	return time.Duration(d)
+}
+
+// sleep pauses for d or until ctx is done, reporting whether it slept
+// the full duration.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// DialRetry connects to an InsightNotes server, retrying transient dial
+// failures (connection refused while the server is still binding, brief
+// network blips) with capped exponential backoff. attempts bounds the
+// total number of dials (minimum 1); ctx cancels the waiting between
+// them. The last dial error is returned when every attempt fails.
+func DialRetry(ctx context.Context, addr string, attempts int, b Backoff) (*Client, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if i == attempts-1 {
+			break
+		}
+		if !sleep(ctx, b.Delay(i)) {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"insightnotes/internal/engine"
+	"insightnotes/internal/failpoint"
+	"insightnotes/internal/metrics"
+)
+
+// TestServerPanicIsolation drives a statement into a deliberate panic via
+// the exec failpoint and asserts the server answers with a structured
+// error, keeps serving, and counts the panic.
+func TestServerPanicIsolation(t *testing.T) {
+	srv, c := startServer(t)
+	mustClient(t, c, "CREATE TABLE t (id INT)")
+
+	failpoint.Enable(failpoint.ServerExecPanic, func() error {
+		return errors.New("injected panic")
+	})
+	defer failpoint.Disable(failpoint.ServerExecPanic)
+
+	resp, err := c.Exec("SELECT id FROM t")
+	if err != nil {
+		t.Fatalf("connection died on panicking statement: %v", err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "internal error") {
+		t.Fatalf("want structured internal error, got %+v", resp)
+	}
+
+	failpoint.Disable(failpoint.ServerExecPanic)
+	mustClient(t, c, "INSERT INTO t VALUES (7)")
+	if got := mustClient(t, c, "SELECT id FROM t"); len(got.Rows) != 1 {
+		t.Fatalf("server unusable after contained panic: %+v", got)
+	}
+
+	var panics float64
+	for _, s := range srv.db.Metrics().Samples() {
+		if s.Name == metrics.NameServerPanicsTotal {
+			panics = s.Value
+		}
+	}
+	if panics != 1 {
+		t.Errorf("%s = %v, want 1", metrics.NameServerPanicsTotal, panics)
+	}
+}
+
+// TestShutdownDrainsInFlight verifies the graceful path: a statement in
+// flight when Shutdown is called completes and is answered before the
+// server exits.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	db, err := engine.Open(engine.Config{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	srv.testHookExec = func(Request) {
+		hookOnce.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type result struct {
+		resp *Response
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := c.Exec("CREATE TABLE slow (id INT)")
+		resCh <- result{resp, err}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(5 * time.Second) }()
+	// The shutdown must wait for the in-flight statement, not abort it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a statement was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-resCh
+	if r.err != nil || !r.resp.OK {
+		t.Fatalf("in-flight statement lost during drain: resp=%+v err=%v", r.resp, r.err)
+	}
+	if _, err := Dial(addr); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+}
+
+// TestShutdownForcesAfterTimeout verifies the bounded path: a statement
+// stuck past the drain timeout is cut loose and Shutdown reports the
+// forced closure instead of hanging.
+func TestShutdownForcesAfterTimeout(t *testing.T) {
+	db, err := engine.Open(engine.Config{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	srv.testHookExec = func(Request) {
+		hookOnce.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	defer close(release)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	go c.Exec("CREATE TABLE stuck (id INT)")
+	<-entered
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(50 * time.Millisecond) }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "force-closed") {
+			t.Fatalf("want forced-drain error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung past its drain timeout")
+	}
+}
+
+// TestBackoffSchedule pins the deterministic part of the schedule (zero
+// jitter draw) and the jitter bounds.
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Rand: func() float64 { return 0 }}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+
+	// Full jitter draw adds at most Jitter*delay on top.
+	bj := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.5,
+		Rand: func() float64 { return 0.999 }}
+	if got := bj.Delay(0); got < 10*time.Millisecond || got > 15*time.Millisecond {
+		t.Errorf("jittered Delay(0) = %v, want within [10ms, 15ms]", got)
+	}
+
+	// Defaults: base 50ms, factor 2, cap 2s.
+	d := Backoff{Rand: func() float64 { return 0 }}
+	if got := d.Delay(0); got != 50*time.Millisecond {
+		t.Errorf("default Delay(0) = %v, want 50ms", got)
+	}
+	if got := d.Delay(20); got != 2*time.Second {
+		t.Errorf("default Delay(20) = %v, want capped 2s", got)
+	}
+}
+
+// TestDialRetry covers the three outcomes: eventual success once the
+// server appears, bounded failure against a dead address, and context
+// cancellation mid-wait.
+func TestDialRetry(t *testing.T) {
+	db, err := engine.Open(engine.Config{CacheDir: t.TempDir(), DisableMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	fast := Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	c, err := DialRetry(context.Background(), addr, 3, fast)
+	if err != nil {
+		t.Fatalf("DialRetry against live server: %v", err)
+	}
+	c.Close()
+
+	// A dead port fails after the bounded attempts with the dial error.
+	srv.Close()
+	if _, err := DialRetry(context.Background(), addr, 3, fast); err == nil {
+		t.Fatal("DialRetry against closed server succeeded")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialRetry(ctx, addr, 3, fast); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled DialRetry: err = %v, want context.Canceled", err)
+	}
+}

@@ -24,9 +24,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"insightnotes/internal/engine"
+	"insightnotes/internal/failpoint"
 	"insightnotes/internal/metrics"
 	"insightnotes/internal/types"
 )
@@ -106,9 +108,21 @@ type Server struct {
 	// aborts it at its next cancellation poll. Set before Listen.
 	StatementTimeout time.Duration
 
-	listener net.Listener
-	wg       sync.WaitGroup
-	closed   chan struct{}
+	listener  net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// baseCtx parents every per-statement context; Shutdown cancels it on
+	// the forced path so in-flight statements abort at their next poll.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// connMu guards conns, the registry of live client connections and
+	// their busy/idle state, which Shutdown uses to close idle
+	// connections immediately and drain busy ones.
+	connMu sync.Mutex
+	conns  map[net.Conn]*connState
 
 	// testHookExec, when set, is invoked at the top of every statement
 	// execution — before the engine is entered — so tests can observe and
@@ -120,18 +134,27 @@ type Server struct {
 	activeConns   *metrics.Gauge
 	requests      *metrics.Counter
 	requestErrors *metrics.Counter
+	panics        *metrics.Counter
 }
 
 // New creates a server over db. When the engine's metric registry is
 // enabled, the server registers its front-end metrics there (get-or-create,
 // so multiple servers over one DB share the counters).
 func New(db *engine.DB) *Server {
-	s := &Server{db: db, closed: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		db:         db,
+		closed:     make(chan struct{}),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		conns:      make(map[net.Conn]*connState),
+	}
 	if reg := db.Metrics(); reg != nil {
 		s.connections = reg.Counter(metrics.NameServerConnectionsTotal, "Client connections accepted.")
 		s.activeConns = reg.Gauge(metrics.NameServerActiveConnections, "Client connections currently open.")
 		s.requests = reg.Counter(metrics.NameServerRequestsTotal, "Protocol requests received.")
 		s.requestErrors = reg.Counter(metrics.NameServerRequestErrorsTotal, "Protocol requests answered with an error.")
+		s.panics = reg.Counter(metrics.NameServerPanicsTotal, "Statement executions that panicked and were contained.")
 	}
 	return s
 }
@@ -173,9 +196,25 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn handles one client connection until EOF.
+// connState tracks whether a connection is mid-request, so Shutdown can
+// tell idle connections (parked in a read, safe to close now) from busy
+// ones (a statement in flight that must drain first).
+type connState struct {
+	busy atomic.Bool
+}
+
+// serveConn handles one client connection until EOF or shutdown.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	st := &connState{}
+	s.connMu.Lock()
+	s.conns[conn] = st
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
 	s.connections.Inc()
 	s.activeConns.Add(1)
 	defer s.activeConns.Add(-1)
@@ -184,8 +223,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	out := bufio.NewWriter(conn)
 	enc := json.NewEncoder(out)
 	for in.Scan() {
+		st.busy.Store(true)
 		line := in.Bytes()
 		if len(line) == 0 {
+			st.busy.Store(false)
 			continue
 		}
 		var req Request
@@ -205,17 +246,39 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := out.Flush(); err != nil {
 			return
 		}
+		st.busy.Store(false)
+		// Draining: the request that was in flight is answered; stop
+		// reading further ones.
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
 	}
 }
 
 // execute runs one statement under a fresh per-statement context.
 // Concurrency control lives in the engine's statement-level reader/writer
 // lock, so read statements from different connections overlap.
-func (s *Server) execute(req Request) Response {
+//
+// A panic anywhere below this frame is contained: the client receives a
+// structured internal-error response and the connection (and every other
+// connection) keeps working. One misbehaving statement must not take
+// down the shared middleware process.
+func (s *Server) execute(req Request) (resp Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+			resp = Response{Error: fmt.Sprintf("internal error: statement execution panicked: %v", r)}
+		}
+	}()
+	if err := failpoint.Eval(failpoint.ServerExecPanic); err != nil {
+		panic(err)
+	}
 	if s.testHookExec != nil {
 		s.testHookExec(req)
 	}
-	ctx := context.Background()
+	ctx := s.baseCtx
 	if s.StatementTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.StatementTimeout)
@@ -231,7 +294,7 @@ func (s *Server) execute(req Request) Response {
 	if err != nil {
 		return Response{Error: err.Error()}
 	}
-	resp := Response{OK: true, Message: res.Message, QID: res.QID}
+	resp = Response{OK: true, Message: res.Message, QID: res.QID}
 	if res.Stats != nil {
 		resp.Stats = res.Stats.String()
 		detail := &StatsJSON{
@@ -271,13 +334,69 @@ func (s *Server) execute(req Request) Response {
 	return resp
 }
 
-// Close stops accepting connections and waits for in-flight requests.
+// Close stops accepting connections and waits for in-flight requests
+// without bound. Use Shutdown to bound the drain.
 func (s *Server) Close() error {
-	close(s.closed)
-	var err error
-	if s.listener != nil {
-		err = s.listener.Close()
+	return s.Shutdown(0)
+}
+
+// forcedShutdownGrace bounds how long a forced Shutdown waits for
+// handlers to unwind after cancelling their statements. A statement
+// stuck in code that polls neither its context nor its connection can
+// outlive this; Shutdown reports the forced drain rather than hanging.
+const forcedShutdownGrace = 250 * time.Millisecond
+
+// Shutdown gracefully stops the server: it stops accepting connections,
+// closes idle client connections, and drains requests in flight — each
+// busy connection answers its current request, then closes. When timeout
+// is positive and the drain exceeds it, in-flight statements are
+// cancelled through their contexts and the remaining connections are
+// force-closed, reported in the returned error. A zero timeout drains
+// without bound.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	var lnErr error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.listener != nil {
+			lnErr = s.listener.Close()
+		}
+		// Idle connections are parked in a read waiting for a request
+		// that will never be answered; close them now. Busy ones drain:
+		// serveConn exits after answering once s.closed is set.
+		s.connMu.Lock()
+		for conn, st := range s.conns {
+			if !st.busy.Load() {
+				conn.Close()
+			}
+		}
+		s.connMu.Unlock()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if timeout <= 0 {
+		<-done
+		return lnErr
 	}
-	s.wg.Wait()
-	return err
+	select {
+	case <-done:
+		return lnErr
+	case <-time.After(timeout):
+	}
+	// Forced path: abort in-flight statements and unblock their
+	// connections, then give the handlers a bounded grace to unwind.
+	s.baseCancel()
+	s.connMu.Lock()
+	forced := len(s.conns)
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	select {
+	case <-done:
+	case <-time.After(forcedShutdownGrace):
+	}
+	return fmt.Errorf("server: drain timeout after %s: %d connection(s) force-closed", timeout, forced)
 }

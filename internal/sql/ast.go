@@ -333,6 +333,11 @@ type ZoomIn struct {
 	Index    int
 }
 
+// Checkpoint is CHECKPOINT: persist a snapshot of the full database
+// state to the durability directory and rotate the write-ahead log.
+// Errors when the engine was opened without durability.
+type Checkpoint struct{}
+
 // Show is SHOW TABLES | SHOW SUMMARIES | SHOW ANNOTATIONS ON table.
 type Show struct {
 	What  string // "TABLES", "SUMMARIES", "ANNOTATIONS", "METRICS"
@@ -358,6 +363,10 @@ func (*TrainSummary) stmtNode()          {}
 func (*LinkSummary) stmtNode()           {}
 func (*ZoomIn) stmtNode()                {}
 func (*Show) stmtNode()                  {}
+func (*Checkpoint) stmtNode()            {}
+
+// String implements Statement.
+func (s *Checkpoint) String() string { return "CHECKPOINT" }
 
 // String implements Statement.
 func (s *CreateTable) String() string {

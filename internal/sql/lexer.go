@@ -150,7 +150,7 @@ func init() {
 		"CREATE", "TABLE", "INDEX", "DROP", "INSERT", "INTO", "VALUES",
 		"ANNOTATION", "ADD", "UPDATE", "SET", "DELETE", "TITLE", "DOCUMENT", "AUTHOR", "SUMMARY",
 		"INSTANCE", "TYPE", "WITH", "LABELS", "TRAIN", "LINK", "UNLINK",
-		"TO", "ZOOMIN", "REFERENCE", "QID", "SHOW", "TABLES", "SUMMARIES", "METRICS",
+		"TO", "ZOOMIN", "REFERENCE", "QID", "SHOW", "TABLES", "SUMMARIES", "METRICS", "CHECKPOINT",
 		"ANNOTATIONS", "COUNT", "SUM", "AVG", "MIN", "MAX",
 	} {
 		keywords[k] = true

@@ -190,6 +190,9 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseZoomIn()
 	case p.isKeyword("SHOW"):
 		return p.parseShow()
+	case p.isKeyword("CHECKPOINT"):
+		p.advance()
+		return &Checkpoint{}, nil
 	default:
 		return nil, p.errf("expected a statement")
 	}

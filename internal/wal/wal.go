@@ -1,0 +1,331 @@
+// Package wal is the engine's write-ahead log: an append-only file of
+// length+CRC32-framed, fsync-on-commit records describing logical
+// mutations. Together with periodic snapshots it makes the mutation path
+// crash-safe — on startup the engine loads the latest snapshot and
+// replays the WAL tail, truncating cleanly at the first torn or corrupt
+// record.
+//
+// On-disk format, per record:
+//
+//	4 bytes  little-endian uint32: payload length
+//	4 bytes  little-endian uint32: IEEE CRC32 of the payload
+//	n bytes  payload: one JSON-encoded Record
+//
+// Records carry a strictly increasing LSN. A snapshot remembers the LSN
+// it includes; replay skips records at or below it, which makes a crash
+// between "snapshot published" and "log reset" harmless (the stale prefix
+// is skipped, never double-applied).
+//
+// Durability contract: Append returns only after the record is fsynced,
+// so an acknowledged mutation survives a process kill. A failed append
+// rolls the file back to its pre-append size so the log is never
+// poisoned by its own error paths; the injected-crash failpoint is the
+// deliberate exception, leaving a torn record for recovery to handle.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"insightnotes/internal/failpoint"
+)
+
+const headerBytes = 8
+
+// maxRecordBytes bounds a single record; a length field above it marks
+// the frame — and everything after it — as corrupt.
+const maxRecordBytes = 64 << 20
+
+// ErrLogDead marks a log killed by a simulated crash-stop: the handle
+// refuses further appends, as a dead process would.
+var ErrLogDead = errors.New("wal: log is dead after simulated crash")
+
+// Record is one logical mutation in the log.
+type Record struct {
+	// LSN is the record's log sequence number, strictly increasing.
+	LSN uint64 `json:"lsn"`
+	// Type names the logical mutation (the engine defines the set).
+	Type string `json:"type"`
+	// Data is the type-specific payload.
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Stats are cumulative counters of one Log handle.
+type Stats struct {
+	Appends      int64 // records committed
+	AppendErrors int64 // appends that failed (including injected faults)
+	BytesWritten int64 // framed bytes committed
+	Fsyncs       int64 // fsync calls issued
+	Resets       int64 // checkpoint truncations
+}
+
+// Log is an open write-ahead log. Safe for concurrent use.
+type Log struct {
+	// FsyncObserver, when set (before the first Append), receives the
+	// duration of every commit fsync — the engine feeds it into the
+	// insightnotes_wal_fsync_seconds histogram.
+	FsyncObserver func(time.Duration)
+
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	size    int64
+	lastLSN uint64
+	dead    bool
+	stats   Stats
+}
+
+// Open opens (creating if needed) the log at path for appending.
+// lastLSN seeds the sequence: the next record gets lastLSN+1. Callers
+// recover the value by replaying the log first (see Replay).
+func Open(path string, lastLSN uint64) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, path: path, size: st.Size(), lastLSN: lastLSN}, nil
+}
+
+// frame builds the on-disk bytes of one record.
+func frame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	buf := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[headerBytes:], payload)
+	return buf, nil
+}
+
+// Append commits one record: frame, write, fsync, in that order. It
+// returns the record's LSN. On error nothing is durably appended — the
+// file is rolled back to its pre-append size — except under an injected
+// crash-stop, which deliberately leaves a torn record and kills the
+// handle.
+func (l *Log) Append(recType string, data any) (uint64, error) {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return 0, fmt.Errorf("wal: encoding %s payload: %w", recType, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return 0, ErrLogDead
+	}
+	buf, err := frame(Record{LSN: l.lastLSN + 1, Type: recType, Data: raw})
+	if err != nil {
+		return 0, err
+	}
+	if err := l.commitLocked(buf); err != nil {
+		l.stats.AppendErrors++
+		return 0, err
+	}
+	l.lastLSN++
+	l.size += int64(len(buf))
+	l.stats.Appends++
+	l.stats.BytesWritten += int64(len(buf))
+	return l.lastLSN, nil
+}
+
+// commitLocked writes and fsyncs one frame, evaluating the append-path
+// failpoints. Callers hold l.mu.
+func (l *Log) commitLocked(buf []byte) error {
+	if err := failpoint.Eval(failpoint.WALAppendBefore); err != nil {
+		return err
+	}
+	if err := failpoint.Eval(failpoint.WALAppendPartial); err != nil {
+		if failpoint.IsCrash(err) {
+			// Crash-stop mid-write: a prefix of the frame reaches the
+			// file and the process "dies". Recovery must truncate this.
+			l.f.Write(buf[:len(buf)/2])
+			l.dead = true
+		}
+		return err
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		l.rollbackLocked()
+		return fmt.Errorf("wal: append write: %w", err)
+	}
+	if err := failpoint.Eval(failpoint.WALAppendBeforeSync); err != nil {
+		if failpoint.IsCrash(err) {
+			l.dead = true
+			return err
+		}
+		// Unsynced bytes are not durable; roll them back so the
+		// in-memory size stays truthful.
+		l.rollbackLocked()
+		return err
+	}
+	start := time.Now()
+	err := l.f.Sync()
+	l.stats.Fsyncs++
+	if obs := l.FsyncObserver; obs != nil {
+		obs(time.Since(start))
+	}
+	if err != nil {
+		l.rollbackLocked()
+		return fmt.Errorf("wal: commit fsync: %w", err)
+	}
+	return nil
+}
+
+// rollbackLocked best-effort truncates the file back to the last
+// committed size after a failed append.
+func (l *Log) rollbackLocked() {
+	_ = l.f.Truncate(l.size)
+}
+
+// Reset truncates the log to empty after a checkpoint. The sequence
+// continues: lastLSN seeds the next record's LSN, so post-checkpoint
+// records stay above the snapshot's LSN.
+func (l *Log) Reset(lastLSN uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return ErrLogDead
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset truncate: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: reset fsync: %w", err)
+	}
+	l.size = 0
+	l.lastLSN = lastLSN
+	l.stats.Resets++
+	return nil
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// LastLSN returns the LSN of the last committed record.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// Stats returns a copy of the cumulative counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close closes the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// ReplayResult reports what a replay pass found.
+type ReplayResult struct {
+	// Replayed counts records applied (LSN above afterLSN).
+	Replayed int
+	// Skipped counts records at or below afterLSN (already captured by
+	// the snapshot being recovered from).
+	Skipped int
+	// LastLSN is the highest LSN seen (0 when the log is empty).
+	LastLSN uint64
+	// Torn reports that the log ended in a torn or corrupt record, which
+	// was truncated away at TornOffset.
+	Torn       bool
+	TornOffset int64
+}
+
+// Replay reads the log at path, calling apply for every intact record
+// with LSN > afterLSN. It stops at the first torn or corrupt frame —
+// short header, short payload, CRC mismatch, unparsable payload, or
+// non-increasing LSN — truncates the file there, and reports it. A
+// missing file is an empty log. An apply error aborts the replay: a
+// CRC-valid record that fails to apply means real corruption above the
+// framing layer, and silently dropping committed mutations would be
+// worse than refusing to start.
+func Replay(path string, afterLSN uint64, apply func(Record) error) (ReplayResult, error) {
+	var res ReplayResult
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return res, nil
+		}
+		return res, err
+	}
+	defer f.Close()
+
+	var offset int64
+	header := make([]byte, headerBytes)
+	payload := make([]byte, 0, 4096)
+	prevLSN := uint64(0)
+	for {
+		if _, err := io.ReadFull(f, header); err != nil {
+			if err == io.EOF {
+				return res, nil // clean end
+			}
+			break // partial header: torn
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > maxRecordBytes {
+			break // corrupt length field
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // short payload: torn
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt payload
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break // CRC-valid but unparsable: treat as corrupt tail
+		}
+		if rec.LSN <= prevLSN {
+			break // sequence violation: corrupt tail
+		}
+		if rec.LSN <= afterLSN {
+			res.Skipped++
+		} else {
+			if err := apply(rec); err != nil {
+				return res, fmt.Errorf("wal: applying record lsn=%d type=%s: %w", rec.LSN, rec.Type, err)
+			}
+			res.Replayed++
+		}
+		prevLSN = rec.LSN
+		res.LastLSN = rec.LSN
+		offset += int64(headerBytes) + int64(length)
+	}
+	// Torn or corrupt tail: drop it so the next append starts on a clean
+	// frame boundary.
+	res.Torn = true
+	res.TornOffset = offset
+	if err := f.Truncate(offset); err != nil {
+		return res, fmt.Errorf("wal: truncating torn tail at %d: %w", offset, err)
+	}
+	if err := f.Sync(); err != nil {
+		return res, fmt.Errorf("wal: syncing truncated log: %w", err)
+	}
+	return res, nil
+}

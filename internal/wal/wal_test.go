@@ -1,0 +1,343 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"insightnotes/internal/failpoint"
+)
+
+type payload struct {
+	N int    `json:"n"`
+	S string `json:"s,omitempty"`
+}
+
+func openT(t *testing.T, dir string, lastLSN uint64) *Log {
+	t.Helper()
+	l, err := Open(filepath.Join(dir, "wal.log"), lastLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, 0)
+	for i := 1; i <= 5; i++ {
+		lsn, err := l.Append("insert", payload{N: i, S: "row"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if st := l.Stats(); st.Appends != 5 || st.Fsyncs != 5 {
+		t.Fatalf("stats = %+v, want 5 appends / 5 fsyncs", st)
+	}
+	l.Close()
+
+	var got []Record
+	res, err := Replay(filepath.Join(dir, "wal.log"), 0, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn || res.Replayed != 5 || res.Skipped != 0 || res.LastLSN != 5 {
+		t.Fatalf("replay result = %+v", res)
+	}
+	for i, r := range got {
+		if r.LSN != uint64(i+1) || r.Type != "insert" {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+func TestReplaySkipsThroughSnapshotLSN(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, 0)
+	for i := 1; i <= 6; i++ {
+		if _, err := l.Append("m", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	var applied []uint64
+	res, err := Replay(filepath.Join(dir, "wal.log"), 4, func(r Record) error {
+		applied = append(applied, r.LSN)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 4 || res.Replayed != 2 {
+		t.Fatalf("replay result = %+v", res)
+	}
+	if len(applied) != 2 || applied[0] != 5 || applied[1] != 6 {
+		t.Fatalf("applied = %v, want [5 6]", applied)
+	}
+}
+
+func TestReplayMissingFileIsEmpty(t *testing.T) {
+	res, err := Replay(filepath.Join(t.TempDir(), "absent.log"), 0, func(Record) error {
+		t.Fatal("apply called on missing log")
+		return nil
+	})
+	if err != nil || res.Replayed != 0 || res.Torn {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+}
+
+// corruptTail appends raw garbage and asserts replay truncates it while
+// preserving the intact prefix.
+func TestReplayTruncatesTornTail(t *testing.T) {
+	cases := []struct {
+		name string
+		tail func(goodPayload []byte) []byte
+	}{
+		{"partial_header", func([]byte) []byte { return []byte{0xAA, 0xBB} }},
+		{"partial_payload", func(p []byte) []byte {
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint32(buf[0:4], uint32(len(p)+100))
+			binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p))
+			return append(buf, p[:4]...)
+		}},
+		{"crc_mismatch", func(p []byte) []byte {
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint32(buf[0:4], uint32(len(p)))
+			binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p)+1)
+			return append(buf, p...)
+		}},
+		{"bad_json", func([]byte) []byte {
+			p := []byte("{not json")
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint32(buf[0:4], uint32(len(p)))
+			binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p))
+			return append(buf, p...)
+		}},
+		{"zero_length", func([]byte) []byte { return []byte{0, 0, 0, 0, 1, 2, 3, 4} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "wal.log")
+			l, err := Open(path, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 3; i++ {
+				if _, err := l.Append("m", payload{N: i}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			goodSize := l.Size()
+			l.Close()
+			good, err := frame(Record{LSN: 99, Type: "m", Data: []byte(`{"n":99}`)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tc.tail(good[8:])); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			var applied int
+			res, err := Replay(path, 0, func(Record) error { applied++; return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Torn || res.TornOffset != goodSize {
+				t.Fatalf("res = %+v, want torn at %d", res, goodSize)
+			}
+			if applied != 3 {
+				t.Fatalf("applied = %d, want 3 intact records", applied)
+			}
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size() != goodSize {
+				t.Fatalf("file size after truncate = %d, want %d", st.Size(), goodSize)
+			}
+			// A second replay over the truncated log is clean.
+			res2, err := Replay(path, 0, func(Record) error { return nil })
+			if err != nil || res2.Torn || res2.Replayed != 3 {
+				t.Fatalf("second replay = %+v, err = %v", res2, err)
+			}
+		})
+	}
+}
+
+func TestResetContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l := openT(t, dir, 0)
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append("m", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(l.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 0 {
+		t.Fatalf("size after reset = %d", l.Size())
+	}
+	lsn, err := l.Append("m", payload{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 4 {
+		t.Fatalf("post-reset lsn = %d, want 4", lsn)
+	}
+	l.Close()
+	res, err := Replay(path, 3, func(r Record) error {
+		if r.LSN != 4 {
+			return errors.New("unexpected record")
+		}
+		return nil
+	})
+	if err != nil || res.Replayed != 1 || res.Skipped != 0 {
+		t.Fatalf("replay after reset = %+v, err = %v", res, err)
+	}
+}
+
+func TestFailedAppendRollsBack(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l := openT(t, dir, 0)
+	if _, err := l.Append("m", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk unhappy")
+
+	// before-write: nothing reaches the file.
+	failpoint.EnableError(failpoint.WALAppendBefore, boom)
+	if _, err := l.Append("m", payload{N: 2}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	failpoint.Disable(failpoint.WALAppendBefore)
+
+	// before-sync (non-crash): frame written then rolled back.
+	failpoint.EnableError(failpoint.WALAppendBeforeSync, boom)
+	if _, err := l.Append("m", payload{N: 3}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	failpoint.Disable(failpoint.WALAppendBeforeSync)
+
+	if st := l.Stats(); st.AppendErrors != 2 || st.Appends != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The log is still usable and consistent.
+	if _, err := l.Append("m", payload{N: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastLSN(); got != 2 {
+		t.Fatalf("lastLSN = %d, want 2 (failed appends consumed no LSN)", got)
+	}
+	l.Close()
+	var lsns []uint64
+	res, err := Replay(path, 0, func(r Record) error { lsns = append(lsns, r.LSN); return nil })
+	if err != nil || res.Torn {
+		t.Fatalf("replay = %+v, err = %v", res, err)
+	}
+	if len(lsns) != 2 || lsns[0] != 1 || lsns[1] != 2 {
+		t.Fatalf("recovered lsns = %v, want [1 2]", lsns)
+	}
+}
+
+func TestInjectedCrashLeavesTornRecordAndKillsLog(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l := openT(t, dir, 0)
+	if _, err := l.Append("m", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := l.Size()
+	failpoint.EnableError(failpoint.WALAppendPartial, failpoint.CrashError(failpoint.WALAppendPartial))
+	_, err := l.Append("m", payload{N: 2, S: "torn"})
+	if !failpoint.IsCrash(err) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+	failpoint.Reset()
+	// Dead handle refuses further work.
+	if _, err := l.Append("m", payload{N: 3}); !errors.Is(err, ErrLogDead) {
+		t.Fatalf("append on dead log = %v", err)
+	}
+	if err := l.Reset(0); !errors.Is(err, ErrLogDead) {
+		t.Fatalf("reset on dead log = %v", err)
+	}
+	l.Close()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() <= goodSize {
+		t.Fatalf("no torn bytes on disk: size %d <= %d", st.Size(), goodSize)
+	}
+	var applied int
+	res, err := Replay(path, 0, func(Record) error { applied++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Torn || res.TornOffset != goodSize || applied != 1 {
+		t.Fatalf("replay = %+v, applied = %d", res, applied)
+	}
+}
+
+func TestFsyncObserver(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, 0)
+	var observed int
+	l.FsyncObserver = func(d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative fsync duration %v", d)
+		}
+		observed++
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append("m", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if observed != 3 {
+		t.Fatalf("observer fired %d times, want 3", observed)
+	}
+}
+
+func TestApplyErrorAborts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l := openT(t, dir, 0)
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append("m", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	boom := errors.New("apply failed")
+	_, err := Replay(path, 0, func(r Record) error {
+		if r.LSN == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want apply failure", err)
+	}
+}

@@ -31,8 +31,28 @@ for name in $declared; do
 done
 [ "$fail" -eq 0 ] || exit 1
 
+# Failpoint-name lint: every fp/* name literal used by non-test code must
+# be declared in internal/failpoint/names.go. The declarations are the
+# catalog the crash-recovery suite iterates over; an inline literal would
+# be a crash site with no fault-injection coverage.
+echo ">> failpoint-name lint"
+fail=0
+used=$(grep -rhoE '"fp/[a-z0-9_/]+"' \
+	--include='*.go' --exclude='*_test.go' \
+	internal cmd | grep -v 'internal/failpoint/names.go' | sort -u || true)
+for lit in $used; do
+	name=$(printf '%s' "$lit" | tr -d '"')
+	if ! grep -q "\"$name\"" internal/failpoint/names.go; then
+		echo "  undeclared failpoint name $name (declare it in internal/failpoint/names.go)" >&2
+		fail=1
+	fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
 echo ">> go vet ./..."
 go vet ./...
 echo ">> go test -race ./..."
 go test -race ./...
+echo ">> crash simulation (x3, race)"
+go test -run TestCrashRecovery -count=3 -race ./internal/engine/
 echo "OK"
