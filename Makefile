@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-metrics bench-wal crash-sim check vet race
+.PHONY: build test bench bench-metrics bench-wal crash-sim soak check vet race
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,9 @@ bench-wal:
 # failpoint in the WAL/snapshot paths, three runs, race detector on.
 crash-sim:
 	$(GO) test -run TestCrashRecovery -count=3 -race ./internal/engine/
+
+# soak is the overload harness on its own: clients at a multiple of the
+# admitted statement capacity against a durable engine in degraded
+# maintenance mode, race detector on, -short for the check-gate duration.
+soak:
+	$(GO) test -run TestOverloadSoak -count=1 -race -short -v ./internal/server/

@@ -8,6 +8,9 @@
 //	insightnotesd [-addr :7090] [-data-dir dir] [-snapshot db.json] [-demo]
 //	              [-stmt-timeout 30s] [-drain-timeout 10s] [-checkpoint-bytes 8388608]
 //	              [-metrics-addr 127.0.0.1:7091] [-slow-query-ms 250] [-slow-query-log slow.jsonl]
+//	              [-admit-max 0] [-admit-queue 64] [-admit-timeout 1s] [-max-conns 0]
+//	              [-max-frame-bytes 16777216] [-idle-timeout 0] [-write-timeout 0]
+//	              [-maint-queue 1024] [-maint-latency-ms 0]
 //
 // With -data-dir the engine runs crash-safe: every mutation is written to
 // a fsynced write-ahead log before it is acknowledged, startup recovers
@@ -22,6 +25,17 @@
 // metrics at /metrics and the pprof suite under /debug/pprof/. With
 // -slow-query-ms statements at or above the threshold are logged as JSON
 // lines to -slow-query-log (stderr by default).
+//
+// Overload protection: -admit-max bounds concurrently executing statements
+// (excess requests wait in a bounded, deadline-aware queue of -admit-queue,
+// shed after -admit-timeout with a structured retryable error carrying a
+// retry-after hint); -max-conns caps client connections (refused ones get
+// one structured answer); -max-frame-bytes caps a request frame;
+// -idle-timeout and -write-timeout bound silent and slow-reading
+// connections. -maint-latency-ms degrades summary maintenance automatically
+// when the per-statement maintenance latency average crosses it: raw
+// annotations stay synchronous and durable while summary updates queue
+// (bounded by -maint-queue) for the background catch-up worker.
 package main
 
 import (
@@ -50,9 +64,21 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics and /debug/pprof (empty disables)")
 	slowQueryMS := flag.Int("slow-query-ms", 0, "slow-query threshold in milliseconds (0 disables the slow-query log)")
 	slowQueryLog := flag.String("slow-query-log", "", "slow-query log file, JSON lines (default stderr)")
+	admitMax := flag.Int("admit-max", 0, "max concurrently executing statements (0 disables admission control)")
+	admitQueue := flag.Int("admit-queue", 0, "bounded admission wait queue depth (0 = 64 default)")
+	admitTimeout := flag.Duration("admit-timeout", 0, "max time a statement waits queued before it is shed (0 = 1s default)")
+	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
+	maxFrame := flag.Int("max-frame-bytes", 0, "max request frame size in bytes (0 = 16 MiB default)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle longer than this (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-response write deadline against slow readers (0 disables)")
+	maintQueue := flag.Int("maint-queue", 0, "deferred summary-maintenance queue depth (0 = 1024 default)")
+	maintLatencyMS := flag.Int("maint-latency-ms", 0, "auto-degrade summary maintenance when its latency average crosses this (0 disables)")
 	flag.Parse()
 
-	cfg := engine.Config{}
+	cfg := engine.Config{
+		MaintenanceQueueDepth:       *maintQueue,
+		MaintenanceLatencyThreshold: time.Duration(*maintLatencyMS) * time.Millisecond,
+	}
 	if *slowQueryMS > 0 {
 		cfg.SlowQueryThreshold = time.Duration(*slowQueryMS) * time.Millisecond
 		sinkW := os.Stderr
@@ -117,6 +143,13 @@ func main() {
 
 	srv := server.New(db)
 	srv.StatementTimeout = *stmtTimeout
+	srv.Admission = server.AdmissionConfig{
+		MaxStatements: *admitMax, QueueDepth: *admitQueue, QueueTimeout: *admitTimeout,
+	}
+	srv.MaxConns = *maxConns
+	srv.MaxFrameBytes = *maxFrame
+	srv.IdleTimeout = *idleTimeout
+	srv.WriteTimeout = *writeTimeout
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)

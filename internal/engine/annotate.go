@@ -63,8 +63,16 @@ func (db *DB) Annotate(req AnnotationRequest) (annotation.ID, int, error) {
 // semantics and the summarize-once optimization are built around.
 func (db *DB) AnnotateTargets(a annotation.Annotation, specs []TargetSpec) (annotation.ID, int, error) {
 	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
-	return db.annotateTargets(a, specs)
+	id, n, err := db.annotateTargets(a, specs)
+	tok := db.takePendingSync()
+	db.stmtMu.Unlock()
+	if serr := db.syncWAL(tok); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return id, n, nil
 }
 
 func (db *DB) annotateTargets(a annotation.Annotation, specs []TargetSpec) (annotation.ID, int, error) {
@@ -109,25 +117,16 @@ func (db *DB) annotateTargets(a annotation.Annotation, specs []TargetSpec) (anno
 	a.ID = id
 
 	// Incremental maintenance: update each linked instance's object on
-	// every target tuple.
-	db.mu.Lock()
+	// every target tuple — synchronously when fresh, deferred to the
+	// catch-up worker when degraded (see maintenance.go).
+	task := maintTask{ann: a}
 	for _, r := range all {
-		for _, in := range db.cat.InstancesFor(r.table) {
-			if db.cfg.DisableSummarizeOnce || !in.Props.SummarizeOnce() {
-				// Without the invariant guarantee (or under the E5
-				// ablation) the annotation is summarized per target tuple.
-				for _, row := range r.rows {
-					db.envelopeForUpdate(r.table, row).Add(in, in.Summarize(a), r.cols)
-				}
-				continue
-			}
-			d := db.digestFor(in, a)
-			for _, row := range r.rows {
-				db.envelopeForUpdate(r.table, row).Add(in, d, r.cols)
-			}
-		}
+		task.targets = append(task.targets, maintTarget{
+			table: r.table, rows: r.rows, cols: r.cols,
+			instances: db.cat.InstancesFor(r.table),
+		})
 	}
-	db.mu.Unlock()
+	db.maintain(task)
 
 	// Log the fully resolved annotation — assigned id, engine-clock
 	// timestamp, and the matched target rows — so replay does not depend
@@ -205,14 +204,22 @@ func (db *DB) matchRows(tbl interface {
 // maintained summary objects change when links change).
 func (db *DB) LinkInstance(instanceName, table string) error {
 	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
-	if err := db.linkInstance(instanceName, table); err != nil {
-		return err
+	err := db.linkInstance(instanceName, table)
+	if err == nil {
+		err = db.logRecord(walTypeLink, walLink{Instance: instanceName, Table: table})
 	}
-	return db.logRecord(walTypeLink, walLink{Instance: instanceName, Table: table})
+	tok := db.takePendingSync()
+	db.stmtMu.Unlock()
+	if serr := db.syncWAL(tok); err == nil {
+		err = serr
+	}
+	return err
 }
 
 func (db *DB) linkInstance(instanceName, table string) error {
+	// Link changes rewrite maintained envelopes; deferred maintenance must
+	// land first so catch-up never resurrects pre-link state.
+	db.drainMaintenance()
 	in, err := db.cat.Instance(instanceName)
 	if err != nil {
 		return err
@@ -244,14 +251,22 @@ func (db *DB) linkInstance(instanceName, table string) error {
 // from the table's maintained envelopes.
 func (db *DB) UnlinkInstance(instanceName, table string) error {
 	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
-	if err := db.unlinkInstance(instanceName, table); err != nil {
-		return err
+	err := db.unlinkInstance(instanceName, table)
+	if err == nil {
+		err = db.logRecord(walTypeLink, walLink{Instance: instanceName, Table: table, Unlink: true})
 	}
-	return db.logRecord(walTypeLink, walLink{Instance: instanceName, Table: table, Unlink: true})
+	tok := db.takePendingSync()
+	db.stmtMu.Unlock()
+	if serr := db.syncWAL(tok); err == nil {
+		err = serr
+	}
+	return err
 }
 
 func (db *DB) unlinkInstance(instanceName, table string) error {
+	// A queued task holding this instance would re-add its objects after
+	// the unlink removed them; catch up first.
+	db.drainMaintenance()
 	tbl, err := db.cat.Table(table)
 	if err != nil {
 		return err
@@ -282,6 +297,10 @@ func (db *DB) RebuildSummaries(table string) (int, error) {
 }
 
 func (db *DB) rebuildSummaries(table string) (int, error) {
+	// The rebuild reads the raw annotations, which already include any
+	// queued ones — draining first keeps the worker from re-applying them
+	// on top of the rebuilt envelopes.
+	db.drainMaintenance()
 	tbl, err := db.cat.Table(table)
 	if err != nil {
 		return 0, err
@@ -312,14 +331,22 @@ func (db *DB) rebuildSummaries(table string) (int, error) {
 // refreshed only by RebuildSummaries (documented behaviour).
 func (db *DB) TrainClassifier(instanceName string, samples [][2]string) error {
 	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
-	if err := db.trainClassifier(instanceName, samples); err != nil {
-		return err
+	err := db.trainClassifier(instanceName, samples)
+	if err == nil {
+		err = db.logRecord(walTypeTrain, walTrain{Instance: instanceName, Samples: samples})
 	}
-	return db.logRecord(walTypeTrain, walTrain{Instance: instanceName, Samples: samples})
+	tok := db.takePendingSync()
+	db.stmtMu.Unlock()
+	if serr := db.syncWAL(tok); err == nil {
+		err = serr
+	}
+	return err
 }
 
 func (db *DB) trainClassifier(instanceName string, samples [][2]string) error {
+	// Queued maintenance must summarize under the pre-training model —
+	// exactly what the synchronous path would have done at ingest time.
+	db.drainMaintenance()
 	in, err := db.cat.Instance(instanceName)
 	if err != nil {
 		return err

@@ -78,6 +78,9 @@ func (db *DB) execDelete(s *sql.Delete) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A queued task for a deleted row would recreate its envelope after
+	// the delete dropped it; catch up first.
+	db.drainMaintenance()
 	rows, err := db.matchRows(tbl, s.Where)
 	if err != nil {
 		return nil, err
@@ -127,14 +130,22 @@ func (db *DB) deleteRow(tbl *catalog.Table, row types.RowID) ([]annotation.ID, e
 // representatives, snippets disappear.
 func (db *DB) DropAnnotation(id annotation.ID) error {
 	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
-	if err := db.dropAnnotation(id); err != nil {
-		return err
+	err := db.dropAnnotation(id)
+	if err == nil {
+		err = db.logRecord(walTypeDropAnnotation, walDropAnnotation{ID: id})
 	}
-	return db.logRecord(walTypeDropAnnotation, walDropAnnotation{ID: id})
+	tok := db.takePendingSync()
+	db.stmtMu.Unlock()
+	if serr := db.syncWAL(tok); err == nil {
+		err = serr
+	}
+	return err
 }
 
 func (db *DB) dropAnnotation(id annotation.ID) error {
+	// The retraction curates the annotation out of envelopes; a queued
+	// task for it would add it back afterwards. Catch up first.
+	db.drainMaintenance()
 	targets, err := db.anns.Remove(id)
 	if err != nil {
 		return err

@@ -174,6 +174,12 @@ func (db *DB) attachWAL(opts DurabilityOptions, log *wal.Log, info RecoveryInfo)
 	fsync := reg.Histogram(metrics.NameWALFsyncSeconds,
 		"WAL commit fsync latency in seconds.", metrics.DefLatencyBuckets)
 	log.FsyncObserver = func(d time.Duration) { fsync.Observe(d.Seconds()) }
+	reg.CounterFunc(metrics.NameWALGroupCommitBatchesTotal,
+		"Group-commit batches (commit fsyncs that made records durable).",
+		func() float64 { return float64(log.Stats().GroupCommitBatches) })
+	reg.CounterFunc(metrics.NameWALGroupCommitRecordsTotal,
+		"Records that shared their commit fsync with at least one other record.",
+		func() float64 { return float64(log.Stats().GroupCommitRecords) })
 	db.ckptTotal = reg.Counter(metrics.NameWALCheckpointsTotal,
 		"Checkpoints taken (manual CHECKPOINT and size-triggered).")
 	db.ckptSeconds = reg.Histogram(metrics.NameWALCheckpointSeconds,
@@ -323,7 +329,12 @@ type walTrain struct {
 	Samples  [][2]string `json:"samples"`
 }
 
-// logRecord appends one mutation record and fsyncs it. A nil WAL (no
+// logRecord stages one mutation record into the WAL without waiting for
+// its commit fsync, parking the sync token in db.pendingSync. The caller
+// holds stmtMu exclusively; the statement entry point takes the token
+// (takePendingSync) before unlocking and calls syncWAL after, so
+// concurrent writers share commit fsyncs (group commit) instead of
+// serializing an fsync each under the exclusive lock. A nil WAL (no
 // durability, or recovery replay in progress) is a no-op. On error the
 // statement must be reported failed: the in-memory mutation was applied
 // but is not durable, so the caller should treat the engine as
@@ -332,8 +343,33 @@ func (db *DB) logRecord(recType string, data any) error {
 	if db.wal == nil {
 		return nil
 	}
-	if _, err := db.wal.Append(recType, data); err != nil {
+	_, tok, err := db.wal.Stage(recType, data)
+	if err != nil {
 		return fmt.Errorf("engine: wal append (%s): %w", recType, err)
+	}
+	db.pendingSync = tok
+	return nil
+}
+
+// takePendingSync returns and clears the token of the record staged by
+// the current statement. Must be called while still holding stmtMu
+// exclusively (the field is guarded by it).
+func (db *DB) takePendingSync() wal.SyncToken {
+	tok := db.pendingSync
+	db.pendingSync = wal.SyncToken{}
+	return tok
+}
+
+// syncWAL waits until the staged record behind tok is durable, sharing
+// the commit fsync with concurrent committers. Called after stmtMu is
+// released; the zero token (read-only statement, no WAL, failed before
+// staging) is a no-op.
+func (db *DB) syncWAL(tok wal.SyncToken) error {
+	if db.wal == nil {
+		return nil
+	}
+	if err := db.wal.Sync(tok); err != nil {
+		return fmt.Errorf("engine: wal sync: %w", err)
 	}
 	return nil
 }

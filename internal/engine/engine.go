@@ -54,6 +54,16 @@ type Config struct {
 	// SlowQueryLog receives structured entries for slow statements (nil
 	// disables emission; the counter still counts). See NewJSONSlowQueryLog.
 	SlowQueryLog SlowQuerySink
+	// MaintenanceQueueDepth bounds the deferred summary-maintenance queue
+	// used in degraded mode (default 1024). When the queue is full,
+	// annotation ingestion blocks until the catch-up worker frees a slot.
+	MaintenanceQueueDepth int
+	// MaintenanceLatencyThreshold, when positive, enables automatic
+	// degradation: when the moving average of synchronous per-annotation
+	// summary-maintenance latency crosses it, subsequent maintenance is
+	// deferred to the background catch-up worker until the queue drains.
+	// Zero leaves only manual degradation (SetDegraded).
+	MaintenanceLatencyThreshold time.Duration
 }
 
 // DB is one InsightNotes database instance.
@@ -88,6 +98,10 @@ type DB struct {
 	// annClock supplies Created timestamps deterministically when callers
 	// don't provide one.
 	annClock atomic.Int64
+	// maint owns degraded-mode summary maintenance: the deferred-task
+	// queue, the catch-up worker, and staleness accounting (see
+	// maintenance.go). Always non-nil after Open.
+	maint *maintenance
 
 	// Durability state (nil/zero when the DB was opened without OpenDurable;
 	// see durability.go). wal is attached only after recovery completes, so
@@ -95,6 +109,12 @@ type DB struct {
 	wal           *wal.Log
 	walDir        string
 	autoCkptBytes int64
+	// pendingSync holds the group-commit token of the record staged by the
+	// statement currently holding stmtMu exclusively; the statement entry
+	// point takes it (takePendingSync) before unlocking and waits on the
+	// shared commit fsync after release, so concurrent writers batch their
+	// fsyncs. Guarded by stmtMu (exclusive).
+	pendingSync wal.SyncToken
 	// recoveredLSN is the included-LSN mark of the snapshot this DB was
 	// loaded from (0 when fresh); WAL replay skips records at or below it.
 	recoveredLSN uint64
@@ -144,6 +164,10 @@ func Open(cfg Config) (*DB, error) {
 	if !cfg.DisableMetrics {
 		db.metrics = newDBMetrics(db)
 	}
+	db.maint = newMaintenance(db, cfg.MaintenanceQueueDepth, cfg.MaintenanceLatencyThreshold)
+	if db.metrics != nil {
+		db.maint.registerMetrics(db.metrics.reg)
+	}
 	return db, nil
 }
 
@@ -166,12 +190,18 @@ func (db *DB) Annotations() *annotation.Store { return db.anns }
 // and the REPL).
 func (db *DB) Cache() *zoomin.Cache { return db.cache }
 
-// EnvelopeFor implements exec.EnvelopeSource: the live maintained envelope
-// of a base tuple (scans clone it before pipeline mutation).
+// EnvelopeFor implements exec.EnvelopeSource: a clone of the maintained
+// envelope of a base tuple (nil when unannotated). The clone is taken
+// under the store lock, so scans never race with the background catch-up
+// worker mutating the live envelope mid-read.
 func (db *DB) EnvelopeFor(table string, row types.RowID) *summary.Envelope {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.envelopes[table][row]
+	env := db.envelopes[table][row]
+	if env == nil {
+		return nil
+	}
+	return env.Clone()
 }
 
 // envelopeForUpdate returns (creating if needed) the stored envelope of a
@@ -242,9 +272,12 @@ func (db *DB) StoredEnvelope(table string, row types.RowID) *summary.Envelope {
 	return env.Clone()
 }
 
-// Close releases the durability log (when attached) and the zoom-in
-// cache directory when the engine created it.
+// Close stops the maintenance catch-up worker (draining its queue) and
+// releases the durability log when attached.
 func (db *DB) Close() error {
+	if db.maint != nil {
+		db.maint.close()
+	}
 	// The engine owns CacheDir only when it generated a temp dir; removing
 	// a user-supplied directory would be hostile. Detect by prefix.
 	if db.wal != nil {

@@ -30,12 +30,20 @@ type StatementStats struct {
 	Curates int64
 	// Wall is the statement's elapsed wall time.
 	Wall time.Duration
+	// StalePending is the number of deferred summary-maintenance tasks
+	// outstanding when the statement finished: above zero, the summaries
+	// in this result may lag the raw annotations (degraded mode).
+	StalePending int
 }
 
 // String renders the one-line per-statement summary.
 func (s *StatementStats) String() string {
-	return fmt.Sprintf("%d row(s) in %s (op_rows=%d merges=%d curates=%d)",
+	out := fmt.Sprintf("%d row(s) in %s (op_rows=%d merges=%d curates=%d)",
 		s.Rows, s.Wall.Round(time.Microsecond), s.OpRows, s.Merges, s.Curates)
+	if s.StalePending > 0 {
+		out += fmt.Sprintf(" [stale: %d pending update(s)]", s.StalePending)
+	}
+	return out
 }
 
 // Result is the outcome of one statement.
@@ -177,12 +185,16 @@ func (db *DB) querySelect(ec *exec.ExecContext, sel *sql.Select, sqlText string)
 	if err := db.cache.Put(cached); err != nil {
 		return nil, err
 	}
+	stats := statementStats(ec, len(rows))
+	if m := db.maint; m != nil {
+		stats.StalePending = m.pending()
+	}
 	return &Result{
 		QID:    qid,
 		Schema: op.Schema(),
 		Rows:   rows,
 		Trace:  ec.TraceEntries(),
-		Stats:  statementStats(ec, len(rows)),
+		Stats:  stats,
 		Ops:    ops,
 	}, nil
 }

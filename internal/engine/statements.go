@@ -12,6 +12,7 @@ import (
 	"insightnotes/internal/plan"
 	"insightnotes/internal/sql"
 	"insightnotes/internal/types"
+	"insightnotes/internal/wal"
 )
 
 // Exec parses and executes one statement of any kind — SQL or InsightNotes
@@ -164,8 +165,27 @@ func (db *DB) execStatementContext(ctx context.Context, stmt sql.Statement, sqlT
 		}, nil
 	}
 	// Remaining statements are writes executed under the exclusive lock.
-	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
+	// The WAL record is staged under the lock; its commit fsync happens
+	// after release so concurrent writers share fsyncs (group commit).
+	res, tok, err := func() (*Result, wal.SyncToken, error) {
+		db.stmtMu.Lock()
+		defer db.stmtMu.Unlock()
+		res, err := db.execWriteLocked(stmt)
+		return res, db.takePendingSync(), err
+	}()
+	if serr := db.syncWAL(tok); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// execWriteLocked executes one mutating statement. Callers hold the
+// exclusive statement lock and are responsible for syncing the WAL
+// record staged here (takePendingSync + syncWAL) after releasing it.
+func (db *DB) execWriteLocked(stmt sql.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		return db.execCreateTable(s)
@@ -281,6 +301,9 @@ func (db *DB) execCreateTable(s *sql.CreateTable) (*Result, error) {
 // the canonical table name. Shared by the DROP TABLE statement and WAL
 // replay. Callers hold the exclusive statement lock.
 func (db *DB) dropTable(name string) error {
+	// Queued maintenance targeting this table must not recreate its
+	// envelopes after the drop.
+	db.drainMaintenance()
 	if err := db.cat.DropTable(name); err != nil {
 		return err
 	}
@@ -294,6 +317,10 @@ func (db *DB) dropTable(name string) error {
 // by the DROP SUMMARY INSTANCE statement and WAL replay. Callers hold
 // the exclusive statement lock.
 func (db *DB) dropInstance(name string) error {
+	// Queued tasks capture instance pointers; drain so none re-adds this
+	// instance's objects after the drop (unlinkInstance drains too, but an
+	// unlinked instance has no tables to iterate).
+	db.drainMaintenance()
 	for _, tbl := range db.cat.TablesFor(name) {
 		if err := db.unlinkInstance(name, tbl); err != nil {
 			return err

@@ -12,11 +12,16 @@ import (
 	"insightnotes/internal/types"
 )
 
-// testEnvSource is a map-backed EnvelopeSource.
+// testEnvSource is a map-backed EnvelopeSource. Like the engine's store,
+// it hands out clones — the pipeline mutates what it receives.
 type testEnvSource map[string]map[types.RowID]*summary.Envelope
 
 func (s testEnvSource) EnvelopeFor(table string, row types.RowID) *summary.Envelope {
-	return s[table][row]
+	env := s[table][row]
+	if env == nil {
+		return nil
+	}
+	return env.Clone()
 }
 
 // fixture builds tables R(a,b,c) and S(x,z) echoing Figure 2, a classifier

@@ -10,8 +10,10 @@ import (
 
 // EnvelopeSource supplies the stored summary envelope of a base-table
 // tuple; the engine's summary store implements it. Implementations return
-// nil for unannotated tuples. The scan clones what it receives, so sources
-// hand out their live envelopes safely.
+// nil for unannotated tuples and must hand out a private copy (or an
+// otherwise immutable envelope): the pipeline mutates what it receives,
+// and the engine's background catch-up worker may be updating the live
+// envelope concurrently with scans.
 type EnvelopeSource interface {
 	EnvelopeFor(table string, row types.RowID) *summary.Envelope
 }
@@ -76,7 +78,7 @@ func (s *Scan) Next(ec *ExecContext) (*Row, error) {
 	s.pos++
 	var env *summary.Envelope
 	if s.envs != nil {
-		env = envClone(s.envs.EnvelopeFor(s.table.Name(), s.rows[i]))
+		env = s.envs.EnvelopeFor(s.table.Name(), s.rows[i])
 	}
 	row := &Row{Tuple: s.tups[i], Env: env}
 	s.produced(ec, start, row)
@@ -153,7 +155,7 @@ func (s *IndexScan) Next(ec *ExecContext) (*Row, error) {
 		}
 		var env *summary.Envelope
 		if s.envs != nil {
-			env = envClone(s.envs.EnvelopeFor(s.table.Name(), row))
+			env = s.envs.EnvelopeFor(s.table.Name(), row)
 		}
 		out := &Row{Tuple: tu, Env: env}
 		s.produced(ec, start, out)
@@ -232,7 +234,7 @@ func (s *IndexRangeScan) Next(ec *ExecContext) (*Row, error) {
 		}
 		var env *summary.Envelope
 		if s.envs != nil {
-			env = envClone(s.envs.EnvelopeFor(s.table.Name(), row))
+			env = s.envs.EnvelopeFor(s.table.Name(), row)
 		}
 		out := &Row{Tuple: tu, Env: env}
 		s.produced(ec, start, out)

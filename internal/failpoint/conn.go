@@ -1,0 +1,80 @@
+package failpoint
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// FlakyConn wraps a net.Conn with deterministic fault injection for chaos
+// and soak tests: slow reads (a client that drains responses sluggishly),
+// partial writes (frames delivered to the kernel a few bytes at a time),
+// and a mid-frame connection drop after a byte budget. All faults are
+// configured explicitly — no randomness — so a failing run replays exactly.
+//
+// The zero value of every knob disables that fault; a FlakyConn with no
+// knobs set behaves identically to the wrapped conn.
+type FlakyConn struct {
+	net.Conn
+
+	// ReadDelay is slept before every Read, modeling a slow reader whose
+	// responses back up in the server's write buffer.
+	ReadDelay time.Duration
+	// WriteChunk caps how many bytes each underlying Write sends, so one
+	// logical frame arrives as several TCP segments with a pause between
+	// them (exercises the server's frame reassembly and write deadlines).
+	WriteChunk int
+	// WriteDelay is slept between chunks when WriteChunk is set.
+	WriteDelay time.Duration
+	// DropAfter, when positive, closes the connection after that many
+	// bytes have been written in total — a mid-frame drop. Later writes
+	// fail with net.ErrClosed.
+	DropAfter int
+
+	written int
+}
+
+// Read delays, then reads from the wrapped conn.
+func (c *FlakyConn) Read(p []byte) (int, error) {
+	if c.ReadDelay > 0 {
+		time.Sleep(c.ReadDelay)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write sends p in WriteChunk-sized pieces, dropping the connection
+// mid-frame once the DropAfter budget is spent.
+func (c *FlakyConn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if c.WriteChunk > 0 && n > c.WriteChunk {
+			n = c.WriteChunk
+		}
+		if c.DropAfter > 0 && c.written+n >= c.DropAfter {
+			// Send only up to the budget, then kill the conn mid-frame.
+			n = c.DropAfter - c.written
+			if n > 0 {
+				w, err := c.Conn.Write(p[:n])
+				total += w
+				c.written += w
+				if err != nil {
+					return total, err
+				}
+			}
+			c.Conn.Close()
+			return total, fmt.Errorf("failpoint: connection dropped after %d bytes: %w", c.written, net.ErrClosed)
+		}
+		w, err := c.Conn.Write(p[:n])
+		total += w
+		c.written += w
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+		if c.WriteDelay > 0 && len(p) > 0 {
+			time.Sleep(c.WriteDelay)
+		}
+	}
+	return total, nil
+}

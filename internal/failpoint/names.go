@@ -24,6 +24,13 @@ const (
 	CheckpointBeforeRename  = "fp/engine/checkpoint_before_rename"
 	CheckpointAfterRename   = "fp/engine/checkpoint_after_rename"
 
+	// Degraded-mode maintenance worker (internal/engine), evaluated before
+	// each deferred summary-maintenance task is applied. A crash action
+	// simulates the process dying mid-catch-up: recovery must rebuild
+	// summaries from the raw annotations in the WAL/snapshot and converge
+	// to the same state a synchronous shadow replay produces.
+	MaintenanceApply = "fp/engine/maintenance_apply"
+
 	// Server statement execution (internal/server), evaluated at the top
 	// of every request; the panic-isolation regression test enables it
 	// with a panicking action.

@@ -368,6 +368,26 @@ func (v *CounterVec) WithFunc(labelValue string, fn func() float64) {
 	v.f.get(labelValue).fn.Store(fn)
 }
 
+// GaugeVec is a gauge family keyed by one label.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a gauge family with one label key.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, KindGauge, label, nil, false)}
+}
+
+// With returns the gauge of one label value, creating it on first use.
+// Callers on hot paths should resolve once and keep the handle.
+func (v *GaugeVec) With(labelValue string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(labelValue).gauge
+}
+
 // HistogramVec is a histogram family keyed by one label.
 type HistogramVec struct{ f *family }
 

@@ -54,6 +54,13 @@ const (
 	NameServerRequestErrorsTotal = "insightnotes_server_request_errors_total" // counter
 	NameServerPanicsTotal        = "insightnotes_server_panics_total"         // counter (statements that panicked and were isolated)
 
+	// admission layer — statement concurrency limiting and load shedding.
+	NameAdmissionQueuedTotal    = "insightnotes_admission_queued_total"    // counter (statements that waited for a slot)
+	NameAdmissionShedTotal      = "insightnotes_admission_shed_total"      // counter (statements shed from the wait queue: timeout or deadline)
+	NameAdmissionRejectedTotal  = "insightnotes_admission_rejected_total"  // counter (statements rejected outright: queue full)
+	NameAdmissionWaitSeconds    = "insightnotes_admission_wait_seconds"    // histogram (queue wait of admitted statements)
+	NameServerConnsRefusedTotal = "insightnotes_server_conns_refused_total" // counter (connections refused at the -max-conns cap)
+
 	// wal layer — durability: append log, checkpointing, and recovery.
 	NameWALAppendsTotal        = "insightnotes_wal_appends_total"         // counter (records committed)
 	NameWALAppendErrorsTotal   = "insightnotes_wal_append_errors_total"   // counter
@@ -67,4 +74,15 @@ const (
 	NameWALRecoverySkipped     = "insightnotes_wal_recovery_skipped"      // gauge (stale records skipped by LSN at last startup)
 	NameWALRecoveryTornTotal   = "insightnotes_wal_recovery_torn_total"   // counter (torn tails truncated at startup: 0 or 1 per process)
 	NameWALSnapshotLoadedTotal = "insightnotes_wal_snapshot_loaded_total" // counter (startups that recovered from a snapshot)
+
+	// engine layer — degraded summary maintenance (overload protection).
+	NameMaintenancePendingTasks   = "insightnotes_maintenance_pending_tasks"   // gauge (deferred tasks queued for catch-up)
+	NameMaintenanceDeferredTotal  = "insightnotes_maintenance_deferred_total"  // counter (tasks deferred to the background worker)
+	NameMaintenanceAppliedTotal   = "insightnotes_maintenance_applied_total"   // counter (deferred tasks applied by the worker)
+	NameMaintenanceDegraded       = "insightnotes_maintenance_degraded"        // gauge (1 while deferring, 0 when fresh)
+	NameSummaryStaleUpdatesTotal  = "insightnotes_summary_stale_updates"       // gauge{instance} (pending updates per summary instance)
+
+	// wal layer — group commit (batched commit fsyncs).
+	NameWALGroupCommitBatchesTotal = "insightnotes_wal_group_commit_batches_total" // counter (commit fsyncs covering ≥1 record)
+	NameWALGroupCommitRecordsTotal = "insightnotes_wal_group_commit_records_total" // counter (records that shared a commit fsync)
 )

@@ -17,7 +17,11 @@ import (
 type envSource map[string]map[types.RowID]*summary.Envelope
 
 func (s envSource) EnvelopeFor(table string, row types.RowID) *summary.Envelope {
-	return s[table][row]
+	env := s[table][row]
+	if env == nil {
+		return nil
+	}
+	return env.Clone()
 }
 
 type world struct {

@@ -2,14 +2,17 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
+	"time"
 )
 
 // Client is a minimal connection to an InsightNotes server. It is not safe
 // for concurrent use; open one client per goroutine.
 type Client struct {
+	addr string
 	conn net.Conn
 	r    *bufio.Scanner
 	enc  *json.Encoder
@@ -22,10 +25,9 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := bufio.NewScanner(conn)
-	r.Buffer(make([]byte, 1<<20), 16<<20)
+	r := newFrameScanner(conn, defaultMaxFrameBytes)
 	w := bufio.NewWriter(conn)
-	return &Client{conn: conn, r: r, enc: json.NewEncoder(w), w: w}, nil
+	return &Client{addr: addr, conn: conn, r: r, enc: json.NewEncoder(w), w: w}, nil
 }
 
 // Exec sends one statement and waits for the response.
@@ -36,6 +38,52 @@ func (c *Client) Exec(stmt string) (*Response, error) {
 // ExecTraced sends one SELECT with the under-the-hood trace enabled.
 func (c *Client) ExecTraced(stmt string) (*Response, error) {
 	return c.roundTrip(Request{Stmt: stmt, Trace: true})
+}
+
+// ExecRetry sends one statement, retrying when the server sheds it with the
+// structured CodeOverloaded error. The server's RetryAfterMS hint acts as a
+// floor under the jittered backoff schedule, so clients back off at least as
+// hard as the server asks while still desynchronizing their retries. A
+// connection the server closed (e.g. refused at the -max-conns cap after
+// its one structured answer) is redialed transparently between attempts.
+// Retries are safe here because a shed statement never entered the engine.
+func (c *Client) ExecRetry(ctx context.Context, stmt string, attempts int, b Backoff) (*Response, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := c.roundTrip(Request{Stmt: stmt})
+		switch {
+		case err != nil:
+			// Transport failure: the conn is dead. Redial before the
+			// next attempt; keep the old error if redial also fails.
+			lastErr = err
+			if nc, derr := Dial(c.addr); derr == nil {
+				c.conn.Close()
+				*c = *nc
+			}
+		case resp.Code == CodeOverloaded:
+			lastErr = fmt.Errorf("server: %s", resp.Error)
+			if i == attempts-1 {
+				return resp, nil // caller sees the final structured shed
+			}
+			d := b.Delay(i)
+			if hint := time.Duration(resp.RetryAfterMS) * time.Millisecond; d < hint {
+				d = hint
+			}
+			if !sleep(ctx, d) {
+				return nil, ctx.Err()
+			}
+			continue
+		default:
+			return resp, nil
+		}
+		if i < attempts-1 && !sleep(ctx, b.Delay(i)) {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("server: %d attempt(s) exhausted: %w", attempts, lastErr)
 }
 
 func (c *Client) roundTrip(req Request) (*Response, error) {

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -43,8 +44,14 @@ type Request struct {
 
 // Response is the server's reply.
 type Response struct {
-	OK      bool       `json:"ok"`
-	Error   string     `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code classifies machine-readable errors (CodeOverloaded,
+	// CodeFrameTooLarge). Empty for success and plain statement errors.
+	Code string `json:"code,omitempty"`
+	// RetryAfterMS accompanies CodeOverloaded: the server's hint for how
+	// long to back off before retrying. Client.ExecRetry honors it.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 	Message string     `json:"message,omitempty"`
 	QID     int        `json:"qid,omitempty"`
 	Columns []string   `json:"columns,omitempty"`
@@ -70,6 +77,10 @@ type StatsJSON struct {
 	// Merges and Curates count envelope operations.
 	Merges  int64 `json:"merges"`
 	Curates int64 `json:"curates"`
+	// StalePending, when above zero, is the number of deferred
+	// summary-maintenance tasks outstanding when the statement finished —
+	// the result's summaries may lag the raw annotations (degraded mode).
+	StalePending int `json:"stale_pending,omitempty"`
 	// Ops is the per-operator breakdown in depth-first plan order.
 	Ops []OpStatJSON `json:"ops,omitempty"`
 }
@@ -108,6 +119,27 @@ type Server struct {
 	// aborts it at its next cancellation poll. Set before Listen.
 	StatementTimeout time.Duration
 
+	// Admission configures the statement-concurrency limiter with its
+	// bounded, deadline-aware wait queue (zero value disables). Requests
+	// beyond capacity are shed with a structured retryable error instead
+	// of stacking up. Set before Listen.
+	Admission AdmissionConfig
+	// MaxConns, when positive, caps concurrently open client connections.
+	// Connections past the cap are answered with one structured
+	// CodeOverloaded response and closed. Set before Listen.
+	MaxConns int
+	// IdleTimeout, when positive, closes connections that send no request
+	// for this long — a slow-loris guard and a bound on idle descriptors.
+	IdleTimeout time.Duration
+	// WriteTimeout, when positive, bounds each response write: a client
+	// that stops reading cannot park a handler in Flush forever; the
+	// write times out and the connection closes.
+	WriteTimeout time.Duration
+	// MaxFrameBytes caps one request line (default 16 MiB). Oversized
+	// frames are answered with a structured CodeFrameTooLarge error and
+	// the connection closes (the stream position is unrecoverable).
+	MaxFrameBytes int
+
 	listener  net.Listener
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -129,12 +161,19 @@ type Server struct {
 	// synchronize concurrent statements deterministically.
 	testHookExec func(Request)
 
+	// admit is the admission limiter built from Admission at Listen time
+	// (nil when disabled).
+	admit *admission
+	// active counts open client connections for the MaxConns cap.
+	active atomic.Int64
+
 	// Front-end metrics; nil handles (metrics disabled) are no-ops.
 	connections   *metrics.Counter
 	activeConns   *metrics.Gauge
 	requests      *metrics.Counter
 	requestErrors *metrics.Counter
 	panics        *metrics.Counter
+	connsRefused  *metrics.Counter
 }
 
 // New creates a server over db. When the engine's metric registry is
@@ -155,8 +194,33 @@ func New(db *engine.DB) *Server {
 		s.requests = reg.Counter(metrics.NameServerRequestsTotal, "Protocol requests received.")
 		s.requestErrors = reg.Counter(metrics.NameServerRequestErrorsTotal, "Protocol requests answered with an error.")
 		s.panics = reg.Counter(metrics.NameServerPanicsTotal, "Statement executions that panicked and were contained.")
+		s.connsRefused = reg.Counter(metrics.NameServerConnsRefusedTotal,
+			"Connections refused at the connection cap (answered with a structured shed and closed).")
 	}
 	return s
+}
+
+// defaultMaxFrameBytes caps request lines when MaxFrameBytes is unset.
+const defaultMaxFrameBytes = 16 << 20
+
+func (s *Server) maxFrameBytes() int {
+	if s.MaxFrameBytes > 0 {
+		return s.MaxFrameBytes
+	}
+	return defaultMaxFrameBytes
+}
+
+// newFrameScanner builds the newline-delimited frame reader both ends of
+// the protocol share: a line scanner with a small initial buffer that can
+// grow to the frame cap.
+func newFrameScanner(r io.Reader, maxFrame int) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	initial := 1 << 20
+	if maxFrame < initial {
+		initial = maxFrame
+	}
+	sc.Buffer(make([]byte, initial), maxFrame)
+	return sc
 }
 
 // Listen binds addr (e.g. "127.0.0.1:7090") and starts accepting
@@ -167,6 +231,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.admit = newAdmission(s.Admission, s.db.Metrics())
 	s.listener = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -188,12 +253,43 @@ func (s *Server) acceptLoop() {
 			}
 			continue
 		}
+		if s.MaxConns > 0 && s.active.Add(1) > int64(s.MaxConns) {
+			s.active.Add(-1)
+			s.connsRefused.Inc()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.refuseConn(conn)
+			}()
+			continue
+		} else if s.MaxConns <= 0 {
+			s.active.Add(1)
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.active.Add(-1)
 			s.serveConn(conn)
 		}()
 	}
+}
+
+// refuseConn answers one connection past the MaxConns cap with a
+// structured retryable shed and closes it — the client learns to back off
+// instead of hanging on a silently dropped connection.
+func (s *Server) refuseConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	resp := Response{
+		Error:        fmt.Sprintf("server overloaded: connection limit (%d) reached", s.MaxConns),
+		Code:         CodeOverloaded,
+		RetryAfterMS: 1000,
+	}
+	b, err := json.Marshal(&resp)
+	if err != nil {
+		return
+	}
+	conn.Write(append(b, '\n'))
 }
 
 // connState tracks whether a connection is mid-request, so Shutdown can
@@ -218,11 +314,26 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.connections.Inc()
 	s.activeConns.Add(1)
 	defer s.activeConns.Add(-1)
-	in := bufio.NewScanner(conn)
-	in.Buffer(make([]byte, 1<<20), 16<<20)
+	in := newFrameScanner(conn, s.maxFrameBytes())
 	out := bufio.NewWriter(conn)
 	enc := json.NewEncoder(out)
-	for in.Scan() {
+	for {
+		// Idle guard: a connection that sends nothing within the timeout
+		// is closed rather than holding a descriptor forever.
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		if !in.Scan() {
+			if errors.Is(in.Err(), bufio.ErrTooLong) {
+				// The frame exceeded the cap; the stream position is lost,
+				// so answer structurally and close.
+				s.writeResponse(conn, out, enc, &Response{
+					Error: fmt.Sprintf("request frame exceeds %d byte cap", s.maxFrameBytes()),
+					Code:  CodeFrameTooLarge,
+				})
+			}
+			return
+		}
 		st.busy.Store(true)
 		line := in.Bytes()
 		if len(line) == 0 {
@@ -240,10 +351,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if !resp.OK {
 			s.requestErrors.Inc()
 		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
-		if err := out.Flush(); err != nil {
+		if err := s.writeResponse(conn, out, enc, &resp); err != nil {
 			return
 		}
 		st.busy.Store(false)
@@ -255,6 +363,26 @@ func (s *Server) serveConn(conn net.Conn) {
 		default:
 		}
 	}
+}
+
+// writeResponse encodes and flushes one response under the write deadline:
+// a client that stops reading cannot park this handler (and the engine
+// slot behind it) in Flush forever — the write errors out and the caller
+// closes the connection.
+func (s *Server) writeResponse(conn net.Conn, out *bufio.Writer, enc *json.Encoder, resp *Response) error {
+	if s.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+	}
+	if err := enc.Encode(resp); err != nil {
+		return err
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	if s.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	return nil
 }
 
 // execute runs one statement under a fresh per-statement context.
@@ -275,14 +403,25 @@ func (s *Server) execute(req Request) (resp Response) {
 	if err := failpoint.Eval(failpoint.ServerExecPanic); err != nil {
 		panic(err)
 	}
-	if s.testHookExec != nil {
-		s.testHookExec(req)
-	}
 	ctx := s.baseCtx
 	if s.StatementTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.StatementTimeout)
 		defer cancel()
+	}
+	// Admission control: get an execution slot or shed. The statement's
+	// own deadline keeps ticking while queued — a request that would
+	// expire waiting is turned away with the structured retryable error
+	// instead of timing out uselessly inside the engine.
+	if s.admit != nil {
+		release, shed := s.admit.acquire(ctx)
+		if shed != nil {
+			return shedResponse(shed)
+		}
+		defer release()
+	}
+	if s.testHookExec != nil {
+		s.testHookExec(req)
 	}
 	var res *engine.Result
 	var err error
@@ -298,11 +437,12 @@ func (s *Server) execute(req Request) (resp Response) {
 	if res.Stats != nil {
 		resp.Stats = res.Stats.String()
 		detail := &StatsJSON{
-			Rows:       res.Stats.Rows,
-			WallMicros: res.Stats.Wall.Microseconds(),
-			OpRows:     res.Stats.OpRows,
-			Merges:     res.Stats.Merges,
-			Curates:    res.Stats.Curates,
+			Rows:         res.Stats.Rows,
+			WallMicros:   res.Stats.Wall.Microseconds(),
+			OpRows:       res.Stats.OpRows,
+			Merges:       res.Stats.Merges,
+			Curates:      res.Stats.Curates,
+			StalePending: res.Stats.StalePending,
 		}
 		for _, op := range res.Ops {
 			detail.Ops = append(detail.Ops, OpStatJSON{

@@ -18,9 +18,18 @@
 //
 // Durability contract: Append returns only after the record is fsynced,
 // so an acknowledged mutation survives a process kill. A failed append
-// rolls the file back to its pre-append size so the log is never
+// rolls the file back to its last durable size so the log is never
 // poisoned by its own error paths; the injected-crash failpoint is the
 // deliberate exception, leaving a torn record for recovery to handle.
+//
+// Group commit: Append is split into Stage (serialize the frame into the
+// file under the short staging lock) and Sync (make every staged byte up
+// to the caller's token durable). Concurrent committers stage
+// independently, then the first one into Sync becomes the batch leader
+// and issues a single fsync that covers everyone staged so far; the
+// followers observe that their bytes are already durable and return
+// without touching the disk. Under a serial writer this degrades to
+// exactly the old fsync-per-append behavior.
 package wal
 
 import (
@@ -31,6 +40,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -39,6 +49,11 @@ import (
 
 const headerBytes = 8
 
+// maxCommitWindowYields bounds the group-commit window: the batch leader
+// yields at most this many times while committers keep staging behind
+// it, then fsyncs whatever accumulated.
+const maxCommitWindowYields = 16
+
 // maxRecordBytes bounds a single record; a length field above it marks
 // the frame — and everything after it — as corrupt.
 const maxRecordBytes = 64 << 20
@@ -46,6 +61,11 @@ const maxRecordBytes = 64 << 20
 // ErrLogDead marks a log killed by a simulated crash-stop: the handle
 // refuses further appends, as a dead process would.
 var ErrLogDead = errors.New("wal: log is dead after simulated crash")
+
+// ErrRecordLost reports that a staged record was truncated away because
+// the group-commit fsync covering it failed. The caller's mutation is
+// not durable and the statement must be reported failed.
+var ErrRecordLost = errors.New("wal: record lost to a failed group commit")
 
 // Record is one logical mutation in the log.
 type Record struct {
@@ -64,6 +84,25 @@ type Stats struct {
 	BytesWritten int64 // framed bytes committed
 	Fsyncs       int64 // fsync calls issued
 	Resets       int64 // checkpoint truncations
+
+	// Group commit: GroupCommitBatches counts commit fsyncs that made at
+	// least one record durable; GroupCommitRecords counts records that
+	// shared their commit fsync with at least one other record. A serial
+	// workload shows Batches == Appends and Records == 0; the gap between
+	// Appends and Batches is the fsyncs saved by batching.
+	GroupCommitBatches int64
+	GroupCommitRecords int64
+}
+
+// SyncToken identifies a staged-but-not-yet-durable position in the log.
+// Stage returns one; passing it to Sync blocks until every byte up to
+// that position is durable (possibly via another committer's fsync). The
+// zero token is valid and syncs nothing.
+type SyncToken struct {
+	end     int64  // staged byte offset this token's record ends at
+	ckptGen uint64 // checkpoint generation the token was staged in
+	wipeGen uint64 // failure-truncation generation the token was staged in
+	ok      bool
 }
 
 // Log is an open write-ahead log. Safe for concurrent use.
@@ -76,10 +115,28 @@ type Log struct {
 	mu      sync.Mutex
 	f       *os.File
 	path    string
-	size    int64
-	lastLSN uint64
-	dead    bool
-	stats   Stats
+	synced  int64 // durable byte size (everything at or below is fsynced)
+	written int64 // staged byte size (synced..written awaits a commit fsync)
+	// stagedRecs / syncedRecs are cumulative record counts mirroring
+	// written / synced; their difference is the pending batch size.
+	stagedRecs int64
+	syncedRecs int64
+	lastLSN    uint64
+	dead       bool
+	stats      Stats
+	// syncing is true while a batch leader's fsync is in flight; syncCond
+	// (on mu) is broadcast whenever the durable frontier moves — commit,
+	// wipe, reset, death — so every waiting follower re-checks at once
+	// instead of draining through a mutex one per fsync.
+	syncing  bool
+	syncCond *sync.Cond
+	// ckptGen bumps on Reset: a pending token from before the rotation is
+	// already durable via the snapshot, so its Sync is a success no-op.
+	ckptGen uint64
+	// wipeGen bumps when a failed commit truncates the staged tail: a
+	// pending token from before the wipe has lost its bytes, so its Sync
+	// reports ErrRecordLost.
+	wipeGen uint64
 }
 
 // Open opens (creating if needed) the log at path for appending.
@@ -95,7 +152,9 @@ func Open(path string, lastLSN uint64) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Log{f: f, path: path, size: st.Size(), lastLSN: lastLSN}, nil
+	l := &Log{f: f, path: path, synced: st.Size(), written: st.Size(), lastLSN: lastLSN}
+	l.syncCond = sync.NewCond(&l.mu)
+	return l, nil
 }
 
 // frame builds the on-disk bytes of one record.
@@ -113,39 +172,45 @@ func frame(rec Record) ([]byte, error) {
 
 // Append commits one record: frame, write, fsync, in that order. It
 // returns the record's LSN. On error nothing is durably appended — the
-// file is rolled back to its pre-append size — except under an injected
-// crash-stop, which deliberately leaves a torn record and kills the
-// handle.
+// file is rolled back to its last durable size — except under an
+// injected crash-stop, which deliberately leaves a torn record and kills
+// the handle. Equivalent to Stage followed by Sync; concurrent callers
+// that want to share fsyncs call the two halves themselves with their
+// own serialization in between (the engine stages under its statement
+// lock and syncs after releasing it).
 func (l *Log) Append(recType string, data any) (uint64, error) {
+	lsn, tok, err := l.Stage(recType, data)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Sync(tok); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// Stage assigns the next LSN and writes the framed record into the file
+// without syncing it. The record is NOT durable until a Sync covering
+// the returned token completes. On error nothing is staged and no LSN is
+// consumed (except the injected mid-write crash, which leaves a torn
+// prefix and kills the handle).
+func (l *Log) Stage(recType string, data any) (uint64, SyncToken, error) {
 	raw, err := json.Marshal(data)
 	if err != nil {
-		return 0, fmt.Errorf("wal: encoding %s payload: %w", recType, err)
+		return 0, SyncToken{}, fmt.Errorf("wal: encoding %s payload: %w", recType, err)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.dead {
-		return 0, ErrLogDead
+		return 0, SyncToken{}, ErrLogDead
 	}
 	buf, err := frame(Record{LSN: l.lastLSN + 1, Type: recType, Data: raw})
 	if err != nil {
-		return 0, err
+		return 0, SyncToken{}, err
 	}
-	if err := l.commitLocked(buf); err != nil {
-		l.stats.AppendErrors++
-		return 0, err
-	}
-	l.lastLSN++
-	l.size += int64(len(buf))
-	l.stats.Appends++
-	l.stats.BytesWritten += int64(len(buf))
-	return l.lastLSN, nil
-}
-
-// commitLocked writes and fsyncs one frame, evaluating the append-path
-// failpoints. Callers hold l.mu.
-func (l *Log) commitLocked(buf []byte) error {
 	if err := failpoint.Eval(failpoint.WALAppendBefore); err != nil {
-		return err
+		l.stats.AppendErrors++
+		return 0, SyncToken{}, err
 	}
 	if err := failpoint.Eval(failpoint.WALAppendPartial); err != nil {
 		if failpoint.IsCrash(err) {
@@ -154,47 +219,166 @@ func (l *Log) commitLocked(buf []byte) error {
 			l.f.Write(buf[:len(buf)/2])
 			l.dead = true
 		}
-		return err
+		l.stats.AppendErrors++
+		return 0, SyncToken{}, err
 	}
 	if _, err := l.f.Write(buf); err != nil {
-		l.rollbackLocked()
-		return fmt.Errorf("wal: append write: %w", err)
+		// Roll back just this frame; earlier staged-but-unsynced frames
+		// from concurrent committers stay in place.
+		_ = l.f.Truncate(l.written)
+		l.stats.AppendErrors++
+		return 0, SyncToken{}, fmt.Errorf("wal: append write: %w", err)
+	}
+	l.lastLSN++
+	l.written += int64(len(buf))
+	l.stagedRecs++
+	tok := SyncToken{end: l.written, ckptGen: l.ckptGen, wipeGen: l.wipeGen, ok: true}
+	return l.lastLSN, tok, nil
+}
+
+// Sync makes every byte staged at or before tok durable. The first
+// committer in becomes the batch leader and fsyncs once for everyone
+// staged so far; later committers covered by that fsync return without
+// touching the disk. A token superseded by a checkpoint rotation is a
+// success no-op (the snapshot already made it durable); a token whose
+// bytes were truncated by a failed commit reports ErrRecordLost.
+func (l *Log) Sync(tok SyncToken) error {
+	if !tok.ok {
+		return nil
+	}
+	l.mu.Lock()
+	for {
+		switch {
+		case tok.ckptGen != l.ckptGen:
+			l.mu.Unlock()
+			return nil
+		case tok.wipeGen != l.wipeGen:
+			l.mu.Unlock()
+			return ErrRecordLost
+		case tok.end <= l.synced:
+			l.mu.Unlock()
+			return nil
+		case l.dead:
+			l.mu.Unlock()
+			return ErrLogDead
+		}
+		if !l.syncing {
+			break
+		}
+		// A leader's fsync is in flight; wait for the broadcast and
+		// re-check — if it covers us we return without ever touching
+		// the disk, otherwise we contend to lead the next batch.
+		l.syncCond.Wait()
+	}
+	l.syncing = true
+	staged := l.stagedRecs
+	l.mu.Unlock()
+	// Commit window: before capturing the batch boundary, yield while
+	// concurrent committers are still staging behind us — on few-core
+	// hosts a leader that goes straight into the blocking fsync syscall
+	// would otherwise keep the CPU away from them until sysmon retakes
+	// the P, and batches collapse to size one. The window closes as soon
+	// as staging stops making progress, so a serial committer pays one
+	// no-op yield (nanoseconds) and nothing ever waits on a timer.
+	for i := 0; i < maxCommitWindowYields; i++ {
+		runtime.Gosched()
+		l.mu.Lock()
+		n := l.stagedRecs
+		l.mu.Unlock()
+		if n == staged {
+			break
+		}
+		staged = n
+	}
+	l.mu.Lock()
+	if l.dead {
+		l.finishSyncLocked()
+		l.mu.Unlock()
+		return ErrLogDead
 	}
 	if err := failpoint.Eval(failpoint.WALAppendBeforeSync); err != nil {
 		if failpoint.IsCrash(err) {
 			l.dead = true
-			return err
+		} else {
+			// Unsynced bytes are not durable; roll them back so the
+			// staged state stays truthful. Committers waiting on the
+			// same batch observe the wipe and fail too.
+			l.wipeLocked()
 		}
-		// Unsynced bytes are not durable; roll them back so the
-		// in-memory size stays truthful.
-		l.rollbackLocked()
+		l.finishSyncLocked()
+		l.mu.Unlock()
 		return err
 	}
+	// Capture the batch boundary, then fsync outside l.mu so new
+	// committers can keep staging into the next batch meanwhile.
+	target, targetRecs := l.written, l.stagedRecs
+	l.mu.Unlock()
+
 	start := time.Now()
 	err := l.f.Sync()
+	elapsed := time.Since(start)
+
+	l.mu.Lock()
 	l.stats.Fsyncs++
-	if obs := l.FsyncObserver; obs != nil {
-		obs(time.Since(start))
-	}
 	if err != nil {
-		l.rollbackLocked()
+		l.wipeLocked()
+		l.finishSyncLocked()
+		l.mu.Unlock()
 		return fmt.Errorf("wal: commit fsync: %w", err)
+	}
+	batch := targetRecs - l.syncedRecs
+	l.stats.Appends += batch
+	l.stats.BytesWritten += target - l.synced
+	l.stats.GroupCommitBatches++
+	if batch > 1 {
+		l.stats.GroupCommitRecords += batch
+	}
+	l.synced, l.syncedRecs = target, targetRecs
+	l.finishSyncLocked()
+	obs := l.FsyncObserver
+	l.mu.Unlock()
+	if obs != nil {
+		obs(elapsed)
 	}
 	return nil
 }
 
-// rollbackLocked best-effort truncates the file back to the last
-// committed size after a failed append.
-func (l *Log) rollbackLocked() {
-	_ = l.f.Truncate(l.size)
+// finishSyncLocked ends the current leader's term and wakes every
+// waiting follower to re-check the durable frontier. Callers hold l.mu.
+func (l *Log) finishSyncLocked() {
+	l.syncing = false
+	l.syncCond.Broadcast()
+}
+
+// wipeLocked truncates the staged-but-unsynced tail after a failed
+// commit, rolling back every record in it: the consumed LSNs are
+// returned to the sequence (nothing above l.synced survives, so no later
+// record holds them) and pending committers are fenced off via wipeGen.
+// Callers hold l.mu.
+func (l *Log) wipeLocked() {
+	_ = l.f.Truncate(l.synced)
+	lost := l.stagedRecs - l.syncedRecs
+	l.stats.AppendErrors += lost
+	l.lastLSN -= uint64(lost)
+	l.stagedRecs = l.syncedRecs
+	l.written = l.synced
+	l.wipeGen++
 }
 
 // Reset truncates the log to empty after a checkpoint. The sequence
 // continues: lastLSN seeds the next record's LSN, so post-checkpoint
-// records stay above the snapshot's LSN.
+// records stay above the snapshot's LSN. Records staged but not yet
+// synced at reset time are durable through the snapshot the caller just
+// published, so their pending Sync calls turn into success no-ops
+// (fenced by the checkpoint generation).
 func (l *Log) Reset(lastLSN uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Wait out an in-flight commit fsync: rotating the file under it
+	// would commit bytes of a log that no longer exists.
+	for l.syncing {
+		l.syncCond.Wait()
+	}
 	if l.dead {
 		return ErrLogDead
 	}
@@ -204,17 +388,27 @@ func (l *Log) Reset(lastLSN uint64) error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: reset fsync: %w", err)
 	}
-	l.size = 0
+	// Pending staged records were committed by the snapshot rather than a
+	// log fsync; count them so Appends still means "records made durable".
+	l.stats.Appends += l.stagedRecs - l.syncedRecs
+	l.stats.BytesWritten += l.written - l.synced
+	l.synced, l.written = 0, 0
+	l.syncedRecs = l.stagedRecs
 	l.lastLSN = lastLSN
+	l.ckptGen++
 	l.stats.Resets++
+	// Followers waiting on pre-rotation tokens observe the generation
+	// bump and return success (their records are in the snapshot).
+	l.syncCond.Broadcast()
 	return nil
 }
 
-// Size returns the current log size in bytes.
+// Size returns the current log size in bytes (staged, including bytes
+// awaiting their commit fsync).
 func (l *Log) Size() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.size
+	return l.written
 }
 
 // LastLSN returns the LSN of the last committed record.

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -317,6 +318,137 @@ func TestFsyncObserver(t *testing.T) {
 	}
 	if observed != 3 {
 		t.Fatalf("observer fired %d times, want 3", observed)
+	}
+}
+
+// TestGroupCommitBatchesConcurrentCommitters stages records from many
+// goroutines and syncs them concurrently: every record must be durable
+// and replayable, and the fsync count must come in below one-per-record
+// (the whole point of group commit). Stage is serialized here only to
+// get deterministic staging; Sync runs fully concurrently.
+func TestGroupCommitBatchesConcurrentCommitters(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	toks := make([]SyncToken, n)
+	var stageMu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stageMu.Lock()
+			_, tok, err := l.Stage("m", payload{N: i})
+			stageMu.Unlock()
+			if err != nil {
+				t.Errorf("stage %d: %v", i, err)
+				return
+			}
+			toks[i] = tok
+			if err := l.Sync(tok); err != nil {
+				t.Errorf("sync %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Appends != n {
+		t.Fatalf("Appends = %d, want %d", st.Appends, n)
+	}
+	if st.Fsyncs >= n {
+		t.Fatalf("Fsyncs = %d: no batching happened (want < %d)", st.Fsyncs, n)
+	}
+	if st.GroupCommitBatches == 0 || st.GroupCommitRecords == 0 {
+		t.Fatalf("group-commit stats empty: %+v", st)
+	}
+	// Re-syncing an already-durable token is a no-op.
+	fsyncs := st.Fsyncs
+	if err := l.Sync(toks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Fsyncs; got != fsyncs {
+		t.Fatalf("redundant Sync issued an fsync (%d -> %d)", fsyncs, got)
+	}
+	l.Close()
+	var count int
+	res, err := Replay(path, 0, func(Record) error { count++; return nil })
+	if err != nil || res.Torn || count != n {
+		t.Fatalf("replay = %+v, count = %d, err = %v", res, count, err)
+	}
+}
+
+// TestGroupCommitCheckpointFence: a token staged before a Reset is
+// durable through the snapshot the caller published, so its Sync must
+// succeed without touching the rotated log.
+func TestGroupCommitCheckpointFence(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, 0)
+	lsn, tok, err := l.Stage("m", payload{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(tok); err != nil {
+		t.Fatalf("sync of checkpointed token = %v, want success no-op", err)
+	}
+	if st := l.Stats(); st.Appends != 1 || st.Fsyncs != 0 {
+		t.Fatalf("stats = %+v, want the pending record counted via the reset, no commit fsync", st)
+	}
+	if l.Size() != 0 {
+		t.Fatalf("size = %d after reset", l.Size())
+	}
+}
+
+// TestGroupCommitWipeFence: when the leader's commit fails, every staged
+// record in the batch is truncated, the follower's Sync reports
+// ErrRecordLost, and the consumed LSNs return to the sequence.
+func TestGroupCommitWipeFence(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l := openT(t, dir, 0)
+	if _, err := l.Append("m", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, tok2, err := l.Stage("m", payload{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tok3, err := l.Stage("m", payload{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk unhappy")
+	failpoint.EnableError(failpoint.WALAppendBeforeSync, boom)
+	if err := l.Sync(tok3); !errors.Is(err, boom) {
+		t.Fatalf("leader sync = %v, want %v", err, boom)
+	}
+	failpoint.Reset()
+	if err := l.Sync(tok2); !errors.Is(err, ErrRecordLost) {
+		t.Fatalf("follower sync = %v, want ErrRecordLost", err)
+	}
+	if st := l.Stats(); st.AppendErrors != 2 || st.Appends != 1 {
+		t.Fatalf("stats = %+v, want 2 lost / 1 committed", st)
+	}
+	// The sequence continues from the durable prefix.
+	lsn, err := l.Append("m", payload{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 2 {
+		t.Fatalf("post-wipe lsn = %d, want 2", lsn)
+	}
+	l.Close()
+	var lsns []uint64
+	res, err := Replay(path, 0, func(r Record) error { lsns = append(lsns, r.LSN); return nil })
+	if err != nil || res.Torn || len(lsns) != 2 || lsns[0] != 1 || lsns[1] != 2 {
+		t.Fatalf("replay = %+v, lsns = %v, err = %v", res, lsns, err)
 	}
 }
 

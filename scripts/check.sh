@@ -55,4 +55,6 @@ echo ">> go test -race ./..."
 go test -race ./...
 echo ">> crash simulation (x3, race)"
 go test -run TestCrashRecovery -count=3 -race ./internal/engine/
+echo ">> overload soak (short, race)"
+go test -run TestOverloadSoak -count=1 -race -short ./internal/server/
 echo "OK"
