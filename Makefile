@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-metrics bench-wal crash-sim soak check vet race
+.PHONY: build test bench bench-metrics bench-wal bench-parallel crash-sim soak check vet race
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ bench-metrics:
 # in-memory) and cold-start WAL replay speed. Recorded in E13.
 bench-wal:
 	$(GO) test -bench='BenchmarkInsertMemory|BenchmarkInsertDurable|BenchmarkRecoveryReplay' -benchmem -run=^$$ ./internal/engine/
+
+# bench-parallel measures E14: morsel-driven parallel scan scaling over
+# worker counts and the vectorized batch pipeline vs row-at-a-time
+# execution. Speedup tracks physical cores. Recorded in E14.
+bench-parallel:
+	$(GO) test -bench='BenchmarkParallelScan|BenchmarkBatchPipeline' -benchmem -run=^$$ .
 
 # crash-sim is the fault-injection gate on its own: every registered
 # failpoint in the WAL/snapshot paths, three runs, race detector on.

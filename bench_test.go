@@ -10,7 +10,9 @@ package insightnotes
 // paper-style tables captured in EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -77,7 +79,7 @@ func BenchmarkE2SPJPropagation(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := w.DB.QueryWithOptions(w.Query, plan.Options{}); err != nil {
+				if _, err := w.DB.Query(context.Background(), w.Query, engine.WithPlanOptions(plan.Options{})); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -98,7 +100,7 @@ func BenchmarkE3CurateBeforeMerge(b *testing.B) {
 	} {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := w.DB.QueryWithOptions(w.Query, opts); err != nil {
+				if _, err := w.DB.Query(context.Background(), w.Query, engine.WithPlanOptions(opts)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -174,13 +176,13 @@ func BenchmarkE6ZoomInRCO(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
-		res, err := db.Query("SELECT id, name FROM birds")
+		res, err := db.Query(context.Background(), "SELECT id, name FROM birds")
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := db.ZoomIn(engine.ZoomInRequest{
+			if _, _, err := db.ZoomIn(context.Background(), engine.ZoomInRequest{
 				QID: res.QID, Instance: "ClassBird1", Index: 1,
 			}); err != nil {
 				b.Fatal(err)
@@ -208,11 +210,11 @@ func BenchmarkE7InstanceScalability(b *testing.B) {
 			}
 			for i := 0; i < k; i++ {
 				name := fmt.Sprintf("C%02d", i)
-				if _, err := db.Exec(fmt.Sprintf(
+				if _, err := db.Exec(context.Background(), fmt.Sprintf(
 					"CREATE SUMMARY INSTANCE %s TYPE Cluster WITH (threshold = 0.3)", name)); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := db.Exec(fmt.Sprintf("LINK SUMMARY %s TO birds", name)); err != nil {
+				if _, err := db.Exec(context.Background(), fmt.Sprintf("LINK SUMMARY %s TO birds", name)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -238,7 +240,7 @@ func BenchmarkE8SummaryVsRaw(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("summary/annsPerTuple=%d", apt), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := w.DB.QueryWithOptions(w.Query, plan.Options{}); err != nil {
+				if _, err := w.DB.Query(context.Background(), w.Query, engine.WithPlanOptions(plan.Options{})); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -397,7 +399,7 @@ func BenchmarkInstrumentationOverhead(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := db.Query("SELECT id, name, wingspan FROM birds WHERE id <= 8"); err != nil {
+				if _, err := db.Query(context.Background(), "SELECT id, name, wingspan FROM birds WHERE id <= 8"); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -411,5 +413,94 @@ func eqID(n int) sql.Expr {
 		Op: "=",
 		L:  &sql.ColRef{Name: "id"},
 		R:  &sql.Literal{Val: types.NewInt(int64(n))},
+	}
+}
+
+// newScanWorld builds a birds table wide enough to span many morsels
+// (DefaultMorselSize = 1024 rows), with summary instances linked and a
+// slice of the rows annotated so parallel workers carry real envelope
+// clone + curate work, not just tuple copies.
+func newScanWorld(b *testing.B, tuples int) *engine.DB {
+	b.Helper()
+	db, err := engine.Open(engine.Config{CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := db.Exec(ctx,
+		"CREATE TABLE birds (id INT, name TEXT, sci_name TEXT, region TEXT, wingspan FLOAT)"); err != nil {
+		b.Fatal(err)
+	}
+	g := workload.New(1)
+	for lo := 0; lo < tuples; lo += 512 {
+		hi := lo + 512
+		if hi > tuples {
+			hi = tuples
+		}
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO birds VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			common, sci := workload.Species(i)
+			fmt.Fprintf(&sb, "(%d, '%s', '%s', '%s', %0.2f)",
+				i+1, common, sci, g.Region(), 0.3+float64(g.Intn(250))/100)
+		}
+		if _, err := db.Exec(ctx, sb.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := populate.InstallBirdInstances(db, g, 6); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < tuples; i += 8 {
+		if _, _, err := db.Annotate(engine.AnnotationRequest{
+			Text: g.ClassText(workload.BirdClasses[i%4]), Author: g.AuthorName(),
+			Table: "birds", Where: eqID(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkParallelScan measures E14a: morsel-driven scan scaling over the
+// worker pool size. The query's filter and projection are absorbed into
+// the workers, so the per-tuple summary path parallelizes. Speedup tracks
+// physical cores: on a 1-CPU host all counts collapse to serial throughput.
+func BenchmarkParallelScan(b *testing.B) {
+	db := newScanWorld(b, 8192)
+	const q = "SELECT id, name, wingspan FROM birds WHERE wingspan >= 0.4"
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(context.Background(), q,
+					engine.WithPlanOptions(plan.Options{}), engine.WithParallelism(workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchPipeline measures E14b: the vectorized batch protocol vs
+// row-at-a-time execution (batch size 1) on the serial plan.
+func BenchmarkBatchPipeline(b *testing.B) {
+	db := newScanWorld(b, 8192)
+	const q = "SELECT id, name, wingspan FROM birds WHERE wingspan >= 0.4"
+	for _, c := range []struct {
+		name string
+		size int
+	}{{"rowAtATime", 1}, {"batch=256", 256}} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(context.Background(), q,
+					engine.WithPlanOptions(plan.Options{}), engine.WithParallelism(1),
+					engine.WithBatchSize(c.size)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -61,7 +61,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		results, err := db.ExecScript(string(data))
+		results, err := db.ExecScript(context.Background(), string(data))
 		for _, res := range results {
 			printResult(os.Stdout, res)
 		}
@@ -267,7 +267,7 @@ func repl(db *engine.DB) {
 		if strings.Contains(line, ";") {
 			stmt := buf.String()
 			buf.Reset()
-			results, err := db.ExecScript(stmt)
+			results, err := db.ExecScript(context.Background(), stmt)
 			for _, res := range results {
 				printResult(os.Stdout, res)
 			}
@@ -296,7 +296,7 @@ func replCommand(db *engine.DB, w io.Writer, cmd string) bool {
 		}
 	case strings.HasPrefix(cmd, `\trace `):
 		q := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(cmd, `\trace `)), ";")
-		res, err := db.QueryTraced(q)
+		res, err := db.Query(context.Background(), q, engine.WithTrace())
 		if err != nil {
 			fmt.Fprintln(w, "error:", err)
 			break

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func replDB(t *testing.T) *engine.DB {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.ExecScript(`
+	if _, err := db.ExecScript(context.Background(), `
 		CREATE TABLE birds (id INT, name TEXT);
 		INSERT INTO birds VALUES (1, 'Swan Goose');
 		CREATE SUMMARY INSTANCE C TYPE Classifier LABELS ('Behavior', 'Other');
@@ -28,7 +29,7 @@ func replDB(t *testing.T) *engine.DB {
 
 func TestPrintResultRendersTableAndSummaries(t *testing.T) {
 	db := replDB(t)
-	res, err := db.Query("SELECT id, name FROM birds")
+	res, err := db.Query(context.Background(), "SELECT id, name FROM birds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestPrintResultRendersTableAndSummaries(t *testing.T) {
 
 func TestPrintResultMessageOnly(t *testing.T) {
 	db := replDB(t)
-	res, err := db.Exec("INSERT INTO birds VALUES (2, 'Mute Swan')")
+	res, err := db.Exec(context.Background(), "INSERT INTO birds VALUES (2, 'Mute Swan')")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,10 +63,10 @@ func TestPrintResultMessageOnly(t *testing.T) {
 func TestPrintResultTruncatesLongValues(t *testing.T) {
 	db := replDB(t)
 	long := strings.Repeat("x", 120)
-	if _, err := db.Exec("INSERT INTO birds VALUES (9, '" + long + "')"); err != nil {
+	if _, err := db.Exec(context.Background(), "INSERT INTO birds VALUES (9, '"+long+"')"); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := db.Query("SELECT name FROM birds WHERE id = 9")
+	res, _ := db.Query(context.Background(), "SELECT name FROM birds WHERE id = 9")
 	var buf strings.Builder
 	printResult(&buf, res)
 	if strings.Contains(buf.String(), long) {

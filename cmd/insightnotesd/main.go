@@ -73,11 +73,15 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "per-response write deadline against slow readers (0 disables)")
 	maintQueue := flag.Int("maint-queue", 0, "deferred summary-maintenance queue depth (0 = 1024 default)")
 	maintLatencyMS := flag.Int("maint-latency-ms", 0, "auto-degrade summary maintenance when its latency average crosses this (0 disables)")
+	execWorkers := flag.Int("exec-workers", 0, "morsel-parallel scan worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	batchSize := flag.Int("batch-size", 0, "executor rows-per-batch granularity (0 = built-in default)")
 	flag.Parse()
 
 	cfg := engine.Config{
 		MaintenanceQueueDepth:       *maintQueue,
 		MaintenanceLatencyThreshold: time.Duration(*maintLatencyMS) * time.Millisecond,
+		ExecWorkers:                 *execWorkers,
+		BatchSize:                   *batchSize,
 	}
 	if *slowQueryMS > 0 {
 		cfg.SlowQueryThreshold = time.Duration(*slowQueryMS) * time.Millisecond

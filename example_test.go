@@ -1,6 +1,7 @@
 package insightnotes_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ func Example() {
 		log.Fatal(err)
 	}
 	must := func(stmt string) *insightnotes.Result {
-		res, err := db.Exec(stmt)
+		res, err := db.Exec(context.Background(), stmt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -31,7 +32,7 @@ func Example() {
 	must(`ADD ANNOTATION 'observed feeding on stonewort' ON birds WHERE id = 1`)
 	must(`ADD ANNOTATION 'influenza lesions on the bill' ON birds WHERE id = 1`)
 
-	res, err := db.Query(`SELECT id, name FROM birds`)
+	res, err := db.Query(context.Background(), `SELECT id, name FROM birds`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,11 +59,11 @@ func ExampleDB_Query() {
 		`ADD ANNOTATION 'second comment: still wrong' ON genes WHERE gid = 1`,
 	}
 	for _, s := range stmts {
-		if _, err := db.Exec(s); err != nil {
+		if _, err := db.Exec(context.Background(), s); err != nil {
 			log.Fatal(err)
 		}
 	}
-	res, err := db.Query(
+	res, err := db.Query(context.Background(),
 		`SELECT symbol FROM genes WHERE SUMMARY_COUNT(C, 'Comment') >= 2`)
 	if err != nil {
 		log.Fatal(err)
@@ -77,8 +78,8 @@ func ExampleDB_Query() {
 // ExampleDB_SaveFile shows snapshot persistence.
 func ExampleDB_SaveFile() {
 	db := insightnotes.MustOpen(insightnotes.Config{})
-	db.Exec(`CREATE TABLE t (a INT)`)
-	db.Exec(`INSERT INTO t VALUES (42)`)
+	db.Exec(context.Background(), `CREATE TABLE t (a INT)`)
+	db.Exec(context.Background(), `INSERT INTO t VALUES (42)`)
 	path := "/tmp/insightnotes-example.json"
 	if err := db.SaveFile(path); err != nil {
 		log.Fatal(err)
@@ -87,7 +88,7 @@ func ExampleDB_SaveFile() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, _ := back.Query(`SELECT a FROM t`)
+	res, _ := back.Query(context.Background(), `SELECT a FROM t`)
 	fmt.Println(res.Rows[0].Tuple[0])
 	// Output:
 	// 42

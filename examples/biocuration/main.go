@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,12 +15,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db, err := insightnotes.Open(insightnotes.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	must := func(stmt string) *insightnotes.Result {
-		res, err := db.Exec(stmt)
+		res, err := db.Exec(ctx, stmt)
 		if err != nil {
 			log.Fatalf("%s: %v", stmt, err)
 		}
@@ -57,7 +59,7 @@ func main() {
 		ON genes (symbol) WHERE symbol = 'BRCA2'`)
 
 	fmt.Println("\n=== gene summaries ===")
-	q, err := db.Query(`SELECT gid, symbol, organism FROM genes ORDER BY gid`)
+	q, err := db.Query(ctx, `SELECT gid, symbol, organism FROM genes ORDER BY gid`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,10 +85,10 @@ func main() {
 	fmt.Println("\n=== runtime LINK/UNLINK ===")
 	must(`CREATE SUMMARY INSTANCE GeneCluster TYPE Cluster WITH (threshold = 0.3)`)
 	must(`LINK SUMMARY GeneCluster TO genes`)
-	q2, _ := db.Query(`SELECT gid, symbol FROM genes WHERE gid = 1`)
+	q2, _ := db.Query(ctx, `SELECT gid, symbol FROM genes WHERE gid = 1`)
 	fmt.Printf("after LINK:\n    %s\n", q2.Rows[0].Env.Render())
 	must(`UNLINK SUMMARY GeneCluster FROM genes`)
-	q3, _ := db.Query(`SELECT gid, symbol FROM genes WHERE gid = 1`)
+	q3, _ := db.Query(ctx, `SELECT gid, symbol FROM genes WHERE gid = 1`)
 	fmt.Printf("after UNLINK:\n    %s\n", q3.Rows[0].Env.Render())
 
 	// Retrain the classifier, then rebuild the summaries so existing
@@ -98,6 +100,6 @@ func main() {
 	if _, err := db.RebuildSummaries("genes"); err != nil {
 		log.Fatal(err)
 	}
-	q4, _ := db.Query(`SELECT gid, symbol FROM genes WHERE gid = 1`)
+	q4, _ := db.Query(ctx, `SELECT gid, symbol FROM genes WHERE gid = 1`)
 	fmt.Printf("rebuilt:\n    %s\n", q4.Rows[0].Env.Render())
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -50,12 +51,13 @@ var observations = map[string][]string{
 }
 
 func main() {
+	ctx := context.Background()
 	db, err := insightnotes.Open(insightnotes.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	must := func(stmt string) *insightnotes.Result {
-		res, err := db.Exec(stmt)
+		res, err := db.Exec(ctx, stmt)
 		if err != nil {
 			log.Fatalf("%s: %v", stmt, err)
 		}
@@ -109,7 +111,7 @@ func main() {
 
 	// --- Feature 1: querying and visualizing summaries ---
 	fmt.Println("=== summaries on the Swan Goose tuple ===")
-	res, err := db.Query(`SELECT id, name FROM birds WHERE id = 1`)
+	res, err := db.Query(ctx, `SELECT id, name FROM birds WHERE id = 1`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func main() {
 
 	// --- Feature 2: summary propagation through a join + aggregation ---
 	fmt.Println("\n=== summaries propagate through a join ===")
-	joinRes, err := db.Query(`SELECT b.name, s.region, s.cnt FROM birds b, sightings s
+	joinRes, err := db.Query(ctx, `SELECT b.name, s.region, s.cnt FROM birds b, sightings s
 		WHERE b.id = s.bird_id AND s.cnt > 20 ORDER BY s.cnt DESC`)
 	if err != nil {
 		log.Fatal(err)
@@ -133,8 +135,8 @@ func main() {
 
 	// --- Feature 3: under-the-hood execution (Figure 5) ---
 	fmt.Println("\n=== under-the-hood: summaries at each operator ===")
-	traced, err := db.QueryTraced(`SELECT b.name, s.region FROM birds b, sightings s
-		WHERE b.id = s.bird_id AND b.id = 1 LIMIT 2`)
+	traced, err := db.Query(ctx, `SELECT b.name, s.region FROM birds b, sightings s
+		WHERE b.id = s.bird_id AND b.id = 1 LIMIT 2`, insightnotes.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,13 +13,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db, err := insightnotes.Open(insightnotes.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	must := func(stmt string) *insightnotes.Result {
-		res, err := db.Exec(stmt)
+		res, err := db.Exec(ctx, stmt)
 		if err != nil {
 			log.Fatalf("%s: %v", stmt, err)
 		}
@@ -58,7 +60,7 @@ func main() {
 	}
 
 	// 4. Query: each result tuple carries its summary objects.
-	res, err := db.Query(`SELECT id, name, wingspan FROM birds WHERE id = 1`)
+	res, err := db.Query(ctx, `SELECT id, name, wingspan FROM birds WHERE id = 1`)
 	if err != nil {
 		log.Fatal(err)
 	}

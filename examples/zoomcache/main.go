@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("=== zoom-in cache: RCO vs LRU under a skewed reference stream ===")
 	for _, policy := range []insightnotes.CachePolicy{insightnotes.RCO(), insightnotes.LRU()} {
 		hit, mean := run(policy, 10<<10)
@@ -23,11 +25,11 @@ func main() {
 
 	fmt.Println("\n=== cache miss transparently re-executes the query ===")
 	db := setup(insightnotes.RCO(), 1) // 1-byte budget: nothing is admitted
-	res, err := db.Query(`SELECT id, name FROM birds WHERE id = 1`)
+	res, err := db.Query(ctx, `SELECT id, name FROM birds WHERE id = 1`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	zres, err := db.Exec(fmt.Sprintf(
+	zres, err := db.Exec(ctx, fmt.Sprintf(
 		`ZOOMIN REFERENCE QID %d ON ClassBird INDEX 1`, res.QID))
 	if err != nil {
 		log.Fatal(err)
@@ -40,6 +42,7 @@ func policyName(p insightnotes.CachePolicy) string { return p.Name() }
 // setup builds a small annotated database with the given cache policy and
 // byte budget.
 func setup(policy insightnotes.CachePolicy, budget int64) *insightnotes.DB {
+	ctx := context.Background()
 	db, err := insightnotes.Open(insightnotes.Config{
 		CachePolicy: policy, CacheBudget: budget,
 	})
@@ -47,7 +50,7 @@ func setup(policy insightnotes.CachePolicy, budget int64) *insightnotes.DB {
 		log.Fatal(err)
 	}
 	must := func(stmt string) {
-		if _, err := db.Exec(stmt); err != nil {
+		if _, err := db.Exec(ctx, stmt); err != nil {
 			log.Fatalf("%s: %v", stmt, err)
 		}
 	}
@@ -78,11 +81,12 @@ func setup(policy insightnotes.CachePolicy, budget int64) *insightnotes.DB {
 // run replays a reference stream that re-visits expensive join results
 // while bursts of fresh cheap queries compete for the cache.
 func run(policy insightnotes.CachePolicy, budget int64) (hitRate float64, mean time.Duration) {
+	ctx := context.Background()
 	db := setup(policy, budget)
 	// Expensive working set.
 	var expensive []int
 	for i := 0; i < 3; i++ {
-		res, err := db.Query(fmt.Sprintf(
+		res, err := db.Query(ctx, fmt.Sprintf(
 			`SELECT b.name, s.cnt FROM birds b, sightings s WHERE b.id = s.bird_id AND b.id <= %d`,
 			4+i*2))
 		if err != nil {
@@ -91,7 +95,7 @@ func run(policy insightnotes.CachePolicy, budget int64) (hitRate float64, mean t
 		expensive = append(expensive, res.QID)
 	}
 	zoom := func(qid int) {
-		if _, _, err := db.ZoomIn(insightnotes.ZoomInRequest{
+		if _, _, err := db.ZoomIn(ctx, insightnotes.ZoomInRequest{
 			QID: qid, Instance: "ClassBird", Index: 1,
 		}); err != nil {
 			log.Fatal(err)
@@ -108,7 +112,7 @@ func run(policy insightnotes.CachePolicy, budget int64) (hitRate float64, mean t
 		// Bursts of three fresh cheap queries (zoomed once, never again)
 		// interleave with runs of working-set re-references.
 		if i%8 < 3 {
-			res, err := db.Query(fmt.Sprintf(
+			res, err := db.Query(ctx, fmt.Sprintf(
 				`SELECT id, name FROM birds WHERE id <= %d`, i%6+2))
 			if err != nil {
 				log.Fatal(err)

@@ -15,21 +15,26 @@
 //
 // # Quick start
 //
+// The statement API is context-first: every entry point takes a
+// context.Context and optional per-statement options (WithTrace,
+// WithParallelism, WithBatchSize, WithPlanOptions).
+//
 //	db, err := insightnotes.Open(insightnotes.Config{})
+//	ctx := context.Background()
 //	// CREATE TABLE / INSERT as usual:
-//	db.Exec(`CREATE TABLE birds (id INT, name TEXT)`)
-//	db.Exec(`INSERT INTO birds VALUES (1, 'Swan Goose')`)
+//	db.Exec(ctx, `CREATE TABLE birds (id INT, name TEXT)`)
+//	db.Exec(ctx, `INSERT INTO birds VALUES (1, 'Swan Goose')`)
 //	// Define and link summary instances:
-//	db.Exec(`CREATE SUMMARY INSTANCE ClassBird1 TYPE Classifier
+//	db.Exec(ctx, `CREATE SUMMARY INSTANCE ClassBird1 TYPE Classifier
 //	         LABELS ('Behavior', 'Disease', 'Anatomy', 'Other')`)
-//	db.Exec(`TRAIN SUMMARY ClassBird1 ('found eating stonewort', 'Behavior')`)
-//	db.Exec(`LINK SUMMARY ClassBird1 TO birds`)
+//	db.Exec(ctx, `TRAIN SUMMARY ClassBird1 ('found eating stonewort', 'Behavior')`)
+//	db.Exec(ctx, `LINK SUMMARY ClassBird1 TO birds`)
 //	// Annotate:
-//	db.Exec(`ADD ANNOTATION 'observed feeding at dawn' ON birds WHERE id = 1`)
+//	db.Exec(ctx, `ADD ANNOTATION 'observed feeding at dawn' ON birds WHERE id = 1`)
 //	// Query — results carry summary objects and a QID:
-//	res, _ := db.Query(`SELECT id, name FROM birds`)
+//	res, _ := db.Query(ctx, `SELECT id, name FROM birds`)
 //	// Zoom in on a summary element to get the raw annotations back:
-//	db.Exec(fmt.Sprintf(
+//	db.Exec(ctx, fmt.Sprintf(
 //	    `ZOOMIN REFERENCE QID %d ON ClassBird1 INDEX 1`, res.QID))
 //
 // The full statement grammar, architecture notes, and the experiment
@@ -74,6 +79,22 @@ type (
 	AnnotationID = annotation.ID
 	// ColSet is a bitmask of covered column ordinals on a tuple.
 	ColSet = annotation.ColSet
+	// StatementOption tunes one statement execution on the context-first
+	// Query/Exec/ExecScript entry points.
+	StatementOption = engine.StatementOption
+)
+
+// Per-statement options for the context-first statement API.
+var (
+	// WithTrace enables the under-the-hood operator log (Result.Trace).
+	WithTrace = engine.WithTrace
+	// WithPlanOptions substitutes ablation plan options for one statement;
+	// such SELECTs are not QID-registered and skip the zoom-in cache.
+	WithPlanOptions = engine.WithPlanOptions
+	// WithParallelism overrides the morsel-parallel scan worker count.
+	WithParallelism = engine.WithParallelism
+	// WithBatchSize overrides the executor's rows-per-batch granularity.
+	WithBatchSize = engine.WithBatchSize
 )
 
 // Open creates a database instance with the given configuration. The zero

@@ -4,6 +4,7 @@ package insightnotes_test
 // package exactly the way a downstream user would.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func openDB(t *testing.T) *insightnotes.DB {
 
 func run(t *testing.T, db *insightnotes.DB, stmt string) *insightnotes.Result {
 	t.Helper()
-	res, err := db.Exec(stmt)
+	res, err := db.Exec(context.Background(), stmt)
 	if err != nil {
 		t.Fatalf("Exec(%q): %v", stmt, err)
 	}
@@ -40,7 +41,7 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 	run(t, db, `ADD ANNOTATION 'observed feeding on stonewort' ON birds WHERE id = 1`)
 	run(t, db, `ADD ANNOTATION 'photo from the camera archive' ON birds WHERE id = 1`)
 
-	res, err := db.Query(`SELECT id, name FROM birds WHERE id = 1`)
+	res, err := db.Query(context.Background(), `SELECT id, name FROM birds WHERE id = 1`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestPublicAPITraceAndShow(t *testing.T) {
 	db := openDB(t)
 	run(t, db, `CREATE TABLE t (a INT)`)
 	run(t, db, `INSERT INTO t VALUES (1)`)
-	res, err := db.QueryTraced(`SELECT a FROM t`)
+	res, err := db.Query(context.Background(), `SELECT a FROM t`, insightnotes.WithTrace())
 	if err != nil || len(res.Trace) == 0 {
 		t.Fatalf("trace = %v, %v", res.Trace, err)
 	}

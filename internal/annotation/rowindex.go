@@ -1,0 +1,130 @@
+package annotation
+
+import (
+	"sort"
+	"sync"
+
+	"insightnotes/internal/types"
+)
+
+// annStripes is the stripe count of the per-tuple ref index. Power of two
+// so the stripe pick stays cheap; 32 stripes keep parallel-scan workers on
+// distinct locks with high probability.
+const annStripes = 32
+
+// rowIndex is the (table, row) → annotation-ref index, sharded N ways by
+// tuple key so parallel scan workers resolving a tuple's refs do not
+// serialize on the store's main mutex. The heap files and the id-keyed
+// indexes stay under Store.mu; writers that need both take Store.mu before
+// any stripe lock — the ordering is always Store.mu → stripe, never the
+// reverse.
+type rowIndex struct {
+	stripes [annStripes]annStripe
+}
+
+type annStripe struct {
+	mu sync.RWMutex
+	m  map[string]map[types.RowID][]Ref
+}
+
+func newRowIndex() *rowIndex {
+	ix := &rowIndex{}
+	for i := range ix.stripes {
+		ix.stripes[i].m = make(map[string]map[types.RowID][]Ref)
+	}
+	return ix
+}
+
+// stripeFor hashes (table, row) to a stripe — FNV-1a over the table name
+// mixed with the row id, so consecutive rows of one table spread across
+// stripes.
+func (ix *rowIndex) stripeFor(table string, row types.RowID) *annStripe {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(table); i++ {
+		h ^= uint64(table[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(row)
+	h *= 1099511628211
+	return &ix.stripes[h%annStripes]
+}
+
+// add appends a ref to a tuple's list.
+func (ix *rowIndex) add(table string, row types.RowID, ref Ref) {
+	st := ix.stripeFor(table, row)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rows, ok := st.m[table]
+	if !ok {
+		rows = make(map[types.RowID][]Ref)
+		st.m[table] = rows
+	}
+	rows[row] = append(rows[row], ref)
+}
+
+// refs returns the refs of a tuple, merged by annotation id (union column
+// coverage) and sorted by id — a private copy, safe to hold after the
+// stripe lock is released.
+func (ix *rowIndex) refs(table string, row types.RowID) []Ref {
+	st := ix.stripeFor(table, row)
+	st.mu.RLock()
+	raw := st.m[table][row]
+	if len(raw) == 0 {
+		st.mu.RUnlock()
+		return nil
+	}
+	merged := make(map[ID]ColSet, len(raw))
+	for _, r := range raw {
+		merged[r.ID] = merged[r.ID].Union(r.Columns)
+	}
+	st.mu.RUnlock()
+	out := make([]Ref, 0, len(merged))
+	for id, cols := range merged {
+		out = append(out, Ref{ID: id, Columns: cols})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// dropAnn removes one annotation's refs from a tuple's list, dropping the
+// list when it empties.
+func (ix *rowIndex) dropAnn(table string, row types.RowID, id ID) {
+	st := ix.stripeFor(table, row)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	refs := st.m[table][row]
+	kept := refs[:0]
+	for _, r := range refs {
+		if r.ID != id {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		delete(st.m[table], row)
+	} else {
+		st.m[table][row] = kept
+	}
+}
+
+// deleteRow drops a tuple's ref list entirely (tuple deletion cascade).
+func (ix *rowIndex) deleteRow(table string, row types.RowID) {
+	st := ix.stripeFor(table, row)
+	st.mu.Lock()
+	delete(st.m[table], row)
+	st.mu.Unlock()
+}
+
+// rows returns the annotated rows of table, sorted.
+func (ix *rowIndex) rows(table string) []types.RowID {
+	var out []types.RowID
+	for i := range ix.stripes {
+		st := &ix.stripes[i]
+		st.mu.RLock()
+		for r := range st.m[table] {
+			out = append(out, r)
+		}
+		st.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -13,14 +13,19 @@ import (
 // maintains in-memory indexes: annotation id → heap RID, and
 // (table, row) → annotation refs. The indexes are rebuilt from the heaps by
 // OpenStore, mirroring the package storage convention.
+//
+// Locking: mu guards the heap files and the id-keyed indexes; the hot
+// per-tuple ref index lives in rowIdx under its own N-way striped locks
+// (see rowindex.go), so concurrent readers resolving different tuples do
+// not serialize. The ordering is always mu → stripe.
 type Store struct {
 	mu      sync.RWMutex
 	anns    *storage.HeapFile
 	targets *storage.HeapFile
 	nextID  ID
 
-	byID  map[ID]storage.RID
-	byRow map[string]map[types.RowID][]Ref
+	byID   map[ID]storage.RID
+	rowIdx *rowIndex
 	// targetsOf maps an annotation to all its targets (with the heap RID
 	// of each target record, so retraction can delete them), for zoom-in
 	// displays, re-summarization after instance changes, and deletion.
@@ -42,7 +47,7 @@ func NewStore(pool *storage.BufferPool) *Store {
 		targets:   storage.NewHeapFile(pool),
 		nextID:    1,
 		byID:      make(map[ID]storage.RID),
-		byRow:     make(map[string]map[types.RowID][]Ref),
+		rowIdx:    newRowIndex(),
 		targetsOf: make(map[ID][]targetEntry),
 	}
 }
@@ -63,7 +68,7 @@ func OpenStore(pool *storage.BufferPool, annPages, targetPages []storage.PageID)
 		targets:   targets,
 		nextID:    1,
 		byID:      make(map[ID]storage.RID),
-		byRow:     make(map[string]map[types.RowID][]Ref),
+		rowIdx:    newRowIndex(),
 		targetsOf: make(map[ID][]targetEntry),
 	}
 	var scanErr error
@@ -106,12 +111,7 @@ func (s *Store) Pages() (annPages, targetPages []storage.PageID) {
 }
 
 func (s *Store) indexTarget(id ID, tg Target, rid storage.RID) {
-	rows, ok := s.byRow[tg.Table]
-	if !ok {
-		rows = make(map[types.RowID][]Ref)
-		s.byRow[tg.Table] = rows
-	}
-	rows[tg.Row] = append(rows[tg.Row], Ref{ID: id, Columns: tg.Columns})
+	s.rowIdx.add(tg.Table, tg.Row, Ref{ID: id, Columns: tg.Columns})
 	s.targetsOf[id] = append(s.targetsOf[id], targetEntry{Target: tg, rid: rid})
 }
 
@@ -235,24 +235,11 @@ func (s *Store) GetMany(ids []ID) ([]Annotation, error) {
 
 // ForTuple returns the annotation refs attached to (table, row), sorted by
 // annotation id. Refs for the same annotation covering disjoint column sets
-// are merged into one ref with the union coverage.
+// are merged into one ref with the union coverage. It takes only the
+// tuple's stripe lock, so parallel scan workers resolving different tuples
+// read the index concurrently.
 func (s *Store) ForTuple(table string, row types.RowID) []Ref {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	refs := s.byRow[table][row]
-	if len(refs) == 0 {
-		return nil
-	}
-	merged := make(map[ID]ColSet, len(refs))
-	for _, r := range refs {
-		merged[r.ID] = merged[r.ID].Union(r.Columns)
-	}
-	out := make([]Ref, 0, len(merged))
-	for id, cols := range merged {
-		out = append(out, Ref{ID: id, Columns: cols})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return s.rowIdx.refs(table, row)
 }
 
 // TargetsOf returns every target of annotation id.
@@ -297,7 +284,7 @@ func (s *Store) Remove(id ID) ([]Target, error) {
 		if err := s.targets.Delete(te.rid); err != nil {
 			return nil, err
 		}
-		s.dropRef(te.Table, te.Row, id)
+		s.rowIdx.dropAnn(te.Table, te.Row, id)
 		out = append(out, te.Target)
 	}
 	return out, nil
@@ -310,7 +297,7 @@ func (s *Store) Remove(id ID) ([]Target, error) {
 func (s *Store) DetachRow(table string, row types.RowID) (detached, orphaned []ID, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	refs := s.byRow[table][row]
+	refs := s.rowIdx.refs(table, row)
 	if len(refs) == 0 {
 		return nil, nil, nil
 	}
@@ -348,26 +335,10 @@ func (s *Store) DetachRow(table string, row types.RowID) (detached, orphaned []I
 			orphaned = append(orphaned, ref.ID)
 		}
 	}
-	delete(s.byRow[table], row)
+	s.rowIdx.deleteRow(table, row)
 	sort.Slice(detached, func(i, j int) bool { return detached[i] < detached[j] })
 	sort.Slice(orphaned, func(i, j int) bool { return orphaned[i] < orphaned[j] })
 	return detached, orphaned, nil
-}
-
-// dropRef removes id's refs from the (table, row) index. Requires s.mu.
-func (s *Store) dropRef(table string, row types.RowID, id ID) {
-	refs := s.byRow[table][row]
-	kept := refs[:0]
-	for _, r := range refs {
-		if r.ID != id {
-			kept = append(kept, r)
-		}
-	}
-	if len(kept) == 0 {
-		delete(s.byRow[table], row)
-	} else {
-		s.byRow[table][row] = kept
-	}
 }
 
 // RowsOf returns the distinct rows of table that annotation id is attached
@@ -406,13 +377,5 @@ func (s *Store) RawBytes() int64 {
 // AnnotatedRows returns the rows of table that carry at least one
 // annotation, sorted.
 func (s *Store) AnnotatedRows(table string) []types.RowID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rows := s.byRow[table]
-	out := make([]types.RowID, 0, len(rows))
-	for r := range rows {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return s.rowIdx.rows(table)
 }

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -95,14 +96,14 @@ func NewSPJWorld(cacheDir string, birds, annsPerTuple int, docFrac float64) (*SP
 	if _, err := populate.Birds(db, g, spec); err != nil {
 		return nil, err
 	}
-	if _, err := db.Exec("CREATE TABLE sightings (sid INT, bird_id INT, region TEXT, cnt INT)"); err != nil {
+	if _, err := db.Exec(context.Background(), "CREATE TABLE sightings (sid INT, bird_id INT, region TEXT, cnt INT)"); err != nil {
 		return nil, err
 	}
 	sightings := birds * 2
 	for i := 0; i < sightings; i++ {
 		stmt := fmt.Sprintf("INSERT INTO sightings VALUES (%d, %d, '%s', %d)",
 			i+1, i%birds+1, g.Region(), g.Intn(40)+1)
-		if _, err := db.Exec(stmt); err != nil {
+		if _, err := db.Exec(context.Background(), stmt); err != nil {
 			return nil, err
 		}
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -94,7 +95,7 @@ func E2SPJPropagation(birds int, annsPerTuple []int, iters int) (*Table, error) 
 		}
 		var rows int
 		d, err := timeIt(iters, func() error {
-			res, err := w.DB.QueryWithOptions(w.Query, plan.Options{})
+			res, err := w.DB.Query(context.Background(), w.Query, engine.WithPlanOptions(plan.Options{}))
 			if err != nil {
 				return err
 			}
@@ -169,7 +170,7 @@ func E3CurateBeforeMerge(birds, annsPerTuple, iters int) (*Table, error) {
 // queryWithOpts plans and executes q under explicit plan options against
 // db's catalog and summary store.
 func queryWithOpts(db *engine.DB, q string, opts plan.Options) ([]rowFingerprint, error) {
-	res, err := db.QueryWithOptions(q, opts)
+	res, err := db.Query(context.Background(), q, engine.WithPlanOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -342,11 +343,11 @@ func E7InstanceScalability(instanceCounts []int, annsPerRound int) (*Table, erro
 		}
 		for i := 0; i < k; i++ {
 			name := fmt.Sprintf("Cluster%02d", i)
-			if _, err := db.Exec(fmt.Sprintf(
+			if _, err := db.Exec(context.Background(), fmt.Sprintf(
 				"CREATE SUMMARY INSTANCE %s TYPE Cluster WITH (threshold = 0.3)", name)); err != nil {
 				return nil, err
 			}
-			if _, err := db.Exec(fmt.Sprintf("LINK SUMMARY %s TO birds", name)); err != nil {
+			if _, err := db.Exec(context.Background(), fmt.Sprintf("LINK SUMMARY %s TO birds", name)); err != nil {
 				return nil, err
 			}
 		}
@@ -358,7 +359,7 @@ func E7InstanceScalability(instanceCounts []int, annsPerRound int) (*Table, erro
 		}
 		perAnn := time.Since(start) / time.Duration((annsPerRound/8)*8)
 		qd, err := timeIt(5, func() error {
-			_, err := db.Query("SELECT id, name FROM birds WHERE id <= 4")
+			_, err := db.Query(context.Background(), "SELECT id, name FROM birds WHERE id <= 4")
 			return err
 		})
 		if err != nil {
@@ -390,7 +391,7 @@ func E8SummaryVsRaw(birds int, annsPerTuple []int, iters int) (*Table, error) {
 		}
 		var sumBytes int64
 		sumDur, err := timeIt(iters, func() error {
-			res, err := w.DB.QueryWithOptions(w.Query, plan.Options{})
+			res, err := w.DB.Query(context.Background(), w.Query, engine.WithPlanOptions(plan.Options{}))
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -94,11 +95,11 @@ func e6Setup(dir string, policy zoomin.Policy, budget int64) (*engine.DB, error)
 	}); err != nil {
 		return nil, err
 	}
-	if _, err := db.Exec("CREATE TABLE sightings (sid INT, bird_id INT, cnt INT)"); err != nil {
+	if _, err := db.Exec(context.Background(), "CREATE TABLE sightings (sid INT, bird_id INT, cnt INT)"); err != nil {
 		return nil, err
 	}
 	for i := 0; i < 24; i++ {
-		if _, err := db.Exec(fmt.Sprintf(
+		if _, err := db.Exec(context.Background(), fmt.Sprintf(
 			"INSERT INTO sightings VALUES (%d, %d, %d)", i+1, i%12+1, g.Intn(50))); err != nil {
 			return nil, err
 		}
@@ -111,7 +112,7 @@ func e6Setup(dir string, policy zoomin.Policy, budget int64) (*engine.DB, error)
 func e6ExpensiveQueries(db *engine.DB, n int) ([]int, error) {
 	var out []int
 	for i := 0; i < n; i++ {
-		res, err := db.Query(fmt.Sprintf(
+		res, err := db.Query(context.Background(), fmt.Sprintf(
 			"SELECT b.name, s.cnt FROM birds b, sightings s WHERE b.id = s.bird_id AND b.id <= %d",
 			6+i%6))
 		if err != nil {
@@ -143,7 +144,7 @@ func e6Run(policy zoomin.Policy, budget int64, queries, zoomOps int) (float64, t
 	}
 
 	zoom := func(qid int) error {
-		_, _, err := db.ZoomIn(engine.ZoomInRequest{
+		_, _, err := db.ZoomIn(context.Background(), engine.ZoomInRequest{
 			QID: qid, Instance: "ClassBird1", Index: 1 + g.Intn(4),
 		})
 		return err
@@ -170,7 +171,7 @@ func e6Run(policy zoomin.Policy, budget int64, queries, zoomOps int) (float64, t
 	for ops < zoomOps {
 		// Pollution burst: new cheap queries, zoomed once each.
 		for k := 0; k < 3 && ops < zoomOps; k++ {
-			res, err := db.Query(fmt.Sprintf(
+			res, err := db.Query(context.Background(), fmt.Sprintf(
 				"SELECT id, name FROM birds WHERE id <= %d", pollute%10+2))
 			if err != nil {
 				return 0, 0, 0, err

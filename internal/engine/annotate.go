@@ -241,7 +241,9 @@ func (db *DB) linkInstance(instanceName, table string) error {
 				return err
 			}
 			d := db.digestFor(in, a)
-			db.envelopeForUpdate(tbl.Name(), row).Add(in, d, ref.Columns)
+			db.envs.update(tbl.Name(), row, func(env *summary.Envelope) {
+				env.Add(in, d, ref.Columns)
+			})
 		}
 	}
 	return nil
@@ -274,14 +276,10 @@ func (db *DB) unlinkInstance(instanceName, table string) error {
 	if err := db.cat.Unlink(instanceName, tbl.Name()); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for row, env := range db.envelopes[tbl.Name()] {
+	db.envs.mutateTable(tbl.Name(), func(_ types.RowID, env *summary.Envelope) bool {
 		env.RemoveInstance(instanceName)
-		if env.IsEmpty() {
-			delete(db.envelopes[tbl.Name()], row)
-		}
-	}
+		return env.IsEmpty()
+	})
 	return nil
 }
 
@@ -308,7 +306,7 @@ func (db *DB) rebuildSummaries(table string) (int, error) {
 	instances := db.cat.InstancesFor(tbl.Name())
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	delete(db.envelopes, tbl.Name())
+	db.envs.dropTable(tbl.Name())
 	steps := 0
 	for _, row := range db.anns.AnnotatedRows(tbl.Name()) {
 		for _, ref := range db.anns.ForTuple(tbl.Name(), row) {
@@ -318,7 +316,9 @@ func (db *DB) rebuildSummaries(table string) (int, error) {
 			}
 			for _, in := range instances {
 				d := in.Summarize(a)
-				db.envelopeForUpdate(tbl.Name(), row).Add(in, d, ref.Columns)
+				db.envs.update(tbl.Name(), row, func(env *summary.Envelope) {
+					env.Add(in, d, ref.Columns)
+				})
 				steps++
 			}
 		}

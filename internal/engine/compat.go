@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"context"
+
+	"insightnotes/internal/plan"
+	"insightnotes/internal/sql"
+)
+
+// This file holds the pre-consolidation statement API: every method is a
+// one-line wrapper over the context-first entry points (Query, Exec,
+// ExecScript, ExecStatement, ZoomIn) with the behavior expressed as
+// statement options. New code should call those directly; the
+// scripts/check.sh lint rejects any new exported ...Context method in this
+// package beyond the allowlisted names below.
+
+// QueryContext is Query without options.
+//
+// Deprecated: Query is context-first; call Query(ctx, sqlText) directly.
+func (db *DB) QueryContext(ctx context.Context, sqlText string) (*Result, error) {
+	return db.Query(ctx, sqlText)
+}
+
+// QueryTraced is Query with the under-the-hood operator log enabled.
+//
+// Deprecated: use Query(ctx, sqlText, WithTrace()).
+func (db *DB) QueryTraced(sqlText string) (*Result, error) {
+	return db.Query(context.Background(), sqlText, WithTrace())
+}
+
+// QueryTracedContext is QueryTraced under an explicit context.
+//
+// Deprecated: use Query(ctx, sqlText, WithTrace()).
+func (db *DB) QueryTracedContext(ctx context.Context, sqlText string) (*Result, error) {
+	return db.Query(ctx, sqlText, WithTrace())
+}
+
+// QueryWithOptions executes a SELECT under explicit plan options.
+//
+// Deprecated: use Query(ctx, sqlText, WithPlanOptions(opts)).
+func (db *DB) QueryWithOptions(sqlText string, opts plan.Options) (*Result, error) {
+	return db.Query(context.Background(), sqlText, WithPlanOptions(opts))
+}
+
+// ExecContext is Exec without options.
+//
+// Deprecated: Exec is context-first; call Exec(ctx, sqlText) directly.
+func (db *DB) ExecContext(ctx context.Context, sqlText string) (*Result, error) {
+	return db.Exec(ctx, sqlText)
+}
+
+// ExecScriptContext is ExecScript without options.
+//
+// Deprecated: ExecScript is context-first; call ExecScript(ctx, script).
+func (db *DB) ExecScriptContext(ctx context.Context, script string) ([]*Result, error) {
+	return db.ExecScript(ctx, script)
+}
+
+// ExecStatementContext is ExecStatement without options.
+//
+// Deprecated: ExecStatement is context-first; call
+// ExecStatement(ctx, stmt, sqlText) directly.
+func (db *DB) ExecStatementContext(ctx context.Context, stmt sql.Statement, sqlText string) (*Result, error) {
+	return db.ExecStatement(ctx, stmt, sqlText)
+}
+
+// ZoomInContext is ZoomIn.
+//
+// Deprecated: ZoomIn is context-first; call ZoomIn(ctx, req) directly.
+func (db *DB) ZoomInContext(ctx context.Context, req ZoomInRequest) ([]ZoomRowResult, bool, error) {
+	return db.ZoomIn(ctx, req)
+}

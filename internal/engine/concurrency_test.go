@@ -15,7 +15,7 @@ import (
 func TestConcurrentQueriesAndWrites(t *testing.T) {
 	db := birdDB(t)
 	mustExec(t, db, "ADD ANNOTATION 'observed feeding at dawn' ON birds WHERE id = 1")
-	seed, err := db.Query("SELECT id, name FROM birds")
+	seed, err := db.Query(context.Background(), "SELECT id, name FROM birds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,13 +40,13 @@ func TestConcurrentQueriesAndWrites(t *testing.T) {
 					report(fmt.Errorf("query: %w", err))
 					return
 				}
-				if _, _, err := db.ZoomIn(ZoomInRequest{
+				if _, _, err := db.ZoomIn(context.Background(), ZoomInRequest{
 					QID: seed.QID, Instance: "ClassBird1", Index: 1,
 				}); err != nil {
 					report(fmt.Errorf("zoom: %w", err))
 					return
 				}
-				if _, err := db.Exec("EXPLAIN ANALYZE SELECT id, name FROM birds WHERE id <= 2"); err != nil {
+				if _, err := db.Exec(context.Background(), "EXPLAIN ANALYZE SELECT id, name FROM birds WHERE id <= 2"); err != nil {
 					report(fmt.Errorf("explain analyze: %w", err))
 					return
 				}
@@ -73,13 +73,13 @@ func TestConcurrentQueriesAndWrites(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				if _, err := db.Exec(fmt.Sprintf(
+				if _, err := db.Exec(context.Background(), fmt.Sprintf(
 					"ADD ANNOTATION 'found eating stonewort round %d-%d' ON birds WHERE id = %d",
 					g, i, i%3+1)); err != nil {
 					report(fmt.Errorf("annotate: %w", err))
 					return
 				}
-				if _, err := db.Exec(fmt.Sprintf(
+				if _, err := db.Exec(context.Background(), fmt.Sprintf(
 					"INSERT INTO birds VALUES (%d, 'new bird', 'n', 1.0)", 100+g*100+i)); err != nil {
 					report(fmt.Errorf("insert: %w", err))
 					return

@@ -62,10 +62,10 @@ func TestZoomInCancelledReexecution(t *testing.T) {
 	LINK SUMMARY ClassBird1 TO birds;
 	ADD ANNOTATION 'found eating stonewort at dawn' ON birds WHERE id = 1;
 	`
-	if _, err := db.ExecScript(script); err != nil {
+	if _, err := db.ExecScript(context.Background(), script); err != nil {
 		t.Fatal(err)
 	}
-	res, err := db.Query("SELECT id, name FROM birds")
+	res, err := db.Query(context.Background(), "SELECT id, name FROM birds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestZoomInCancelledReexecution(t *testing.T) {
 	}
 
 	// The same zoom-in succeeds under a live context.
-	out, hit, err := db.ZoomIn(ZoomInRequest{QID: res.QID, Instance: "ClassBird1", Index: 1})
+	out, hit, err := db.ZoomIn(context.Background(), ZoomInRequest{QID: res.QID, Instance: "ClassBird1", Index: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestZoomInCancelledReexecution(t *testing.T) {
 
 func TestQueryStatsPopulated(t *testing.T) {
 	db := birdDB(t)
-	res, err := db.Query("SELECT id, name FROM birds WHERE id <= 2")
+	res, err := db.Query(context.Background(), "SELECT id, name FROM birds WHERE id <= 2")
 	if err != nil {
 		t.Fatal(err)
 	}

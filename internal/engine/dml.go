@@ -7,6 +7,7 @@ import (
 	"insightnotes/internal/catalog"
 	"insightnotes/internal/exec"
 	"insightnotes/internal/sql"
+	"insightnotes/internal/summary"
 	"insightnotes/internal/types"
 )
 
@@ -115,8 +116,8 @@ func (db *DB) deleteRow(tbl *catalog.Table, row types.RowID) ([]annotation.ID, e
 	if err != nil {
 		return nil, err
 	}
+	db.envs.deleteRow(tbl.Name(), row)
 	db.mu.Lock()
-	delete(db.envelopes[tbl.Name()], row)
 	for _, id := range orphaned {
 		db.dropDigestsLocked(id)
 	}
@@ -150,8 +151,6 @@ func (db *DB) dropAnnotation(id annotation.ID) error {
 	if err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	seen := map[string]map[types.RowID]bool{}
 	for _, tg := range targets {
 		if seen[tg.Table] == nil {
@@ -161,16 +160,14 @@ func (db *DB) dropAnnotation(id annotation.ID) error {
 			continue
 		}
 		seen[tg.Table][tg.Row] = true
-		env := db.envelopes[tg.Table][tg.Row]
-		if env == nil {
-			continue
-		}
-		env.RemoveAnnotation(id)
-		if env.IsEmpty() {
-			delete(db.envelopes[tg.Table], tg.Row)
-		}
+		db.envs.mutate(tg.Table, tg.Row, func(env *summary.Envelope) bool {
+			env.RemoveAnnotation(id)
+			return env.IsEmpty()
+		})
 	}
+	db.mu.Lock()
 	db.dropDigestsLocked(id)
+	db.mu.Unlock()
 	return nil
 }
 

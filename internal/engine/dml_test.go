@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestUpdateStatement(t *testing.T) {
 		"UPDATE missing SET id = 1",
 		"UPDATE birds SET id = 'text'",
 	} {
-		if _, err := db.Exec(bad); err == nil {
+		if _, err := db.Exec(context.Background(), bad); err == nil {
 			t.Errorf("Exec(%q) succeeded", bad)
 		}
 	}
@@ -105,7 +106,7 @@ func TestDropAnnotationCuratesSummaries(t *testing.T) {
 		t.Error("raw annotation still present")
 	}
 	// Retracting again fails.
-	if _, err := db.Exec("DROP ANNOTATION 1"); err == nil {
+	if _, err := db.Exec(context.Background(), "DROP ANNOTATION 1"); err == nil {
 		t.Error("double retraction succeeded")
 	}
 	// Retracting the last annotation empties the envelope entirely.

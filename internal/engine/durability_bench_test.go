@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -15,12 +16,12 @@ func BenchmarkInsertMemory(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer db.Close()
-	if _, err := db.Exec("CREATE TABLE t (id INT, name TEXT)"); err != nil {
+	if _, err := db.Exec(context.Background(), "CREATE TABLE t (id INT, name TEXT)"); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'bird-%d')", i, i)); err != nil {
+		if _, err := db.Exec(context.Background(), fmt.Sprintf("INSERT INTO t VALUES (%d, 'bird-%d')", i, i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -33,12 +34,12 @@ func BenchmarkInsertDurable(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer db.Close()
-	if _, err := db.Exec("CREATE TABLE t (id INT, name TEXT)"); err != nil {
+	if _, err := db.Exec(context.Background(), "CREATE TABLE t (id INT, name TEXT)"); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'bird-%d')", i, i)); err != nil {
+		if _, err := db.Exec(context.Background(), fmt.Sprintf("INSERT INTO t VALUES (%d, 'bird-%d')", i, i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -56,7 +57,7 @@ func BenchmarkInsertDurableParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer db.Close()
-	if _, err := db.Exec("CREATE TABLE t (id INT, name TEXT)"); err != nil {
+	if _, err := db.Exec(context.Background(), "CREATE TABLE t (id INT, name TEXT)"); err != nil {
 		b.Fatal(err)
 	}
 	var seq atomic.Int64
@@ -65,7 +66,7 @@ func BenchmarkInsertDurableParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			i := seq.Add(1)
-			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'bird-%d')", i, i)); err != nil {
+			if _, err := db.Exec(context.Background(), fmt.Sprintf("INSERT INTO t VALUES (%d, 'bird-%d')", i, i)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -82,17 +83,17 @@ func BenchmarkRecoveryReplay(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := db.Exec("CREATE TABLE t (id INT, name TEXT)"); err != nil {
+	if _, err := db.Exec(context.Background(), "CREATE TABLE t (id INT, name TEXT)"); err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < 666; i++ {
-		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'bird-%d')", i, i)); err != nil {
+		if _, err := db.Exec(context.Background(), fmt.Sprintf("INSERT INTO t VALUES (%d, 'bird-%d')", i, i)); err != nil {
 			b.Fatal(err)
 		}
 	}
 	for i := 0; i < 333; i++ {
 		stmt := fmt.Sprintf("ADD ANNOTATION 'observed feeding %d' ON t WHERE id = %d", i, i)
-		if _, err := db.Exec(stmt); err != nil {
+		if _, err := db.Exec(context.Background(), stmt); err != nil {
 			b.Fatal(err)
 		}
 	}

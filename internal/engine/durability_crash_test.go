@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -218,10 +219,10 @@ func TestCrashRecovery(t *testing.T) {
 			wl := newCrashWorkload(seed)
 			run := func(stmt string) {
 				t.Helper()
-				if _, err := db.Exec(stmt); err != nil {
+				if _, err := db.Exec(context.Background(), stmt); err != nil {
 					t.Fatalf("durable %q: %v", stmt, err)
 				}
-				if _, err := shadow.Exec(stmt); err != nil {
+				if _, err := shadow.Exec(context.Background(), stmt); err != nil {
 					t.Fatalf("shadow %q: %v", stmt, err)
 				}
 			}
@@ -248,11 +249,11 @@ func TestCrashRecovery(t *testing.T) {
 				}
 			} else {
 				crashed := wl.next()
-				if _, err := db.Exec(crashed); err == nil {
+				if _, err := db.Exec(context.Background(), crashed); err == nil {
 					t.Fatalf("statement %q survived its injected crash", crashed)
 				}
 				if sc.crashedDurable {
-					if _, err := shadow.Exec(crashed); err != nil {
+					if _, err := shadow.Exec(context.Background(), crashed); err != nil {
 						t.Fatalf("shadow %q: %v", crashed, err)
 					}
 				}
@@ -277,10 +278,10 @@ func TestCrashRecovery(t *testing.T) {
 			// more clean cycle (full crash-recover-continue loop).
 			run2 := func(stmt string) {
 				t.Helper()
-				if _, err := recovered.Exec(stmt); err != nil {
+				if _, err := recovered.Exec(context.Background(), stmt); err != nil {
 					t.Fatalf("post-recovery durable %q: %v", stmt, err)
 				}
-				if _, err := shadow.Exec(stmt); err != nil {
+				if _, err := shadow.Exec(context.Background(), stmt); err != nil {
 					t.Fatalf("post-recovery shadow %q: %v", stmt, err)
 				}
 			}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -175,7 +176,7 @@ func TestOpenDurableTornTail(t *testing.T) {
 
 func TestCheckpointRequiresDurability(t *testing.T) {
 	db := testDB(t)
-	if _, err := db.Exec("CHECKPOINT"); err == nil || !strings.Contains(err.Error(), "data directory") {
+	if _, err := db.Exec(context.Background(), "CHECKPOINT"); err == nil || !strings.Contains(err.Error(), "data directory") {
 		t.Errorf("CHECKPOINT on an in-memory DB: err = %v", err)
 	}
 }

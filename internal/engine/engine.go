@@ -40,6 +40,15 @@ type Config struct {
 	CachePolicy zoomin.Policy
 	// PlanOptions are applied to every query (ablation switches).
 	PlanOptions plan.Options
+	// ExecWorkers is the scan worker count for morsel-driven parallel
+	// execution: 0 means GOMAXPROCS (parallel scans on by default), 1 keeps
+	// every scan serial, n > 1 uses exactly n workers. Per-statement
+	// WithParallelism overrides it.
+	ExecWorkers int
+	// BatchSize is the executor's rows-per-batch pipeline granularity
+	// (default exec.DefaultBatchSize). Per-statement WithBatchSize
+	// overrides it.
+	BatchSize int
 	// DisableSummarizeOnce turns off the invariant-driven digest cache,
 	// for the E5 ablation.
 	DisableSummarizeOnce bool
@@ -81,10 +90,16 @@ type DB struct {
 	// stmtMu is the statement-level reader/writer lock described above.
 	stmtMu sync.RWMutex
 
+	// mu guards the digest cache, the instance models it feeds, and the
+	// QID→SQL map. The summary envelopes themselves live in envs, under
+	// N-way striped locks; writers that need both take mu before any
+	// stripe lock.
 	mu sync.RWMutex
-	// envelopes is the summary store: the maintained per-tuple summary
-	// objects of every annotated tuple (table → row → envelope).
-	envelopes map[string]map[types.RowID]*summary.Envelope
+	// envs is the striped summary store: the maintained per-tuple summary
+	// objects of every annotated tuple (table → row → envelope), sharded
+	// by (table, row) so parallel scan workers don't serialize on one
+	// RWMutex.
+	envs *envStore
 	// digests caches per-annotation summarization results for instances
 	// whose properties allow summarize-once (instance → annotation → digest).
 	digests map[string]map[annotation.ID]summary.Digest
@@ -152,14 +167,14 @@ func Open(cfg Config) (*DB, error) {
 	}
 	pool := storage.NewBufferPool(storage.NewMemStore(), cfg.PoolFrames)
 	db := &DB{
-		cfg:       cfg,
-		pool:      pool,
-		cat:       catalog.New(pool),
-		anns:      annotation.NewStore(pool),
-		envelopes: make(map[string]map[types.RowID]*summary.Envelope),
-		digests:   make(map[string]map[annotation.ID]summary.Digest),
-		cache:     cache,
-		queries:   make(map[int]string),
+		cfg:     cfg,
+		pool:    pool,
+		cat:     catalog.New(pool),
+		anns:    annotation.NewStore(pool),
+		envs:    newEnvStore(),
+		digests: make(map[string]map[annotation.ID]summary.Digest),
+		cache:   cache,
+		queries: make(map[int]string),
 	}
 	if !cfg.DisableMetrics {
 		db.metrics = newDBMetrics(db)
@@ -192,32 +207,11 @@ func (db *DB) Cache() *zoomin.Cache { return db.cache }
 
 // EnvelopeFor implements exec.EnvelopeSource: a clone of the maintained
 // envelope of a base tuple (nil when unannotated). The clone is taken
-// under the store lock, so scans never race with the background catch-up
-// worker mutating the live envelope mid-read.
+// under the tuple's stripe lock — not the database mutex — so parallel
+// scan workers fetching envelopes contend only per stripe, and never race
+// with the background catch-up worker mutating the live envelope mid-read.
 func (db *DB) EnvelopeFor(table string, row types.RowID) *summary.Envelope {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	env := db.envelopes[table][row]
-	if env == nil {
-		return nil
-	}
-	return env.Clone()
-}
-
-// envelopeForUpdate returns (creating if needed) the stored envelope of a
-// tuple. Callers must hold db.mu.
-func (db *DB) envelopeForUpdate(table string, row types.RowID) *summary.Envelope {
-	rows, ok := db.envelopes[table]
-	if !ok {
-		rows = make(map[types.RowID]*summary.Envelope)
-		db.envelopes[table] = rows
-	}
-	env, ok := rows[row]
-	if !ok {
-		env = summary.NewEnvelope()
-		rows[row] = env
-	}
-	return env
+	return db.envs.clone(table, row)
 }
 
 // digestFor computes (or returns the cached) digest of annotation a under
@@ -250,26 +244,14 @@ func (db *DB) digestFor(in *summary.Instance, a annotation.Annotation) summary.D
 // SummaryBytes reports the total approximate size of the summary store for
 // table — the numerator of the E1 compression experiment.
 func (db *DB) SummaryBytes(table string) int64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	var n int64
-	for _, env := range db.envelopes[table] {
-		n += int64(env.ApproxBytes())
-	}
-	return n
+	return db.envs.tableBytes(table)
 }
 
 // StoredEnvelope returns a clone of the maintained envelope of a tuple (nil
 // when unannotated) — the inspection hook used by SHOW, the REPL, and
 // tests.
 func (db *DB) StoredEnvelope(table string, row types.RowID) *summary.Envelope {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	env := db.envelopes[table][row]
-	if env == nil {
-		return nil
-	}
-	return env.Clone()
+	return db.envs.clone(table, row)
 }
 
 // Close stops the maintenance catch-up worker (draining its queue) and

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func testDB(t *testing.T) *DB {
 // mustExec runs a statement that must succeed.
 func mustExec(t *testing.T, db *DB, stmt string) *Result {
 	t.Helper()
-	res, err := db.Exec(stmt)
+	res, err := db.Exec(context.Background(), stmt)
 	if err != nil {
 		t.Fatalf("Exec(%q): %v", stmt, err)
 	}
@@ -55,7 +56,7 @@ func birdDB(t *testing.T) *DB {
 	LINK SUMMARY SimCluster TO birds;
 	LINK SUMMARY TextSummary1 TO birds;
 	`
-	if _, err := db.ExecScript(script); err != nil {
+	if _, err := db.ExecScript(context.Background(), script); err != nil {
 		t.Fatal(err)
 	}
 	return db
@@ -94,13 +95,13 @@ func TestExecErrors(t *testing.T) {
 		"TRAIN SUMMARY missing ('a','b')",
 		"LINK SUMMARY missing TO alsoMissing",
 	} {
-		if _, err := db.Exec(bad); err == nil {
+		if _, err := db.Exec(context.Background(), bad); err == nil {
 			t.Errorf("Exec(%q) succeeded", bad)
 		}
 	}
 	// INSERT with column references is rejected.
 	mustExec(t, db, "CREATE TABLE t (a INT)")
-	if _, err := db.Exec("INSERT INTO t VALUES (someColumn)"); err == nil {
+	if _, err := db.Exec(context.Background(), "INSERT INTO t VALUES (someColumn)"); err == nil {
 		t.Error("non-constant INSERT accepted")
 	}
 }
@@ -145,10 +146,10 @@ func TestAnnotateColumnsAndNoMatch(t *testing.T) {
 	if !env.Cover[anns[0]].Has(3) || env.Cover[anns[0]].Count() != 1 {
 		t.Errorf("coverage = %v", env.Cover[anns[0]])
 	}
-	if _, err := db.Exec("ADD ANNOTATION 'x' ON birds WHERE id = 99"); err == nil {
+	if _, err := db.Exec(context.Background(), "ADD ANNOTATION 'x' ON birds WHERE id = 99"); err == nil {
 		t.Error("no-match annotation accepted")
 	}
-	if _, err := db.Exec("ADD ANNOTATION 'x' ON birds (nope) WHERE id = 1"); err == nil {
+	if _, err := db.Exec(context.Background(), "ADD ANNOTATION 'x' ON birds (nope) WHERE id = 1"); err == nil {
 		t.Error("bad column accepted")
 	}
 }
@@ -210,7 +211,7 @@ func TestSummarizeOnceDisabledAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.ExecScript(`
+	if _, err := db.ExecScript(context.Background(), `
 		CREATE TABLE t (a INT);
 		INSERT INTO t VALUES (1), (2), (3);
 		CREATE SUMMARY INSTANCE C TYPE Classifier LABELS ('x', 'y');
@@ -309,7 +310,7 @@ func TestShowStatements(t *testing.T) {
 func TestQueryTracedLogsStages(t *testing.T) {
 	db := birdDB(t)
 	mustExec(t, db, "ADD ANNOTATION 'observed feeding at dawn' ON birds WHERE id = 1")
-	res, err := db.QueryTraced("SELECT name FROM birds WHERE id = 1")
+	res, err := db.Query(context.Background(), "SELECT name FROM birds WHERE id = 1", WithTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestExplainRendersPlanTree(t *testing.T) {
 		t.Error("summary-predicate plan missing SummaryFilter stage")
 	}
 	// EXPLAIN of non-SELECT is rejected.
-	if _, err := db.Exec("EXPLAIN INSERT INTO birds VALUES (9, 'x', 'y', 1)"); err == nil {
+	if _, err := db.Exec(context.Background(), "EXPLAIN INSERT INTO birds VALUES (9, 'x', 'y', 1)"); err == nil {
 		t.Error("EXPLAIN INSERT accepted")
 	}
 }
@@ -382,7 +383,7 @@ func TestCacheMissReexecutesQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.ExecScript(`
+	if _, err := db.ExecScript(context.Background(), `
 		CREATE TABLE t (a INT);
 		INSERT INTO t VALUES (1);
 		CREATE SUMMARY INSTANCE C TYPE Classifier LABELS ('x', 'y');
@@ -393,7 +394,7 @@ func TestCacheMissReexecutesQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := mustExec(t, db, "SELECT a FROM t")
-	zoom, hit, err := db.ZoomIn(ZoomInRequest{QID: res.QID, Instance: "C", Index: 1})
+	zoom, hit, err := db.ZoomIn(context.Background(), ZoomInRequest{QID: res.QID, Instance: "C", Index: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,20 +439,20 @@ func TestInstanceFromStatementValidation(t *testing.T) {
 		"CREATE SUMMARY INSTANCE c TYPE Cluster WITH (threshold = 2.0)", // bad threshold
 		"CREATE SUMMARY INSTANCE c TYPE Snippet WITH (sentences = 0)",   // bad sentences
 	} {
-		if _, err := db.Exec(bad); err == nil {
+		if _, err := db.Exec(context.Background(), bad); err == nil {
 			t.Errorf("Exec(%q) succeeded", bad)
 		}
 	}
 	// Duplicate instance names rejected.
 	mustExec(t, db, "CREATE SUMMARY INSTANCE ok TYPE Cluster")
-	if _, err := db.Exec("CREATE SUMMARY INSTANCE ok TYPE Cluster"); err == nil {
+	if _, err := db.Exec(context.Background(), "CREATE SUMMARY INSTANCE ok TYPE Cluster"); err == nil {
 		t.Error("duplicate instance accepted")
 	}
 }
 
 func TestMultiTableAnnotationScopedPerTable(t *testing.T) {
 	db := testDB(t)
-	if _, err := db.ExecScript(`
+	if _, err := db.ExecScript(context.Background(), `
 		CREATE TABLE a (x INT);
 		CREATE TABLE b (x INT);
 		INSERT INTO a VALUES (1);

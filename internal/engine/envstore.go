@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"sync"
+
+	"insightnotes/internal/summary"
+	"insightnotes/internal/types"
+)
+
+// envStripes is the stripe count of the summary store's lock. Power of two
+// so the stripe pick is a mask; 32 stripes keep parallel-scan workers on
+// distinct locks with high probability without bloating the DB struct.
+const envStripes = 32
+
+// envStore is the striped summary store: the maintained per-tuple summary
+// envelopes of every annotated tuple, sharded N ways by (table, row) so
+// parallel scan workers fetching envelopes do not serialize on one
+// RWMutex, and so the background catch-up worker blocks readers only on
+// the stripe it is updating.
+//
+// Locking: each stripe guards its own table→row→envelope maps AND the
+// envelopes within them — an envelope is only read or mutated while its
+// stripe lock is held, which is why readers receive clones. Writers that
+// also need the digest cache or instance models take db.mu first; the
+// ordering is always db.mu → stripe, never the reverse.
+type envStore struct {
+	stripes [envStripes]envStripe
+}
+
+type envStripe struct {
+	mu sync.RWMutex
+	m  map[string]map[types.RowID]*summary.Envelope
+}
+
+func newEnvStore() *envStore {
+	s := &envStore{}
+	for i := range s.stripes {
+		s.stripes[i].m = make(map[string]map[types.RowID]*summary.Envelope)
+	}
+	return s
+}
+
+// stripeFor hashes (table, row) to a stripe — FNV-1a over the table name
+// mixed with the row id, so consecutive rows of one table spread across
+// stripes.
+func (s *envStore) stripeFor(table string, row types.RowID) *envStripe {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(table); i++ {
+		h ^= uint64(table[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(row)
+	h *= 1099511628211
+	return &s.stripes[h%envStripes]
+}
+
+// clone returns a private copy of the stored envelope of a tuple (nil when
+// unannotated), taken under the stripe lock so readers never observe a
+// mid-update envelope.
+func (s *envStore) clone(table string, row types.RowID) *summary.Envelope {
+	st := s.stripeFor(table, row)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	env := st.m[table][row]
+	if env == nil {
+		return nil
+	}
+	return env.Clone()
+}
+
+// update applies fn to the stored envelope of a tuple, creating an empty
+// envelope first when the tuple has none. fn runs under the stripe lock.
+func (s *envStore) update(table string, row types.RowID, fn func(env *summary.Envelope)) {
+	st := s.stripeFor(table, row)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rows, ok := st.m[table]
+	if !ok {
+		rows = make(map[types.RowID]*summary.Envelope)
+		st.m[table] = rows
+	}
+	env, ok := rows[row]
+	if !ok {
+		env = summary.NewEnvelope()
+		rows[row] = env
+	}
+	fn(env)
+}
+
+// mutate applies fn to the stored envelope of a tuple when one exists; a
+// true return drops the (now empty) envelope. fn runs under the stripe
+// lock.
+func (s *envStore) mutate(table string, row types.RowID, fn func(env *summary.Envelope) (drop bool)) {
+	st := s.stripeFor(table, row)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	env := st.m[table][row]
+	if env == nil {
+		return
+	}
+	if fn(env) {
+		delete(st.m[table], row)
+	}
+}
+
+// mutateTable applies fn to every stored envelope of a table; a true
+// return drops that envelope. Used by link changes that rewrite a whole
+// table's summaries.
+func (s *envStore) mutateTable(table string, fn func(row types.RowID, env *summary.Envelope) (drop bool)) {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for row, env := range st.m[table] {
+			if fn(row, env) {
+				delete(st.m[table], row)
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// deleteRow drops the stored envelope of a tuple.
+func (s *envStore) deleteRow(table string, row types.RowID) {
+	st := s.stripeFor(table, row)
+	st.mu.Lock()
+	delete(st.m[table], row)
+	st.mu.Unlock()
+}
+
+// dropTable drops every stored envelope of a table.
+func (s *envStore) dropTable(table string) {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		delete(st.m, table)
+		st.mu.Unlock()
+	}
+}
+
+// tableBytes sums the approximate envelope sizes of one table.
+func (s *envStore) tableBytes(table string) int64 {
+	var n int64
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for _, env := range st.m[table] {
+			n += int64(env.ApproxBytes())
+		}
+		st.mu.RUnlock()
+	}
+	return n
+}
+
+// count is the number of stored envelopes across all tables.
+func (s *envStore) count() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for _, rows := range st.m {
+			n += len(rows)
+		}
+		st.mu.RUnlock()
+	}
+	return n
+}
+
+// totalBytes sums the approximate envelope sizes across all tables.
+func (s *envStore) totalBytes() int64 {
+	var n int64
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for _, rows := range st.m {
+			for _, env := range rows {
+				n += int64(env.ApproxBytes())
+			}
+		}
+		st.mu.RUnlock()
+	}
+	return n
+}

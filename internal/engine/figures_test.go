@@ -7,6 +7,7 @@ package engine
 // corresponding experiment in DESIGN.md (E2, E9, E10).
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -49,7 +50,7 @@ func figure2DB(t *testing.T) *DB {
 	LINK SUMMARY ClassBird2 TO S;
 	LINK SUMMARY SimCluster TO S;
 	`
-	if _, err := db.ExecScript(script); err != nil {
+	if _, err := db.ExecScript(context.Background(), script); err != nil {
 		t.Fatal(err)
 	}
 	return db
@@ -257,7 +258,7 @@ func TestFigure3ZoomInCommands(t *testing.T) {
 	ADD ANNOTATION 'verified correct approved writeup' TITLE 'Experiment E'
 		DOCUMENT 'Experiment E full writeup. Methods and results.' ON t WHERE c3 = 5;
 	`
-	if _, err := db.ExecScript(script); err != nil {
+	if _, err := db.ExecScript(context.Background(), script); err != nil {
 		t.Fatal(err)
 	}
 	res := mustExec(t, db, "SELECT c1, c2, c3 FROM t")
@@ -306,11 +307,11 @@ func TestFigure3ZoomInCommands(t *testing.T) {
 	}
 
 	// Out-of-range index errors.
-	if _, err := db.Exec(sqlZoom(qid, "", "NaiveBayesClass", 9)); err == nil {
+	if _, err := db.Exec(context.Background(), sqlZoom(qid, "", "NaiveBayesClass", 9)); err == nil {
 		t.Error("bad index accepted")
 	}
 	// Unknown QID errors.
-	if _, err := db.Exec(sqlZoom(99999, "", "NaiveBayesClass", 1)); err == nil {
+	if _, err := db.Exec(context.Background(), sqlZoom(99999, "", "NaiveBayesClass", 1)); err == nil {
 		t.Error("unknown QID accepted")
 	}
 }
@@ -348,7 +349,7 @@ func TestFigure4ExtensibilityHierarchy(t *testing.T) {
 		('wingspan and body size', 'Anatomy'),
 		('miscellaneous note', 'Other');
 	`
-	if _, err := db.ExecScript(script); err != nil {
+	if _, err := db.ExecScript(context.Background(), script); err != nil {
 		t.Fatal(err)
 	}
 	// Level 2: instances are registered with their configuration.
@@ -395,7 +396,7 @@ func TestZoomInProgrammaticWhere(t *testing.T) {
 	res := mustExec(t, db, "SELECT id, name FROM birds")
 	stmt, _ := sql.Parse("SELECT x FROM t WHERE id = 2")
 	where := stmt.(*sql.Select).Where
-	out, hit, err := db.ZoomIn(ZoomInRequest{QID: res.QID, Where: where, Instance: "ClassBird1", Index: 2})
+	out, hit, err := db.ZoomIn(context.Background(), ZoomInRequest{QID: res.QID, Where: where, Instance: "ClassBird1", Index: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -161,7 +161,9 @@ func (db *DB) maintain(t maintTask) {
 // applyMaintenanceTask updates every captured instance's summary objects
 // for one annotation — the single maintenance routine shared by the
 // synchronous path and the catch-up worker, so both produce identical
-// envelopes (digest cache included).
+// envelopes (digest cache included). db.mu serializes summarization and
+// the digest cache; each envelope write additionally takes its stripe
+// lock, so concurrent scans block only on the one stripe being updated.
 func (db *DB) applyMaintenanceTask(t maintTask) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -171,13 +173,18 @@ func (db *DB) applyMaintenanceTask(t maintTask) {
 				// Without the invariant guarantee (or under the E5
 				// ablation) the annotation is summarized per target tuple.
 				for _, row := range tg.rows {
-					db.envelopeForUpdate(tg.table, row).Add(in, in.Summarize(t.ann), tg.cols)
+					d := in.Summarize(t.ann)
+					db.envs.update(tg.table, row, func(env *summary.Envelope) {
+						env.Add(in, d, tg.cols)
+					})
 				}
 				continue
 			}
 			d := db.digestFor(in, t.ann)
 			for _, row := range tg.rows {
-				db.envelopeForUpdate(tg.table, row).Add(in, d, tg.cols)
+				db.envs.update(tg.table, row, func(env *summary.Envelope) {
+					env.Add(in, d, tg.cols)
+				})
 			}
 		}
 	}
@@ -282,7 +289,8 @@ func (m *maintenance) worker() {
 // drain blocks until every deferred task has been applied — the barrier in
 // front of mutations that read or rewrite the summary store (deletes,
 // drops, link changes, retraining, rebuilds). Callers hold the exclusive
-// statement lock; the worker needs only db.mu, so progress is guaranteed.
+// statement lock; the worker needs only db.mu and envelope stripe locks,
+// never the statement lock, so progress is guaranteed.
 // A crashed worker or a closed engine returns immediately: those tasks can
 // never apply.
 func (m *maintenance) drain() {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -169,7 +170,7 @@ func TestMaintenanceMetricsAndStats(t *testing.T) {
 	}
 
 	// SELECT while degraded reports the staleness debt on its stats.
-	res, err := db.Query("SELECT * FROM birds")
+	res, err := db.Query(context.Background(), "SELECT * FROM birds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestMaintenanceMetricsAndStats(t *testing.T) {
 	if v, _ := sampleValue(reg, metrics.NameSummaryStaleUpdatesTotal); v != 0 {
 		t.Fatalf("stale gauge = %v after drain, want 0", v)
 	}
-	res, err = db.Query("SELECT * FROM birds")
+	res, err = db.Query(context.Background(), "SELECT * FROM birds")
 	if err != nil {
 		t.Fatal(err)
 	}

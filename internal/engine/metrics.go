@@ -33,8 +33,12 @@ type dbMetrics struct {
 
 	opSeconds *metrics.HistogramVec // {op}, sampled
 	opRows    *metrics.CounterVec   // {op}
+	opBatches *metrics.CounterVec   // {op}
 	opMerges  *metrics.CounterVec   // {op}
 	opCurates *metrics.CounterVec   // {op}
+
+	scanMorsels *metrics.Counter
+	scanWorkers *metrics.Counter
 
 	digestHits   *metrics.Counter
 	digestMisses *metrics.Counter
@@ -69,6 +73,8 @@ func newDBMetrics(db *DB) *dbMetrics {
 			"op", metrics.DefLatencyBuckets),
 		opRows: reg.CounterVec(metrics.NameExecOpRowsTotal,
 			"Rows produced by plan operators (intermediate rows included), by operator type.", "op"),
+		opBatches: reg.CounterVec(metrics.NameExecOpBatchesTotal,
+			"Batches produced by plan operators, by operator type.", "op"),
 		opMerges: reg.CounterVec(metrics.NameExecOpMergesTotal,
 			"Envelope merge/combine operations, by operator type.", "op"),
 		opCurates: reg.CounterVec(metrics.NameExecOpCuratesTotal,
@@ -83,6 +89,10 @@ func newDBMetrics(db *DB) *dbMetrics {
 			"Zoom-in requests (SQL and programmatic)."),
 		zoomCancelled: reg.Counter(metrics.NameZoominCancelledTotal,
 			"Zoom-in requests aborted by context cancellation or deadline."),
+		scanMorsels: reg.Counter(metrics.NameExecScanMorselsTotal,
+			"Morsels processed by parallel scan workers."),
+		scanWorkers: reg.Counter(metrics.NameExecScanWorkersTotal,
+			"Worker goroutines launched by parallel scans."),
 	}
 
 	// Zoom-in materialization cache: the cache's own stats are authoritative.
@@ -109,27 +119,9 @@ func newDBMetrics(db *DB) *dbMetrics {
 	reg.GaugeFunc(metrics.NameEngineAnnotationBytes, "Approximate bytes of raw annotation text stored.",
 		func() float64 { return float64(db.anns.RawBytes()) })
 	reg.GaugeFunc(metrics.NameEngineEnvelopes, "Maintained per-tuple summary envelopes.",
-		func() float64 {
-			db.mu.RLock()
-			defer db.mu.RUnlock()
-			n := 0
-			for _, rows := range db.envelopes {
-				n += len(rows)
-			}
-			return float64(n)
-		})
+		func() float64 { return float64(db.envs.count()) })
 	reg.GaugeFunc(metrics.NameEngineSummaryBytes, "Approximate bytes of the summary store (all tables).",
-		func() float64 {
-			db.mu.RLock()
-			defer db.mu.RUnlock()
-			var n int64
-			for _, envs := range db.envelopes {
-				for _, env := range envs {
-					n += int64(env.ApproxBytes())
-				}
-			}
-			return float64(n)
-		})
+		func() float64 { return float64(db.envs.totalBytes()) })
 	reg.GaugeFunc(metrics.NameEngineDigestEntries, "Cached summarize-once digests.",
 		func() float64 {
 			db.mu.RLock()
@@ -162,6 +154,7 @@ func newDBMetrics(db *DB) *dbMetrics {
 	paths.WithFunc("full_scan", func() float64 { return float64(pc.FullScans.Load()) })
 	paths.WithFunc("index_scan", func() float64 { return float64(pc.IndexScans.Load()) })
 	paths.WithFunc("index_range_scan", func() float64 { return float64(pc.IndexRangeScans.Load()) })
+	paths.WithFunc("parallel_scan", func() float64 { return float64(pc.ParallelScans.Load()) })
 
 	return m
 }
@@ -176,10 +169,20 @@ func (db *DB) Metrics() *metrics.Registry {
 	return db.metrics.reg
 }
 
-// newExecContext builds the per-statement execution context, enabling
-// operator timing on sampled statements (see timingSampleInterval).
-func (db *DB) newExecContext(ctx context.Context) *exec.ExecContext {
+// newExecContext builds the per-statement execution context: batch size
+// from the statement options (falling back to Config.BatchSize), tracing
+// when requested, and operator timing on sampled statements (see
+// timingSampleInterval).
+func (db *DB) newExecContext(ctx context.Context, so stmtOptions) *exec.ExecContext {
 	ec := exec.NewContext(ctx)
+	if so.batchSize > 0 {
+		ec.WithBatchSize(so.batchSize)
+	} else if db.cfg.BatchSize > 0 {
+		ec.WithBatchSize(db.cfg.BatchSize)
+	}
+	if so.trace {
+		ec.WithTrace()
+	}
 	if m := db.metrics; m != nil && m.sampleClock.Add(1)%timingSampleInterval == 0 {
 		ec.WithTiming()
 	}
@@ -223,16 +226,26 @@ func (db *DB) foldOpStats(op exec.Operator, ec *exec.ExecContext) []OpStat {
 		ops = append(ops, OpStat{
 			Op: name, Rows: st.Rows, Merges: st.Merges, Curates: st.Curates,
 			WallMicros: st.Wall.Microseconds(),
+			Batches:    st.Batches, Workers: st.Workers, Morsels: st.Morsels,
 		})
 		if m == nil {
 			return
 		}
 		m.opRows.With(name).Add(st.Rows)
+		if st.Batches > 0 {
+			m.opBatches.With(name).Add(st.Batches)
+		}
 		if st.Merges > 0 {
 			m.opMerges.With(name).Add(st.Merges)
 		}
 		if st.Curates > 0 {
 			m.opCurates.With(name).Add(st.Curates)
+		}
+		if st.Morsels > 0 {
+			m.scanMorsels.Add(st.Morsels)
+		}
+		if st.Workers > 0 {
+			m.scanWorkers.Add(int64(st.Workers))
 		}
 		if timed {
 			m.opSeconds.With(name).Observe(st.Wall.Seconds())

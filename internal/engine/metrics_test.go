@@ -26,7 +26,7 @@ func TestStatementMetrics(t *testing.T) {
 	mustExec(t, db, "INSERT INTO t VALUES (1), (2), (3)")
 	mustExec(t, db, "SELECT a FROM t")
 	mustExec(t, db, "SELECT a FROM t WHERE a > 1")
-	if _, err := db.Exec("SELECT nope FROM t"); err == nil {
+	if _, err := db.Exec(context.Background(), "SELECT nope FROM t"); err == nil {
 		t.Fatal("expected unknown-column error")
 	}
 
@@ -147,7 +147,7 @@ func TestZoomInCacheCountersExposed(t *testing.T) {
 	db := birdDB(t)
 	mustExec(t, db, "ADD ANNOTATION 'wingspan measured in the field' ON birds WHERE id = 1")
 	res := mustExec(t, db, "SELECT name FROM birds")
-	if _, _, err := db.ZoomIn(ZoomInRequest{QID: res.QID, Instance: "ClassBird1", Index: 3}); err != nil {
+	if _, _, err := db.ZoomIn(context.Background(), ZoomInRequest{QID: res.QID, Instance: "ClassBird1", Index: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if got := metricValue(t, db, "insightnotes_zoomin_cache_hits_total"); got != 1 {

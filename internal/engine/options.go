@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"runtime"
+
+	"insightnotes/internal/plan"
+)
+
+// StatementOption tunes one statement execution. The context-first entry
+// points (Query, Exec, ExecScript, ExecStatement) accept any number of
+// options; the zero set executes with the engine-wide defaults.
+type StatementOption func(*stmtOptions)
+
+// stmtOptions is the resolved option set of one statement.
+type stmtOptions struct {
+	trace bool
+	// planOpts, when non-nil, replaces the engine-wide plan options for
+	// this statement (the benchmark ablation switches).
+	planOpts *plan.Options
+	// parallelism overrides the scan worker count (0 = engine default).
+	parallelism int
+	// batchSize overrides the executor batch size (0 = engine default).
+	batchSize int
+}
+
+func gatherOptions(opts []StatementOption) stmtOptions {
+	var so stmtOptions
+	for _, o := range opts {
+		o(&so)
+	}
+	return so
+}
+
+// WithTrace enables the under-the-hood operator log for this statement:
+// every pipeline stage records its intermediate tuples and their summary
+// renderings into Result.Trace (the Figure 5 view).
+func WithTrace() StatementOption {
+	return func(so *stmtOptions) { so.trace = true }
+}
+
+// WithPlanOptions replaces the engine-wide plan options for this statement
+// — the ablation switches used by benchmarks and tests. A SELECT carrying
+// explicit plan options is not registered under a QID and never touches the
+// zoom-in cache, so ablated plans cannot pollute zoom-in state.
+func WithPlanOptions(po plan.Options) StatementOption {
+	return func(so *stmtOptions) { so.planOpts = &po }
+}
+
+// WithParallelism sets this statement's scan worker count: 1 forces serial
+// execution, n > 1 plans full table scans as morsel-parallel with n
+// workers. Values below 1 are treated as 1.
+func WithParallelism(n int) StatementOption {
+	if n < 1 {
+		n = 1
+	}
+	return func(so *stmtOptions) { so.parallelism = n }
+}
+
+// WithBatchSize sets this statement's executor batch size (rows per
+// operator NextBatch call). Values below 1 fall back to the engine default.
+func WithBatchSize(n int) StatementOption {
+	return func(so *stmtOptions) { so.batchSize = n }
+}
+
+// parallelism resolves the scan worker count for one statement: the
+// per-statement override wins, then Config.ExecWorkers, where 0 means
+// GOMAXPROCS (parallel scans on by default) and 1 keeps every scan serial.
+func (db *DB) parallelism(so stmtOptions) int {
+	n := db.cfg.ExecWorkers
+	if so.parallelism > 0 {
+		n = so.parallelism
+	}
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// planOptions resolves the plan options for one statement: the engine-wide
+// configuration unless the statement overrides it, with the statement's
+// trace flag and resolved parallelism applied on top. An explicit
+// Parallelism inside WithPlanOptions is honored as-is.
+func (db *DB) planOptions(so stmtOptions) plan.Options {
+	opts := db.cfg.PlanOptions
+	if so.planOpts != nil {
+		opts = *so.planOpts
+	}
+	opts.Trace = so.trace
+	if so.parallelism > 0 {
+		opts.Parallelism = so.parallelism
+	} else if opts.Parallelism == 0 {
+		opts.Parallelism = db.parallelism(so)
+	}
+	return opts
+}

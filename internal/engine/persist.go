@@ -335,7 +335,9 @@ func (db *DB) restoreAnnotation(a annotation.Annotation, targets []annotation.Ta
 	for _, tg := range targets {
 		for _, in := range db.cat.InstancesFor(tg.Table) {
 			d := db.digestFor(in, a)
-			db.envelopeForUpdate(tg.Table, tg.Row).Add(in, d, tg.Columns)
+			db.envs.update(tg.Table, tg.Row, func(env *summary.Envelope) {
+				env.Add(in, d, tg.Columns)
+			})
 		}
 	}
 	db.mu.Unlock()

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -31,7 +32,7 @@ func randomDB(t *testing.T, seed int64) *DB {
 	LINK SUMMARY Cls TO S;
 	LINK SUMMARY Clu TO S;
 	`
-	if _, err := db.ExecScript(script); err != nil {
+	if _, err := db.ExecScript(context.Background(), script); err != nil {
 		t.Fatal(err)
 	}
 	if err := db.TrainClassifier("Cls", g.TrainingSet(workload.BirdClasses, 6)); err != nil {
@@ -140,12 +141,12 @@ func TestPlanEquivalenceRandomized(t *testing.T) {
 	f := func(seed int64, pick uint8) bool {
 		db := randomDB(t, seed)
 		q := queries[int(pick)%len(queries)]
-		r1, err := db.Query(q[0])
+		r1, err := db.Query(context.Background(), q[0])
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
 		}
-		r2, err := db.Query(q[1])
+		r2, err := db.Query(context.Background(), q[1])
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false

@@ -75,16 +75,16 @@ type Result struct {
 	ZoomAnnotations []ZoomRowResult
 }
 
-// Query plans and executes a SELECT, assigns a QID, and materializes the
-// result into the zoom-in cache.
-func (db *DB) Query(sqlText string) (*Result, error) {
-	return db.QueryContext(context.Background(), sqlText)
-}
-
-// QueryContext is Query under an explicit cancellation context: the
-// statement aborts with the context's error when ctx is cancelled or its
-// deadline expires, polled at row-batch granularity.
-func (db *DB) QueryContext(ctx context.Context, sqlText string) (*Result, error) {
+// Query plans and executes a SELECT under ctx, assigns a QID, and
+// materializes the result into the zoom-in cache. The statement aborts with
+// the context's error when ctx is cancelled or its deadline expires, polled
+// at batch granularity. Options tune one execution: WithTrace enables the
+// under-the-hood operator log, WithPlanOptions substitutes ablation plan
+// options (such statements are not QID-registered and never touch the
+// zoom-in cache), WithParallelism and WithBatchSize override the executor's
+// worker count and batch size.
+func (db *DB) Query(ctx context.Context, sqlText string, opts ...StatementOption) (*Result, error) {
+	so := gatherOptions(opts)
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
@@ -96,57 +96,7 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string) (*Result, error)
 	db.stmtMu.RLock()
 	defer db.stmtMu.RUnlock()
 	start := time.Now()
-	res, err := db.querySelect(db.newExecContext(ctx), sel, sqlText)
-	db.finishStatement("select", sqlText, start, res, err)
-	return res, err
-}
-
-// QueryWithOptions plans and executes a SELECT under explicit plan options
-// (the benchmark ablation switches). It does not register a QID or touch
-// the zoom-in cache, so ablated plans never pollute zoom-in state.
-func (db *DB) QueryWithOptions(sqlText string, opts plan.Options) (*Result, error) {
-	stmt, err := sql.Parse(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	sel, ok := stmt.(*sql.Select)
-	if !ok {
-		return nil, fmt.Errorf("engine: QueryWithOptions expects a SELECT")
-	}
-	db.stmtMu.RLock()
-	defer db.stmtMu.RUnlock()
-	p := plan.New(db.cat, db, opts)
-	op, err := p.PlanSelect(sel)
-	if err != nil {
-		return nil, err
-	}
-	ec := exec.Background()
-	rows, err := exec.CollectContext(ec, op)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Schema: op.Schema(), Rows: rows, Stats: statementStats(ec, len(rows))}, nil
-}
-
-// QueryTraced is Query with the under-the-hood operator log enabled.
-func (db *DB) QueryTraced(sqlText string) (*Result, error) {
-	return db.QueryTracedContext(context.Background(), sqlText)
-}
-
-// QueryTracedContext is QueryTraced under an explicit cancellation context.
-func (db *DB) QueryTracedContext(ctx context.Context, sqlText string) (*Result, error) {
-	stmt, err := sql.Parse(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	sel, ok := stmt.(*sql.Select)
-	if !ok {
-		return nil, fmt.Errorf("engine: QueryTraced expects a SELECT")
-	}
-	db.stmtMu.RLock()
-	defer db.stmtMu.RUnlock()
-	start := time.Now()
-	res, err := db.querySelect(db.newExecContext(ctx).WithTrace(), sel, sqlText)
+	res, err := db.querySelect(db.newExecContext(ctx, so), sel, sqlText, so)
 	db.finishStatement("select", sqlText, start, res, err)
 	return res, err
 }
@@ -164,10 +114,8 @@ func statementStats(ec *exec.ExecContext, rows int) *StatementStats {
 	}
 }
 
-func (db *DB) querySelect(ec *exec.ExecContext, sel *sql.Select, sqlText string) (*Result, error) {
-	opts := db.cfg.PlanOptions
-	opts.Trace = ec.Tracing()
-	p := plan.New(db.cat, db, opts)
+func (db *DB) querySelect(ec *exec.ExecContext, sel *sql.Select, sqlText string, so stmtOptions) (*Result, error) {
+	p := plan.New(db.cat, db, db.planOptions(so))
 	op, err := p.PlanSelect(sel)
 	if err != nil {
 		return nil, err
@@ -177,6 +125,22 @@ func (db *DB) querySelect(ec *exec.ExecContext, sel *sql.Select, sqlText string)
 	if err != nil {
 		return nil, err
 	}
+	stats := statementStats(ec, len(rows))
+	if m := db.maint; m != nil {
+		stats.StalePending = m.pending()
+	}
+	res := &Result{
+		Schema: op.Schema(),
+		Rows:   rows,
+		Trace:  ec.TraceEntries(),
+		Stats:  stats,
+		Ops:    ops,
+	}
+	if so.planOpts != nil {
+		// Ablated plans are never registered: no QID, no zoom-in cache
+		// entry, so they cannot pollute zoom-in state.
+		return res, nil
+	}
 	qid := db.allocateQID()
 	db.mu.Lock()
 	db.queries[qid] = sqlText
@@ -185,18 +149,8 @@ func (db *DB) querySelect(ec *exec.ExecContext, sel *sql.Select, sqlText string)
 	if err := db.cache.Put(cached); err != nil {
 		return nil, err
 	}
-	stats := statementStats(ec, len(rows))
-	if m := db.maint; m != nil {
-		stats.StalePending = m.pending()
-	}
-	return &Result{
-		QID:    qid,
-		Schema: op.Schema(),
-		Rows:   rows,
-		Trace:  ec.TraceEntries(),
-		Stats:  stats,
-		Ops:    ops,
-	}, nil
+	res.QID = qid
+	return res, nil
 }
 
 // estimateComplexity is the RCO cost proxy: relations joined, aggregation,
@@ -238,12 +192,12 @@ func (db *DB) resultFor(ctx context.Context, qid int) (*zoomin.CachedResult, boo
 		return nil, false, err
 	}
 	sel := stmt.(*sql.Select)
-	p := plan.New(db.cat, db, db.cfg.PlanOptions)
+	p := plan.New(db.cat, db, db.planOptions(stmtOptions{}))
 	op, err := p.PlanSelect(sel)
 	if err != nil {
 		return nil, false, err
 	}
-	ec := db.newExecContext(ctx)
+	ec := db.newExecContext(ctx, stmtOptions{})
 	rows, err := exec.CollectContext(ec, op)
 	db.foldOpStats(op, ec)
 	if err != nil {

@@ -14,9 +14,14 @@ import (
 type OpStat struct {
 	Op         string `json:"op"`
 	Rows       int64  `json:"rows"`
+	Batches    int64  `json:"batches,omitempty"`
 	Merges     int64  `json:"merges,omitempty"`
 	Curates    int64  `json:"curates,omitempty"`
 	WallMicros int64  `json:"wall_us,omitempty"`
+	// Workers and Morsels are set by morsel-parallel scans: the worker pool
+	// size and the number of morsels its workers processed.
+	Workers int   `json:"workers,omitempty"`
+	Morsels int64 `json:"morsels,omitempty"`
 }
 
 // SlowQueryEntry is one structured slow-query record: everything needed to

@@ -16,29 +16,21 @@ import (
 )
 
 // Exec parses and executes one statement of any kind — SQL or InsightNotes
-// extension — and returns its result.
-func (db *DB) Exec(sqlText string) (*Result, error) {
-	return db.ExecContext(context.Background(), sqlText)
-}
-
-// ExecContext is Exec under an explicit cancellation context.
-func (db *DB) ExecContext(ctx context.Context, sqlText string) (*Result, error) {
+// extension — under ctx and returns its result. Options are honored for
+// SELECTs (WithTrace, WithPlanOptions, WithParallelism, WithBatchSize) and
+// ignored by statements they do not apply to.
+func (db *DB) Exec(ctx context.Context, sqlText string, opts ...StatementOption) (*Result, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStatementContext(ctx, stmt, sqlText)
+	return db.ExecStatement(ctx, stmt, sqlText, opts...)
 }
 
-// ExecScript executes a semicolon-separated script, stopping at the first
-// error and returning the results of the completed statements.
-func (db *DB) ExecScript(script string) ([]*Result, error) {
-	return db.ExecScriptContext(context.Background(), script)
-}
-
-// ExecScriptContext is ExecScript under an explicit cancellation context,
-// checked before and during every statement.
-func (db *DB) ExecScriptContext(ctx context.Context, script string) ([]*Result, error) {
+// ExecScript executes a semicolon-separated script under ctx (checked
+// before and during every statement), stopping at the first error and
+// returning the results of the completed statements.
+func (db *DB) ExecScript(ctx context.Context, script string, opts ...StatementOption) ([]*Result, error) {
 	stmts, err := sql.ParseAll(script)
 	if err != nil {
 		return nil, err
@@ -48,7 +40,7 @@ func (db *DB) ExecScriptContext(ctx context.Context, script string) ([]*Result, 
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		res, err := db.ExecStatementContext(ctx, stmt, stmt.String())
+		res, err := db.ExecStatement(ctx, stmt, stmt.String(), opts...)
 		if err != nil {
 			return out, err
 		}
@@ -57,20 +49,16 @@ func (db *DB) ExecScriptContext(ctx context.Context, script string) ([]*Result, 
 	return out, nil
 }
 
-// ExecStatement dispatches a parsed statement. sqlText is the original
-// statement text (used to re-execute SELECTs on zoom-in cache misses).
-func (db *DB) ExecStatement(stmt sql.Statement, sqlText string) (*Result, error) {
-	return db.ExecStatementContext(context.Background(), stmt, sqlText)
-}
-
-// ExecStatementContext dispatches a parsed statement under an explicit
-// cancellation context. Read statements take the shared statement lock;
-// everything else takes it exclusively (see the DB type comment).
+// ExecStatement dispatches a parsed statement under ctx. sqlText is the
+// original statement text (used to re-execute SELECTs on zoom-in cache
+// misses). Read statements take the shared statement lock; everything else
+// takes it exclusively (see the DB type comment).
 //
 // A panic in statement execution is contained here: it becomes an error
 // on this statement instead of tearing down the process (the deferred
 // lock releases run during unwinding, so the engine stays usable).
-func (db *DB) ExecStatementContext(ctx context.Context, stmt sql.Statement, sqlText string) (res *Result, err error) {
+func (db *DB) ExecStatement(ctx context.Context, stmt sql.Statement, sqlText string, opts ...StatementOption) (res *Result, err error) {
+	so := gatherOptions(opts)
 	start := time.Now()
 	func() {
 		defer func() {
@@ -78,19 +66,19 @@ func (db *DB) ExecStatementContext(ctx context.Context, stmt sql.Statement, sqlT
 				res, err = nil, fmt.Errorf("engine: internal error executing statement: %v", r)
 			}
 		}()
-		res, err = db.execStatementContext(ctx, stmt, sqlText)
+		res, err = db.execStatement(ctx, stmt, sqlText, so)
 	}()
 	db.finishStatement(statementKind(stmt), sqlText, start, res, err)
 	db.maybeAutoCheckpoint()
 	return res, err
 }
 
-func (db *DB) execStatementContext(ctx context.Context, stmt sql.Statement, sqlText string) (*Result, error) {
+func (db *DB) execStatement(ctx context.Context, stmt sql.Statement, sqlText string, so stmtOptions) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.Select:
 		db.stmtMu.RLock()
 		defer db.stmtMu.RUnlock()
-		return db.querySelect(db.newExecContext(ctx), s, sqlText)
+		return db.querySelect(db.newExecContext(ctx, so), s, sqlText, so)
 	case *sql.Show:
 		db.stmtMu.RLock()
 		defer db.stmtMu.RUnlock()
@@ -98,9 +86,9 @@ func (db *DB) execStatementContext(ctx context.Context, stmt sql.Statement, sqlT
 	case *sql.Explain:
 		db.stmtMu.RLock()
 		defer db.stmtMu.RUnlock()
-		return db.execExplain(ctx, s)
+		return db.execExplain(ctx, s, so)
 	case *sql.ZoomIn:
-		results, hit, err := db.ZoomInContext(ctx, ZoomInRequest{
+		results, hit, err := db.ZoomIn(ctx, ZoomInRequest{
 			QID: s.QID, Where: s.Where, Instance: s.Instance, Index: s.Index,
 		})
 		if err != nil {
@@ -254,8 +242,8 @@ func (db *DB) execWriteLocked(stmt sql.Statement) (*Result, error) {
 // execExplain plans the query and renders the operator tree, one node per
 // row. EXPLAIN ANALYZE additionally executes the plan under a timed
 // context and annotates every node with its runtime counters.
-func (db *DB) execExplain(ctx context.Context, s *sql.Explain) (*Result, error) {
-	p := plan.New(db.cat, db, db.cfg.PlanOptions)
+func (db *DB) execExplain(ctx context.Context, s *sql.Explain, so stmtOptions) (*Result, error) {
+	p := plan.New(db.cat, db, db.planOptions(so))
 	op, err := p.PlanSelect(s.Query)
 	if err != nil {
 		return nil, err
@@ -263,7 +251,7 @@ func (db *DB) execExplain(ctx context.Context, s *sql.Explain) (*Result, error) 
 	rendered := exec.Explain(op)
 	var stats *StatementStats
 	if s.Analyze {
-		ec := exec.NewContext(ctx).WithTiming()
+		ec := db.newExecContext(ctx, so).WithTiming()
 		collected, err := exec.CollectContext(ec, op)
 		if err != nil {
 			return nil, err
@@ -307,9 +295,7 @@ func (db *DB) dropTable(name string) error {
 	if err := db.cat.DropTable(name); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	delete(db.envelopes, name)
-	db.mu.Unlock()
+	db.envs.dropTable(name)
 	return nil
 }
 

@@ -4,6 +4,7 @@ package engine
 // data tuples by predicates over their annotation summaries.
 
 import (
+	"context"
 	"testing"
 )
 
@@ -104,19 +105,19 @@ func TestSummaryPredicateAfterJoin(t *testing.T) {
 func TestSummaryPredicateErrors(t *testing.T) {
 	db := predDB(t)
 	// Unknown label.
-	if _, err := db.Exec("SELECT id FROM birds WHERE SUMMARY_COUNT(ClassBird1, 'Nope') > 0"); err == nil {
+	if _, err := db.Exec(context.Background(), "SELECT id FROM birds WHERE SUMMARY_COUNT(ClassBird1, 'Nope') > 0"); err == nil {
 		t.Error("unknown label accepted")
 	}
 	// SUMMARY_COUNT over a cluster instance.
-	if _, err := db.Exec("SELECT id FROM birds WHERE SUMMARY_COUNT(SimCluster, 'Behavior') > 0"); err == nil {
+	if _, err := db.Exec(context.Background(), "SELECT id FROM birds WHERE SUMMARY_COUNT(SimCluster, 'Behavior') > 0"); err == nil {
 		t.Error("SUMMARY_COUNT over cluster accepted")
 	}
 	// SUMMARY_GROUPS over a classifier instance.
-	if _, err := db.Exec("SELECT id FROM birds WHERE SUMMARY_GROUPS(ClassBird1) > 0"); err == nil {
+	if _, err := db.Exec(context.Background(), "SELECT id FROM birds WHERE SUMMARY_GROUPS(ClassBird1) > 0"); err == nil {
 		t.Error("SUMMARY_GROUPS over classifier accepted")
 	}
 	// Summary calls are not scalar select items (no rewrite support yet).
-	if _, err := db.Exec("SELECT SUMMARY_TOTAL(ClassBird1) FROM birds GROUP BY id"); err == nil {
+	if _, err := db.Exec(context.Background(), "SELECT SUMMARY_TOTAL(ClassBird1) FROM birds GROUP BY id"); err == nil {
 		t.Error("summary call under grouping accepted")
 	}
 }

@@ -27,17 +27,13 @@ type ZoomInRequest struct {
 	Index    int // 1-based element index (class label / group / snippet)
 }
 
-// ZoomIn executes a zoom-in operation. The result is served from the
-// materialization cache when resident; otherwise the referenced query is
-// transparently re-executed. The returned boolean reports the cache hit.
-func (db *DB) ZoomIn(req ZoomInRequest) ([]ZoomRowResult, bool, error) {
-	return db.ZoomInContext(context.Background(), req)
-}
-
-// ZoomInContext is ZoomIn under an explicit cancellation context. The
-// context governs the cache-miss re-execution path: a cancelled zoom-in
-// aborts the recreation query and leaves no partial cache entry.
-func (db *DB) ZoomInContext(ctx context.Context, req ZoomInRequest) ([]ZoomRowResult, bool, error) {
+// ZoomIn executes a zoom-in operation under ctx. The result is served from
+// the materialization cache when resident; otherwise the referenced query
+// is transparently re-executed. The context governs that cache-miss
+// re-execution path: a cancelled zoom-in aborts the recreation query and
+// leaves no partial cache entry. The returned boolean reports the cache
+// hit.
+func (db *DB) ZoomIn(ctx context.Context, req ZoomInRequest) ([]ZoomRowResult, bool, error) {
 	db.stmtMu.RLock()
 	defer db.stmtMu.RUnlock()
 	out, hit, err := db.zoomIn(ctx, req)

@@ -155,14 +155,7 @@ func (g *GroupAggregate) Open(ec *ExecContext) error {
 	}
 	groups := make(map[uint64][]*aggGroup)
 	var order []*aggGroup
-	for {
-		row, err := g.child.Next(ec)
-		if err != nil {
-			return err
-		}
-		if row == nil {
-			break
-		}
+	err := drain(ec, g.child, func(row *Row) error {
 		keyVals := make(types.Tuple, len(g.keys))
 		for i, k := range g.keys {
 			v, err := k.Eval(row.Tuple)
@@ -200,6 +193,10 @@ func (g *GroupAggregate) Open(ec *ExecContext) error {
 			g.merged(ec)
 		}
 		grp.env.Env = envCombine(grp.env.Env, envRemap(row.Env, g.mapping))
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if len(g.keys) == 0 && len(order) == 0 {
 		// Global aggregate over empty input: one row of zero/NULL results.
@@ -226,16 +223,15 @@ func (g *GroupAggregate) Open(ec *ExecContext) error {
 	return nil
 }
 
-// Next implements Operator.
-func (g *GroupAggregate) Next(ec *ExecContext) (*Row, error) {
-	if g.pos >= len(g.out) {
+// NextBatch implements Operator.
+func (g *GroupAggregate) NextBatch(ec *ExecContext) (*Batch, error) {
+	start := g.begin(ec)
+	b := sliceBatch(g.out, &g.pos, ec.BatchSize())
+	if b == nil {
 		return nil, nil
 	}
-	start := g.begin(ec)
-	r := g.out[g.pos]
-	g.pos++
-	g.produced(ec, start, r)
-	return r, nil
+	g.produced(ec, start, b)
+	return b, nil
 }
 
 // Close implements Operator.
@@ -270,14 +266,7 @@ func (d *Distinct) Open(ec *ExecContext) error {
 	}
 	seen := make(map[uint64][]*Row)
 	d.out = d.out[:0]
-	for {
-		row, err := d.child.Next(ec)
-		if err != nil {
-			return err
-		}
-		if row == nil {
-			break
-		}
+	err := drain(ec, d.child, func(row *Row) error {
 		h := row.Tuple.Hash(nil)
 		var match *Row
 		for _, cand := range seen[h] {
@@ -289,27 +278,30 @@ func (d *Distinct) Open(ec *ExecContext) error {
 		if match == nil {
 			seen[h] = append(seen[h], row)
 			d.out = append(d.out, row)
-			continue
+			return nil
 		}
 		if row.Env != nil {
 			d.merged(ec)
 		}
 		match.Env = envCombine(match.Env, row.Env)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	d.pos = 0
 	return nil
 }
 
-// Next implements Operator.
-func (d *Distinct) Next(ec *ExecContext) (*Row, error) {
-	if d.pos >= len(d.out) {
+// NextBatch implements Operator.
+func (d *Distinct) NextBatch(ec *ExecContext) (*Batch, error) {
+	start := d.begin(ec)
+	b := sliceBatch(d.out, &d.pos, ec.BatchSize())
+	if b == nil {
 		return nil, nil
 	}
-	start := d.begin(ec)
-	r := d.out[d.pos]
-	d.pos++
-	d.produced(ec, start, r)
-	return r, nil
+	d.produced(ec, start, b)
+	return b, nil
 }
 
 // Close implements Operator.

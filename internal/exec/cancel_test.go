@@ -10,6 +10,10 @@ import (
 	"insightnotes/internal/types"
 )
 
+// testBatchSize is the small pipeline batch used by the cancellation
+// tests, so promptness bounds stay tight.
+const testBatchSize = 8
+
 // intValues builds a single-column table of n integer rows.
 func intValues(n int) *ValuesOp {
 	schema := types.NewSchema(types.Column{Name: "n", Kind: types.KindInt})
@@ -20,8 +24,8 @@ func intValues(n int) *ValuesOp {
 	return NewValues(schema, rows)
 }
 
-// cancelAfter passes rows through and fires cancel once the wrapped
-// operator has produced n of them — a deterministic mid-execution
+// cancelAfter passes batches through and fires cancel once the wrapped
+// operator has produced n rows — a deterministic mid-execution
 // cancellation trigger.
 type cancelAfter struct {
 	Operator
@@ -30,15 +34,15 @@ type cancelAfter struct {
 	cancel context.CancelFunc
 }
 
-func (c *cancelAfter) Next(ec *ExecContext) (*Row, error) {
-	row, err := c.Operator.Next(ec)
-	if row != nil {
-		c.seen++
-		if c.seen == c.n {
+func (c *cancelAfter) NextBatch(ec *ExecContext) (*Batch, error) {
+	b, err := c.Operator.NextBatch(ec)
+	if b.Len() > 0 {
+		c.seen += b.Len()
+		if c.seen >= c.n {
 			c.cancel()
 		}
 	}
-	return row, err
+	return b, err
 }
 
 // closeTracker records whether Open and Close reached the wrapped operator.
@@ -60,24 +64,26 @@ func (c *closeTracker) Close() error {
 func TestCancelMidScan(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	values := intValues(10 * CancelCheckInterval)
+	values := intValues(40 * testBatchSize)
 	op := &cancelAfter{Operator: values, n: 10, cancel: cancel}
-	_, err := CollectContext(NewContext(ctx), op)
+	_, err := CollectContext(NewContext(ctx).WithBatchSize(testBatchSize), op)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
+	// The cancel fires mid-batch; the producer finishes that batch and the
+	// next per-batch poll aborts the statement.
 	produced := values.Stats().Rows
-	if produced < 10 || produced > 10+CancelCheckInterval {
-		t.Fatalf("scan produced %d rows; want cancellation within %d rows of the trigger",
-			produced, CancelCheckInterval)
+	if produced < 10 || produced > int64(10+testBatchSize) {
+		t.Fatalf("scan produced %d rows; want cancellation within one batch (%d rows) of the trigger",
+			produced, testBatchSize)
 	}
 }
 
 func TestPreCancelledContextFailsFast(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	// Three rows never reach the row-batch poll interval; the unconditional
-	// entry check must still fail the statement.
+	// Three rows fit in a single batch; the unconditional entry check must
+	// still fail the statement before the operator is even opened.
 	tracked := &closeTracker{Operator: intValues(3)}
 	rows, err := CollectContext(NewContext(ctx), tracked)
 	if !errors.Is(err, context.Canceled) {
@@ -104,12 +110,12 @@ func TestCancelMidHashJoinBuild(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	left := &closeTracker{Operator: intValues(4)}
-	buildInput := &closeTracker{Operator: intValues(10 * CancelCheckInterval)}
+	buildInput := &closeTracker{Operator: intValues(40 * testBatchSize)}
 	right := &cancelAfter{Operator: buildInput, n: 5, cancel: cancel}
 	join := NewHashJoin(left, right,
 		[]*Compiled{colRef(t, "n", left.Schema())},
 		[]*Compiled{colRef(t, "n", buildInput.Schema())})
-	_, err := CollectContext(NewContext(ctx), join)
+	_, err := CollectContext(NewContext(ctx).WithBatchSize(testBatchSize), join)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
@@ -131,7 +137,7 @@ func TestCancelMidNestedLoopProbe(t *testing.T) {
 	right := &closeTracker{Operator: intValues(100)}
 	join := NewNestedLoopJoin(left, right, nil) // cross join: 5000 inner iterations
 	op := &cancelAfter{Operator: join, n: 5, cancel: cancel}
-	_, err := CollectContext(NewContext(ctx), op)
+	_, err := CollectContext(NewContext(ctx).WithBatchSize(testBatchSize), op)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
@@ -155,14 +161,32 @@ func TestExplainAnalyzeCounters(t *testing.T) {
 		t.Fatalf("got %d rows, want 3", len(rows))
 	}
 	out := ExplainAnalyze(limit)
-	if !strings.Contains(out, "Limit 3  (rows=3") {
+	// The values leaf produced its full 5-row batch; the limit truncated
+	// the batch to 3 rows and never pulled again.
+	if !strings.Contains(out, "Limit 3  (rows=3 batches=1") {
 		t.Fatalf("EXPLAIN ANALYZE missing limit counters:\n%s", out)
 	}
-	if !strings.Contains(out, "Values (5 rows)  (rows=3") {
+	if !strings.Contains(out, "Values (5 rows)  (rows=5 batches=1") {
 		t.Fatalf("EXPLAIN ANALYZE missing values counters:\n%s", out)
 	}
 	totals := ec.Totals()
-	if totals.OpRows != 6 { // 3 from the values leaf + 3 from the limit
-		t.Fatalf("statement OpRows = %d, want 6", totals.OpRows)
+	if totals.OpRows != 8 { // 5 from the values leaf + 3 from the limit
+		t.Fatalf("statement OpRows = %d, want 8", totals.OpRows)
+	}
+}
+
+func TestBatchSizeOne(t *testing.T) {
+	// Batch size 1 degenerates to the old row-at-a-time protocol and must
+	// still produce every row exactly once.
+	values := intValues(17)
+	rows, err := CollectContext(Background().WithBatchSize(1), values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 17 {
+		t.Fatalf("got %d rows, want 17", len(rows))
+	}
+	if st := values.Stats(); st.Batches != 17 {
+		t.Fatalf("got %d batches, want 17", st.Batches)
 	}
 }

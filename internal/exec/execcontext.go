@@ -5,12 +5,17 @@ import (
 	"time"
 )
 
-// CancelCheckInterval is the row-batch granularity of cooperative
-// cancellation: row-producing leaf operators poll the statement context
-// once every this many Next calls, so long scans, join builds, and
-// zoom-in re-executions abort promptly without paying a context poll on
-// every row.
-const CancelCheckInterval = 32
+// DefaultBatchSize is the number of rows moved per NextBatch call when the
+// statement does not override it. Large enough to amortize per-batch
+// overhead (cancellation poll, clock reads, virtual dispatch), small
+// enough to keep a batch of tuples plus envelopes cache-resident.
+const DefaultBatchSize = 256
+
+// DefaultMorselSize is the number of base-table rows in one morsel of a
+// parallel scan — the unit of work a worker claims at a time. A few
+// batches' worth: big enough that claiming is cheap, small enough that
+// work stays balanced across workers.
+const DefaultMorselSize = 1024
 
 // StatementTotals are the statement-wide execution counters accumulated
 // across every operator of one statement's plan.
@@ -27,17 +32,20 @@ type StatementTotals struct {
 }
 
 // ExecContext is the per-statement execution context threaded through
-// every Operator.Open/Next call. It carries the caller's cancellation
-// context, the per-statement runtime statistics collector, and — when the
-// under-the-hood trace is requested — the per-statement trace sink.
+// every Operator.Open/NextBatch call. It carries the caller's cancellation
+// context, the statement's batch size, the per-statement runtime
+// statistics collector, and — when the under-the-hood trace is requested —
+// the per-statement trace sink.
 //
 // One ExecContext belongs to exactly one statement execution on one
-// goroutine; it is not safe for concurrent use. A nil *ExecContext is
-// tolerated everywhere (no cancellation, no stats, no trace), which keeps
-// ad-hoc operator drivers in tests simple.
+// goroutine; it is not safe for concurrent use. Parallel operators give
+// each worker a private fork (forkWorker) and fold the workers' counters
+// back when the pipeline drains. A nil *ExecContext is tolerated
+// everywhere (no cancellation, no stats, no trace), which keeps ad-hoc
+// operator drivers in tests simple.
 type ExecContext struct {
 	ctx    context.Context
-	calls  int
+	batch  int
 	timed  bool
 	trace  *TraceSink
 	totals StatementTotals
@@ -65,10 +73,49 @@ func (ec *ExecContext) WithTrace() *ExecContext {
 
 // WithTiming enables per-operator wall-time collection (EXPLAIN ANALYZE)
 // and returns ec. Timing is opt-in because it costs two clock reads per
-// operator per row.
+// operator per batch.
 func (ec *ExecContext) WithTiming() *ExecContext {
 	ec.timed = true
 	return ec
+}
+
+// WithBatchSize overrides the pipeline batch size (rows per NextBatch
+// call) and returns ec. Values below one fall back to DefaultBatchSize.
+func (ec *ExecContext) WithBatchSize(n int) *ExecContext {
+	ec.batch = n
+	return ec
+}
+
+// BatchSize is the number of rows an operator should aim to produce per
+// NextBatch call.
+func (ec *ExecContext) BatchSize() int {
+	if ec == nil || ec.batch < 1 {
+		return DefaultBatchSize
+	}
+	return ec.batch
+}
+
+// forkWorker returns a private execution context for one worker goroutine
+// of a parallel operator: it shares the cancellation context, batch size,
+// and timing flag, but owns its counters — the parallel operator folds
+// worker counters back into the parent when the pipeline drains, so the
+// parent's totals are never written concurrently.
+func (ec *ExecContext) forkWorker() *ExecContext {
+	if ec == nil {
+		return nil
+	}
+	return &ExecContext{ctx: ec.ctx, batch: ec.batch, timed: ec.timed, start: ec.start}
+}
+
+// foldWorker adds a drained worker fork's statement totals into ec. Called
+// by the owning parallel operator after the worker goroutine has exited.
+func (ec *ExecContext) foldWorker(w *ExecContext) {
+	if ec == nil || w == nil {
+		return
+	}
+	ec.totals.OpRows += w.totals.OpRows
+	ec.totals.Merges += w.totals.Merges
+	ec.totals.Curates += w.totals.Curates
 }
 
 // Context returns the underlying cancellation context.
@@ -117,16 +164,12 @@ func (ec *ExecContext) Err() error {
 	return ec.ctx.Err()
 }
 
-// checkCancel is the row-batch cancellation poll called by row-producing
-// leaf operators on every Next: the shared call counter keeps the poll
-// rate bounded at one context check per CancelCheckInterval rows across
-// the whole plan.
+// checkCancel is the batch-granularity cancellation poll: row-producing
+// leaf operators (and parallel workers, per morsel) call it once per
+// NextBatch, so a statement observes cancellation within one batch of
+// rows without paying a context poll per row.
 func (ec *ExecContext) checkCancel() error {
 	if ec == nil {
-		return nil
-	}
-	ec.calls++
-	if ec.calls%CancelCheckInterval != 0 {
 		return nil
 	}
 	return ec.ctx.Err()
@@ -137,15 +180,25 @@ func (ec *ExecContext) checkCancel() error {
 // OpStats are the runtime counters of one operator instance, surfaced by
 // EXPLAIN ANALYZE.
 type OpStats struct {
-	// Rows produced by Next over the operator's lifetime.
+	// Rows produced by NextBatch over the operator's lifetime.
 	Rows int64
+	// Batches produced over the operator's lifetime.
+	Batches int64
 	// Merges counts envelope merge/combine operations performed here.
 	Merges int64
 	// Curates counts envelope curation (coverage remap) operations.
 	Curates int64
-	// Wall is cumulative time spent inside Next, inclusive of children.
+	// Wall is cumulative time spent inside NextBatch, inclusive of
+	// children. For parallel operators it is the busiest worker's time
+	// (the operator's critical path), not the sum across workers.
 	// Collected only when the context enables timing.
 	Wall time.Duration
+	// Workers is the number of worker goroutines that executed the
+	// operator (0 for serial operators).
+	Workers int
+	// Morsels is the number of morsels processed by a parallel scan
+	// (0 for serial operators).
+	Morsels int64
 }
 
 // Instrumented is implemented by operators exposing runtime counters; all
@@ -170,13 +223,14 @@ func (i *instr) begin(ec *ExecContext) time.Time {
 	return time.Now()
 }
 
-// produced records a Next outcome: a row (nil at end of stream) and the
-// elapsed wall time when timing is enabled.
-func (i *instr) produced(ec *ExecContext, start time.Time, row *Row) {
-	if row != nil {
-		i.st.Rows++
+// produced records a NextBatch outcome: a batch (nil at end of stream) and
+// the elapsed wall time when timing is enabled.
+func (i *instr) produced(ec *ExecContext, start time.Time, b *Batch) {
+	if n := b.Len(); n > 0 {
+		i.st.Rows += int64(n)
+		i.st.Batches++
 		if ec != nil {
-			ec.totals.OpRows++
+			ec.totals.OpRows += int64(n)
 		}
 	}
 	if ec != nil && ec.timed {

@@ -16,7 +16,9 @@ type HashJoin struct {
 	schema              types.Schema
 
 	build map[uint64][]*Row
-	// probe state: current left row and pending matches
+	// probe state: buffered left batch, current left row, pending matches
+	leftBuf []*Row
+	leftIdx int
 	cur     *Row
 	pending []*Row
 	pendIdx int
@@ -48,23 +50,21 @@ func (j *HashJoin) Open(ec *ExecContext) error {
 		return err
 	}
 	j.build = make(map[uint64][]*Row)
-	for {
-		row, err := j.right.Next(ec)
-		if err != nil {
-			return err
-		}
-		if row == nil {
-			break
-		}
+	err := drain(ec, j.right, func(row *Row) error {
 		key, null, err := j.keyHash(row.Tuple, j.rightKeys)
 		if err != nil {
 			return err
 		}
-		if null {
-			continue // NULL keys never join
+		if !null { // NULL keys never join
+			j.build[key] = append(j.build[key], row)
 		}
-		j.build[key] = append(j.build[key], row)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	j.leftBuf = nil
+	j.leftIdx = 0
 	j.cur = nil
 	j.pending = nil
 	j.pendIdx = 0
@@ -106,10 +106,14 @@ func (j *HashJoin) keysEqual(lt, rt types.Tuple) (bool, error) {
 	return true, nil
 }
 
-// Next implements Operator.
-func (j *HashJoin) Next(ec *ExecContext) (*Row, error) {
+// NextBatch implements Operator: probes buffered left rows against the
+// build table, accumulating up to one batch of join output per call.
+func (j *HashJoin) NextBatch(ec *ExecContext) (*Batch, error) {
 	start := j.begin(ec)
-	for {
+	leftWidth := j.left.Schema().Len()
+	limit := ec.BatchSize()
+	var out []*Row
+	for len(out) < limit {
 		if j.cur != nil && j.pendIdx < len(j.pending) {
 			right := j.pending[j.pendIdx]
 			j.pendIdx++
@@ -120,22 +124,26 @@ func (j *HashJoin) Next(ec *ExecContext) (*Row, error) {
 			if !ok {
 				continue
 			}
-			leftWidth := j.left.Schema().Len()
 			if right.Env != nil {
 				j.merged(ec)
 			}
 			env := envMerge(envClone(j.cur.Env), right.Env, leftWidth)
-			out := &Row{Tuple: j.cur.Tuple.Concat(right.Tuple), Env: env}
-			j.produced(ec, start, out)
-			return out, nil
+			out = append(out, &Row{Tuple: j.cur.Tuple.Concat(right.Tuple), Env: env})
+			continue
 		}
-		row, err := j.left.Next(ec)
-		if err != nil {
-			return nil, err
+		if j.leftIdx >= len(j.leftBuf) {
+			b, err := j.left.NextBatch(ec)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			j.leftBuf = b.Rows
+			j.leftIdx = 0
 		}
-		if row == nil {
-			return nil, nil
-		}
+		row := j.leftBuf[j.leftIdx]
+		j.leftIdx++
 		key, null, err := j.keyHash(row.Tuple, j.leftKeys)
 		if err != nil {
 			return nil, err
@@ -147,11 +155,19 @@ func (j *HashJoin) Next(ec *ExecContext) (*Row, error) {
 		j.pending = j.build[key]
 		j.pendIdx = 0
 	}
+	if len(out) == 0 {
+		j.produced(ec, start, nil)
+		return nil, nil
+	}
+	b := &Batch{Rows: out}
+	j.produced(ec, start, b)
+	return b, nil
 }
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {
 	j.build = nil
+	j.leftBuf = nil
 	j.pending = nil
 	if err := j.left.Close(); err != nil {
 		j.right.Close()
@@ -169,6 +185,8 @@ type NestedLoopJoin struct {
 	schema      types.Schema
 
 	rightRows []*Row
+	leftBuf   []*Row
+	leftIdx   int
 	cur       *Row
 	ri        int
 }
@@ -197,40 +215,49 @@ func (j *NestedLoopJoin) Open(ec *ExecContext) error {
 		return err
 	}
 	j.rightRows = j.rightRows[:0]
-	for {
-		row, err := j.right.Next(ec)
-		if err != nil {
-			return err
-		}
-		if row == nil {
-			break
-		}
+	err := drain(ec, j.right, func(row *Row) error {
 		j.rightRows = append(j.rightRows, row)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	j.leftBuf = nil
+	j.leftIdx = 0
 	j.cur = nil
 	j.ri = 0
 	return nil
 }
 
-// Next implements Operator.
-func (j *NestedLoopJoin) Next(ec *ExecContext) (*Row, error) {
+// NextBatch implements Operator: accumulates up to one batch of join
+// output per call, polling cancellation once per call (an unselective
+// condition over a large cross product can loop long between outputs).
+func (j *NestedLoopJoin) NextBatch(ec *ExecContext) (*Batch, error) {
+	if err := ec.checkCancel(); err != nil {
+		return nil, err
+	}
 	start := j.begin(ec)
-	for {
+	leftWidth := j.left.Schema().Len()
+	limit := ec.BatchSize()
+	var out []*Row
+	for len(out) < limit {
 		if j.cur == nil || j.ri >= len(j.rightRows) {
-			row, err := j.left.Next(ec)
-			if err != nil {
-				return nil, err
+			if j.leftIdx >= len(j.leftBuf) {
+				b, err := j.left.NextBatch(ec)
+				if err != nil {
+					return nil, err
+				}
+				if b == nil {
+					j.cur = nil
+					break
+				}
+				j.leftBuf = b.Rows
+				j.leftIdx = 0
 			}
-			if row == nil {
-				j.produced(ec, start, nil)
-				return nil, nil
-			}
-			j.cur = row
+			j.cur = j.leftBuf[j.leftIdx]
+			j.leftIdx++
 			j.ri = 0
 			continue
-		}
-		if err := ec.checkCancel(); err != nil {
-			return nil, err
 		}
 		right := j.rightRows[j.ri]
 		j.ri++
@@ -244,20 +271,25 @@ func (j *NestedLoopJoin) Next(ec *ExecContext) (*Row, error) {
 				continue
 			}
 		}
-		leftWidth := j.left.Schema().Len()
 		if right.Env != nil {
 			j.merged(ec)
 		}
 		env := envMerge(envClone(j.cur.Env), right.Env, leftWidth)
-		out := &Row{Tuple: joined, Env: env}
-		j.produced(ec, start, out)
-		return out, nil
+		out = append(out, &Row{Tuple: joined, Env: env})
 	}
+	if len(out) == 0 {
+		j.produced(ec, start, nil)
+		return nil, nil
+	}
+	b := &Batch{Rows: out}
+	j.produced(ec, start, b)
+	return b, nil
 }
 
 // Close implements Operator.
 func (j *NestedLoopJoin) Close() error {
 	j.rightRows = nil
+	j.leftBuf = nil
 	if err := j.left.Close(); err != nil {
 		j.right.Close()
 		return err

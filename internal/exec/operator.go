@@ -13,20 +13,73 @@ type Row struct {
 	Env   *summary.Envelope
 }
 
-// Operator is a Volcano-style iterator. Next returns (nil, nil) when the
-// stream is exhausted. Implementations own their children: Open/Close
-// cascade. Open and Next receive the per-statement ExecContext, which
-// carries cancellation, runtime statistics, and the optional trace sink;
-// a nil context is tolerated (tests, internal drivers).
+// Batch is one unit of the vectorized pipeline: up to ExecContext.BatchSize
+// rows handed between operators per NextBatch call. Batches are never
+// empty — an operator with no more rows returns (nil, nil) instead.
+type Batch struct {
+	Rows []*Row
+}
+
+// Len is the number of rows in the batch (nil-tolerant).
+func (b *Batch) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.Rows)
+}
+
+// Operator is a batch-at-a-time iterator (vectorized Volcano). NextBatch
+// returns (nil, nil) when the stream is exhausted and never returns an
+// empty batch. Implementations own their children: Open/Close cascade.
+// Open and NextBatch receive the per-statement ExecContext, which carries
+// cancellation, the batch size, runtime statistics, and the optional trace
+// sink; a nil context is tolerated (tests, internal drivers).
 type Operator interface {
 	// Schema describes the tuples the operator produces.
 	Schema() types.Schema
 	// Open prepares the operator for iteration.
 	Open(ec *ExecContext) error
-	// Next produces the next row, or (nil, nil) at end of stream.
-	Next(ec *ExecContext) (*Row, error)
+	// NextBatch produces the next batch of rows, or (nil, nil) at end of
+	// stream. Returned batches are owned by the caller; the producer must
+	// not reuse the backing slice.
+	NextBatch(ec *ExecContext) (*Batch, error)
 	// Close releases resources.
 	Close() error
+}
+
+// drain pulls every remaining batch of child, applying fn to each row in
+// stream order — the shared inner loop of pipeline-breaking operators
+// (sorts, grouping, join builds) and of the result collector.
+func drain(ec *ExecContext, child Operator, fn func(*Row) error) error {
+	for {
+		b, err := child.NextBatch(ec)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		for _, row := range b.Rows {
+			if err := fn(row); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// sliceBatch emits the next at-most-n rows of a materialized row slice,
+// advancing *pos — the shared NextBatch body of materializing operators.
+func sliceBatch(rows []*Row, pos *int, n int) *Batch {
+	if *pos >= len(rows) {
+		return nil
+	}
+	end := *pos + n
+	if end > len(rows) {
+		end = len(rows)
+	}
+	out := rows[*pos:end:end]
+	*pos = end
+	return &Batch{Rows: out}
 }
 
 // ---- envelope helpers (nil-tolerant) ----

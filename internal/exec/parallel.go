@@ -1,0 +1,349 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/catalog"
+	"insightnotes/internal/summary"
+	"insightnotes/internal/types"
+)
+
+// ParallelScan is the morsel-driven parallel table scan (Leis et al.): the
+// snapshotted table is partitioned into fixed-size morsels claimed by a
+// pool of worker goroutines. Each worker runs the whole per-tuple summary
+// path — envelope fetch/clone from the store, the absorbed data predicate,
+// and the absorbed projection with its envelope curation — so the
+// expensive propagation work parallelizes, not just the tuple copy.
+//
+// NextBatch is an ordered gather: morsel results are emitted strictly in
+// morsel-index order, regardless of worker completion order. That makes
+// the output byte-identical to the serial plan at every worker count,
+// which preserves the stability contract of any Sort above (equal keys
+// keep input order) and lets the equivalence property test compare
+// results verbatim.
+type ParallelScan struct {
+	instr
+	table   *catalog.Table
+	alias   string
+	envs    EnvelopeSource
+	schema  types.Schema // scan schema (pre-projection)
+	pred    *Compiled    // absorbed Filter predicate; nil = none
+	items   []ProjectItem
+	mapping []annotation.ColSet // input ordinal → output coverage
+	out     types.Schema        // output schema (post-projection)
+	workers int
+	morsel  int
+
+	// snapshot + runtime state, rebuilt by Open
+	rows    []types.RowID
+	tups    []types.Tuple
+	morsels []morselResult
+	claim   atomic.Int64
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	failure   error
+	workerSts []OpStats
+	forks     []*ExecContext
+
+	gather  int // next morsel index to emit
+	emitPos int // row offset within the gathered morsel
+	folded  bool
+}
+
+// morselResult is one morsel's processed rows; done flips under ps.mu when
+// the owning worker finishes it.
+type morselResult struct {
+	rows []*Row
+	done bool
+}
+
+// NewParallelScan creates a morsel-parallel scan of tbl under alias with
+// the given worker count (values below 2 are illegal — the planner keeps
+// the serial Scan for those). pred, when non-nil, is the absorbed data
+// predicate compiled against the scan schema; items, when non-empty, is
+// the absorbed projection.
+func NewParallelScan(tbl *catalog.Table, alias string, envs EnvelopeSource,
+	pred *Compiled, items []ProjectItem, workers int) *ParallelScan {
+	if alias == "" {
+		alias = tbl.Name()
+	}
+	schema := tbl.Schema().WithTable(alias)
+	ps := &ParallelScan{
+		table:   tbl,
+		alias:   alias,
+		envs:    envs,
+		schema:  schema,
+		pred:    pred,
+		out:     schema,
+		workers: workers,
+		morsel:  DefaultMorselSize,
+	}
+	ps.AbsorbProject(items)
+	ps.cond = sync.NewCond(&ps.mu)
+	return ps
+}
+
+// AbsorbProject pushes a projection (compiled against the scan schema) into
+// the worker pool: workers evaluate the item expressions and curate each
+// tuple's envelope down to the projected coverage, instead of a Project
+// operator doing that serially above the scan. The planner calls it before
+// Open; it replaces any previously absorbed projection.
+func (ps *ParallelScan) AbsorbProject(items []ProjectItem) {
+	ps.items = items
+	ps.out = ps.schema
+	ps.mapping = nil
+	if len(items) == 0 {
+		return
+	}
+	cols := make([]types.Column, len(items))
+	for i, it := range items {
+		cols[i] = it.Col
+	}
+	ps.out = types.Schema{Columns: cols}
+	ps.mapping = make([]annotation.ColSet, ps.schema.Len())
+	for outIdx, it := range items {
+		for _, in := range it.Expr.Cols() {
+			ps.mapping[in] = ps.mapping[in].Union(annotation.Col(outIdx))
+		}
+	}
+}
+
+// Schema implements Operator.
+func (ps *ParallelScan) Schema() types.Schema { return ps.out }
+
+// Open implements Operator: it snapshots the table's rows (serially, so
+// concurrent DML does not disturb the iteration), partitions them into
+// morsels, and starts the worker pool.
+func (ps *ParallelScan) Open(ec *ExecContext) error {
+	if err := ec.Err(); err != nil {
+		return err
+	}
+	ps.rows = ps.rows[:0]
+	ps.tups = ps.tups[:0]
+	err := ps.table.Scan(func(row types.RowID, tu types.Tuple) bool {
+		ps.rows = append(ps.rows, row)
+		ps.tups = append(ps.tups, tu.Clone())
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	n := (len(ps.rows) + ps.morsel - 1) / ps.morsel
+	ps.morsels = make([]morselResult, n)
+	ps.claim.Store(0)
+	ps.stop.Store(false)
+	ps.failure = nil
+	ps.gather = 0
+	ps.emitPos = 0
+	ps.folded = false
+	workers := ps.workers
+	if workers > n && n > 0 {
+		workers = n
+	}
+	ps.workerSts = make([]OpStats, workers)
+	ps.forks = make([]*ExecContext, workers)
+	for w := 0; w < workers; w++ {
+		ps.forks[w] = ec.forkWorker()
+		ps.wg.Add(1)
+		go ps.worker(w)
+	}
+	return nil
+}
+
+// worker claims morsels off the shared counter until the scan is drained,
+// stopped, or failed. Results are published under ps.mu and signalled to
+// the gatherer.
+func (ps *ParallelScan) worker(w int) {
+	defer ps.wg.Done()
+	wec := ps.forks[w]
+	for !ps.stop.Load() {
+		i := int(ps.claim.Add(1)) - 1
+		if i >= len(ps.morsels) {
+			return
+		}
+		rows, err := ps.processMorsel(wec, w, i)
+		ps.mu.Lock()
+		if err != nil && ps.failure == nil {
+			ps.failure = err
+		}
+		ps.morsels[i] = morselResult{rows: rows, done: true}
+		ps.cond.Broadcast()
+		ps.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// processMorsel runs the summary-propagation path over one morsel:
+// envelope fetch, predicate, projection + curation. Cancellation is
+// polled once per morsel.
+func (ps *ParallelScan) processMorsel(wec *ExecContext, w, i int) ([]*Row, error) {
+	if err := wec.checkCancel(); err != nil {
+		return nil, err
+	}
+	start := ps.beginWorker(wec)
+	lo := i * ps.morsel
+	hi := lo + ps.morsel
+	if hi > len(ps.rows) {
+		hi = len(ps.rows)
+	}
+	st := &ps.workerSts[w]
+	out := make([]*Row, 0, hi-lo)
+	for k := lo; k < hi; k++ {
+		var env *summary.Envelope
+		if ps.envs != nil {
+			env = ps.envs.EnvelopeFor(ps.table.Name(), ps.rows[k])
+		}
+		row := &Row{Tuple: ps.tups[k], Env: env}
+		if ps.pred != nil {
+			v, err := ps.pred.Eval(row.Tuple)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		if len(ps.items) > 0 {
+			tu := make(types.Tuple, len(ps.items))
+			for ii, it := range ps.items {
+				v, err := it.Expr.Eval(row.Tuple)
+				if err != nil {
+					return nil, err
+				}
+				tu[ii] = v
+			}
+			if row.Env != nil {
+				st.Curates++
+				if wec != nil {
+					wec.totals.Curates++
+				}
+			}
+			row = &Row{Tuple: tu, Env: envRemap(row.Env, ps.mapping)}
+		}
+		out = append(out, row)
+	}
+	st.Morsels++
+	ps.endWorker(wec, st, start)
+	return out, nil
+}
+
+// NextBatch implements Operator: the ordered gather. It blocks until the
+// next-in-order morsel is done, then emits its rows in batch-size slices.
+func (ps *ParallelScan) NextBatch(ec *ExecContext) (*Batch, error) {
+	start := ps.begin(ec)
+	n := ec.BatchSize()
+	ps.mu.Lock()
+	for {
+		if ps.failure != nil {
+			err := ps.failure
+			ps.mu.Unlock()
+			return nil, err
+		}
+		if ps.gather >= len(ps.morsels) {
+			ps.mu.Unlock()
+			ps.finish(ec)
+			return nil, nil
+		}
+		m := &ps.morsels[ps.gather]
+		if !m.done {
+			ps.cond.Wait()
+			continue
+		}
+		if ps.emitPos >= len(m.rows) {
+			m.rows = nil // emitted; release the morsel's memory early
+			ps.gather++
+			ps.emitPos = 0
+			continue
+		}
+		b := sliceBatch(m.rows, &ps.emitPos, n)
+		ps.mu.Unlock()
+		ps.produced(ec, start, b)
+		return b, nil
+	}
+}
+
+// finish stops the pool and folds per-worker counters into the operator's
+// stats and the statement totals — rows summed by the gather-side
+// produced(), curation summed across workers, wall time reported as the
+// busiest worker's (the critical path), plus worker and morsel counts.
+// Idempotent; called at end of stream and again from Close.
+func (ps *ParallelScan) finish(ec *ExecContext) {
+	ps.stop.Store(true)
+	ps.mu.Lock()
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+	ps.wg.Wait()
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.folded {
+		return
+	}
+	ps.folded = true
+	ps.st.Workers = len(ps.workerSts)
+	for w := range ps.workerSts {
+		st := &ps.workerSts[w]
+		ps.st.Curates += st.Curates
+		ps.st.Morsels += st.Morsels
+		if st.Wall > ps.st.Wall {
+			ps.st.Wall = st.Wall
+		}
+		if ec != nil {
+			ec.foldWorker(ps.forks[w])
+		}
+	}
+}
+
+// beginWorker/endWorker meter one morsel's processing time into the
+// worker's private stats when timing is enabled.
+func (ps *ParallelScan) beginWorker(wec *ExecContext) time.Time {
+	if wec == nil || !wec.timed {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (ps *ParallelScan) endWorker(wec *ExecContext, st *OpStats, start time.Time) {
+	if wec == nil || !wec.timed {
+		return
+	}
+	st.Wall += time.Since(start)
+}
+
+// Close implements Operator.
+func (ps *ParallelScan) Close() error {
+	ps.finish(nil)
+	ps.rows = nil
+	ps.tups = nil
+	ps.morsels = nil
+	return nil
+}
+
+// Describe implements Described.
+func (ps *ParallelScan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ParallelScan %s AS %s (workers=%d morsel=%d)", ps.table.Name(), ps.alias, ps.workers, ps.morsel)
+	if ps.pred != nil {
+		b.WriteString(" Filter " + ps.pred.String())
+	}
+	if len(ps.items) > 0 {
+		cols := make([]string, len(ps.items))
+		for i, it := range ps.items {
+			cols[i] = it.Expr.String()
+		}
+		b.WriteString(" Project+Curate [" + strings.Join(cols, ", ") + "]")
+	}
+	return b.String()
+}
+
+// Children implements Described.
+func (ps *ParallelScan) Children() []Operator { return nil }

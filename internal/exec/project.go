@@ -24,23 +24,33 @@ func (f *Filter) Schema() types.Schema { return f.child.Schema() }
 // Open implements Operator.
 func (f *Filter) Open(ec *ExecContext) error { return f.child.Open(ec) }
 
-// Next implements Operator.
-func (f *Filter) Next(ec *ExecContext) (*Row, error) {
+// NextBatch implements Operator: child batches are filtered in place;
+// fully-filtered batches are skipped so the operator never emits an empty
+// batch.
+func (f *Filter) NextBatch(ec *ExecContext) (*Batch, error) {
 	start := f.begin(ec)
 	for {
-		row, err := f.child.Next(ec)
-		if err != nil || row == nil {
+		b, err := f.child.NextBatch(ec)
+		if err != nil || b == nil {
 			f.produced(ec, start, nil)
 			return nil, err
 		}
-		v, err := f.pred.Eval(row.Tuple)
-		if err != nil {
-			return nil, err
+		out := make([]*Row, 0, len(b.Rows))
+		for _, row := range b.Rows {
+			v, err := f.pred.Eval(row.Tuple)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				out = append(out, row)
+			}
 		}
-		if v.Truthy() {
-			f.produced(ec, start, row)
-			return row, nil
+		if len(out) == 0 {
+			continue
 		}
+		res := &Batch{Rows: out}
+		f.produced(ec, start, res)
+		return res, nil
 	}
 }
 
@@ -93,14 +103,30 @@ func (p *Project) Schema() types.Schema { return p.schema }
 // Open implements Operator.
 func (p *Project) Open(ec *ExecContext) error { return p.child.Open(ec) }
 
-// Next implements Operator.
-func (p *Project) Next(ec *ExecContext) (*Row, error) {
+// NextBatch implements Operator.
+func (p *Project) NextBatch(ec *ExecContext) (*Batch, error) {
 	start := p.begin(ec)
-	row, err := p.child.Next(ec)
-	if err != nil || row == nil {
+	b, err := p.child.NextBatch(ec)
+	if err != nil || b == nil {
 		p.produced(ec, start, nil)
 		return nil, err
 	}
+	out := make([]*Row, len(b.Rows))
+	for ri, row := range b.Rows {
+		tu, err := p.projectRow(ec, row)
+		if err != nil {
+			return nil, err
+		}
+		out[ri] = tu
+	}
+	res := &Batch{Rows: out}
+	p.produced(ec, start, res)
+	return res, nil
+}
+
+// projectRow computes one output row: the projected tuple plus the curated
+// (coverage-remapped) envelope.
+func (p *Project) projectRow(ec *ExecContext, row *Row) (*Row, error) {
 	out := make(types.Tuple, len(p.items))
 	for i, it := range p.items {
 		v, err := it.Expr.Eval(row.Tuple)
@@ -112,9 +138,7 @@ func (p *Project) Next(ec *ExecContext) (*Row, error) {
 	if row.Env != nil {
 		p.curated(ec)
 	}
-	res := &Row{Tuple: out, Env: envRemap(row.Env, p.mapping)}
-	p.produced(ec, start, res)
-	return res, nil
+	return &Row{Tuple: out, Env: envRemap(row.Env, p.mapping)}, nil
 }
 
 // Close implements Operator.
@@ -137,20 +161,24 @@ func (l *Limit) Schema() types.Schema { return l.child.Schema() }
 // Open implements Operator.
 func (l *Limit) Open(ec *ExecContext) error { l.seen = 0; return l.child.Open(ec) }
 
-// Next implements Operator.
-func (l *Limit) Next(ec *ExecContext) (*Row, error) {
+// NextBatch implements Operator: the batch holding the n-th row is
+// truncated; later batches are never pulled.
+func (l *Limit) NextBatch(ec *ExecContext) (*Batch, error) {
 	if l.seen >= l.n {
 		return nil, nil
 	}
 	start := l.begin(ec)
-	row, err := l.child.Next(ec)
-	if err != nil || row == nil {
+	b, err := l.child.NextBatch(ec)
+	if err != nil || b == nil {
 		l.produced(ec, start, nil)
 		return nil, err
 	}
-	l.seen++
-	l.produced(ec, start, row)
-	return row, nil
+	if rest := l.n - l.seen; len(b.Rows) > rest {
+		b.Rows = b.Rows[:rest]
+	}
+	l.seen += len(b.Rows)
+	l.produced(ec, start, b)
+	return b, nil
 }
 
 // Close implements Operator.

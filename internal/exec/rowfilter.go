@@ -28,23 +28,33 @@ func (f *RowFilter) Schema() types.Schema { return f.child.Schema() }
 // Open implements Operator.
 func (f *RowFilter) Open(ec *ExecContext) error { return f.child.Open(ec) }
 
-// Next implements Operator.
-func (f *RowFilter) Next(ec *ExecContext) (*Row, error) {
+// NextBatch implements Operator: child batches are filtered on the full
+// pipeline rows; fully-filtered batches are skipped so the operator never
+// emits an empty batch.
+func (f *RowFilter) NextBatch(ec *ExecContext) (*Batch, error) {
 	start := f.begin(ec)
 	for {
-		row, err := f.child.Next(ec)
-		if err != nil || row == nil {
+		b, err := f.child.NextBatch(ec)
+		if err != nil || b == nil {
 			f.produced(ec, start, nil)
 			return nil, err
 		}
-		v, err := f.pred.EvalRow(row)
-		if err != nil {
-			return nil, err
+		out := make([]*Row, 0, len(b.Rows))
+		for _, row := range b.Rows {
+			v, err := f.pred.EvalRow(row)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				out = append(out, row)
+			}
 		}
-		if v.Truthy() {
-			f.produced(ec, start, row)
-			return row, nil
+		if len(out) == 0 {
+			continue
 		}
+		res := &Batch{Rows: out}
+		f.produced(ec, start, res)
+		return res, nil
 	}
 }
 
@@ -81,14 +91,7 @@ func (s *RowSort) Open(ec *ExecContext) error {
 		keys types.Tuple
 	}
 	var rows []keyed
-	for {
-		row, err := s.child.Next(ec)
-		if err != nil {
-			return err
-		}
-		if row == nil {
-			break
-		}
+	err := drain(ec, s.child, func(row *Row) error {
 		kv := make(types.Tuple, len(s.keys))
 		for i, k := range s.keys {
 			v, err := k.Expr.EvalRow(row)
@@ -98,6 +101,10 @@ func (s *RowSort) Open(ec *ExecContext) error {
 			kv[i] = v
 		}
 		rows = append(rows, keyed{row: row, keys: kv})
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	sort.SliceStable(rows, func(a, b int) bool {
 		for i, k := range s.keys {
@@ -119,16 +126,15 @@ func (s *RowSort) Open(ec *ExecContext) error {
 	return nil
 }
 
-// Next implements Operator.
-func (s *RowSort) Next(ec *ExecContext) (*Row, error) {
-	if s.pos >= len(s.out) {
+// NextBatch implements Operator.
+func (s *RowSort) NextBatch(ec *ExecContext) (*Batch, error) {
+	start := s.begin(ec)
+	b := sliceBatch(s.out, &s.pos, ec.BatchSize())
+	if b == nil {
 		return nil, nil
 	}
-	start := s.begin(ec)
-	r := s.out[s.pos]
-	s.pos++
-	s.produced(ec, start, r)
-	return r, nil
+	s.produced(ec, start, b)
+	return b, nil
 }
 
 // Close implements Operator.

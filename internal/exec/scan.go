@@ -65,8 +65,8 @@ func (s *Scan) Open(ec *ExecContext) error {
 	})
 }
 
-// Next implements Operator.
-func (s *Scan) Next(ec *ExecContext) (*Row, error) {
+// NextBatch implements Operator.
+func (s *Scan) NextBatch(ec *ExecContext) (*Batch, error) {
 	if err := ec.checkCancel(); err != nil {
 		return nil, err
 	}
@@ -74,15 +74,21 @@ func (s *Scan) Next(ec *ExecContext) (*Row, error) {
 		return nil, nil
 	}
 	start := s.begin(ec)
-	i := s.pos
-	s.pos++
-	var env *summary.Envelope
-	if s.envs != nil {
-		env = s.envs.EnvelopeFor(s.table.Name(), s.rows[i])
+	end := s.pos + ec.BatchSize()
+	if end > len(s.rows) {
+		end = len(s.rows)
 	}
-	row := &Row{Tuple: s.tups[i], Env: env}
-	s.produced(ec, start, row)
-	return row, nil
+	out := make([]*Row, 0, end-s.pos)
+	for ; s.pos < end; s.pos++ {
+		var env *summary.Envelope
+		if s.envs != nil {
+			env = s.envs.EnvelopeFor(s.table.Name(), s.rows[s.pos])
+		}
+		out = append(out, &Row{Tuple: s.tups[s.pos], Env: env})
+	}
+	b := &Batch{Rows: out}
+	s.produced(ec, start, b)
+	return b, nil
 }
 
 // Close implements Operator.
@@ -140,15 +146,22 @@ func (s *IndexScan) Open(ec *ExecContext) error {
 	return nil
 }
 
-// Next implements Operator.
-func (s *IndexScan) Next(ec *ExecContext) (*Row, error) {
+// NextBatch implements Operator.
+func (s *IndexScan) NextBatch(ec *ExecContext) (*Batch, error) {
 	if err := ec.checkCancel(); err != nil {
 		return nil, err
 	}
-	for s.pos < len(s.rows) {
-		start := s.begin(ec)
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	start := s.begin(ec)
+	end := s.pos + ec.BatchSize()
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	out := make([]*Row, 0, end-s.pos)
+	for ; s.pos < end; s.pos++ {
 		row := s.rows[s.pos]
-		s.pos++
 		tu, err := s.table.Get(row)
 		if err != nil {
 			return nil, err
@@ -157,11 +170,11 @@ func (s *IndexScan) Next(ec *ExecContext) (*Row, error) {
 		if s.envs != nil {
 			env = s.envs.EnvelopeFor(s.table.Name(), row)
 		}
-		out := &Row{Tuple: tu, Env: env}
-		s.produced(ec, start, out)
-		return out, nil
+		out = append(out, &Row{Tuple: tu, Env: env})
 	}
-	return nil, nil
+	b := &Batch{Rows: out}
+	s.produced(ec, start, b)
+	return b, nil
 }
 
 // Close implements Operator.
@@ -219,15 +232,22 @@ func (s *IndexRangeScan) Open(ec *ExecContext) error {
 	return nil
 }
 
-// Next implements Operator.
-func (s *IndexRangeScan) Next(ec *ExecContext) (*Row, error) {
+// NextBatch implements Operator.
+func (s *IndexRangeScan) NextBatch(ec *ExecContext) (*Batch, error) {
 	if err := ec.checkCancel(); err != nil {
 		return nil, err
 	}
-	for s.pos < len(s.rows) {
-		start := s.begin(ec)
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	start := s.begin(ec)
+	end := s.pos + ec.BatchSize()
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	out := make([]*Row, 0, end-s.pos)
+	for ; s.pos < end; s.pos++ {
 		row := s.rows[s.pos]
-		s.pos++
 		tu, err := s.table.Get(row)
 		if err != nil {
 			return nil, err
@@ -236,11 +256,11 @@ func (s *IndexRangeScan) Next(ec *ExecContext) (*Row, error) {
 		if s.envs != nil {
 			env = s.envs.EnvelopeFor(s.table.Name(), row)
 		}
-		out := &Row{Tuple: tu, Env: env}
-		s.produced(ec, start, out)
-		return out, nil
+		out = append(out, &Row{Tuple: tu, Env: env})
 	}
-	return nil, nil
+	b := &Batch{Rows: out}
+	s.produced(ec, start, b)
+	return b, nil
 }
 
 // Close implements Operator.
@@ -295,19 +315,18 @@ func (v *ValuesOp) Open(ec *ExecContext) error {
 	return ec.Err()
 }
 
-// Next implements Operator.
-func (v *ValuesOp) Next(ec *ExecContext) (*Row, error) {
+// NextBatch implements Operator.
+func (v *ValuesOp) NextBatch(ec *ExecContext) (*Batch, error) {
 	if err := ec.checkCancel(); err != nil {
 		return nil, err
 	}
-	if v.pos >= len(v.rows) {
+	start := v.begin(ec)
+	b := sliceBatch(v.rows, &v.pos, ec.BatchSize())
+	if b == nil {
 		return nil, nil
 	}
-	start := v.begin(ec)
-	r := v.rows[v.pos]
-	v.pos++
-	v.produced(ec, start, r)
-	return r, nil
+	v.produced(ec, start, b)
+	return b, nil
 }
 
 // Close implements Operator.

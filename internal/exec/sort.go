@@ -42,14 +42,7 @@ func (s *Sort) Open(ec *ExecContext) error {
 		keys types.Tuple
 	}
 	var rows []keyed
-	for {
-		row, err := s.child.Next(ec)
-		if err != nil {
-			return err
-		}
-		if row == nil {
-			break
-		}
+	err := drain(ec, s.child, func(row *Row) error {
 		kv := make(types.Tuple, len(s.keys))
 		for i, k := range s.keys {
 			v, err := k.Expr.Eval(row.Tuple)
@@ -59,6 +52,10 @@ func (s *Sort) Open(ec *ExecContext) error {
 			kv[i] = v
 		}
 		rows = append(rows, keyed{row: row, keys: kv})
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	sort.SliceStable(rows, func(a, b int) bool {
 		for i, k := range s.keys {
@@ -80,16 +77,15 @@ func (s *Sort) Open(ec *ExecContext) error {
 	return nil
 }
 
-// Next implements Operator.
-func (s *Sort) Next(ec *ExecContext) (*Row, error) {
-	if s.pos >= len(s.out) {
+// NextBatch implements Operator.
+func (s *Sort) NextBatch(ec *ExecContext) (*Batch, error) {
+	start := s.begin(ec)
+	b := sliceBatch(s.out, &s.pos, ec.BatchSize())
+	if b == nil {
 		return nil, nil
 	}
-	start := s.begin(ec)
-	r := s.out[s.pos]
-	s.pos++
-	s.produced(ec, start, r)
-	return r, nil
+	s.produced(ec, start, b)
+	return b, nil
 }
 
 // Close implements Operator.
@@ -104,11 +100,11 @@ func Collect(op Operator) ([]*Row, error) {
 	return CollectContext(nil, op)
 }
 
-// CollectContext drains an operator into a row slice under ec, opening and
-// closing it. It is the execution entry point used by the engine: the
-// context is checked up front so an already-cancelled statement fails fast,
-// and Close cascades even when Open fails partway (a join may have opened
-// its children before its build was cancelled).
+// CollectContext drains an operator's batches into a row slice under ec,
+// opening and closing it. It is the execution entry point used by the
+// engine: the context is checked up front so an already-cancelled
+// statement fails fast, and Close cascades even when Open fails partway
+// (a join may have opened its children before its build was cancelled).
 func CollectContext(ec *ExecContext, op Operator) ([]*Row, error) {
 	if err := ec.Err(); err != nil {
 		return nil, err
@@ -119,14 +115,12 @@ func CollectContext(ec *ExecContext, op Operator) ([]*Row, error) {
 	}
 	defer op.Close()
 	var out []*Row
-	for {
-		row, err := op.Next(ec)
-		if err != nil {
-			return nil, err
-		}
-		if row == nil {
-			return out, nil
-		}
+	err := drain(ec, op, func(row *Row) error {
 		out = append(out, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
 }

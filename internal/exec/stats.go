@@ -8,6 +8,8 @@ func OperatorName(op Operator) string {
 	switch op.(type) {
 	case *Scan:
 		return "scan"
+	case *ParallelScan:
+		return "parallel_scan"
 	case *IndexScan:
 		return "index_scan"
 	case *IndexRangeScan:

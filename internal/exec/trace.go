@@ -54,20 +54,22 @@ func (t *Trace) Schema() types.Schema { return t.child.Schema() }
 // Open implements Operator.
 func (t *Trace) Open(ec *ExecContext) error { return t.child.Open(ec) }
 
-// Next implements Operator.
-func (t *Trace) Next(ec *ExecContext) (*Row, error) {
-	row, err := t.child.Next(ec)
-	if err != nil || row == nil {
-		return row, err
+// NextBatch implements Operator.
+func (t *Trace) NextBatch(ec *ExecContext) (*Batch, error) {
+	b, err := t.child.NextBatch(ec)
+	if err != nil || b == nil {
+		return b, err
 	}
 	if ec != nil && ec.trace != nil {
-		entry := TraceEntry{Stage: t.stage, Tuple: row.Tuple.Clone()}
-		if row.Env != nil && !row.Env.IsEmpty() {
-			entry.Summary = row.Env.Render()
+		for _, row := range b.Rows {
+			entry := TraceEntry{Stage: t.stage, Tuple: row.Tuple.Clone()}
+			if row.Env != nil && !row.Env.IsEmpty() {
+				entry.Summary = row.Env.Render()
+			}
+			ec.trace.Add(entry)
 		}
-		ec.trace.Add(entry)
 	}
-	return row, nil
+	return b, nil
 }
 
 // Close implements Operator.

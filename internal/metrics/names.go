@@ -29,8 +29,13 @@ const (
 	// exec layer — per-operator-type pipeline work.
 	NameExecOpSeconds      = "insightnotes_exec_op_seconds"       // histogram{op} (sampled timing)
 	NameExecOpRowsTotal    = "insightnotes_exec_op_rows_total"    // counter{op}
+	NameExecOpBatchesTotal = "insightnotes_exec_op_batches_total" // counter{op}
 	NameExecOpMergesTotal  = "insightnotes_exec_op_merges_total"  // counter{op}
 	NameExecOpCuratesTotal = "insightnotes_exec_op_curates_total" // counter{op}
+
+	// exec layer — morsel-driven parallel scans.
+	NameExecScanMorselsTotal = "insightnotes_exec_scan_morsels_total" // counter (morsels processed by workers)
+	NameExecScanWorkersTotal = "insightnotes_exec_scan_workers_total" // counter (worker goroutines launched)
 
 	// plan layer — planning decisions.
 	NamePlanPlansTotal       = "insightnotes_plan_plans_total"        // counter

@@ -34,6 +34,12 @@ type Options struct {
 	// The entries land in the per-statement sink owned by the ExecContext
 	// the plan is executed under.
 	Trace bool
+	// Parallelism is the worker count for morsel-driven parallel base-table
+	// scans. Values above 1 replace the full-scan access path with a
+	// ParallelScan that absorbs the relation's pushed-down predicate and
+	// projection into the worker pool; 0 and 1 keep every scan serial.
+	// Index scans are never parallelized.
+	Parallelism int
 	// Counters, when set, receives planning-decision counts (plans built,
 	// access paths chosen). Shared across planner instances; safe for
 	// concurrent use.
@@ -51,6 +57,9 @@ type Counters struct {
 	FullScans       atomic.Int64
 	IndexScans      atomic.Int64
 	IndexRangeScans atomic.Int64
+	// ParallelScans counts full scans planned as morsel-parallel (also
+	// counted in FullScans).
+	ParallelScans atomic.Int64
 }
 
 // Planner compiles SELECT statements into operator trees.
@@ -374,8 +383,30 @@ func (p *Planner) accessPath(r *relation, preds []sql.Expr) (exec.Operator, []sq
 			}
 		}
 	}
+	absorbed := false
 	if op == nil {
-		op = exec.NewScan(r.table, r.ref.EffectiveAlias(), p.envs)
+		if n := p.opts.Parallelism; n > 1 {
+			// Morsel-parallel full scan: the conjunction of the pushed-down
+			// predicates is absorbed into the worker pool instead of stacked
+			// as Filter operators above the scan.
+			var pred *exec.Compiled
+			if len(local) > 0 {
+				var all sql.Expr
+				for _, e := range local {
+					all = andExpr(all, e)
+				}
+				c, err := exec.Compile(all, r.schema)
+				if err != nil {
+					return nil, nil, err
+				}
+				pred = c
+			}
+			op = exec.NewParallelScan(r.table, r.ref.EffectiveAlias(), p.envs, pred, nil, n)
+			consumed = append(consumed, local...)
+			absorbed = true
+		} else {
+			op = exec.NewScan(r.table, r.ref.EffectiveAlias(), p.envs)
+		}
 	}
 	if c := p.opts.Counters; c != nil {
 		switch op.(type) {
@@ -383,17 +414,22 @@ func (p *Planner) accessPath(r *relation, preds []sql.Expr) (exec.Operator, []sq
 			c.IndexScans.Add(1)
 		case *exec.IndexRangeScan:
 			c.IndexRangeScans.Add(1)
+		case *exec.ParallelScan:
+			c.FullScans.Add(1)
+			c.ParallelScans.Add(1)
 		default:
 			c.FullScans.Add(1)
 		}
 	}
-	for _, e := range local {
-		c, err := exec.Compile(e, r.schema)
-		if err != nil {
-			return nil, nil, err
+	if !absorbed {
+		for _, e := range local {
+			c, err := exec.Compile(e, r.schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			op = exec.NewFilter(op, c)
+			consumed = append(consumed, e)
 		}
-		op = exec.NewFilter(op, c)
-		consumed = append(consumed, e)
 	}
 	return op, consumed, nil
 }
@@ -423,6 +459,12 @@ func (p *Planner) pushProjection(r *relation, needed map[int]bool) (exec.Operato
 			return nil, types.Schema{}, err
 		}
 		items[j] = exec.ProjectItem{Expr: c, Col: col}
+	}
+	// A morsel-parallel scan absorbs the pushed projection into its worker
+	// pool, so the per-tuple curation parallelizes with the scan.
+	if ps, ok := r.op.(*exec.ParallelScan); ok {
+		ps.AbsorbProject(items)
+		return ps, ps.Schema(), nil
 	}
 	op := exec.NewProject(r.op, items)
 	return op, op.Schema(), nil

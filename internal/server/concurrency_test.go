@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -245,13 +246,13 @@ func TestDebugMuxMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
+	if _, err := db.Exec(context.Background(), "CREATE TABLE t (a INT)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Exec("INSERT INTO t VALUES (1)"); err != nil {
+	if _, err := db.Exec(context.Background(), "INSERT INTO t VALUES (1)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Query("SELECT a FROM t"); err != nil {
+	if _, err := db.Query(context.Background(), "SELECT a FROM t"); err != nil {
 		t.Fatal(err)
 	}
 

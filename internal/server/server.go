@@ -426,9 +426,9 @@ func (s *Server) execute(req Request) (resp Response) {
 	var res *engine.Result
 	var err error
 	if req.Trace {
-		res, err = s.db.QueryTracedContext(ctx, req.Stmt)
+		res, err = s.db.Query(ctx, req.Stmt, engine.WithTrace())
 	} else {
-		res, err = s.db.ExecContext(ctx, req.Stmt)
+		res, err = s.db.Exec(ctx, req.Stmt)
 	}
 	if err != nil {
 		return Response{Error: err.Error()}

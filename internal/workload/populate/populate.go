@@ -5,6 +5,7 @@
 package populate
 
 import (
+	"context"
 	"fmt"
 
 	"insightnotes/internal/engine"
@@ -51,7 +52,7 @@ func Birds(db *engine.DB, g *workload.Generator, spec BirdCorpusSpec) (int, erro
 	if spec.Tuples <= 0 {
 		return 0, fmt.Errorf("workload: spec.Tuples must be positive")
 	}
-	if _, err := db.Exec(
+	if _, err := db.Exec(context.Background(),
 		"CREATE TABLE birds (id INT, name TEXT, sci_name TEXT, region TEXT, wingspan FLOAT)"); err != nil {
 		return 0, err
 	}
@@ -59,7 +60,7 @@ func Birds(db *engine.DB, g *workload.Generator, spec BirdCorpusSpec) (int, erro
 		common, sci := workload.Species(i)
 		stmt := fmt.Sprintf("INSERT INTO birds VALUES (%d, '%s', '%s', '%s', %0.2f)",
 			i+1, escape(common), escape(sci), g.Region(), 0.3+float64(g.Intn(250))/100)
-		if _, err := db.Exec(stmt); err != nil {
+		if _, err := db.Exec(context.Background(), stmt); err != nil {
 			return 0, err
 		}
 	}
@@ -83,7 +84,7 @@ func InstallBirdInstances(db *engine.DB, g *workload.Generator, trainPerClass in
 		"CREATE SUMMARY INSTANCE TextSummary1 TYPE Snippet WITH (sentences = 2)",
 	}
 	for _, s := range stmts {
-		if _, err := db.Exec(s); err != nil {
+		if _, err := db.Exec(context.Background(), s); err != nil {
 			return err
 		}
 	}
@@ -95,7 +96,7 @@ func InstallBirdInstances(db *engine.DB, g *workload.Generator, trainPerClass in
 		"LINK SUMMARY SimCluster TO birds",
 		"LINK SUMMARY TextSummary1 TO birds",
 	} {
-		if _, err := db.Exec(s); err != nil {
+		if _, err := db.Exec(context.Background(), s); err != nil {
 			return err
 		}
 	}
@@ -139,25 +140,25 @@ func AnnotateBirds(db *engine.DB, g *workload.Generator, spec BirdCorpusSpec) (i
 // PopulateGenes builds the gene-curation scenario: a genes table with the
 // GeneClass classifier of §2.3 linked.
 func Genes(db *engine.DB, g *workload.Generator, tuples, annsPerTuple int) (int, error) {
-	if _, err := db.Exec("CREATE TABLE genes (gid INT, symbol TEXT, organism TEXT)"); err != nil {
+	if _, err := db.Exec(context.Background(), "CREATE TABLE genes (gid INT, symbol TEXT, organism TEXT)"); err != nil {
 		return 0, err
 	}
 	organisms := []string{"H. sapiens", "M. musculus", "D. melanogaster", "S. cerevisiae"}
 	for i := 0; i < tuples; i++ {
 		stmt := fmt.Sprintf("INSERT INTO genes VALUES (%d, 'GENE%03d', '%s')",
 			i+1, i+1, organisms[i%len(organisms)])
-		if _, err := db.Exec(stmt); err != nil {
+		if _, err := db.Exec(context.Background(), stmt); err != nil {
 			return 0, err
 		}
 	}
-	if _, err := db.Exec(
+	if _, err := db.Exec(context.Background(),
 		"CREATE SUMMARY INSTANCE GeneClass TYPE Classifier LABELS ('FunctionPrediction', 'Provenance', 'Comment')"); err != nil {
 		return 0, err
 	}
 	if err := db.TrainClassifier("GeneClass", g.TrainingSet(workload.GeneClasses, 6)); err != nil {
 		return 0, err
 	}
-	if _, err := db.Exec("LINK SUMMARY GeneClass TO genes"); err != nil {
+	if _, err := db.Exec(context.Background(), "LINK SUMMARY GeneClass TO genes"); err != nil {
 		return 0, err
 	}
 	total := 0

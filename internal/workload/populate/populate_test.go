@@ -1,6 +1,7 @@
 package populate
 
 import (
+	"context"
 	"testing"
 
 	"insightnotes/internal/engine"
@@ -26,7 +27,7 @@ func TestPopulateBirdsEndToEnd(t *testing.T) {
 		t.Errorf("store count = %d", db.Annotations().Count())
 	}
 	// Every tuple has a maintained envelope with the classifier object.
-	res, err := db.Query("SELECT id, name FROM birds")
+	res, err := db.Query(context.Background(), "SELECT id, name FROM birds")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,6 +49,25 @@ for lit in $used; do
 done
 [ "$fail" -eq 0 ] || exit 1
 
+# Context-suffix lint: the statement API is context-first (Query, Exec,
+# ExecScript, ExecStatement, ZoomIn all take a ctx plus options), so new
+# exported ...Context methods on the engine are a design regression. Only
+# the pre-consolidation wrappers in compat.go are allowlisted; add new
+# behavior as a StatementOption instead.
+echo ">> context-suffix API lint"
+fail=0
+allow='QueryContext|QueryTracedContext|ExecContext|ExecScriptContext|ExecStatementContext|ZoomInContext'
+found=$(grep -rhoE 'func \(db \*DB\) [A-Z][A-Za-z0-9]*Context\(' \
+	--include='*.go' --exclude='*_test.go' internal/engine |
+	sed -E 's/func \(db \*DB\) ([A-Za-z0-9]+)\(/\1/' | sort -u || true)
+for name in $found; do
+	if ! printf '%s' "$name" | grep -qE "^($allow)$"; then
+		echo "  new exported ...Context method $name in internal/engine (add a StatementOption to the context-first API instead)" >&2
+		fail=1
+	fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
 echo ">> go vet ./..."
 go vet ./...
 echo ">> go test -race ./..."
@@ -57,4 +76,6 @@ echo ">> crash simulation (x3, race)"
 go test -run TestCrashRecovery -count=3 -race ./internal/engine/
 echo ">> overload soak (short, race)"
 go test -run TestOverloadSoak -count=1 -race -short ./internal/server/
+echo ">> batch/parallel equivalence property (race)"
+go test -run TestBatchParallelEquivalence -count=1 -race ./internal/engine/
 echo "OK"
