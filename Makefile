@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-metrics bench-wal bench-parallel crash-sim soak check vet race
+.PHONY: build test bench bench-metrics bench-wal bench-parallel bench-storage crash-sim soak check vet race
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,12 @@ bench-wal:
 # execution. Speedup tracks physical cores. Recorded in E14.
 bench-parallel:
 	$(GO) test -bench='BenchmarkParallelScan|BenchmarkBatchPipeline' -benchmem -run=^$$ .
+
+# bench-storage measures the disk-backed storage layer: B+tree index point
+# and range lookups vs forced full heap scans at 10k/100k/1M rows, through
+# the cost-based planner. Recorded in E15.
+bench-storage:
+	$(GO) test -bench='BenchmarkStoragePointLookup|BenchmarkStorageRangeScan' -benchmem -run=^$$ ./internal/engine/
 
 # crash-sim is the fault-injection gate on its own: every registered
 # failpoint in the WAL/snapshot paths, three runs, race detector on.

@@ -11,6 +11,7 @@
 //	              [-admit-max 0] [-admit-queue 64] [-admit-timeout 1s] [-max-conns 0]
 //	              [-max-frame-bytes 16777216] [-idle-timeout 0] [-write-timeout 0]
 //	              [-maint-queue 1024] [-maint-latency-ms 0]
+//	              [-page-file pages.db] [-pool-frames 256]
 //
 // With -data-dir the engine runs crash-safe: every mutation is written to
 // a fsynced write-ahead log before it is acknowledged, startup recovers
@@ -75,6 +76,8 @@ func main() {
 	maintLatencyMS := flag.Int("maint-latency-ms", 0, "auto-degrade summary maintenance when its latency average crosses this (0 disables)")
 	execWorkers := flag.Int("exec-workers", 0, "morsel-parallel scan worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	batchSize := flag.Int("batch-size", 0, "executor rows-per-batch granularity (0 = built-in default)")
+	pageFile := flag.String("page-file", "", "file-backed page store path (default <data-dir>/pages.db with -data-dir, in-memory otherwise)")
+	poolFrames := flag.Int("pool-frames", 0, "buffer-pool capacity in 8 KiB frames (0 = 256 default)")
 	flag.Parse()
 
 	cfg := engine.Config{
@@ -82,6 +85,8 @@ func main() {
 		MaintenanceLatencyThreshold: time.Duration(*maintLatencyMS) * time.Millisecond,
 		ExecWorkers:                 *execWorkers,
 		BatchSize:                   *batchSize,
+		PageFile:                    *pageFile,
+		PoolFrames:                  *poolFrames,
 	}
 	if *slowQueryMS > 0 {
 		cfg.SlowQueryThreshold = time.Duration(*slowQueryMS) * time.Millisecond

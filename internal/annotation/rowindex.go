@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"insightnotes/internal/storage"
 	"insightnotes/internal/types"
 )
 
@@ -20,6 +21,12 @@ const annStripes = 32
 // reverse.
 type rowIndex struct {
 	stripes [annStripes]annStripe
+	// counts is a B+tree keyed (table, distinct-annotation count) → row,
+	// maintained on every ref change, so "most annotated tuples of T" and
+	// "rows with at least n annotations" resolve by range scan instead of
+	// sweeping every stripe. The tree has its own internal lock and is only
+	// called from under a stripe lock (leaf order, no cycles).
+	counts *storage.BTree
 }
 
 type annStripe struct {
@@ -28,11 +35,46 @@ type annStripe struct {
 }
 
 func newRowIndex() *rowIndex {
-	ix := &rowIndex{}
+	ix := &rowIndex{counts: storage.NewBTree()}
 	for i := range ix.stripes {
 		ix.stripes[i].m = make(map[string]map[types.RowID][]Ref)
 	}
 	return ix
+}
+
+// countKey is the count-index key of (table, n).
+func countKey(table string, n int) []byte {
+	return storage.EncodeCompositeKey(nil, types.NewString(table), types.NewInt(int64(n)))
+}
+
+// distinctIDs counts the distinct annotation ids in a ref list (one
+// annotation may contribute several refs with different column sets).
+func distinctIDs(refs []Ref) int {
+	switch len(refs) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	}
+	seen := make(map[ID]struct{}, len(refs))
+	for _, r := range refs {
+		seen[r.ID] = struct{}{}
+	}
+	return len(seen)
+}
+
+// recount moves a row's count-index entry from before to after distinct
+// annotations. Called with the row's stripe lock held.
+func (ix *rowIndex) recount(table string, row types.RowID, before, after int) {
+	if before == after {
+		return
+	}
+	if before > 0 {
+		ix.counts.Delete(countKey(table, before), uint64(row))
+	}
+	if after > 0 {
+		ix.counts.Insert(countKey(table, after), uint64(row))
+	}
 }
 
 // stripeFor hashes (table, row) to a stripe — FNV-1a over the table name
@@ -59,7 +101,9 @@ func (ix *rowIndex) add(table string, row types.RowID, ref Ref) {
 		rows = make(map[types.RowID][]Ref)
 		st.m[table] = rows
 	}
+	before := distinctIDs(rows[row])
 	rows[row] = append(rows[row], ref)
+	ix.recount(table, row, before, distinctIDs(rows[row]))
 }
 
 // refs returns the refs of a tuple, merged by annotation id (union column
@@ -93,6 +137,7 @@ func (ix *rowIndex) dropAnn(table string, row types.RowID, id ID) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	refs := st.m[table][row]
+	before := distinctIDs(refs)
 	kept := refs[:0]
 	for _, r := range refs {
 		if r.ID != id {
@@ -104,14 +149,33 @@ func (ix *rowIndex) dropAnn(table string, row types.RowID, id ID) {
 	} else {
 		st.m[table][row] = kept
 	}
+	ix.recount(table, row, before, distinctIDs(kept))
 }
 
 // deleteRow drops a tuple's ref list entirely (tuple deletion cascade).
 func (ix *rowIndex) deleteRow(table string, row types.RowID) {
 	st := ix.stripeFor(table, row)
 	st.mu.Lock()
+	ix.recount(table, row, distinctIDs(st.m[table][row]), 0)
 	delete(st.m[table], row)
 	st.mu.Unlock()
+}
+
+// countRange scans the count index of table ascending over [atLeast, ∞),
+// reporting each (row, count) pair.
+func (ix *rowIndex) countRange(table string, atLeast int, fn func(row types.RowID, count int) bool) {
+	if atLeast < 1 {
+		atLeast = 1
+	}
+	lo := countKey(table, atLeast)
+	hi := storage.KeySuccessor(storage.EncodeCompositeKey(nil, types.NewString(table)))
+	ix.counts.Scan(lo, hi, func(k []byte, v uint64) bool {
+		vals, err := storage.DecodeCompositeKey(k)
+		if err != nil || len(vals) != 2 {
+			return true
+		}
+		return fn(types.RowID(v), int(vals[1].Float()))
+	})
 }
 
 // rows returns the annotated rows of table, sorted.

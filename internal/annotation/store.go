@@ -379,3 +379,40 @@ func (s *Store) RawBytes() int64 {
 func (s *Store) AnnotatedRows(table string) []types.RowID {
 	return s.rowIdx.rows(table)
 }
+
+// RowCount pairs a row with its distinct-annotation count.
+type RowCount struct {
+	Row   types.RowID
+	Count int
+}
+
+// TopAnnotated returns the k most-annotated rows of table, highest count
+// first (ties in index order), resolved through the per-tuple count index
+// rather than a sweep over every annotated row.
+func (s *Store) TopAnnotated(table string, k int) []RowCount {
+	if k <= 0 {
+		return nil
+	}
+	var all []RowCount
+	s.rowIdx.countRange(table, 1, func(row types.RowID, count int) bool {
+		all = append(all, RowCount{Row: row, Count: count})
+		return true
+	})
+	// The index scan is ascending by count; the top k sit at the tail.
+	out := make([]RowCount, 0, k)
+	for i := len(all) - 1; i >= 0 && len(out) < k; i-- {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// RowsAnnotatedAtLeast returns the rows of table carrying at least n
+// distinct annotations, in ascending count order, via the count index.
+func (s *Store) RowsAnnotatedAtLeast(table string, n int) []types.RowID {
+	var out []types.RowID
+	s.rowIdx.countRange(table, n, func(row types.RowID, _ int) bool {
+		out = append(out, row)
+		return true
+	})
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 
+	"insightnotes/internal/failpoint"
 	"insightnotes/internal/storage"
 	"insightnotes/internal/types"
 )
@@ -107,6 +108,11 @@ func (t *Table) Insert(tu types.Tuple) (types.RowID, error) {
 	}
 	t.byRow[row] = rid
 	t.nextRow++
+	// Crash window between the heap write and the index maintenance below:
+	// the kill-and-recover suite proves recovery reconciles the two.
+	if err := failpoint.Eval(failpoint.CatalogInsertIndex); err != nil {
+		return 0, err
+	}
 	for col, idx := range t.indexes {
 		ci, _ := t.schema.ColumnIndex(col)
 		idx.Insert(storage.EncodeKey(nil, tu[ci]), uint64(row))
@@ -295,15 +301,10 @@ func (t *Table) IndexedColumns() []string {
 	return out
 }
 
-// LookupByIndexRange returns the row ids whose col lies in the given
-// range, using the index. Nil bounds are open; inclusivity applies to the
-// corresponding non-nil bound. Results come back in index (value) order.
-func (t *Table) LookupByIndexRange(col string, lo, hi *types.Value, loInc, hiInc bool) ([]types.RowID, error) {
-	idx := t.Index(col)
-	if idx == nil {
-		return nil, fmt.Errorf("catalog: no index on %s.%s", t.name, col)
-	}
-	var loKey, hiKey []byte
+// rangeKeys builds the encoded B+tree scan bounds of a value range. Nil
+// bounds stay nil (open); inclusivity applies to the corresponding non-nil
+// bound.
+func rangeKeys(lo, hi *types.Value, loInc, hiInc bool) (loKey, hiKey []byte) {
 	if lo != nil {
 		loKey = storage.EncodeKey(nil, *lo)
 		if !loInc {
@@ -318,12 +319,66 @@ func (t *Table) LookupByIndexRange(col string, lo, hi *types.Value, loInc, hiInc
 			hiKey = storage.KeySuccessorExact(hiKey)
 		}
 	}
+	return loKey, hiKey
+}
+
+// LookupByIndexRange returns the row ids whose col lies in the given
+// range, using the index. Nil bounds are open; inclusivity applies to the
+// corresponding non-nil bound. Results come back in index (value) order.
+func (t *Table) LookupByIndexRange(col string, lo, hi *types.Value, loInc, hiInc bool) ([]types.RowID, error) {
+	idx := t.Index(col)
+	if idx == nil {
+		return nil, fmt.Errorf("catalog: no index on %s.%s", t.name, col)
+	}
+	loKey, hiKey := rangeKeys(lo, hi, loInc, hiInc)
 	var out []types.RowID
 	idx.Scan(loKey, hiKey, func(_ []byte, v uint64) bool {
 		out = append(out, types.RowID(v))
 		return true
 	})
 	return out, nil
+}
+
+// TableStats are the cardinality statistics the planner's cost model reads:
+// live row count and heap page count. Both are maintained exactly (not
+// sampled), so estimates for full scans are precise; index estimates come
+// from capped B+tree dives (EstimateIndexEquality / EstimateIndexRange).
+type TableStats struct {
+	Rows  int
+	Pages int
+}
+
+// Stats returns the table's current cardinality statistics.
+func (t *Table) Stats() TableStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return TableStats{Rows: len(t.byRow), Pages: t.heap.NumPages()}
+}
+
+// EstimateIndexEquality estimates the number of rows whose col equals v by
+// diving into the index and counting at most limit entries. capped reports
+// that the dive hit the limit (the true count is >= the estimate); ok is
+// false when col has no index.
+func (t *Table) EstimateIndexEquality(col string, v types.Value, limit int) (est int, capped, ok bool) {
+	idx := t.Index(col)
+	if idx == nil {
+		return 0, false, false
+	}
+	key := storage.EncodeKey(nil, v)
+	est, capped = idx.CountRange(key, storage.KeySuccessorExact(key), limit)
+	return est, capped, true
+}
+
+// EstimateIndexRange estimates the number of rows whose col lies in the
+// given range via a capped index dive; see EstimateIndexEquality.
+func (t *Table) EstimateIndexRange(col string, lo, hi *types.Value, loInc, hiInc bool, limit int) (est int, capped, ok bool) {
+	idx := t.Index(col)
+	if idx == nil {
+		return 0, false, false
+	}
+	loKey, hiKey := rangeKeys(lo, hi, loInc, hiInc)
+	est, capped = idx.CountRange(loKey, hiKey, limit)
+	return est, capped, true
 }
 
 // LookupByIndex returns the row ids whose col equals v, using the index.

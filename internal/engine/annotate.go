@@ -276,7 +276,9 @@ func (db *DB) unlinkInstance(instanceName, table string) error {
 	if err := db.cat.Unlink(instanceName, tbl.Name()); err != nil {
 		return err
 	}
-	db.envs.mutateTable(tbl.Name(), func(_ types.RowID, env *summary.Envelope) bool {
+	// The instance index names exactly the envelopes carrying this
+	// instance's objects — no full sweep over the table's stripe maps.
+	db.envs.mutateInstance(tbl.Name(), instanceName, func(_ types.RowID, env *summary.Envelope) bool {
 		env.RemoveInstance(instanceName)
 		return env.IsEmpty()
 	})

@@ -38,6 +38,7 @@ const defaultAutoCheckpointBytes = 8 << 20
 const (
 	snapshotFileName = "snapshot.json"
 	walFileName      = "wal.log"
+	pageFileName     = "pages.db"
 )
 
 // DurabilityOptions configures OpenDurable.
@@ -101,6 +102,13 @@ func OpenDurable(cfg Config, opts DurabilityOptions) (*DB, RecoveryInfo, error) 
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, info, err
+	}
+	// Durable databases page through a file-backed store in the data
+	// directory by default, so heap pages are not bound by RAM. The file is
+	// recreated on open (see Config.PageFile); only the snapshot and WAL
+	// carry recovery state.
+	if cfg.PageFile == "" {
+		cfg.PageFile = filepath.Join(opts.Dir, pageFileName)
 	}
 	snapPath := filepath.Join(opts.Dir, snapshotFileName)
 	walPath := filepath.Join(opts.Dir, walFileName)

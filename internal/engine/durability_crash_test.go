@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"insightnotes/internal/failpoint"
+	"insightnotes/internal/plan"
+	"insightnotes/internal/types"
 )
 
 // The crash-recovery suite: random mutation streams run against a
@@ -192,6 +194,146 @@ func compareRecovered(t *testing.T, got, want *DB) {
 			t.Fatalf("row %d summary diverges\nrecovered: %s\nshadow:    %s", row, ge.Render(), we.Render())
 		}
 	}
+}
+
+// TestCrashBetweenHeapAndIndexInsert covers the storage-layer crash
+// window: Table.Insert writes the row to the heap, then updates every
+// secondary index, and only after the statement succeeds does the engine
+// log it to the WAL. fp/catalog/insert_index kills the process after the
+// heap write but before the index insert — the dying engine is visibly
+// inconsistent (heap holds the row, the id index does not, the WAL never
+// heard of the statement), and recovery must replay to a state where
+// heap, secondary index, and the in-memory shadow all agree, with the
+// crashed row absent everywhere.
+func TestCrashBetweenHeapAndIndexInsert(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	ctx := context.Background()
+
+	dir := t.TempDir()
+	db, _, err := OpenDurable(durableConfig(t), DurabilityOptions{Dir: dir, AutoCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, err := Open(durableConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := newCrashWorkload(7200)
+	run := func(stmt string) {
+		t.Helper()
+		if _, err := db.Exec(ctx, stmt); err != nil {
+			t.Fatalf("durable %q: %v", stmt, err)
+		}
+		if _, err := shadow.Exec(ctx, stmt); err != nil {
+			t.Fatalf("shadow %q: %v", stmt, err)
+		}
+	}
+	for _, stmt := range wl.scaffold() {
+		run(stmt)
+	}
+	for i := 0; i < 24; i++ {
+		run(wl.next())
+		if i == 12 {
+			if _, err := db.Checkpoint(); err != nil {
+				t.Fatalf("mid-stream checkpoint: %v", err)
+			}
+		}
+	}
+
+	// Crash between the heap write and the index insert. The workload's
+	// bookkeeping is NOT advanced: the statement never becomes durable,
+	// so the shadow never runs it either.
+	crashedID := wl.nextID
+	stmt := fmt.Sprintf("INSERT INTO birds VALUES (%d, 'crashed-%d')", crashedID, crashedID)
+	failpoint.EnableError(failpoint.CatalogInsertIndex, failpoint.CrashError(failpoint.CatalogInsertIndex))
+	if _, err := db.Exec(ctx, stmt); err == nil {
+		t.Fatalf("statement %q survived its injected crash", stmt)
+	}
+	failpoint.Disable(failpoint.CatalogInsertIndex)
+
+	// The dying engine really is torn: its heap holds one more row than
+	// the shadow's, while the id index has no entry for the crashed id.
+	dying, err := db.cat.Table("birds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := shadow.cat.Table("birds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dying.Stats().Rows; got != want.Stats().Rows+1 {
+		t.Fatalf("dying heap rows = %d, want shadow+1 = %d", got, want.Stats().Rows+1)
+	}
+	if ids, err := dying.LookupByIndex("id", types.NewInt(int64(crashedID))); err != nil || len(ids) != 0 {
+		t.Fatalf("dying index lookup of crashed id = %v, %v; want no entries", ids, err)
+	}
+
+	// Kill and recover.
+	db.Close()
+	recovered, _, err := OpenDurable(durableConfig(t), DurabilityOptions{Dir: dir, AutoCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	compareRecovered(t, recovered, shadow)
+
+	// Heap and index agree again: the crashed row is gone from both, and
+	// every id resolves identically through the index, a forced full
+	// scan, and a direct B+tree probe.
+	rt, err := recovered.cat.Table("birds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Stats().Rows; got != want.Stats().Rows {
+		t.Fatalf("recovered heap rows = %d, want %d", got, want.Stats().Rows)
+	}
+	probe := append([]int{crashedID}, wl.live...)
+	for _, id := range probe {
+		q := fmt.Sprintf("SELECT name FROM birds WHERE id = %d", id)
+		viaIndex, err := recovered.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaScan, err := recovered.Query(ctx, q, WithPlanOptions(plan.Options{DisableIndexScan: true}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(viaIndex.Rows) != len(viaScan.Rows) {
+			t.Fatalf("id %d: index path returns %d rows, full scan %d", id, len(viaIndex.Rows), len(viaScan.Rows))
+		}
+		ids, err := rt.LookupByIndex("id", types.NewInt(int64(id)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != len(viaScan.Rows) {
+			t.Fatalf("id %d: index holds %d entries, heap scan finds %d rows", id, len(ids), len(viaScan.Rows))
+		}
+	}
+
+	// As far as durable state is concerned the crashed id was never
+	// taken: inserting it again must succeed and show up in the index,
+	// and the full crash-recover-continue cycle must keep converging
+	// with the shadow.
+	run2 := func(stmt string) {
+		t.Helper()
+		if _, err := recovered.Exec(ctx, stmt); err != nil {
+			t.Fatalf("post-recovery durable %q: %v", stmt, err)
+		}
+		if _, err := shadow.Exec(ctx, stmt); err != nil {
+			t.Fatalf("post-recovery shadow %q: %v", stmt, err)
+		}
+	}
+	run2(fmt.Sprintf("INSERT INTO birds VALUES (%d, 'bird-%d')", crashedID, crashedID))
+	wl.nextID++
+	wl.live = append(wl.live, crashedID)
+	for i := 0; i < 4; i++ {
+		run2(wl.next())
+	}
+	if ids, err := rt.LookupByIndex("id", types.NewInt(int64(crashedID))); err != nil || len(ids) != 1 {
+		t.Fatalf("re-inserted id not indexed: %v, %v", ids, err)
+	}
+	compareRecovered(t, recovered, shadow)
 }
 
 // TestCrashRecovery is the fault-injection suite described above. The

@@ -31,6 +31,14 @@ import (
 type Config struct {
 	// PoolFrames is the buffer-pool capacity in 8 KiB frames (default 256).
 	PoolFrames int
+	// PageFile, when set, backs the buffer pool with a file-based page
+	// store at this path instead of the in-memory store, so heap pages
+	// (tables, annotations, envelope records) spill to disk when the
+	// working set outgrows PoolFrames. The file is a paging layer, not a
+	// recovery source — Open truncates any existing file; the WAL and
+	// snapshot remain the durable source of truth. OpenDurable defaults it
+	// to <dir>/pages.db.
+	PageFile string
 	// CacheDir is the zoom-in materialization directory (default: a fresh
 	// temp directory).
 	CacheDir string
@@ -84,8 +92,10 @@ type Config struct {
 type DB struct {
 	cfg  Config
 	pool *storage.BufferPool
-	cat  *catalog.Catalog
-	anns *annotation.Store
+	// store is the physical page store under the pool (closed by Close).
+	store storage.PageStore
+	cat   *catalog.Catalog
+	anns  *annotation.Store
 
 	// stmtMu is the statement-level reader/writer lock described above.
 	stmtMu sync.RWMutex
@@ -165,13 +175,27 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.PlanOptions.Counters == nil {
 		cfg.PlanOptions.Counters = &plan.Counters{}
 	}
-	pool := storage.NewBufferPool(storage.NewMemStore(), cfg.PoolFrames)
+	var store storage.PageStore = storage.NewMemStore()
+	if cfg.PageFile != "" {
+		// The page file is an ephemeral paging layer: recovery rebuilds all
+		// state from the snapshot and WAL, so a stale file from a previous
+		// process must not be reattached. Remove-then-create also orphans
+		// the inode under any zombie process still holding it open.
+		os.Remove(cfg.PageFile)
+		fs, err := storage.OpenFileStore(cfg.PageFile)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	}
+	pool := storage.NewBufferPool(store, cfg.PoolFrames)
 	db := &DB{
 		cfg:     cfg,
 		pool:    pool,
+		store:   store,
 		cat:     catalog.New(pool),
 		anns:    annotation.NewStore(pool),
-		envs:    newEnvStore(),
+		envs:    newEnvStore(pool),
 		digests: make(map[string]map[annotation.ID]summary.Digest),
 		cache:   cache,
 		queries: make(map[int]string),
@@ -254,18 +278,24 @@ func (db *DB) StoredEnvelope(table string, row types.RowID) *summary.Envelope {
 	return db.envs.clone(table, row)
 }
 
-// Close stops the maintenance catch-up worker (draining its queue) and
-// releases the durability log when attached.
+// Close stops the maintenance catch-up worker (draining its queue),
+// releases the durability log when attached, and closes the page store.
 func (db *DB) Close() error {
 	if db.maint != nil {
 		db.maint.close()
 	}
 	// The engine owns CacheDir only when it generated a temp dir; removing
 	// a user-supplied directory would be hostile. Detect by prefix.
+	var err error
 	if db.wal != nil {
-		return db.wal.Close()
+		err = db.wal.Close()
 	}
-	return nil
+	if db.store != nil {
+		if serr := db.store.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 func (db *DB) nextAnnotationTime() int64 { return db.annClock.Add(1) }

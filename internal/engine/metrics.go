@@ -145,6 +145,17 @@ func newDBMetrics(db *DB) *dbMetrics {
 			return float64(n)
 		})
 
+	// Buffer pool: every heap page (tables, annotations, envelope records)
+	// moves through these frames, so hit/miss/eviction rates are the
+	// first-order signal of whether PoolFrames fits the working set.
+	pool := db.pool
+	reg.CounterFunc(metrics.NameBufferpoolHits, "Buffer-pool pins served from a resident frame.",
+		func() float64 { h, _ := pool.Stats(); return float64(h) })
+	reg.CounterFunc(metrics.NameBufferpoolMisses, "Buffer-pool pins that fetched the page from the store.",
+		func() float64 { _, miss := pool.Stats(); return float64(miss) })
+	reg.CounterFunc(metrics.NameBufferpoolEvictions, "Buffer-pool frames evicted to make room.",
+		func() float64 { return float64(pool.Evictions()) })
+
 	// Planner decision counters, shared with every planner the DB builds.
 	pc := db.cfg.PlanOptions.Counters
 	reg.CounterFunc(metrics.NamePlanPlansTotal, "SELECT plans built.",

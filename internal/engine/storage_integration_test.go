@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"insightnotes/internal/metrics"
+	"insightnotes/internal/storage"
+)
+
+// TestPageFileBackedEngine runs a full workload against an engine whose
+// page store is file-backed, with a buffer pool small enough that table
+// heaps, annotation heaps, and envelope records actually page in and out
+// of the file.
+func TestPageFileBackedEngine(t *testing.T) {
+	dir := t.TempDir()
+	pf := filepath.Join(dir, "pages.db")
+	db, err := Open(Config{CacheDir: t.TempDir(), PageFile: pf, PoolFrames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE kv (k INT, v TEXT)")
+	mustExec(t, db, "CREATE INDEX ON kv (k)")
+	const rows = 2000
+	for i := 0; i < rows; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO kv VALUES (%d, 'value-%d')", i, i))
+	}
+	mustExec(t, db, "ADD ANNOTATION 'paged out and back in' ON kv WHERE k = 7")
+
+	res, err := db.Query(context.Background(), "SELECT v FROM kv WHERE k = 1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("point lookup returned %d rows, want 1", len(res.Rows))
+	}
+	res, err = db.Query(context.Background(), "SELECT k FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != rows {
+		t.Fatalf("full scan returned %d rows, want %d", len(res.Rows), rows)
+	}
+
+	// The workload is far bigger than 4 frames: the pool must have missed
+	// and evicted, and the page file must hold whole pages.
+	if _, misses := db.pool.Stats(); misses == 0 {
+		t.Error("buffer pool reports zero misses over a 4-frame pool")
+	}
+	if db.pool.Evictions() == 0 {
+		t.Error("buffer pool reports zero evictions over a 4-frame pool")
+	}
+	fi, err := os.Stat(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 || fi.Size()%storage.PageSize != 0 {
+		t.Errorf("page file size = %d, want a positive multiple of %d", fi.Size(), storage.PageSize)
+	}
+
+	// The bufferpool counters surface through the metrics registry (the
+	// source of SHOW METRICS and /metrics).
+	got := map[string]float64{}
+	for _, s := range db.Metrics().Samples() {
+		got[s.Name] = s.Value
+	}
+	for _, name := range []string{
+		metrics.NameBufferpoolHits,
+		metrics.NameBufferpoolMisses,
+		metrics.NameBufferpoolEvictions,
+	} {
+		if got[name] <= 0 {
+			t.Errorf("%s = %v, want > 0", name, got[name])
+		}
+	}
+	if res := mustExec(t, db, "SHOW METRICS LIKE 'insightnotes_bufferpool_%'"); len(res.Rows) < 3 {
+		t.Errorf("SHOW METRICS LIKE 'insightnotes_bufferpool_%%' returned %d rows, want >= 3", len(res.Rows))
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The page file is an ephemeral paging layer: reopening with the same
+	// path must start clean rather than trip over stale pages.
+	db2, err := Open(Config{CacheDir: t.TempDir(), PageFile: pf, PoolFrames: 4})
+	if err != nil {
+		t.Fatalf("reopen with existing page file: %v", err)
+	}
+	mustExec(t, db2, "CREATE TABLE kv (k INT, v TEXT)")
+	mustExec(t, db2, "INSERT INTO kv VALUES (1, 'fresh')")
+	if err := db2.Close(); err != nil {
+		t.Fatalf("Close after reopen: %v", err)
+	}
+}
+
+// TestDurablePageFileDefault asserts OpenDurable places the page file
+// inside the data directory by default.
+func TestDurablePageFileDefault(t *testing.T) {
+	dir := t.TempDir()
+	db, _, err := OpenDurable(Config{CacheDir: t.TempDir()}, DurabilityOptions{Dir: dir, AutoCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, "CREATE TABLE t (id INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	if _, err := os.Stat(filepath.Join(dir, pageFileName)); err != nil {
+		t.Errorf("durable engine did not create %s in the data dir: %v", pageFileName, err)
+	}
+}
+
+// TestInstanceIndexAndEnvelopePersistence drives the summary-instance
+// index and the envelope heap through annotate, unlink, and retract.
+func TestInstanceIndexAndEnvelopePersistence(t *testing.T) {
+	db := birdDB(t)
+	// Documents attached so the snippet instance forms objects too (snippet
+	// summaries only cover annotations that carry a document).
+	mustExec(t, db, "ADD ANNOTATION 'observed feeding at dawn' DOCUMENT 'The flock fed at dawn. It moved on at noon.' ON birds WHERE id = 1")
+	mustExec(t, db, "ADD ANNOTATION 'lesions suggest avian pox' DOCUMENT 'Lesions were found on the bill. Pox is suspected.' ON birds WHERE id = 2")
+
+	var want []int64
+	for _, r := range db.Annotations().AnnotatedRows("birds") {
+		want = append(want, int64(r))
+	}
+	if len(want) != 2 {
+		t.Fatalf("AnnotatedRows = %v, want 2 rows", want)
+	}
+	for _, inst := range []string{"ClassBird1", "SimCluster", "TextSummary1"} {
+		var got []int64
+		for _, r := range db.envs.rowsForInstance("birds", inst) {
+			got = append(got, int64(r))
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("rowsForInstance(%s) = %v, want %v", inst, got, want)
+		}
+	}
+	// Every envelope is written through to the heap.
+	if n, c := db.envs.heap.Len(), db.envs.count(); n != c {
+		t.Errorf("envelope heap holds %d records, store holds %d envelopes", n, c)
+	}
+
+	// Unlinking one instance removes exactly its index entries; the
+	// envelopes survive with their other objects.
+	mustExec(t, db, "UNLINK SUMMARY ClassBird1 FROM birds")
+	if got := db.envs.rowsForInstance("birds", "ClassBird1"); len(got) != 0 {
+		t.Errorf("rowsForInstance(ClassBird1) after unlink = %v, want none", got)
+	}
+	if got := db.envs.rowsForInstance("birds", "SimCluster"); len(got) != 2 {
+		t.Errorf("rowsForInstance(SimCluster) after unrelated unlink = %v, want 2 rows", got)
+	}
+	if n, c := db.envs.heap.Len(), db.envs.count(); n != c || c != 2 {
+		t.Errorf("after unlink: heap %d records, store %d envelopes, want 2 and 2", n, c)
+	}
+
+	// Retracting the annotations empties the envelopes, which drops them
+	// from the maps, the instance index, and the heap.
+	mustExec(t, db, "DROP ANNOTATION 1")
+	mustExec(t, db, "DROP ANNOTATION 2")
+	if c := db.envs.count(); c != 0 {
+		t.Errorf("envelopes after retracting all annotations = %d, want 0", c)
+	}
+	if n := db.envs.heap.Len(); n != 0 {
+		t.Errorf("envelope heap records after retracting all annotations = %d, want 0", n)
+	}
+	for _, inst := range []string{"ClassBird1", "SimCluster", "TextSummary1"} {
+		if got := db.envs.rowsForInstance("birds", inst); len(got) != 0 {
+			t.Errorf("rowsForInstance(%s) after retraction = %v, want none", inst, got)
+		}
+	}
+}

@@ -74,7 +74,7 @@ func explainAnalyzeInto(b *strings.Builder, op Operator, depth int) {
 
 // Describe implements Described.
 func (s *Scan) Describe() string {
-	return fmt.Sprintf("Scan %s AS %s %s", s.table.Name(), s.alias, s.schema)
+	return fmt.Sprintf("Scan %s AS %s %s%s", s.table.Name(), s.alias, s.schema, s.describeEst())
 }
 
 // Children implements Described.
@@ -82,7 +82,8 @@ func (s *Scan) Children() []Operator { return nil }
 
 // Describe implements Described.
 func (s *IndexScan) Describe() string {
-	return fmt.Sprintf("IndexScan %s AS %s ON %s = %s", s.table.Name(), s.alias, s.col, s.val)
+	return fmt.Sprintf("IndexScan %s AS %s ON %s = %s%s",
+		s.table.Name(), s.alias, s.col, s.val, s.describeEst())
 }
 
 // Children implements Described.

@@ -28,6 +28,7 @@ import (
 // results verbatim.
 type ParallelScan struct {
 	instr
+	estRows
 	table   *catalog.Table
 	alias   string
 	envs    EnvelopeSource
@@ -331,7 +332,8 @@ func (ps *ParallelScan) Close() error {
 // Describe implements Described.
 func (ps *ParallelScan) Describe() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "ParallelScan %s AS %s (workers=%d morsel=%d)", ps.table.Name(), ps.alias, ps.workers, ps.morsel)
+	fmt.Fprintf(&b, "ParallelScan %s AS %s (workers=%d morsel=%d)%s",
+		ps.table.Name(), ps.alias, ps.workers, ps.morsel, ps.describeEst())
 	if ps.pred != nil {
 		b.WriteString(" Filter " + ps.pred.String())
 	}

@@ -18,10 +18,42 @@ type EnvelopeSource interface {
 	EnvelopeFor(table string, row types.RowID) *summary.Envelope
 }
 
+// estRows carries the planner's estimated output cardinality for a scan
+// operator, rendered by EXPLAIN next to the access path so estimated and
+// actual (EXPLAIN ANALYZE) row counts sit side by side. The zero value
+// means no estimate was attached.
+type estRows struct {
+	est    int
+	hasEst bool
+}
+
+// SetEstimatedRows attaches the planner's cardinality estimate.
+func (e *estRows) SetEstimatedRows(n int) {
+	e.est = n
+	e.hasEst = true
+}
+
+// EstimatedRows returns the attached estimate, or -1 when none was set.
+func (e *estRows) EstimatedRows() int {
+	if !e.hasEst {
+		return -1
+	}
+	return e.est
+}
+
+// describeEst renders the estimate suffix for Describe (empty when unset).
+func (e *estRows) describeEst() string {
+	if !e.hasEst {
+		return ""
+	}
+	return fmt.Sprintf(" (est≈%d rows)", e.est)
+}
+
 // Scan is a full-table scan producing rows under an alias, each carrying a
 // clone of its stored summary envelope.
 type Scan struct {
 	instr
+	estRows
 	table  *catalog.Table
 	alias  string
 	envs   EnvelopeSource
@@ -102,6 +134,7 @@ func (s *Scan) Close() error {
 // secondary index.
 type IndexScan struct {
 	instr
+	estRows
 	table  *catalog.Table
 	alias  string
 	col    string
@@ -187,6 +220,7 @@ func (s *IndexScan) Close() error {
 // value range, via a B+tree range scan. Nil bounds are open.
 type IndexRangeScan struct {
 	instr
+	estRows
 	table  *catalog.Table
 	alias  string
 	col    string
@@ -286,7 +320,8 @@ func (s *IndexRangeScan) Describe() string {
 		}
 		hi = op + " " + s.hi.String()
 	}
-	return fmt.Sprintf("IndexRangeScan %s AS %s ON %s [%s, %s]", s.table.Name(), s.alias, s.col, lo, hi)
+	return fmt.Sprintf("IndexRangeScan %s AS %s ON %s [%s, %s]%s",
+		s.table.Name(), s.alias, s.col, lo, hi, s.describeEst())
 }
 
 // Children implements Described.

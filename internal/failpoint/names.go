@@ -35,4 +35,12 @@ const (
 	// of every request; the panic-isolation regression test enables it
 	// with a panicking action.
 	ServerExecPanic = "fp/server/exec_panic"
+
+	// Table insert path (internal/catalog), evaluated after the row is in
+	// the heap but before secondary indexes are updated. A crash action
+	// models the process dying between the two writes: the WAL never logged
+	// the insert (logging happens after success), so recovery must converge
+	// to a state where the row is absent and every index agrees with its
+	// heap.
+	CatalogInsertIndex = "fp/catalog/insert_index"
 )

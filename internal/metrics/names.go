@@ -37,6 +37,13 @@ const (
 	NameExecScanMorselsTotal = "insightnotes_exec_scan_morsels_total" // counter (morsels processed by workers)
 	NameExecScanWorkersTotal = "insightnotes_exec_scan_workers_total" // counter (worker goroutines launched)
 
+	// bufferpool layer — frame cache over the page store. These counters
+	// predate the _total convention in ISSUE 6's acceptance wording and are
+	// pinned to these exact names.
+	NameBufferpoolHits      = "insightnotes_bufferpool_hits"      // counter (pins served from a resident frame)
+	NameBufferpoolMisses    = "insightnotes_bufferpool_misses"    // counter (pins that fetched the page from the store)
+	NameBufferpoolEvictions = "insightnotes_bufferpool_evictions" // counter (unpinned frames evicted to make room)
+
 	// plan layer — planning decisions.
 	NamePlanPlansTotal       = "insightnotes_plan_plans_total"        // counter
 	NamePlanAccessPathsTotal = "insightnotes_plan_access_paths_total" // counter{path}

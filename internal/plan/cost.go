@@ -1,0 +1,119 @@
+// Cost-based access-path selection. For each base relation the planner
+// compares the estimated cost of a sequential heap scan against the best
+// index lookup or range scan a pushed-down predicate admits, using exact
+// table statistics (row and page counts are maintained, not sampled) and
+// capped B+tree "index dives" for match-count estimates — the classic
+// System R recipe scaled down to the engine's two access-path families.
+package plan
+
+import (
+	"insightnotes/internal/catalog"
+	"insightnotes/internal/exec"
+	"insightnotes/internal/sql"
+	"insightnotes/internal/types"
+)
+
+// Cost-model constants, in abstract units of one sequential page read.
+// The absolute values are meaningless; the ratios encode the two physical
+// facts the choice hinges on: a heap scan touches every page once but
+// amortizes per-row work, while an index lookup pays a B+tree descent and
+// then one random page fetch per matching row.
+const (
+	costSeqPage = 1.0   // sequential page read (full scan)
+	costSeqRow  = 0.005 // per-row decode + predicate evaluation
+	costIdxSeek = 1.0   // B+tree descent to the first matching entry
+	costIdxRow  = 2.0   // random heap fetch + decode per matching row
+)
+
+// diveCap bounds the B+tree index dives used for match estimates: counting
+// stops once the count alone proves the index more expensive than the
+// sequential scan, so dives never walk more than a break-even prefix of
+// the range (plus a small floor for tiny tables).
+const diveCapFloor = 64
+
+// seqScanCost is the cost of a full heap scan of a table.
+func seqScanCost(st catalog.TableStats) float64 {
+	return float64(st.Pages)*costSeqPage + float64(st.Rows)*costSeqRow
+}
+
+// indexCost is the cost of resolving est matching rows through an index.
+func indexCost(est int) float64 {
+	return costIdxSeek + float64(est)*costIdxRow
+}
+
+// diveLimit is the index-dive cap for a table: one entry past the count at
+// which the index is guaranteed to lose to the sequential scan.
+func diveLimit(seqCost float64) int {
+	limit := int(seqCost/costIdxRow) + 1
+	if limit < diveCapFloor {
+		limit = diveCapFloor
+	}
+	return limit
+}
+
+// indexCandidate is one pushed-down predicate an index can serve, with its
+// dive-based cardinality estimate.
+type indexCandidate struct {
+	expr sql.Expr
+	col  string // unqualified indexed column name
+	est  int
+	// equality candidates carry val; range candidates carry rng.
+	isRange bool
+	val     types.Value
+	rng     valueRange
+}
+
+// chooseAccessPath picks the cheapest access path for relation r given its
+// pushed-down local predicates: the best eligible index candidate when its
+// estimated cost undercuts the sequential scan, the sequential (possibly
+// morsel-parallel) scan otherwise. It returns the chosen scan operator with
+// the planner's row estimate attached.
+func (p *Planner) chooseAccessPath(r *relation, local []sql.Expr) exec.Operator {
+	st := r.table.Stats()
+	seq := seqScanCost(st)
+
+	var best *indexCandidate
+	if !p.opts.DisableIndexScan {
+		limit := diveLimit(seq)
+		for _, e := range local {
+			if col, val, ok := constEquality(e, r.schema); ok {
+				_, name := types.SplitQualified(col)
+				est, capped, ok := r.table.EstimateIndexEquality(name, val, limit)
+				if !ok || capped {
+					continue
+				}
+				c := indexCandidate{expr: e, col: name, est: est, val: val}
+				if best == nil || c.est < best.est {
+					cc := c
+					best = &cc
+				}
+				continue
+			}
+			if rng, ok := constRange(e, r.schema); ok {
+				_, name := types.SplitQualified(rng.col)
+				est, capped, ok := r.table.EstimateIndexRange(name, rng.lo, rng.hi, rng.loInc, rng.hiInc, limit)
+				if !ok || capped {
+					continue
+				}
+				c := indexCandidate{expr: e, col: name, est: est, isRange: true, rng: rng}
+				if best == nil || c.est < best.est {
+					cc := c
+					best = &cc
+				}
+			}
+		}
+	}
+
+	if best != nil && indexCost(best.est) < seq {
+		if best.isRange {
+			op := exec.NewIndexRangeScan(r.table, r.ref.EffectiveAlias(), best.col,
+				best.rng.lo, best.rng.hi, best.rng.loInc, best.rng.hiInc, p.envs)
+			op.SetEstimatedRows(best.est)
+			return op
+		}
+		op := exec.NewIndexScan(r.table, r.ref.EffectiveAlias(), best.col, best.val, p.envs)
+		op.SetEstimatedRows(best.est)
+		return op
+	}
+	return nil // sequential scan wins; accessPath builds it
+}

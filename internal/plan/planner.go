@@ -351,38 +351,10 @@ func (p *Planner) accessPath(r *relation, preds []sql.Expr) (exec.Operator, []sq
 			local = append(local, e)
 		}
 	}
-	var op exec.Operator
-	// Index selection: col = literal over an indexed column, falling back
-	// to a B+tree range scan for inequality and BETWEEN predicates.
-	if !p.opts.DisableIndexScan {
-		for _, e := range local {
-			col, val, ok := constEquality(e, r.schema)
-			if !ok {
-				continue
-			}
-			_, name := types.SplitQualified(col)
-			if r.table.Index(name) == nil {
-				continue
-			}
-			op = exec.NewIndexScan(r.table, r.ref.EffectiveAlias(), name, val, p.envs)
-			break
-		}
-		if op == nil {
-			for _, e := range local {
-				rng, ok := constRange(e, r.schema)
-				if !ok {
-					continue
-				}
-				_, name := types.SplitQualified(rng.col)
-				if r.table.Index(name) == nil {
-					continue
-				}
-				op = exec.NewIndexRangeScan(r.table, r.ref.EffectiveAlias(), name,
-					rng.lo, rng.hi, rng.loInc, rng.hiInc, p.envs)
-				break
-			}
-		}
-	}
+	// Cost-based index selection (cost.go): the cheapest index lookup or
+	// range scan a local predicate admits, when it undercuts the estimated
+	// sequential-scan cost; nil when the sequential scan wins.
+	op := p.chooseAccessPath(r, local)
 	absorbed := false
 	if op == nil {
 		if n := p.opts.Parallelism; n > 1 {
@@ -401,11 +373,15 @@ func (p *Planner) accessPath(r *relation, preds []sql.Expr) (exec.Operator, []sq
 				}
 				pred = c
 			}
-			op = exec.NewParallelScan(r.table, r.ref.EffectiveAlias(), p.envs, pred, nil, n)
+			ps := exec.NewParallelScan(r.table, r.ref.EffectiveAlias(), p.envs, pred, nil, n)
+			ps.SetEstimatedRows(r.table.Stats().Rows)
+			op = ps
 			consumed = append(consumed, local...)
 			absorbed = true
 		} else {
-			op = exec.NewScan(r.table, r.ref.EffectiveAlias(), p.envs)
+			sc := exec.NewScan(r.table, r.ref.EffectiveAlias(), p.envs)
+			sc.SetEstimatedRows(r.table.Stats().Rows)
+			op = sc
 		}
 	}
 	if c := p.opts.Counters; c != nil {

@@ -108,6 +108,23 @@ func KeySuccessorExact(key []byte) []byte {
 	return append(out, 0x00)
 }
 
+// CountRange reports the number of entries with lo <= key < hi, visiting
+// at most limit entries (limit <= 0 means unlimited). The second result
+// reports whether counting stopped at the limit — this is the planner's
+// "index dive" primitive: a capped dive means "at least limit matches",
+// which is enough to reject the index without walking the whole range.
+func (t *BTree) CountRange(lo, hi []byte, limit int) (n int, capped bool) {
+	t.Scan(lo, hi, func([]byte, uint64) bool {
+		n++
+		if limit > 0 && n >= limit {
+			capped = true
+			return false
+		}
+		return true
+	})
+	return n, capped
+}
+
 // Scan visits entries with lo <= key < hi in ascending entry order. A nil
 // lo means from the beginning; a nil hi means to the end. fn returning
 // false stops the scan.

@@ -17,8 +17,9 @@ type BufferPool struct {
 	lru      *list.List // of PageID, front = most recently used
 
 	// stats
-	hits   uint64
-	misses uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type frame struct {
@@ -125,6 +126,7 @@ func (bp *BufferPool) evictLocked() error {
 		}
 		bp.lru.Remove(back)
 		delete(bp.frames, victim)
+		bp.evictions++
 	}
 	return nil
 }
@@ -149,6 +151,13 @@ func (bp *BufferPool) Stats() (hits, misses uint64) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	return bp.hits, bp.misses
+}
+
+// Evictions returns the number of frames evicted since creation.
+func (bp *BufferPool) Evictions() uint64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.evictions
 }
 
 // Resident returns the number of pages currently cached.

@@ -63,6 +63,14 @@ func (h *HeapFile) Len() int {
 	return h.records
 }
 
+// NumPages returns the number of pages backing the heap — the sequential
+// I/O volume of a full scan, used by the planner's cost model.
+func (h *HeapFile) NumPages() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pages)
+}
+
 // Insert stores record and returns its RID.
 func (h *HeapFile) Insert(record []byte) (RID, error) {
 	if len(record) > MaxRecordSize {

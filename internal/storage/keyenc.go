@@ -2,6 +2,8 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
 
 	"insightnotes/internal/types"
@@ -77,6 +79,77 @@ func appendOrderedFloat(dst []byte, f float64) []byte {
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], bits)
 	return append(dst, buf[:]...)
+}
+
+// ErrBadKey reports a malformed or truncated key encoding.
+var ErrBadKey = errors.New("storage: malformed key encoding")
+
+// DecodeKey decodes one value from the front of an encoded key, returning
+// the value and the remaining bytes. Numeric keys decode as FLOAT: the
+// encoding widens INT so that INT n and FLOAT n sort (and therefore
+// decode) identically — callers comparing with types.Compare see no
+// difference, which is the property the round-trip tests pin down.
+func DecodeKey(b []byte) (types.Value, []byte, error) {
+	if len(b) == 0 {
+		return types.Value{}, nil, ErrBadKey
+	}
+	tag, b := b[0], b[1:]
+	switch tag {
+	case tagNull:
+		return types.Null(), b, nil
+	case tagNumeric:
+		if len(b) < 8 {
+			return types.Value{}, nil, ErrBadKey
+		}
+		bits := binary.BigEndian.Uint64(b[:8])
+		if bits&(1<<63) != 0 {
+			bits ^= 1 << 63 // non-negative: the sign bit was flipped on
+		} else {
+			bits = ^bits // negative: every bit was flipped
+		}
+		return types.NewFloat(math.Float64frombits(bits)), b[8:], nil
+	case tagText:
+		var s []byte
+		for {
+			if len(b) < 2 {
+				return types.Value{}, nil, ErrBadKey
+			}
+			if b[0] == 0x00 {
+				if b[1] == 0x00 { // terminator
+					return types.NewString(string(s)), b[2:], nil
+				}
+				if b[1] == 0xFF { // escaped NUL
+					s = append(s, 0x00)
+					b = b[2:]
+					continue
+				}
+				return types.Value{}, nil, ErrBadKey
+			}
+			s = append(s, b[0])
+			b = b[1:]
+		}
+	case tagBool:
+		if len(b) < 1 {
+			return types.Value{}, nil, ErrBadKey
+		}
+		return types.NewBool(b[0] != 0), b[1:], nil
+	}
+	return types.Value{}, nil, fmt.Errorf("%w: unknown tag 0x%02x", ErrBadKey, tag)
+}
+
+// DecodeCompositeKey decodes an entire composite key into its component
+// values, failing on trailing garbage.
+func DecodeCompositeKey(b []byte) ([]types.Value, error) {
+	var out []types.Value
+	for len(b) > 0 {
+		v, rest, err := DecodeKey(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		b = rest
+	}
+	return out, nil
 }
 
 // KeySuccessor returns the smallest key strictly greater than any key with

@@ -78,4 +78,7 @@ echo ">> overload soak (short, race)"
 go test -run TestOverloadSoak -count=1 -race -short ./internal/server/
 echo ">> batch/parallel equivalence property (race)"
 go test -run TestBatchParallelEquivalence -count=1 -race ./internal/engine/
+echo ">> storage layer: key encoding, heap/B+tree/buffer pool, index-vs-heap crash consistency (race)"
+go test -count=1 -race ./internal/storage/
+go test -run 'TestCrashBetweenHeapAndIndexInsert|TestPageFileBackedEngine|TestInstanceIndexAndEnvelopePersistence' -count=1 -race ./internal/engine/
 echo "OK"
