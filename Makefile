@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-metrics bench-wal bench-parallel bench-storage crash-sim soak check vet race
+.PHONY: build test bench bench-metrics bench-wal bench-parallel bench-storage bench-trace crash-sim soak check vet race
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,12 @@ bench-parallel:
 # the cost-based planner. Recorded in E15.
 bench-storage:
 	$(GO) test -bench='BenchmarkStoragePointLookup|BenchmarkStorageRangeScan' -benchmem -run=^$$ ./internal/engine/
+
+# bench-trace measures lifecycle-tracing overhead: the end-to-end
+# statement cost with tracing off, at the default 5% tail sample, and
+# fully retained. Recorded in E16 with a ≤5% budget at the default rate.
+bench-trace:
+	$(GO) test -bench=BenchmarkTraceOverhead -benchmem -run=^$$ ./internal/engine/
 
 # crash-sim is the fault-injection gate on its own: every registered
 # failpoint in the WAL/snapshot paths, three runs, race detector on.

@@ -159,6 +159,10 @@ func printResponse(w io.Writer, resp *server.Response) {
 	for i, c := range resp.Columns {
 		widths[i] = len(c)
 	}
+	// EXPLAIN and SHOW TRACE output is a single "plan"/"trace" column whose
+	// lines (operator descriptions, span trees) must not be truncated.
+	planOutput := len(resp.Columns) == 1 &&
+		(resp.Columns[0] == "plan" || resp.Columns[0] == "trace")
 	cells := make([][]string, len(resp.Rows))
 	for r, row := range resp.Rows {
 		cells[r] = make([]string, len(resp.Columns))
@@ -167,7 +171,7 @@ func printResponse(w io.Writer, resp *server.Response) {
 			if i < len(row.Values) {
 				s = row.Values[i].String()
 			}
-			if len(s) > 40 {
+			if len(s) > 40 && !planOutput {
 				s = s[:37] + "..."
 			}
 			cells[r][i] = s
@@ -331,9 +335,10 @@ func printResult(w io.Writer, res *engine.Result) {
 		headers[i] = c.QualifiedName()
 		widths[i] = len(headers[i])
 	}
-	// EXPLAIN output is a single "plan" column whose lines (operator
-	// descriptions, ANALYZE counters) must not be truncated.
-	planOutput := res.Schema.Len() == 1 && res.Schema.Columns[0].Name == "plan"
+	// EXPLAIN and SHOW TRACE output is a single "plan"/"trace" column whose
+	// lines (operator descriptions, span trees) must not be truncated.
+	planOutput := res.Schema.Len() == 1 &&
+		(res.Schema.Columns[0].Name == "plan" || res.Schema.Columns[0].Name == "trace")
 	cells := make([][]string, len(res.Rows))
 	for r, row := range res.Rows {
 		cells[r] = make([]string, len(row.Tuple))

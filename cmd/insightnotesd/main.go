@@ -78,6 +78,9 @@ func main() {
 	batchSize := flag.Int("batch-size", 0, "executor rows-per-batch granularity (0 = built-in default)")
 	pageFile := flag.String("page-file", "", "file-backed page store path (default <data-dir>/pages.db with -data-dir, in-memory otherwise)")
 	poolFrames := flag.Int("pool-frames", 0, "buffer-pool capacity in 8 KiB frames (0 = 256 default)")
+	traceSample := flag.Float64("trace-sample", 0, "probability a statement gets detailed span collection and ordinary traces are retained (0 = 0.05 default, negative keeps only slow/errored shells)")
+	traceCapacity := flag.Int("trace-capacity", 0, "retained-trace ring capacity (0 = 512 default)")
+	noTracing := flag.Bool("no-tracing", false, "disable statement lifecycle tracing entirely")
 	flag.Parse()
 
 	cfg := engine.Config{
@@ -87,6 +90,9 @@ func main() {
 		BatchSize:                   *batchSize,
 		PageFile:                    *pageFile,
 		PoolFrames:                  *poolFrames,
+		TraceSample:                 *traceSample,
+		TraceCapacity:               *traceCapacity,
+		DisableTracing:              *noTracing,
 	}
 	if *slowQueryMS > 0 {
 		cfg.SlowQueryThreshold = time.Duration(*slowQueryMS) * time.Millisecond

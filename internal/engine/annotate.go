@@ -2,12 +2,16 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"insightnotes/internal/annotation"
+	"insightnotes/internal/catalog"
 	"insightnotes/internal/exec"
+	"insightnotes/internal/plan"
 	"insightnotes/internal/sql"
 	"insightnotes/internal/summary"
 	"insightnotes/internal/textmining"
+	"insightnotes/internal/trace"
 	"insightnotes/internal/types"
 )
 
@@ -161,11 +165,25 @@ func resolveColumns(schema types.Schema, names []string) (annotation.ColSet, err
 }
 
 // matchRows returns the row ids of tbl satisfying where (all rows when
-// nil).
-func (db *DB) matchRows(tbl interface {
-	Schema() types.Schema
-	Scan(func(types.RowID, types.Tuple) bool) error
-}, where sql.Expr) ([]types.RowID, error) {
+// nil), in ascending row-id order. The access path is cost-based: when an
+// indexed conjunct's estimated cost undercuts the full scan, candidates
+// come from the index and the full predicate is re-evaluated per
+// candidate; otherwise the heap is scanned. Callers hold the exclusive
+// statement lock (UPDATE, DELETE, ANNOTATE all mutate), so the decision
+// is recorded on a stmt.plan span under db.writeSpan when one is active.
+func (db *DB) matchRows(tbl *catalog.Table, where sql.Expr) ([]types.RowID, error) {
+	path := plan.ChooseDMLPath(tbl, where, db.cfg.PlanOptions.DisableIndexScan)
+	if sp := db.writeSpan.Child(trace.SpanPlan); sp != nil {
+		sp.Attr("path", path.Name)
+		sp.AttrFloat("cost_seq", path.CostSeq)
+		if path.Col != "" {
+			sp.Attr("index_col", path.Col)
+			sp.AttrFloat("cost_index", path.CostIndex)
+			sp.AttrInt("est_rows", int64(path.Est))
+		}
+		sp.End()
+	}
+
 	var pred *exec.Compiled
 	if where != nil {
 		var err error
@@ -174,6 +192,40 @@ func (db *DB) matchRows(tbl interface {
 			return nil, err
 		}
 	}
+
+	if path.Name != "full_scan" {
+		var cand []types.RowID
+		var err error
+		if path.IsRange {
+			cand, err = tbl.LookupByIndexRange(path.Col, path.Lo, path.Hi, path.LoInc, path.HiInc)
+		} else {
+			cand, err = tbl.LookupByIndex(path.Col, path.Val)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// The index served one conjunct; the full predicate still decides.
+		var rows []types.RowID
+		for _, row := range cand {
+			tu, err := tbl.Get(row)
+			if err != nil {
+				return nil, err
+			}
+			v, err := pred.Eval(tu)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				rows = append(rows, row)
+			}
+		}
+		// Heap scans yield ascending row ids; index candidates arrive in key
+		// order. Sort so downstream effects (WAL records, messages) are
+		// identical whichever path won.
+		sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+		return rows, nil
+	}
+
 	var rows []types.RowID
 	var evalErr error
 	err := tbl.Scan(func(row types.RowID, tu types.Tuple) bool {

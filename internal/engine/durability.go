@@ -11,6 +11,7 @@ import (
 	"insightnotes/internal/failpoint"
 	"insightnotes/internal/metrics"
 	"insightnotes/internal/summary"
+	"insightnotes/internal/trace"
 	"insightnotes/internal/types"
 	"insightnotes/internal/wal"
 )
@@ -351,7 +352,10 @@ func (db *DB) logRecord(recType string, data any) error {
 	if db.wal == nil {
 		return nil
 	}
+	sp := db.writeSpan.Child(trace.SpanWALAppend)
+	sp.Attr("rec", recType)
 	_, tok, err := db.wal.Stage(recType, data)
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("engine: wal append (%s): %w", recType, err)
 	}

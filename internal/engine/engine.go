@@ -21,10 +21,19 @@ import (
 	"insightnotes/internal/plan"
 	"insightnotes/internal/storage"
 	"insightnotes/internal/summary"
+	"insightnotes/internal/trace"
 	"insightnotes/internal/types"
 	"insightnotes/internal/wal"
 	"insightnotes/internal/zoomin"
 )
+
+// Version is the engine version reported by insightnotes_build_info.
+const Version = "0.7.0"
+
+// DefaultTraceSample is the default probability that a statement is
+// promoted to detailed span collection — and therefore the retention
+// probability for ordinary (neither slow nor errored) statement traces.
+const DefaultTraceSample = 0.05
 
 // Config tunes a DB instance. The zero value plus defaults gives an
 // in-memory engine with a temp-dir zoom-in cache.
@@ -75,6 +84,17 @@ type Config struct {
 	// used in degraded mode (default 1024). When the queue is full,
 	// annotation ingestion blocks until the catch-up worker frees a slot.
 	MaintenanceQueueDepth int
+	// TraceSample is the probability that a statement is promoted to
+	// detailed span collection, and therefore the retention probability for
+	// ordinary statement traces (slow and errored traces are always
+	// retained — as span-less shells when they were not promoted). Zero
+	// means DefaultTraceSample; negative disables promotion entirely.
+	TraceSample float64
+	// TraceCapacity bounds the retained-trace ring (default 512).
+	TraceCapacity int
+	// DisableTracing turns the statement lifecycle tracer off entirely: no
+	// spans are collected and SHOW TRACES reports tracing disabled.
+	DisableTracing bool
 	// MaintenanceLatencyThreshold, when positive, enables automatic
 	// degradation: when the moving average of synchronous per-annotation
 	// summary-maintenance latency crosses it, subsequent maintenance is
@@ -120,6 +140,16 @@ type DB struct {
 	// metrics is the engine-wide observability registry (nil when
 	// Config.DisableMetrics is set).
 	metrics *dbMetrics
+	// tracer owns statement lifecycle traces and the retained-trace ring
+	// (nil when Config.DisableTracing is set).
+	tracer *trace.Tracer
+	// writeSpan is the exec span of the mutating statement currently holding
+	// stmtMu exclusively; logRecord and the DML row matcher hang their spans
+	// (wal.append, stmt.plan) under it without threading a handle through
+	// every call. Guarded by stmtMu (exclusive); nil outside write sections.
+	writeSpan *trace.SpanHandle
+	// start anchors the process-uptime gauge.
+	start time.Time
 	// annClock supplies Created timestamps deterministically when callers
 	// don't provide one.
 	annClock atomic.Int64
@@ -199,6 +229,21 @@ func Open(cfg Config) (*DB, error) {
 		digests: make(map[string]map[annotation.ID]summary.Digest),
 		cache:   cache,
 		queries: make(map[int]string),
+		start:   time.Now(),
+	}
+	if !cfg.DisableTracing {
+		sample := cfg.TraceSample
+		switch {
+		case sample == 0:
+			sample = DefaultTraceSample
+		case sample < 0:
+			sample = 0
+		}
+		db.tracer = trace.New(trace.Config{
+			Sample:        sample,
+			SlowThreshold: cfg.SlowQueryThreshold,
+			Capacity:      cfg.TraceCapacity,
+		})
 	}
 	if !cfg.DisableMetrics {
 		db.metrics = newDBMetrics(db)
@@ -228,6 +273,10 @@ func (db *DB) Annotations() *annotation.Store { return db.anns }
 // Cache exposes the zoom-in materialization cache (for stats in benchmarks
 // and the REPL).
 func (db *DB) Cache() *zoomin.Cache { return db.cache }
+
+// Tracer exposes the statement lifecycle tracer (nil when tracing is
+// disabled) — the server's /traces sidecar endpoint reads it.
+func (db *DB) Tracer() *trace.Tracer { return db.tracer }
 
 // EnvelopeFor implements exec.EnvelopeSource: a clone of the maintained
 // envelope of a base tuple (nil when unannotated). The clone is taken

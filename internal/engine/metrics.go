@@ -2,12 +2,14 @@ package engine
 
 import (
 	"context"
+	"runtime"
 	"sync/atomic"
 	"time"
 
 	"insightnotes/internal/exec"
 	"insightnotes/internal/metrics"
 	"insightnotes/internal/sql"
+	"insightnotes/internal/trace"
 )
 
 // timingSampleInterval is the statement sampling rate for per-operator
@@ -167,6 +169,29 @@ func newDBMetrics(db *DB) *dbMetrics {
 	paths.WithFunc("index_range_scan", func() float64 { return float64(pc.IndexRangeScans.Load()) })
 	paths.WithFunc("parallel_scan", func() float64 { return float64(pc.ParallelScans.Load()) })
 
+	// Lifecycle tracer: collection and retention counters read from the
+	// tracer's own bookkeeping at scrape time.
+	if tr := db.tracer; tr != nil {
+		reg.CounterFunc(metrics.NameTraceStartedTotal, "Statement lifecycle traces begun.",
+			func() float64 { return float64(tr.Stats().Started) })
+		reg.CounterFunc(metrics.NameTraceRetainedTotal, "Completed traces admitted to the retained-trace ring.",
+			func() float64 { return float64(tr.Stats().Retained) })
+		reg.CounterFunc(metrics.NameTraceSampledOutTotal, "Ordinary completed traces dropped by the tail sampler.",
+			func() float64 { return float64(tr.Stats().SampledOut) })
+		reg.CounterFunc(metrics.NameTraceEvictedTotal, "Retained traces evicted by the ring bound.",
+			func() float64 { return float64(tr.Stats().Evicted) })
+		reg.GaugeFunc(metrics.NameTraceResident, "Traces currently resident in the retained-trace ring.",
+			func() float64 { return float64(tr.Stats().Resident) })
+	}
+
+	// Build identity and process age, the two facts every dashboard joins
+	// everything else against.
+	reg.GaugeVec(metrics.NameBuildInfo,
+		"Build information; the value is always 1, the version label carries engine and Go versions.",
+		"version").With(Version+" "+runtime.Version()).Set(1)
+	reg.GaugeFunc(metrics.NameProcessUptimeSeconds, "Seconds since this engine instance was opened.",
+		func() float64 { return time.Since(db.start).Seconds() })
+
 	return m
 }
 
@@ -201,10 +226,28 @@ func (db *DB) newExecContext(ctx context.Context, so stmtOptions) *exec.ExecCont
 }
 
 // finishStatement records one completed statement: kind-labeled counters and
-// latency, result-row volume, and — when the statement crossed the
-// configured threshold — the slow-query counter and structured log entry.
-func (db *DB) finishStatement(kind, sqlText string, start time.Time, res *Result, err error) {
-	wall := time.Since(start)
+// latency, result-row volume, the lifecycle trace's retention decision, and
+// — when the statement crossed the configured threshold — the slow-query
+// counter and structured log entry. The trace id is cross-linked into the
+// result and the slow-query entry so all three observability channels
+// reference the same statement.
+func (db *DB) finishStatement(kind, sqlText string, start time.Time, res *Result, err error, so stmtOptions) {
+	now := time.Now()
+	wall := now.Sub(start)
+	var traceID string
+	if at := so.lifecycle; at != nil {
+		// The id is read before Finish: Finish is the owner's last touch of
+		// the builder, which recycles for a later statement.
+		traceID = at.ID().String()
+	}
+	// The same clock read serves the metrics wall and the trace end.
+	so.lifecycle.FinishAt(kind, err, now)
+	if res != nil {
+		res.TraceID = traceID
+		if res.Stats != nil {
+			res.Stats.QueueWait = so.queueWait
+		}
+	}
 	if m := db.metrics; m != nil {
 		m.statements.With(kind).Inc()
 		if err != nil {
@@ -220,19 +263,24 @@ func (db *DB) finishStatement(kind, sqlText string, start time.Time, res *Result
 			m.slowQueries.Inc()
 		}
 		if sink := db.cfg.SlowQueryLog; sink != nil {
-			sink.EmitSlowQuery(slowQueryEntry(kind, sqlText, wall, res, err))
+			sink.EmitSlowQuery(slowQueryEntry(kind, sqlText, wall, res, err, traceID, so.queueWait))
 		}
 	}
 }
 
 // foldOpStats folds one executed plan's per-operator counters into the
 // cumulative per-operator-type families and returns the per-operator rows
-// for Result.Ops. Latency histograms are fed only on timed (sampled)
-// statements; the other counters are exact.
+// for Result.Ops. Latency histograms are fed only on sampled statements;
+// the other counters are exact. When the statement carries a lifecycle
+// exec span, the plan's operators are additionally synthesized as spans
+// under it — stats and spans share this one plumbing.
 func (db *DB) foldOpStats(op exec.Operator, ec *exec.ExecContext) []OpStat {
+	if sp := ec.Span(); sp != nil {
+		synthOpSpans(sp, op)
+	}
 	var ops []OpStat
 	m := db.metrics
-	timed := ec.Timed()
+	timed := ec.HistogramSampled()
 	exec.WalkStats(op, func(name string, st exec.OpStats) {
 		ops = append(ops, OpStat{
 			Op: name, Rows: st.Rows, Merges: st.Merges, Curates: st.Curates,
@@ -263,6 +311,37 @@ func (db *DB) foldOpStats(op exec.Operator, ec *exec.ExecContext) []OpStat {
 		}
 	})
 	return ops
+}
+
+// synthOpSpans records the executed plan's operator tree as spans under
+// the statement's exec span. Operator spans are synthesized after the plan
+// drains — from the same OpStats the metrics fold reads — rather than
+// opened live, so parallel workers never touch the single-goroutine trace
+// builder. Each span inherits its parent's start offset and carries the
+// operator's cumulative wall (inclusive of children; the renderer derives
+// self-time), so tree shape and relative weight survive even though exact
+// interleavings are not recorded. Walls are non-zero only for the
+// histogram-sampled subset of statements; ordinary traced statements get
+// the operator tree with row counts but zero walls, because per-batch
+// clock reads would dominate the tracing budget.
+func synthOpSpans(parent *trace.SpanHandle, op exec.Operator) {
+	var st exec.OpStats
+	if in, ok := op.(exec.Instrumented); ok {
+		st = in.Stats()
+	}
+	sp := parent.AddChild(trace.OpSpan(exec.OperatorName(op)), st.Wall)
+	sp.AttrInt("rows", st.Rows)
+	if st.Workers > 0 {
+		sp.AttrInt("workers", int64(st.Workers))
+	}
+	if st.Morsels > 0 {
+		sp.AttrInt("morsels", st.Morsels)
+	}
+	if d, ok := op.(exec.Described); ok {
+		for _, child := range d.Children() {
+			synthOpSpans(sp, child)
+		}
+	}
 }
 
 // statementKind maps a parsed statement to its metric label. Labels are

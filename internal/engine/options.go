@@ -2,8 +2,10 @@ package engine
 
 import (
 	"runtime"
+	"time"
 
 	"insightnotes/internal/plan"
+	"insightnotes/internal/trace"
 )
 
 // StatementOption tunes one statement execution. The context-first entry
@@ -21,6 +23,13 @@ type stmtOptions struct {
 	parallelism int
 	// batchSize overrides the executor batch size (0 = engine default).
 	batchSize int
+	// lifecycle is the statement's active lifecycle trace. The server seeds
+	// it (WithActiveTrace) so its queue-wait span and the engine's spans land
+	// in one trace; when nil and tracing is enabled, the engine starts one.
+	lifecycle *trace.Active
+	// queueWait is the admission-queue wait the server measured before
+	// dispatching this statement (surfaced in stats and the slow-query log).
+	queueWait time.Duration
 }
 
 func gatherOptions(opts []StatementOption) stmtOptions {
@@ -60,6 +69,21 @@ func WithParallelism(n int) StatementOption {
 // operator NextBatch call). Values below 1 fall back to the engine default.
 func WithBatchSize(n int) StatementOption {
 	return func(so *stmtOptions) { so.batchSize = n }
+}
+
+// WithActiveTrace attaches an already-started lifecycle trace to this
+// statement instead of letting the engine start its own — the server uses
+// it so wire-level spans (admission-queue wait) and engine spans share one
+// trace. The engine finishes the trace when the statement completes.
+func WithActiveTrace(at *trace.Active) StatementOption {
+	return func(so *stmtOptions) { so.lifecycle = at }
+}
+
+// WithQueueWait records the admission-queue wait the caller measured before
+// dispatching this statement; it is surfaced in StatementStats and
+// slow-query log entries.
+func WithQueueWait(d time.Duration) StatementOption {
+	return func(so *stmtOptions) { so.queueWait = d }
 }
 
 // parallelism resolves the scan worker count for one statement: the

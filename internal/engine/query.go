@@ -8,6 +8,7 @@ import (
 	"insightnotes/internal/exec"
 	"insightnotes/internal/plan"
 	"insightnotes/internal/sql"
+	"insightnotes/internal/trace"
 	"insightnotes/internal/types"
 	"insightnotes/internal/zoomin"
 )
@@ -30,6 +31,10 @@ type StatementStats struct {
 	Curates int64
 	// Wall is the statement's elapsed wall time.
 	Wall time.Duration
+	// QueueWait is the time the statement spent waiting for an admission
+	// slot before execution began (zero when the caller measured none —
+	// embedded use has no admission queue).
+	QueueWait time.Duration
 	// StalePending is the number of deferred summary-maintenance tasks
 	// outstanding when the statement finished: above zero, the summaries
 	// in this result may lag the raw annotations (degraded mode).
@@ -40,6 +45,9 @@ type StatementStats struct {
 func (s *StatementStats) String() string {
 	out := fmt.Sprintf("%d row(s) in %s (op_rows=%d merges=%d curates=%d)",
 		s.Rows, s.Wall.Round(time.Microsecond), s.OpRows, s.Merges, s.Curates)
+	if s.QueueWait > 0 {
+		out += fmt.Sprintf(" [queued %s]", s.QueueWait.Round(time.Microsecond))
+	}
 	if s.StalePending > 0 {
 		out += fmt.Sprintf(" [stale: %d pending update(s)]", s.StalePending)
 	}
@@ -73,6 +81,10 @@ type Result struct {
 	// ZoomAnnotations carries the raw annotations retrieved by a ZOOMIN
 	// command, grouped per matched result row.
 	ZoomAnnotations []ZoomRowResult
+	// TraceID is the statement's lifecycle trace id (empty when tracing is
+	// disabled). The trace itself is retrievable via SHOW TRACE / the
+	// /traces endpoint only if the tail sampler retained it.
+	TraceID string
 }
 
 // Query plans and executes a SELECT under ctx, assigns a QID, and
@@ -85,19 +97,24 @@ type Result struct {
 // worker count and batch size.
 func (db *DB) Query(ctx context.Context, sqlText string, opts ...StatementOption) (*Result, error) {
 	so := gatherOptions(opts)
+	start := db.startLifecycle(&so, sqlText)
+	psp := so.lifecycle.StartSpan(trace.SpanParse, nil)
 	stmt, err := sql.Parse(sqlText)
+	psp.End()
 	if err != nil {
+		so.lifecycle.Finish("parse_error", err)
 		return nil, err
 	}
 	sel, ok := stmt.(*sql.Select)
 	if !ok {
-		return nil, fmt.Errorf("engine: Query expects a SELECT; use Exec for %T", stmt)
+		err := fmt.Errorf("engine: Query expects a SELECT; use Exec for %T", stmt)
+		so.lifecycle.Finish(statementKind(stmt), err)
+		return nil, err
 	}
 	db.stmtMu.RLock()
 	defer db.stmtMu.RUnlock()
-	start := time.Now()
 	res, err := db.querySelect(db.newExecContext(ctx, so), sel, sqlText, so)
-	db.finishStatement("select", sqlText, start, res, err)
+	db.finishStatement("select", sqlText, start, res, err, so)
 	return res, err
 }
 
@@ -115,13 +132,34 @@ func statementStats(ec *exec.ExecContext, rows int) *StatementStats {
 }
 
 func (db *DB) querySelect(ec *exec.ExecContext, sel *sql.Select, sqlText string, so stmtOptions) (*Result, error) {
-	p := plan.New(db.cat, db, db.planOptions(so))
+	popts := db.planOptions(so)
+	psp := so.lifecycle.StartSpan(trace.SpanPlan, nil)
+	popts.Span = psp
+	p := plan.New(db.cat, db, popts)
 	op, err := p.PlanSelect(sel)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	esp := so.lifecycle.StartSpan(trace.SpanExec, nil)
+	if esp != nil {
+		ec.WithSpan(esp)
+	}
+	var poolHits0, poolFaults0 uint64
+	if esp != nil {
+		poolHits0, poolFaults0 = db.pool.Stats()
+	}
 	rows, err := exec.CollectContext(ec, op)
 	ops := db.foldOpStats(op, ec)
+	if esp != nil {
+		// Pool deltas are process-wide, so concurrent statements bleed into
+		// each other's counts; still the first-order "was this IO-bound"
+		// signal per trace.
+		poolHits1, poolFaults1 := db.pool.Stats()
+		esp.AttrInt("pool_hits", int64(poolHits1-poolHits0))
+		esp.AttrInt("pool_faults", int64(poolFaults1-poolFaults0))
+		esp.End()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -35,6 +35,13 @@ type SlowQueryEntry struct {
 	Kind string `json:"kind"`
 	// WallMicros is the statement's elapsed wall time in microseconds.
 	WallMicros int64 `json:"wall_us"`
+	// QueueWaitMicros is the admission-queue wait before execution began
+	// (0 when the statement never queued — embedded use, or instant admit).
+	QueueWaitMicros int64 `json:"queue_wait_us,omitempty"`
+	// TraceID cross-links the statement's lifecycle trace (empty when
+	// tracing is disabled); slow statements are always retained, so a slow
+	// entry's trace is fetchable via SHOW TRACE or /traces until evicted.
+	TraceID string `json:"trace_id,omitempty"`
 	// Rows is the number of result rows returned (0 on error).
 	Rows int `json:"rows"`
 	// OpRows, Merges, and Curates are the statement-wide pipeline totals.
@@ -94,13 +101,15 @@ func cancellationCause(err error) string {
 }
 
 // slowQueryEntry assembles the structured record for one finished statement.
-func slowQueryEntry(kind, sqlText string, wall time.Duration, res *Result, err error) SlowQueryEntry {
+func slowQueryEntry(kind, sqlText string, wall time.Duration, res *Result, err error, traceID string, queueWait time.Duration) SlowQueryEntry {
 	e := SlowQueryEntry{
-		TSMicros:   time.Now().UnixMicro(),
-		Statement:  sqlText,
-		Kind:       kind,
-		WallMicros: wall.Microseconds(),
-		Cancelled:  cancellationCause(err),
+		TSMicros:        time.Now().UnixMicro(),
+		Statement:       sqlText,
+		Kind:            kind,
+		WallMicros:      wall.Microseconds(),
+		QueueWaitMicros: queueWait.Microseconds(),
+		TraceID:         traceID,
+		Cancelled:       cancellationCause(err),
 	}
 	if err != nil {
 		e.Error = err.Error()

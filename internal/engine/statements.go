@@ -11,6 +11,7 @@ import (
 	"insightnotes/internal/exec"
 	"insightnotes/internal/plan"
 	"insightnotes/internal/sql"
+	"insightnotes/internal/trace"
 	"insightnotes/internal/types"
 	"insightnotes/internal/wal"
 )
@@ -20,11 +21,19 @@ import (
 // SELECTs (WithTrace, WithPlanOptions, WithParallelism, WithBatchSize) and
 // ignored by statements they do not apply to.
 func (db *DB) Exec(ctx context.Context, sqlText string, opts ...StatementOption) (*Result, error) {
+	so := gatherOptions(opts)
+	start := db.startLifecycle(&so, sqlText)
+	psp := so.lifecycle.StartSpan(trace.SpanParse, nil)
 	stmt, err := sql.Parse(sqlText)
+	psp.End()
 	if err != nil {
+		// A statement that never parsed has no kind-labeled metrics, but its
+		// trace is finished (and always retained, being errored) so the
+		// failure is visible in SHOW TRACES.
+		so.lifecycle.Finish("parse_error", err)
 		return nil, err
 	}
-	return db.ExecStatement(ctx, stmt, sqlText, opts...)
+	return db.execLifecycle(ctx, stmt, sqlText, so, start)
 }
 
 // ExecScript executes a semicolon-separated script under ctx (checked
@@ -57,9 +66,31 @@ func (db *DB) ExecScript(ctx context.Context, script string, opts ...StatementOp
 // A panic in statement execution is contained here: it becomes an error
 // on this statement instead of tearing down the process (the deferred
 // lock releases run during unwinding, so the engine stays usable).
-func (db *DB) ExecStatement(ctx context.Context, stmt sql.Statement, sqlText string, opts ...StatementOption) (res *Result, err error) {
+func (db *DB) ExecStatement(ctx context.Context, stmt sql.Statement, sqlText string, opts ...StatementOption) (*Result, error) {
 	so := gatherOptions(opts)
-	start := time.Now()
+	start := db.startLifecycle(&so, sqlText)
+	return db.execLifecycle(ctx, stmt, sqlText, so, start)
+}
+
+// startLifecycle marks the statement's entry instant and ensures it has an
+// active lifecycle trace when tracing is enabled: the caller-provided one
+// (WithActiveTrace) wins, otherwise the engine starts its own rooted at
+// this statement. The returned instant doubles as the trace start and the
+// metrics latency baseline — one clock read serves both, so a shell trace
+// adds none of its own.
+func (db *DB) startLifecycle(so *stmtOptions, sqlText string) time.Time {
+	now := time.Now()
+	if so.lifecycle == nil {
+		so.lifecycle = db.tracer.StartAt(sqlText, now)
+	}
+	return now
+}
+
+// execLifecycle runs one parsed statement under its lifecycle trace and
+// the panic guard, then folds the outcome into metrics, the slow-query
+// log, and the trace store. start is the statement's entry instant from
+// startLifecycle, so the recorded latency covers parse onwards.
+func (db *DB) execLifecycle(ctx context.Context, stmt sql.Statement, sqlText string, so stmtOptions, start time.Time) (res *Result, err error) {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -68,7 +99,7 @@ func (db *DB) ExecStatement(ctx context.Context, stmt sql.Statement, sqlText str
 		}()
 		res, err = db.execStatement(ctx, stmt, sqlText, so)
 	}()
-	db.finishStatement(statementKind(stmt), sqlText, start, res, err)
+	db.finishStatement(statementKind(stmt), sqlText, start, res, err, so)
 	db.maybeAutoCheckpoint()
 	return res, err
 }
@@ -88,12 +119,21 @@ func (db *DB) execStatement(ctx context.Context, stmt sql.Statement, sqlText str
 		defer db.stmtMu.RUnlock()
 		return db.execExplain(ctx, s, so)
 	case *sql.ZoomIn:
+		zsp := so.lifecycle.StartSpan(trace.SpanZoomExpand, nil)
 		results, hit, err := db.ZoomIn(ctx, ZoomInRequest{
 			QID: s.QID, Where: s.Where, Instance: s.Instance, Index: s.Index,
 		})
+		zsp.AttrInt("qid", int64(s.QID))
 		if err != nil {
+			zsp.End()
 			return nil, err
 		}
+		if hit {
+			zsp.Attr("source", "cache_hit")
+		} else {
+			zsp.Attr("source", "re_executed")
+		}
+		zsp.End()
 		rows := zoomRows(results)
 		src := "cache hit"
 		if !hit {
@@ -158,10 +198,23 @@ func (db *DB) execStatement(ctx context.Context, stmt sql.Statement, sqlText str
 	res, tok, err := func() (*Result, wal.SyncToken, error) {
 		db.stmtMu.Lock()
 		defer db.stmtMu.Unlock()
+		// The exec span doubles as the anchor for spans opened by layers
+		// below that have no handle to thread (wal.append in logRecord,
+		// stmt.plan in matchRows); see DB.writeSpan.
+		esp := so.lifecycle.StartSpan(trace.SpanExec, nil)
+		db.writeSpan = esp
 		res, err := db.execWriteLocked(stmt)
+		db.writeSpan = nil
+		esp.End()
 		return res, db.takePendingSync(), err
 	}()
-	if serr := db.syncWAL(tok); err == nil {
+	var serr error
+	if db.wal != nil {
+		csp := so.lifecycle.StartSpan(trace.SpanWALCommit, nil)
+		serr = db.syncWAL(tok)
+		csp.End()
+	}
+	if err == nil {
 		err = serr
 	}
 	if err != nil {
@@ -413,6 +466,52 @@ func (db *DB) execShow(s *sql.Show) (*Result, error) {
 					types.NewString(a.Preview(80)),
 				}})
 			}
+		}
+		return &Result{Schema: schema, Rows: rows}, nil
+	case "TRACES":
+		schema := types.NewSchema(
+			types.Column{Name: "trace_id", Kind: types.KindString},
+			types.Column{Name: "kind", Kind: types.KindString},
+			types.Column{Name: "wall_us", Kind: types.KindInt},
+			types.Column{Name: "slow", Kind: types.KindBool},
+			types.Column{Name: "error", Kind: types.KindString},
+			types.Column{Name: "stmt", Kind: types.KindString},
+		)
+		if db.tracer == nil {
+			return &Result{Schema: schema, Message: "tracing disabled"}, nil
+		}
+		limit := s.Limit
+		if limit <= 0 {
+			limit = 20
+		}
+		var rows []*exec.Row
+		for _, t := range db.tracer.Snapshot(limit) {
+			rows = append(rows, &exec.Row{Tuple: types.Tuple{
+				types.NewString(t.ID.String()),
+				types.NewString(t.Kind),
+				types.NewInt(t.Dur.Microseconds()),
+				types.NewBool(t.Slow),
+				types.NewString(t.Err),
+				types.NewString(t.Statement),
+			}})
+		}
+		return &Result{Schema: schema, Rows: rows}, nil
+	case "TRACE":
+		schema := types.NewSchema(types.Column{Name: "trace", Kind: types.KindString})
+		if db.tracer == nil {
+			return &Result{Schema: schema, Message: "tracing disabled"}, nil
+		}
+		id, err := trace.ParseID(s.TraceID)
+		if err != nil {
+			return nil, err
+		}
+		t, ok := db.tracer.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("engine: trace %s not found (evicted or never retained)", id)
+		}
+		var rows []*exec.Row
+		for _, line := range trace.RenderTree(t) {
+			rows = append(rows, &exec.Row{Tuple: types.Tuple{types.NewString(line)}})
 		}
 		return &Result{Schema: schema, Rows: rows}, nil
 	case "METRICS":

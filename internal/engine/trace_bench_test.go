@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"insightnotes/internal/plan"
+)
+
+// benchTraceDB opens an in-memory DB with the given tracing configuration
+// and a populated, indexed table; the benchmark body runs the statement
+// mix a traced statement actually pays for: parse, plan, exec, and the
+// per-operator span synthesis.
+func benchTraceDB(b *testing.B, cfg Config) *DB {
+	b.Helper()
+	cfg.CacheDir = b.TempDir()
+	cfg.DisableMetrics = true
+	db, err := Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := db.Exec(ctx, "CREATE TABLE t (id INT, v INT)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, "CREATE INDEX ON t (id)"); err != nil {
+		b.Fatal(err)
+	}
+	for base := 0; base < 1000; base += 100 {
+		vals := make([]string, 0, 100)
+		for i := base; i < base+100; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, 0)", i))
+		}
+		if _, err := db.Exec(ctx, "INSERT INTO t VALUES "+strings.Join(vals, ", ")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkTraceOverhead measures the end-to-end statement cost of
+// lifecycle tracing (E16): off entirely, at the default 5% tail sample,
+// and fully retained. The acceptance budget is ≤5% at the default sample
+// rate and within noise when disabled.
+func BenchmarkTraceOverhead(b *testing.B) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"off", Config{DisableTracing: true}},
+		{"sample=default", Config{}}, // 0.05 tail sample
+		{"sample=1", Config{TraceSample: 1}},
+	}
+	for _, tc := range configs {
+		b.Run("select/"+tc.name, func(b *testing.B) {
+			db := benchTraceDB(b, tc.cfg)
+			ctx := context.Background()
+			// Explicit (default) plan options skip QID registration and the
+			// zoom-in cache, so per-op cost cannot depend on b.N and the
+			// comparison isolates the tracing spans themselves.
+			ablate := WithPlanOptions(plan.Options{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(ctx, fmt.Sprintf("SELECT v FROM t WHERE id = %d", i%1000), ablate); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("update/"+tc.name, func(b *testing.B) {
+			db := benchTraceDB(b, tc.cfg)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Exec(ctx, fmt.Sprintf("UPDATE t SET v = %d WHERE id = %d", i, i%1000)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"insightnotes/internal/trace"
+)
+
+// tracedDB opens an in-memory DB that retains every trace.
+func tracedDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Config{CacheDir: t.TempDir(), TraceSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// spanNames flattens a trace's span names for containment checks.
+func spanNames(tr *trace.Trace) map[string]bool {
+	out := map[string]bool{}
+	for _, sp := range tr.Spans {
+		out[sp.Name] = true
+	}
+	return out
+}
+
+// spanAttr finds the first attribute value for key on any span named name.
+func spanAttr(tr *trace.Trace, name, key string) (string, bool) {
+	for _, sp := range tr.Spans {
+		if sp.Name != name {
+			continue
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == key {
+				return a.Value(), true
+			}
+		}
+	}
+	return "", false
+}
+
+func TestStatementTraceLifecycle(t *testing.T) {
+	db := tracedDB(t)
+	mustExec(t, db, "CREATE TABLE birds (id INT, hits INT)")
+	mustExec(t, db, "CREATE INDEX ON birds (id)")
+	// Enough rows that the cost model prefers the index for an equality
+	// predicate (a full scan wins on tiny tables, by design).
+	for base := 0; base < 800; base += 100 {
+		vals := make([]string, 0, 100)
+		for i := base; i < base+100; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, 0)", i))
+		}
+		mustExec(t, db, "INSERT INTO birds VALUES "+strings.Join(vals, ", "))
+	}
+
+	// A mutating statement: parse, exec, and an index-driven plan span.
+	res := mustExec(t, db, "UPDATE birds SET hits = 1 WHERE id = 7")
+	if res.TraceID == "" {
+		t.Fatal("UPDATE result carries no trace id")
+	}
+	id, err := trace.ParseID(res.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := db.Tracer().Get(id)
+	if !ok {
+		t.Fatalf("trace %s not retained at sample 1", res.TraceID)
+	}
+	if tr.Kind != "update" || tr.Statement != "UPDATE birds SET hits = 1 WHERE id = 7" {
+		t.Fatalf("trace header %q/%q", tr.Kind, tr.Statement)
+	}
+	names := spanNames(tr)
+	for _, want := range []string{trace.SpanStatement, trace.SpanParse, trace.SpanExec, trace.SpanPlan} {
+		if !names[want] {
+			t.Fatalf("UPDATE trace missing span %s; have %v", want, names)
+		}
+	}
+	if path, ok := spanAttr(tr, trace.SpanPlan, "path"); !ok || path != "index_scan" {
+		t.Fatalf("UPDATE plan span path attr = %q, %v; want index_scan", path, ok)
+	}
+	if _, ok := spanAttr(tr, trace.SpanPlan, "cost_seq"); !ok {
+		t.Fatal("UPDATE plan span missing cost_seq attribute")
+	}
+
+	// A query: plan span carries the planner's access-path decision and
+	// executor operators appear as op.* spans.
+	res, err = db.Query(context.Background(), "SELECT hits FROM birds WHERE id = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err = trace.ParseID(res.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok = db.Tracer().Get(id)
+	if !ok {
+		t.Fatal("SELECT trace not retained")
+	}
+	if path, ok := spanAttr(tr, trace.SpanPlan, "path.birds"); !ok || path != "index_scan" {
+		t.Fatalf("SELECT plan span path.birds = %q, %v; want index_scan", path, ok)
+	}
+	opSeen := false
+	for name := range spanNames(tr) {
+		if strings.HasPrefix(name, trace.OpSpanPrefix) {
+			opSeen = true
+		}
+	}
+	if !opSeen {
+		t.Fatal("SELECT trace has no op.* executor spans")
+	}
+
+	// A parse error finishes the trace as errored (always retained).
+	if _, err := db.Exec(context.Background(), "UPDATEX nope"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	found := false
+	for _, tc := range db.Tracer().Snapshot(0) {
+		if tc.Kind == "parse_error" && tc.Err != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("parse error did not leave an errored trace")
+	}
+}
+
+func TestShowTracesAndShowTrace(t *testing.T) {
+	db := tracedDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2)")
+	res := mustExec(t, db, "UPDATE t SET a = 3 WHERE a = 1")
+	traceID := res.TraceID
+
+	list := mustExec(t, db, "SHOW TRACES")
+	if len(list.Rows) < 3 {
+		t.Fatalf("SHOW TRACES rows = %d, want >= 3", len(list.Rows))
+	}
+	if got := list.Schema.Columns[0].Name; got != "trace_id" {
+		t.Fatalf("first column %q", got)
+	}
+	one := mustExec(t, db, "SHOW TRACES LIMIT 1")
+	if len(one.Rows) != 1 {
+		t.Fatalf("SHOW TRACES LIMIT 1 rows = %d", len(one.Rows))
+	}
+
+	tree := mustExec(t, db, "SHOW TRACE "+traceID)
+	joined := ""
+	for _, row := range tree.Rows {
+		joined += row.Tuple[0].Str() + "\n"
+	}
+	for _, want := range []string{"trace " + traceID, "kind=update", trace.SpanParse, trace.SpanExec} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("SHOW TRACE output missing %q:\n%s", want, joined)
+		}
+	}
+
+	if _, err := db.Exec(context.Background(), "SHOW TRACE t0000000000000001"); err == nil {
+		t.Fatal("SHOW TRACE on an unknown id should error")
+	}
+	if _, err := db.Exec(context.Background(), "SHOW TRACE 'not quoted ids'"); err == nil {
+		t.Fatal("SHOW TRACE with a non-identifier should error")
+	}
+}
+
+func TestTracingDisabled(t *testing.T) {
+	db, err := Open(Config{CacheDir: t.TempDir(), DisableTracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Tracer() != nil {
+		t.Fatal("DisableTracing left a live tracer")
+	}
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	res := mustExec(t, db, "INSERT INTO t VALUES (1)")
+	if res.TraceID != "" {
+		t.Fatalf("trace id %q with tracing disabled", res.TraceID)
+	}
+	list := mustExec(t, db, "SHOW TRACES")
+	if list.Message != "tracing disabled" || len(list.Rows) != 0 {
+		t.Fatalf("SHOW TRACES disabled: message %q rows %d", list.Message, len(list.Rows))
+	}
+}
+
+func TestSlowLogCarriesTraceIDAndQueueWait(t *testing.T) {
+	var buf bytes.Buffer
+	db, err := Open(Config{
+		CacheDir:           t.TempDir(),
+		TraceSample:        1,
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		SlowQueryLog:       NewJSONSlowQueryLog(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	buf.Reset()
+	res, err := db.Query(context.Background(), "SELECT a FROM t",
+		WithQueueWait(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.QueueWait != 5*time.Millisecond {
+		t.Fatalf("result queue wait = %v", res.Stats.QueueWait)
+	}
+	if !strings.Contains(res.Stats.String(), "[queued ") {
+		t.Fatalf("stats string hides queue wait: %s", res.Stats.String())
+	}
+	var e SlowQueryEntry
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.TraceID == "" || e.TraceID != res.TraceID {
+		t.Fatalf("slow entry trace id %q; result %q", e.TraceID, res.TraceID)
+	}
+	if e.QueueWaitMicros != 5000 {
+		t.Fatalf("slow entry queue wait = %dus, want 5000", e.QueueWaitMicros)
+	}
+	// The slow statement was retained by the slow class, so its id resolves.
+	id, err := trace.ParseID(e.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := db.Tracer().Get(id)
+	if !ok {
+		t.Fatal("slow trace not retained")
+	}
+	if !tr.Slow {
+		t.Fatal("retained trace not marked slow")
+	}
+}
+
+// TestTraceHammer mixes mutating writers with SHOW TRACES / SHOW TRACE
+// readers; under -race this exercises the statement lifecycle, the
+// retained-trace ring, and the renderer concurrently.
+func TestTraceHammer(t *testing.T) {
+	db := tracedDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INT, b INT)")
+	mustExec(t, db, "CREATE INDEX ON t (a)")
+	for i := 0; i < 32; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", i))
+	}
+
+	const writers, stmtsPer = 4, 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := db.Exec(ctx, "SHOW TRACES LIMIT 10")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, row := range res.Rows {
+					// Traces can be evicted between listing and lookup;
+					// only "not found" is acceptable as an error.
+					tr, err := db.Exec(ctx, "SHOW TRACE "+row.Tuple[0].Str())
+					if err != nil {
+						if !strings.Contains(err.Error(), "not found") {
+							t.Error(err)
+							return
+						}
+						continue
+					}
+					if len(tr.Rows) == 0 {
+						t.Error("SHOW TRACE returned an empty tree")
+						return
+					}
+				}
+			}
+		}()
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			ctx := context.Background()
+			for i := 0; i < stmtsPer; i++ {
+				stmt := fmt.Sprintf("UPDATE t SET b = %d WHERE a = %d", i, (w*stmtsPer+i)%32)
+				if _, err := db.Exec(ctx, stmt); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	st := db.Tracer().Stats()
+	if st.Started == 0 || st.Retained == 0 {
+		t.Fatalf("tracer stats after hammer: %+v", st)
+	}
+}

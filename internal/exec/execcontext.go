@@ -3,6 +3,8 @@ package exec
 import (
 	"context"
 	"time"
+
+	"insightnotes/internal/trace"
 )
 
 // DefaultBatchSize is the number of rows moved per NextBatch call when the
@@ -44,10 +46,19 @@ type StatementTotals struct {
 // everywhere (no cancellation, no stats, no trace), which keeps ad-hoc
 // operator drivers in tests simple.
 type ExecContext struct {
-	ctx    context.Context
-	batch  int
-	timed  bool
-	trace  *TraceSink
+	ctx   context.Context
+	batch int
+	// timed enables per-operator wall-time collection; sampled additionally
+	// feeds those walls into the insightnotes_exec_op_seconds histograms.
+	// Both are set together by WithTiming; lifecycle tracing (WithSpan)
+	// leaves them off so traced statements don't pay per-batch clock reads.
+	timed   bool
+	sampled bool
+	trace   *TraceSink
+	// span is the statement's lifecycle exec span; operator spans are
+	// synthesized under it from the per-operator stats after the plan
+	// drains, so stats and spans share this one plumbing.
+	span   *trace.SpanHandle
 	totals StatementTotals
 	start  time.Time
 }
@@ -71,13 +82,39 @@ func (ec *ExecContext) WithTrace() *ExecContext {
 	return ec
 }
 
-// WithTiming enables per-operator wall-time collection (EXPLAIN ANALYZE)
-// and returns ec. Timing is opt-in because it costs two clock reads per
+// WithTiming enables per-operator wall-time collection AND histogram
+// feeding (EXPLAIN ANALYZE and the engine's sampled statements) and
+// returns ec. Timing is opt-in because it costs two clock reads per
 // operator per batch.
 func (ec *ExecContext) WithTiming() *ExecContext {
 	ec.timed = true
+	ec.sampled = true
 	return ec
 }
+
+// WithSpan attaches the statement's lifecycle exec span and returns ec.
+// Attaching a span deliberately does NOT enable per-batch wall-time
+// collection: operator spans synthesized from the stats carry row counts
+// on every traced statement, but their walls are populated only for the
+// histogram-sampled subset (WithTiming) — two clock reads per operator
+// per batch is too expensive to pay on the untraced fast path's budget.
+func (ec *ExecContext) WithSpan(sp *trace.SpanHandle) *ExecContext {
+	ec.span = sp
+	return ec
+}
+
+// Span returns the statement's lifecycle exec span (nil when the statement
+// is not being traced).
+func (ec *ExecContext) Span() *trace.SpanHandle {
+	if ec == nil {
+		return nil
+	}
+	return ec.span
+}
+
+// HistogramSampled reports whether this statement's operator walls feed
+// the latency histograms (the sampled subset of timed statements).
+func (ec *ExecContext) HistogramSampled() bool { return ec != nil && ec.sampled }
 
 // WithBatchSize overrides the pipeline batch size (rows per NextBatch
 // call) and returns ec. Values below one fall back to DefaultBatchSize.
@@ -104,7 +141,9 @@ func (ec *ExecContext) forkWorker() *ExecContext {
 	if ec == nil {
 		return nil
 	}
-	return &ExecContext{ctx: ec.ctx, batch: ec.batch, timed: ec.timed, start: ec.start}
+	// The lifecycle span handle stays with the parent: workers must not
+	// write spans concurrently; operator spans are synthesized post-drain.
+	return &ExecContext{ctx: ec.ctx, batch: ec.batch, timed: ec.timed, sampled: ec.sampled, start: ec.start}
 }
 
 // foldWorker adds a drained worker fork's statement totals into ec. Called

@@ -97,4 +97,15 @@ const (
 	// wal layer — group commit (batched commit fsyncs).
 	NameWALGroupCommitBatchesTotal = "insightnotes_wal_group_commit_batches_total" // counter (commit fsyncs covering ≥1 record)
 	NameWALGroupCommitRecordsTotal = "insightnotes_wal_group_commit_records_total" // counter (records that shared a commit fsync)
+
+	// trace layer — statement lifecycle tracing (collection and retention).
+	NameTraceStartedTotal    = "insightnotes_trace_started_total"     // counter (traces begun)
+	NameTraceRetainedTotal   = "insightnotes_trace_retained_total"    // counter (completed traces admitted to the ring)
+	NameTraceSampledOutTotal = "insightnotes_trace_sampled_out_total" // counter (ordinary traces dropped by the tail sampler)
+	NameTraceEvictedTotal    = "insightnotes_trace_evicted_total"     // counter (retained traces evicted by the ring bound)
+	NameTraceResident        = "insightnotes_trace_resident"          // gauge (traces currently retained)
+
+	// process layer — build identity and age.
+	NameBuildInfo            = "insightnotes_build_info"             // gauge{version} (always 1)
+	NameProcessUptimeSeconds = "insightnotes_process_uptime_seconds" // gauge
 )

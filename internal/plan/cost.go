@@ -7,6 +7,8 @@
 package plan
 
 import (
+	"strings"
+
 	"insightnotes/internal/catalog"
 	"insightnotes/internal/exec"
 	"insightnotes/internal/sql"
@@ -104,6 +106,15 @@ func (p *Planner) chooseAccessPath(r *relation, local []sql.Expr) exec.Operator 
 		}
 	}
 
+	if sp := p.opts.Span; sp != nil {
+		alias := strings.ToLower(r.ref.EffectiveAlias())
+		sp.AttrFloat("cost_seq."+alias, seq)
+		if best != nil {
+			sp.AttrFloat("cost_index."+alias, indexCost(best.est))
+			sp.Attr("index_col."+alias, best.col)
+			sp.AttrInt("est_rows."+alias, int64(best.est))
+		}
+	}
 	if best != nil && indexCost(best.est) < seq {
 		if best.isRange {
 			op := exec.NewIndexRangeScan(r.table, r.ref.EffectiveAlias(), best.col,

@@ -18,6 +18,7 @@ import (
 	"insightnotes/internal/catalog"
 	"insightnotes/internal/exec"
 	"insightnotes/internal/sql"
+	"insightnotes/internal/trace"
 	"insightnotes/internal/types"
 )
 
@@ -44,6 +45,10 @@ type Options struct {
 	// access paths chosen). Shared across planner instances; safe for
 	// concurrent use.
 	Counters *Counters
+	// Span, when set, is the statement's lifecycle plan span: the planner
+	// records its access-path decisions and cost estimates on it as
+	// attributes (one set per base relation). Per-statement, never shared.
+	Span *trace.SpanHandle
 }
 
 // Counters are cumulative planning-decision counts, incremented by every
@@ -384,19 +389,29 @@ func (p *Planner) accessPath(r *relation, preds []sql.Expr) (exec.Operator, []sq
 			op = sc
 		}
 	}
+	pathName := "full_scan"
+	switch op.(type) {
+	case *exec.IndexScan:
+		pathName = "index_scan"
+	case *exec.IndexRangeScan:
+		pathName = "index_range_scan"
+	case *exec.ParallelScan:
+		pathName = "parallel_scan"
+	}
 	if c := p.opts.Counters; c != nil {
-		switch op.(type) {
-		case *exec.IndexScan:
+		switch pathName {
+		case "index_scan":
 			c.IndexScans.Add(1)
-		case *exec.IndexRangeScan:
+		case "index_range_scan":
 			c.IndexRangeScans.Add(1)
-		case *exec.ParallelScan:
+		case "parallel_scan":
 			c.FullScans.Add(1)
 			c.ParallelScans.Add(1)
 		default:
 			c.FullScans.Add(1)
 		}
 	}
+	p.opts.Span.Attr("path."+strings.ToLower(r.ref.EffectiveAlias()), pathName)
 	if !absorbed {
 		for _, e := range local {
 			c, err := exec.Compile(e, r.schema)

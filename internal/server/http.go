@@ -7,27 +7,74 @@
 package server
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"insightnotes/internal/engine"
 	"insightnotes/internal/metrics"
+	"insightnotes/internal/trace"
 )
 
 // NewDebugMux builds the sidecar handler for db:
 //
 //	/metrics        Prometheus text exposition of the engine registry
+//	/traces         retained lifecycle traces as JSON (?id=… for one trace,
+//	                ?limit=n for the most recent n; default 50)
 //	/debug/pprof/*  the net/http/pprof profiling suite
 //
 // Serve it with http.Server on a dedicated address (insightnotesd's
-// -metrics-addr flag). When db has metrics disabled, /metrics answers 503.
+// -metrics-addr flag). When db has metrics disabled, /metrics answers 503;
+// when tracing is disabled, /traces answers 503.
 func NewDebugMux(db *engine.DB) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metrics.Handler(db.Metrics()))
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) { serveTraces(db, w, r) })
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// serveTraces answers /traces: one full trace by id, or the most recent
+// retained traces (most recent first) bounded by ?limit.
+func serveTraces(db *engine.DB, w http.ResponseWriter, r *http.Request) {
+	tr := db.Tracer()
+	if tr == nil {
+		http.Error(w, "tracing disabled", http.StatusServiceUnavailable)
+		return
+	}
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := trace.ParseID(idStr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		t, ok := tr.Get(id)
+		if !ok {
+			http.Error(w, "trace not found (evicted or never retained)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(t.JSON())
+		return
+	}
+	limit := 50
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	out := make([]trace.TraceJSON, 0)
+	for _, t := range tr.Snapshot(limit) {
+		out = append(out, t.JSON())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
 }

@@ -31,6 +31,7 @@ import (
 	"insightnotes/internal/engine"
 	"insightnotes/internal/failpoint"
 	"insightnotes/internal/metrics"
+	"insightnotes/internal/trace"
 	"insightnotes/internal/types"
 )
 
@@ -64,6 +65,10 @@ type Response struct {
 	// StatsDetail is the structured form of Stats, including the
 	// per-operator breakdown of the statement's plan.
 	StatsDetail *StatsJSON `json:"stats_detail,omitempty"`
+	// TraceID is the statement's lifecycle trace id (set on success, on
+	// statement errors, and on sheds — shed traces are always retained, so
+	// a turned-away client can still hand support a fetchable id).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // StatsJSON is the structured per-statement runtime summary on the wire.
@@ -77,12 +82,19 @@ type StatsJSON struct {
 	// Merges and Curates count envelope operations.
 	Merges  int64 `json:"merges"`
 	Curates int64 `json:"curates"`
+	// QueueWaitMicros is the admission-queue wait before the statement
+	// entered the engine (0 when it was admitted instantly or admission
+	// control is disabled).
+	QueueWaitMicros int64 `json:"queue_wait_us,omitempty"`
 	// StalePending, when above zero, is the number of deferred
 	// summary-maintenance tasks outstanding when the statement finished —
 	// the result's summaries may lag the raw annotations (degraded mode).
 	StalePending int `json:"stale_pending,omitempty"`
 	// Ops is the per-operator breakdown in depth-first plan order.
 	Ops []OpStatJSON `json:"ops,omitempty"`
+	// TraceID duplicates Response.TraceID so tooling consuming only
+	// stats_detail can cross-link the lifecycle trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // OpStatJSON is one operator's runtime counters on the wire.
@@ -409,40 +421,63 @@ func (s *Server) execute(req Request) (resp Response) {
 		ctx, cancel = context.WithTimeout(ctx, s.StatementTimeout)
 		defer cancel()
 	}
+	// The lifecycle trace starts here, at the wire, so the admission-queue
+	// wait is its first span and engine spans (parse, plan, exec, WAL) nest
+	// in the same trace.
+	at := s.db.Tracer().Start(req.Stmt)
+	traceID := ""
+	if at != nil {
+		traceID = at.ID().String()
+	}
 	// Admission control: get an execution slot or shed. The statement's
 	// own deadline keeps ticking while queued — a request that would
 	// expire waiting is turned away with the structured retryable error
 	// instead of timing out uselessly inside the engine.
+	var queueWait time.Duration
 	if s.admit != nil {
+		queueStart := time.Now()
 		release, shed := s.admit.acquire(ctx)
+		queueWait = time.Since(queueStart)
+		// Attached as a pre-measured span so even shell traces (shed
+		// statements at low sample rates are always retained) carry the
+		// queue wait, and promoted traces pay no extra clock reads.
+		at.Root().AddChild(trace.SpanQueueWait, queueWait)
 		if shed != nil {
-			return shedResponse(shed)
+			// Shed statements finish as errored traces — always retained —
+			// so overload turn-aways stay visible in SHOW TRACES.
+			at.Finish("shed", errors.New(shed.reason))
+			resp := shedResponse(shed)
+			resp.TraceID = traceID
+			return resp
 		}
 		defer release()
 	}
 	if s.testHookExec != nil {
 		s.testHookExec(req)
 	}
+	opts := []engine.StatementOption{engine.WithActiveTrace(at), engine.WithQueueWait(queueWait)}
 	var res *engine.Result
 	var err error
 	if req.Trace {
-		res, err = s.db.Query(ctx, req.Stmt, engine.WithTrace())
+		res, err = s.db.Query(ctx, req.Stmt, append(opts, engine.WithTrace())...)
 	} else {
-		res, err = s.db.Exec(ctx, req.Stmt)
+		res, err = s.db.Exec(ctx, req.Stmt, opts...)
 	}
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), TraceID: traceID}
 	}
-	resp = Response{OK: true, Message: res.Message, QID: res.QID}
+	resp = Response{OK: true, Message: res.Message, QID: res.QID, TraceID: res.TraceID}
 	if res.Stats != nil {
 		resp.Stats = res.Stats.String()
 		detail := &StatsJSON{
-			Rows:         res.Stats.Rows,
-			WallMicros:   res.Stats.Wall.Microseconds(),
-			OpRows:       res.Stats.OpRows,
-			Merges:       res.Stats.Merges,
-			Curates:      res.Stats.Curates,
-			StalePending: res.Stats.StalePending,
+			Rows:            res.Stats.Rows,
+			WallMicros:      res.Stats.Wall.Microseconds(),
+			QueueWaitMicros: res.Stats.QueueWait.Microseconds(),
+			OpRows:          res.Stats.OpRows,
+			Merges:          res.Stats.Merges,
+			Curates:         res.Stats.Curates,
+			StalePending:    res.Stats.StalePending,
+			TraceID:         res.TraceID,
 		}
 		for _, op := range res.Ops {
 			detail.Ops = append(detail.Ops, OpStatJSON{

@@ -338,13 +338,18 @@ type ZoomIn struct {
 // Errors when the engine was opened without durability.
 type Checkpoint struct{}
 
-// Show is SHOW TABLES | SHOW SUMMARIES | SHOW ANNOTATIONS ON table.
+// Show is SHOW TABLES | SHOW SUMMARIES | SHOW ANNOTATIONS ON table |
+// SHOW METRICS [LIKE 'pat'] | SHOW TRACES [LIMIT n] | SHOW TRACE id.
 type Show struct {
-	What  string // "TABLES", "SUMMARIES", "ANNOTATIONS", "METRICS"
+	What  string // "TABLES", "SUMMARIES", "ANNOTATIONS", "METRICS", "TRACES", "TRACE"
 	Table string
 	// Pattern is the optional LIKE filter of SHOW METRICS, matched against
 	// flattened sample names.
 	Pattern string
+	// Limit bounds SHOW TRACES output (0 = engine default).
+	Limit int
+	// TraceID is the id argument of SHOW TRACE.
+	TraceID string
 }
 
 func (*Explain) stmtNode()               {}
@@ -548,11 +553,15 @@ func (s *ZoomIn) String() string {
 
 // String implements Statement.
 func (s *Show) String() string {
-	if s.What == "ANNOTATIONS" {
+	switch {
+	case s.What == "ANNOTATIONS":
 		return "SHOW ANNOTATIONS ON " + s.Table
-	}
-	if s.What == "METRICS" && s.Pattern != "" {
+	case s.What == "METRICS" && s.Pattern != "":
 		return "SHOW METRICS LIKE '" + s.Pattern + "'"
+	case s.What == "TRACES" && s.Limit > 0:
+		return fmt.Sprintf("SHOW TRACES LIMIT %d", s.Limit)
+	case s.What == "TRACE":
+		return "SHOW TRACE " + s.TraceID
 	}
 	return "SHOW " + s.What
 }

@@ -846,8 +846,25 @@ func (p *Parser) parseShow() (Statement, error) {
 			s.Pattern = pattern
 		}
 		return s, nil
+	case p.acceptKeyword("TRACES"):
+		s := &Show{What: "TRACES"}
+		if p.acceptKeyword("LIMIT") {
+			n, err := p.expectInt("trace limit")
+			if err != nil {
+				return nil, err
+			}
+			s.Limit = n
+		}
+		return s, nil
+	case p.acceptKeyword("TRACE"):
+		// Trace ids ("t" + 16 hex digits) lex as ordinary identifiers.
+		id, err := p.expectIdent("trace id")
+		if err != nil {
+			return nil, err
+		}
+		return &Show{What: "TRACE", TraceID: id}, nil
 	default:
-		return nil, p.errf("expected TABLES, SUMMARIES, ANNOTATIONS, or METRICS after SHOW")
+		return nil, p.errf("expected TABLES, SUMMARIES, ANNOTATIONS, METRICS, TRACES, or TRACE after SHOW")
 	}
 }
 

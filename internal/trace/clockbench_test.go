@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// These microbenchmarks document the cost model behind the head/tail hybrid
+// design (see the package doc and E16 in EXPERIMENTS.md): a single clock
+// read is ~60ns on virtualized hosts, so a fully-spanned lifecycle — a
+// dozen reads — costs more than some entire point statements. The shell
+// path therefore performs no clock reads of its own (the engine shares its
+// latency-accounting reads via StartAt/FinishAt) and defers span detail to
+// the head-sampled few.
+
+// BenchmarkClockRead is the floor everything else is priced against.
+func BenchmarkClockRead(b *testing.B) {
+	var sink time.Time
+	for i := 0; i < b.N; i++ {
+		sink = time.Now()
+	}
+	_ = sink
+}
+
+// BenchmarkLifecycleSkeleton is a bare statement lifecycle at the default
+// sample rate: Start, three lifecycle child spans (no-ops on the unpromoted
+// ~95%), Finish, and the id render every response carries.
+func BenchmarkLifecycleSkeleton(b *testing.B) {
+	tr := New(Config{Sample: 0.05, SlowThreshold: time.Hour, Capacity: 256})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at := tr.Start("SELECT 1")
+		p := at.Root().Child(SpanParse)
+		p.End()
+		pl := at.Root().Child(SpanPlan)
+		pl.End()
+		ex := at.Root().Child(SpanExec)
+		ex.End()
+		at.Finish("select", nil)
+		_ = at.ID().String()
+	}
+}
+
+// BenchmarkLifecycleShell is the same lifecycle via the engine's call shape
+// (StartSpan against the builder rather than Child against the root).
+func BenchmarkLifecycleShell(b *testing.B) {
+	tr := New(Config{Sample: 0.05, SlowThreshold: time.Hour, Capacity: 512})
+	b.ReportAllocs()
+	var sink string
+	for i := 0; i < b.N; i++ {
+		at := tr.Start("SELECT 1")
+		p := at.StartSpan(SpanParse, nil)
+		p.End()
+		pl := at.StartSpan(SpanPlan, nil)
+		pl.End()
+		ex := at.StartSpan(SpanExec, nil)
+		ex.End()
+		at.Finish("select", nil)
+		sink = at.ID().String()
+	}
+	_ = sink
+}

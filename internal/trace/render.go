@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderTree renders a completed trace as SHOW TRACE's span tree, one line
+// per row: a header with the trace's identity and outcome, the statement
+// text, then the spans indented by parent link. Each span shows its
+// inclusive duration and — when it has children — its self-time (inclusive
+// minus children), so the layer actually burning the time stands out.
+func RenderTree(t *Trace) []string {
+	head := fmt.Sprintf("trace %s  kind=%s  wall=%s", t.ID, t.Kind, round(t.Dur))
+	if t.Slow {
+		head += "  slow"
+	}
+	if t.Err != "" {
+		head += fmt.Sprintf("  error=%q", t.Err)
+	}
+	lines := []string{head, "stmt: " + t.Statement}
+
+	children := make([][]int, len(t.Spans))
+	for i, sp := range t.Spans {
+		if i == 0 {
+			continue
+		}
+		children[sp.Parent] = append(children[sp.Parent], i)
+	}
+	var walk func(idx int, prefix string, last bool)
+	walk = func(idx int, prefix string, last bool) {
+		sp := t.Spans[idx]
+		branch, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			branch, childPrefix = "└─ ", prefix+"   "
+		}
+		line := prefix + branch + sp.Name + " " + round(sp.Dur).String()
+		if kids := children[idx]; len(kids) > 0 {
+			self := sp.Dur
+			for _, c := range kids {
+				self -= t.Spans[c].Dur
+			}
+			if self < 0 {
+				self = 0
+			}
+			line += fmt.Sprintf(" (self %s)", round(self))
+		}
+		if len(sp.Attrs) > 0 {
+			pairs := make([]string, len(sp.Attrs))
+			for i, a := range sp.Attrs {
+				pairs[i] = a.Key + "=" + a.Value()
+			}
+			line += " [" + strings.Join(pairs, " ") + "]"
+		}
+		lines = append(lines, line)
+		for i, c := range children[idx] {
+			walk(c, childPrefix, i == len(children[idx])-1)
+		}
+	}
+	if len(t.Spans) > 0 {
+		walk(0, "", true)
+	}
+	return lines
+}
+
+// round trims durations to microsecond precision for display.
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

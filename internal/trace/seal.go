@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+)
+
+// Retained traces are sealed: the span tree — the pointer-rich bulk of a
+// trace — is flattened into one pointer-free byte buffer at Add time and
+// decoded back into Spans only when a single trace is actually read
+// (SHOW TRACE, /traces). A full ring of live traces would otherwise be
+// tens of thousands of heap pointers the garbage collector re-marks every
+// cycle; sealed, the ring is a handful of strings per trace plus noscan
+// buffers, and the mark cost of retention disappears from the statement
+// path. Encoding runs only for retained traces (the sampled few plus slow
+// and errored), decoding only on the human-driven read path, so both sides
+// are off the hot path by construction.
+//
+// Layout (all integers varint unless noted): span count, then per span:
+// name (len-prefixed bytes), parent+1, start, dur, attr count, then per
+// attr: key (len-prefixed), kind byte, and a kind-dependent payload —
+// len-prefixed bytes for strings, zigzag varint for ints, 8 fixed
+// little-endian bytes for floats.
+
+// sealed is one retained trace in its GC-quiet resting form. The header
+// fields SHOW TRACES lists stay directly readable; spans live in enc.
+type sealed struct {
+	id    ID
+	start time.Time
+	dur   time.Duration
+	slow  bool
+	kind  string
+	stmt  string
+	err   string
+	enc   []byte
+}
+
+// sealSpans flattens a completed trace's spans.
+func sealSpans(spans []Span) []byte {
+	n := 16
+	for _, sp := range spans {
+		n += len(sp.Name) + 24
+		for _, a := range sp.Attrs {
+			n += len(a.Key) + len(a.s) + 16
+		}
+	}
+	enc := make([]byte, 0, n)
+	enc = binary.AppendUvarint(enc, uint64(len(spans)))
+	for _, sp := range spans {
+		enc = appendString(enc, sp.Name)
+		enc = binary.AppendUvarint(enc, uint64(sp.Parent+1))
+		enc = binary.AppendUvarint(enc, uint64(sp.Start))
+		enc = binary.AppendUvarint(enc, uint64(sp.Dur))
+		enc = binary.AppendUvarint(enc, uint64(len(sp.Attrs)))
+		for _, a := range sp.Attrs {
+			enc = appendString(enc, a.Key)
+			enc = append(enc, byte(a.kind))
+			switch a.kind {
+			case attrInt:
+				enc = binary.AppendVarint(enc, a.i)
+			case attrFloat:
+				enc = binary.LittleEndian.AppendUint64(enc, math.Float64bits(a.f))
+			default:
+				enc = appendString(enc, a.s)
+			}
+		}
+	}
+	return enc
+}
+
+// unseal reconstructs the full Trace. Every call returns a fresh copy, so
+// readers can never alias each other or the (long recycled) builder.
+func (s *sealed) unseal() *Trace {
+	t := &Trace{
+		ID:        s.id,
+		Statement: s.stmt,
+		Kind:      s.kind,
+		Start:     s.start,
+		Dur:       s.dur,
+		Err:       s.err,
+		Slow:      s.slow,
+	}
+	d := decoder{buf: s.enc}
+	count := d.uvarint()
+	if count > uint64(len(s.enc)) { // corrupt; impossible via seal, defensive
+		return t
+	}
+	t.Spans = make([]Span, 0, count)
+	for i := uint64(0); i < count && !d.bad; i++ {
+		sp := Span{
+			Name:   d.string(),
+			Parent: int(d.uvarint()) - 1,
+			Start:  time.Duration(d.uvarint()),
+			Dur:    time.Duration(d.uvarint()),
+		}
+		nattr := d.uvarint()
+		if nattr > 0 && nattr <= uint64(len(s.enc)) {
+			sp.Attrs = make([]Attr, 0, nattr)
+			for j := uint64(0); j < nattr && !d.bad; j++ {
+				a := Attr{Key: d.string(), kind: attrKind(d.byte())}
+				switch a.kind {
+				case attrInt:
+					a.i = d.varint()
+				case attrFloat:
+					a.f = math.Float64frombits(d.fixed64())
+				default:
+					a.s = d.string()
+				}
+				sp.Attrs = append(sp.Attrs, a)
+			}
+		}
+		if d.bad {
+			break
+		}
+		t.Spans = append(t.Spans, sp)
+	}
+	return t
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// decoder is a cursor over a sealed buffer. A malformed buffer flips bad
+// and every subsequent read returns zero values instead of panicking.
+type decoder struct {
+	buf []byte
+	off int
+	bad bool
+}
+
+func (d *decoder) uvarint() uint64 {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.off >= len(d.buf) {
+		d.bad = true
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) fixed64() uint64 {
+	if d.off+8 > len(d.buf) {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.bad || d.off+int(n) > len(d.buf) {
+		d.bad = true
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// storeStripes is the lock-stripe count of the retained-trace ring.
+// Completed statements from concurrent connections land on stripes chosen
+// by trace id, so writers contend 1/storeStripes of the time instead of on
+// one mutex.
+const storeStripes = 8
+
+// Store is the bounded retained-trace ring: lock-striped, insertion-
+// ordered per stripe, with retention-aware eviction — when a stripe is
+// full the oldest ordinary trace goes first, and slow or errored traces
+// are sacrificed only when nothing ordinary is left. Traces rest sealed
+// (see seal.go) so a full ring costs the garbage collector almost nothing;
+// Get and Snapshot decode fresh copies for the reader.
+type Store struct {
+	stripes [storeStripes]stripe
+	evicted atomic.Uint64
+}
+
+type stripe struct {
+	mu  sync.Mutex
+	cap int
+	// order holds the stripe's traces oldest-first; byID indexes them.
+	order []*sealed
+	byID  map[ID]*sealed
+}
+
+// newStore builds a store bounded to capacity traces total.
+func newStore(capacity int) *Store {
+	per := capacity / storeStripes
+	if per < 1 {
+		per = 1
+	}
+	s := &Store{}
+	for i := range s.stripes {
+		s.stripes[i] = stripe{cap: per, byID: make(map[ID]*sealed, per)}
+	}
+	return s
+}
+
+func (s *Store) stripeFor(id ID) *stripe {
+	return &s.stripes[uint64(id)%storeStripes]
+}
+
+// Add retains one completed trace, evicting under the stripe bound. The
+// trace is sealed on the way in; the caller's Span storage is not
+// referenced afterwards and may be recycled.
+func (s *Store) Add(t *Trace) {
+	se := &sealed{
+		id:    t.ID,
+		start: t.Start,
+		dur:   t.Dur,
+		slow:  t.Slow,
+		kind:  t.Kind,
+		stmt:  t.Statement,
+		err:   t.Err,
+		enc:   sealSpans(t.Spans),
+	}
+	st := s.stripeFor(t.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.order) >= st.cap {
+		// Tail retention applies to eviction too: drop the oldest ordinary
+		// trace first, so the slow and errored traces an operator is hunting
+		// outlive the sampled background.
+		victim := 0
+		for i, old := range st.order {
+			if !old.slow && old.err == "" {
+				victim = i
+				break
+			}
+		}
+		delete(st.byID, st.order[victim].id)
+		st.order = append(st.order[:victim], st.order[victim+1:]...)
+		s.evicted.Add(1)
+	}
+	st.order = append(st.order, se)
+	st.byID[se.id] = se
+}
+
+// Get returns a retained trace by id, decoded into a fresh copy.
+func (s *Store) Get(id ID) (*Trace, bool) {
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	se, ok := st.byID[id]
+	st.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return se.unseal(), true
+}
+
+// Snapshot returns up to limit retained traces, most recent first
+// (limit <= 0 returns everything). Only the traces actually returned are
+// decoded.
+func (s *Store) Snapshot(limit int) []*Trace {
+	var all []*sealed
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		all = append(all, st.order...)
+		st.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].start.After(all[j].start) })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	out := make([]*Trace, len(all))
+	for i, se := range all {
+		out[i] = se.unseal()
+	}
+	return out
+}
+
+// stats reports the store's retention counters.
+func (s *Store) stats() Stats {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += len(st.order)
+		st.mu.Unlock()
+	}
+	return Stats{Evicted: s.evicted.Load(), Resident: n}
+}

@@ -1,0 +1,584 @@
+// Package trace is the statement lifecycle tracer: one Trace per executed
+// statement, made of parent-linked spans covering every layer the
+// statement crosses — admission-queue wait, parse, plan (with the
+// scan-vs-index decision as attributes), executor operators, WAL
+// append/commit, and zoom-in expansion.
+//
+// Collection is a head/tail hybrid. Every statement gets a shell trace —
+// id, statement, kind, wall time, outcome — whose cost is two clock reads
+// and no span detail. At Start, a head decision made with the configured
+// sample probability promotes the statement to detailed collection: child
+// spans (parse, plan, exec, WAL, operators) are recorded only then, which
+// is what keeps default-rate tracing within a few percent of statement
+// cost (a clock read alone is ~60ns on virtualized hosts, and full span
+// detail needs a dozen of them). The retention decision stays at the tail:
+// slow and errored traces are always kept — at whatever detail level was
+// being collected — and ordinary traces are kept exactly when they were
+// promoted, so ordinary retention probability equals the sample rate.
+// Retained traces land in a bounded lock-striped ring (store.go) served by
+// SHOW TRACES / SHOW TRACE and the /traces sidecar endpoint.
+//
+// Pre-measured sub-spans (AddChild) are exempt from the head gate: callers
+// that already hold a measured duration — admission-queue wait, operator
+// walls — can attach it to a shell for free, no clock read needed.
+//
+// Every builder method is nil-safe: a nil *Tracer, *Active, or *SpanHandle
+// turns the corresponding call into a no-op, so disabled tracing costs a
+// nil check per call site and nothing else.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ID identifies one trace. The canonical textual form is "t" followed by
+// 16 lowercase hex digits — the leading letter keeps the id lexable as a
+// bare SQL identifier in SHOW TRACE <id>.
+type ID uint64
+
+const hexDigits = "0123456789abcdef"
+
+// String renders the canonical textual form. Hand-rolled rather than
+// fmt.Sprintf because every statement response carries a trace id.
+func (id ID) String() string {
+	var b [17]byte
+	b[0] = 't'
+	v := uint64(id)
+	for i := 16; i >= 1; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID parses the canonical form (a bare 16-digit hex string is also
+// accepted, for hand-typed ids).
+func ParseID(s string) (ID, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.TrimPrefix(s, "t")
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad trace id %q", s)
+	}
+	return ID(v), nil
+}
+
+// attrKind discriminates the lazily-formatted attribute payloads.
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+)
+
+// Attr is one key=value span attribute. Numeric values are stored raw and
+// formatted lazily by Value(): attributes are written on every traced
+// statement but read only for the retained few, so the strconv cost
+// belongs on the read side.
+type Attr struct {
+	Key  string
+	kind attrKind
+	s    string
+	i    int64
+	f    float64
+}
+
+// StringAttr builds a string-valued attribute (tests and renderers).
+func StringAttr(key, value string) Attr { return Attr{Key: key, s: value} }
+
+// Value renders the attribute value.
+func (a Attr) Value() string {
+	switch a.kind {
+	case attrInt:
+		return strconv.FormatInt(a.i, 10)
+	case attrFloat:
+		return strconv.FormatFloat(a.f, 'f', 1, 64)
+	default:
+		return a.s
+	}
+}
+
+// spanOpen marks a span whose End has not run yet; Finish sweeps it to the
+// trace end so error paths never leave negative durations behind.
+const spanOpen = time.Duration(-1)
+
+// Span is one node of a trace: a named interval with a parent link and
+// attributes. Start is the offset from the trace start; Dur is inclusive
+// of child spans (renderers derive self-time by subtracting children).
+type Span struct {
+	Name   string
+	Parent int // index into Trace.Spans; -1 for the root
+	Start  time.Duration
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Trace is one completed statement trace. Spans[0] is the root. A Trace
+// reached through the Store is immutable — the builder publishes it only
+// after Finish, when no further writes happen.
+type Trace struct {
+	ID        ID
+	Statement string
+	Kind      string
+	Start     time.Time
+	Dur       time.Duration
+	Err       string
+	Slow      bool
+	Spans     []Span
+}
+
+// AttrJSON is one attribute on the wire.
+type AttrJSON struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// SpanJSON is one span on the wire (/traces sidecar endpoint).
+type SpanJSON struct {
+	Name        string     `json:"name"`
+	Parent      int        `json:"parent"`
+	StartMicros int64      `json:"start_us"`
+	WallMicros  int64      `json:"wall_us"`
+	Attrs       []AttrJSON `json:"attrs,omitempty"`
+}
+
+// TraceJSON is one trace on the wire.
+type TraceJSON struct {
+	ID         string     `json:"trace_id"`
+	Statement  string     `json:"stmt"`
+	Kind       string     `json:"kind"`
+	TSMicros   int64      `json:"ts_us"`
+	WallMicros int64      `json:"wall_us"`
+	Slow       bool       `json:"slow,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	Spans      []SpanJSON `json:"spans"`
+}
+
+// JSON converts the trace to its wire form.
+func (t *Trace) JSON() TraceJSON {
+	out := TraceJSON{
+		ID:         t.ID.String(),
+		Statement:  t.Statement,
+		Kind:       t.Kind,
+		TSMicros:   t.Start.UnixMicro(),
+		WallMicros: t.Dur.Microseconds(),
+		Slow:       t.Slow,
+		Error:      t.Err,
+	}
+	for _, sp := range t.Spans {
+		sj := SpanJSON{
+			Name:        sp.Name,
+			Parent:      sp.Parent,
+			StartMicros: sp.Start.Microseconds(),
+			WallMicros:  sp.Dur.Microseconds(),
+		}
+		for _, a := range sp.Attrs {
+			sj.Attrs = append(sj.Attrs, AttrJSON{Key: a.Key, Value: a.Value()})
+		}
+		out.Spans = append(out.Spans, sj)
+	}
+	return out
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// Sample is the probability that a statement is promoted to detailed
+	// span collection at Start, and therefore also the retention
+	// probability for ordinary traces (slow and errored traces are always
+	// retained, as shells when they were not promoted). 1 promotes every
+	// statement.
+	Sample float64
+	// SlowThreshold marks traces at or above this duration as slow (always
+	// retained). Zero disables the slow class.
+	SlowThreshold time.Duration
+	// Capacity bounds the retained-trace ring (default 512).
+	Capacity int
+}
+
+// Tracer owns trace collection and the retained-trace store. A nil *Tracer
+// is fully inert: Start returns nil and every downstream call no-ops.
+type Tracer struct {
+	cfg   Config
+	store *Store
+
+	seed atomic.Uint64
+
+	started    atomic.Uint64
+	retained   atomic.Uint64
+	sampledOut atomic.Uint64
+
+	// actives recycles trace builders (with their span and attribute
+	// backing arrays) across statements. The store seals retained traces
+	// into a flat buffer and keeps no reference to the spans, so a builder
+	// recycles whether or not its trace was kept. Recycling is safe for
+	// stale SpanHandles because handles carry the builder generation they
+	// were dealt under (see SpanHandle); the handle arrays themselves are
+	// never reused across generations.
+	actives sync.Pool
+}
+
+// New builds a tracer with its bounded store.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 512
+	}
+	tr := &Tracer{cfg: cfg, store: newStore(cfg.Capacity)}
+	tr.seed.Store(uint64(time.Now().UnixNano()) | 1)
+	return tr
+}
+
+// rand64 is a splitmix64 step over the shared seed: cheap, lock-free, and
+// good enough for ids and sampling decisions.
+func (tr *Tracer) rand64() uint64 {
+	z := tr.seed.Add(0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Start begins collecting one statement's trace. The root span opens now;
+// Finish closes it and decides retention. Returns nil on a nil tracer.
+func (tr *Tracer) Start(statement string) *Active {
+	if tr == nil {
+		return nil
+	}
+	return tr.StartAt(statement, time.Now())
+}
+
+// StartAt is Start with a caller-supplied begin time — statement drivers
+// that read the clock at entry anyway (latency accounting) hand the same
+// instant to the tracer, so a shell trace adds no clock reads of its own.
+func (tr *Tracer) StartAt(statement string, now time.Time) *Active {
+	if tr == nil {
+		return nil
+	}
+	tr.started.Add(1)
+	var id ID
+	for id == 0 {
+		id = ID(tr.rand64())
+	}
+	// Head decision: promote to detailed span collection with probability
+	// Sample. The id doubles as the random draw — it came off the same
+	// splitmix64 stream — so promotion costs no extra generator step.
+	detailed := tr.cfg.Sample >= 1 ||
+		(tr.cfg.Sample > 0 && float64(uint64(id)>>11)/(1<<53) < tr.cfg.Sample)
+	a, _ := tr.actives.Get().(*Active)
+	if a == nil {
+		a = &Active{tr: tr}
+	}
+	// Opening a new generation invalidates every handle dealt under the
+	// previous one; the span backing (and each slot's attribute backing)
+	// carries over, the handle array never does.
+	a.gen++
+	spans := a.t.Spans[:0]
+	if cap(spans) == 0 {
+		spans = make([]Span, 0, 16)
+	}
+	a.t = Trace{ID: id, Statement: statement, Start: now, Spans: spans}
+	a.done = false
+	a.detailed = detailed
+	a.root = nil
+	a.handles = nil
+	if detailed {
+		a.handles = make([]SpanHandle, 0, handleArenaSize)
+	}
+	a.appendSpan(SpanStatement, -1, 0, spanOpen)
+	return a
+}
+
+// Get returns a retained trace by id.
+func (tr *Tracer) Get(id ID) (*Trace, bool) {
+	if tr == nil {
+		return nil, false
+	}
+	return tr.store.Get(id)
+}
+
+// Snapshot returns up to limit retained traces, most recent first.
+func (tr *Tracer) Snapshot(limit int) []*Trace {
+	if tr == nil {
+		return nil
+	}
+	return tr.store.Snapshot(limit)
+}
+
+// Stats reports the tracer's cumulative collection counters plus the
+// store's retention counters.
+func (tr *Tracer) Stats() Stats {
+	if tr == nil {
+		return Stats{}
+	}
+	st := tr.store.stats()
+	st.Started = tr.started.Load()
+	st.Retained = tr.retained.Load()
+	st.SampledOut = tr.sampledOut.Load()
+	return st
+}
+
+// Stats are the tracer's cumulative counters.
+type Stats struct {
+	// Started counts traces begun (every statement while tracing is on).
+	Started uint64
+	// Retained counts completed traces admitted to the store.
+	Retained uint64
+	// SampledOut counts ordinary completed traces dropped by the sampler.
+	SampledOut uint64
+	// Evicted counts retained traces later evicted by the ring bound.
+	Evicted uint64
+	// Resident is the number of traces currently retained.
+	Resident int
+}
+
+// Active is the single-statement trace builder. It belongs to the
+// statement's goroutine: span starts/ends and Finish are not safe for
+// concurrent use (parallel operators never touch it — their spans are
+// synthesized after execution from operator stats). After Finish the
+// builder is inert and the published *Trace is immutable.
+type Active struct {
+	tr *Tracer
+	t  Trace
+	// gen is the builder generation, bumped every Start. Handles record
+	// the generation they were dealt under and go inert when it moves on,
+	// so recycling this builder cannot let a stale handle write into a
+	// later statement's trace.
+	gen uint64
+	// detailed is the head-sampling decision: when false the trace is a
+	// shell — StartSpan/Child return nil so no child spans (and none of
+	// their clock reads) happen; AddChild still works because its duration
+	// was measured by the caller anyway.
+	detailed bool
+	done     bool
+	// handles deals SpanHandles from one pre-sized array (allocated at
+	// Start only for detailed traces — shells deal handles lazily, and
+	// only if Root is asked for) so opening a span does not allocate.
+	// The array is abandoned, never reused, when the generation turns:
+	// a stale *SpanHandle must keep pointing at its own dead generation's
+	// memory, not alias a slot re-dealt to a later statement.
+	handles []SpanHandle
+	root    *SpanHandle
+}
+
+// handleArenaSize covers the deepest statement lifecycle (queue, parse,
+// plan, exec, WAL append/commit, zoom expansion, plus operator synthesis)
+// without overflow in the common case.
+const handleArenaSize = 12
+
+// ID returns the trace id (zero on a nil builder).
+func (a *Active) ID() ID {
+	if a == nil {
+		return 0
+	}
+	return a.t.ID
+}
+
+// Root returns the handle of the root span (nil once the trace finished).
+func (a *Active) Root() *SpanHandle {
+	if a == nil || a.done {
+		return nil
+	}
+	if a.root == nil {
+		a.root = a.handle(0)
+	}
+	return a.root
+}
+
+// now is the current offset from the trace start.
+func (a *Active) now() time.Duration { return time.Since(a.t.Start) }
+
+// appendSpan adds one span, reusing the recycled slot's attribute backing
+// when the spans array has capacity from a previous build.
+func (a *Active) appendSpan(name string, parent int, start, dur time.Duration) int {
+	n := len(a.t.Spans)
+	if n < cap(a.t.Spans) {
+		a.t.Spans = a.t.Spans[:n+1]
+		sp := &a.t.Spans[n]
+		attrs := sp.Attrs[:0]
+		*sp = Span{Name: name, Parent: parent, Start: start, Dur: dur, Attrs: attrs}
+	} else {
+		a.t.Spans = append(a.t.Spans, Span{Name: name, Parent: parent, Start: start, Dur: dur})
+	}
+	return n
+}
+
+// handle deals one SpanHandle for span idx from the arena.
+func (a *Active) handle(idx int) *SpanHandle {
+	n := len(a.handles)
+	if n < cap(a.handles) {
+		a.handles = a.handles[:n+1]
+	} else {
+		a.handles = append(a.handles, SpanHandle{})
+	}
+	h := &a.handles[n]
+	*h = SpanHandle{a: a, idx: idx, gen: a.gen}
+	return h
+}
+
+// StartSpan opens a child span under parent (nil parent means the root)
+// starting now. End the returned handle when the step completes. Returns
+// nil on a shell trace (head sampling did not promote the statement), so
+// call sites pay a nil check instead of two clock reads.
+func (a *Active) StartSpan(name string, parent *SpanHandle) *SpanHandle {
+	if a == nil || a.done || !a.detailed {
+		return nil
+	}
+	pidx := 0
+	if parent != nil && parent.a == a && parent.gen == a.gen {
+		pidx = parent.idx
+	}
+	return a.handle(a.appendSpan(name, pidx, a.now(), spanOpen))
+}
+
+// Finish completes the trace: the root span and any still-open spans close
+// at the current offset, kind and error are recorded, and the tracer
+// decides retention — errored and slow traces are always kept, ordinary
+// ones with probability Config.Sample. Idempotent; nil-safe.
+func (a *Active) Finish(kind string, err error) {
+	if a == nil || a.done {
+		return
+	}
+	a.finishAt(kind, err, time.Now())
+}
+
+// FinishAt is Finish with a caller-supplied completion time — statement
+// drivers that just read the clock for their own latency accounting hand
+// the same instant to the tracer, sparing every statement a second read.
+func (a *Active) FinishAt(kind string, err error, now time.Time) {
+	a.finishAt(kind, err, now)
+}
+
+func (a *Active) finishAt(kind string, err error, now time.Time) {
+	if a == nil || a.done {
+		return
+	}
+	a.done = true
+	end := now.Sub(a.t.Start)
+	if end < 0 {
+		end = 0
+	}
+	a.t.Dur = end
+	a.t.Kind = kind
+	if err != nil {
+		a.t.Err = err.Error()
+	}
+	for i := range a.t.Spans {
+		if a.t.Spans[i].Dur == spanOpen {
+			d := end - a.t.Spans[i].Start
+			if d < 0 {
+				d = 0
+			}
+			a.t.Spans[i].Dur = d
+		}
+	}
+	tr := a.tr
+	a.t.Slow = tr.cfg.SlowThreshold > 0 && end >= tr.cfg.SlowThreshold
+	// Tail retention: slow and errored traces are always kept (as shells
+	// when head sampling did not promote them); ordinary traces are kept
+	// exactly when promoted, so their retention rate is the sample rate.
+	keep := err != nil || a.t.Slow || a.detailed
+	if !keep {
+		tr.sampledOut.Add(1)
+	} else {
+		tr.retained.Add(1)
+		// Add seals the spans into the store's flat form and keeps no
+		// reference to them, so the builder recycles on this branch too.
+		tr.store.Add(&a.t)
+	}
+	// Finish is the owner's last touch: the builder goes back to the pool
+	// and the next Start opens a new generation over the same storage.
+	// Reads like ID() stay valid until that Start happens; stale handles
+	// are fenced by the generation check regardless.
+	tr.actives.Put(a)
+}
+
+// SpanHandle addresses one span of an active trace. The zero of usefulness
+// — a nil handle — ignores every method, so call sites need no guards. A
+// handle held past the statement's Finish is fenced twice over: done stops
+// writes before the builder is recycled, and the generation stamp stops
+// them after — a recycled builder's new generation never matches a stale
+// handle's, so the stale handle can only ever no-op, never write into
+// another statement's trace.
+type SpanHandle struct {
+	a   *Active
+	idx int
+	gen uint64
+}
+
+// End closes the span at the current offset. Safe to call once per span;
+// later calls (or calls after Finish) are ignored.
+func (h *SpanHandle) End() {
+	if h == nil || h.a == nil || h.a.done || h.gen != h.a.gen {
+		return
+	}
+	sp := &h.a.t.Spans[h.idx]
+	if sp.Dur != spanOpen {
+		return
+	}
+	d := h.a.now() - sp.Start
+	if d < 0 {
+		d = 0
+	}
+	sp.Dur = d
+}
+
+// Attr records one key=value attribute on the span.
+func (h *SpanHandle) Attr(key, value string) {
+	if h == nil || h.a == nil || h.a.done || h.gen != h.a.gen {
+		return
+	}
+	sp := &h.a.t.Spans[h.idx]
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, s: value})
+}
+
+// AttrInt records one integer attribute on the span. The value is stored
+// raw and formatted only if the trace is retained and read.
+func (h *SpanHandle) AttrInt(key string, v int64) {
+	if h == nil || h.a == nil || h.a.done || h.gen != h.a.gen {
+		return
+	}
+	sp := &h.a.t.Spans[h.idx]
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, kind: attrInt, i: v})
+}
+
+// AttrFloat records one float attribute on the span (rendered with one
+// decimal — cost-model numbers). Stored raw, formatted lazily.
+func (h *SpanHandle) AttrFloat(key string, v float64) {
+	if h == nil || h.a == nil || h.a.done || h.gen != h.a.gen {
+		return
+	}
+	sp := &h.a.t.Spans[h.idx]
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, kind: attrFloat, f: v})
+}
+
+// Child opens a sub-span under this span starting now.
+func (h *SpanHandle) Child(name string) *SpanHandle {
+	if h == nil || h.a == nil || h.gen != h.a.gen {
+		return nil
+	}
+	return h.a.StartSpan(name, h)
+}
+
+// AddChild records an already-measured sub-span under this span — used to
+// synthesize executor-operator spans from their runtime stats after the
+// plan has drained, and to attach the admission-queue wait the server
+// measured anyway. The child starts where its parent starts; dur is the
+// caller's measured wall time (inclusive of the child's own children).
+// Unlike StartSpan, AddChild works on shell traces too: it needs no clock
+// read, so the head gate has nothing to save.
+func (h *SpanHandle) AddChild(name string, dur time.Duration) *SpanHandle {
+	if h == nil || h.a == nil || h.a.done || h.gen != h.a.gen {
+		return nil
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	start := h.a.t.Spans[h.idx].Start
+	return h.a.handle(h.a.appendSpan(name, h.idx, start, dur))
+}

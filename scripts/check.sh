@@ -49,6 +49,31 @@ for lit in $used; do
 done
 [ "$fail" -eq 0 ] || exit 1
 
+# Span-name lint: lifecycle span names live in internal/trace/names.go
+# (the <layer>.<step> taxonomy). A span opened with an inline string
+# literal would add vocabulary nobody can find, so StartSpan/Child/
+# AddChild call sites outside the trace package must use the trace.Span*
+# constants (or trace.OpSpan), and every declared name must follow the
+# scheme. Prefix constants may end in a bare dot (op.).
+echo ">> span-name lint"
+fail=0
+inline=$(grep -rnE '\.(StartSpan|Child|AddChild)\("' \
+	--include='*.go' --exclude='*_test.go' \
+	internal cmd | grep -v '^internal/trace/' || true)
+if [ -n "$inline" ]; then
+	echo "  inline span-name literal at a span call site (use a trace.Span* constant from internal/trace/names.go):" >&2
+	printf '%s\n' "$inline" >&2
+	fail=1
+fi
+declared=$(grep -oE '= "[a-z][a-z0-9_.]*"' internal/trace/names.go | grep -oE '"[^"]+"' | tr -d '"' | sort -u)
+for name in $declared; do
+	if ! printf '%s' "$name" | grep -qE '^[a-z][a-z0-9_]*(\.([a-z][a-z0-9_]*)?)?$'; then
+		echo "  declared span name $name violates the <layer>.<step> scheme" >&2
+		fail=1
+	fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
 # Context-suffix lint: the statement API is context-first (Query, Exec,
 # ExecScript, ExecStatement, ZoomIn all take a ctx plus options), so new
 # exported ...Context methods on the engine are a design regression. Only
