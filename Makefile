@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-metrics bench-wal bench-parallel bench-storage bench-trace crash-sim soak check vet race
+.PHONY: build test bench bench-metrics bench-wal bench-parallel bench-storage bench-trace crash-sim soak soak-repl check vet race
 
 build:
 	$(GO) build ./...
@@ -61,3 +61,11 @@ crash-sim:
 # maintenance mode, race detector on, -short for the check-gate duration.
 soak:
 	$(GO) test -run TestOverloadSoak -count=1 -race -short -v ./internal/server/
+
+# soak-repl is the replication chaos soak on its own: a primary with an
+# aggressive checkpoint cadence, two read replicas behind staleness
+# bounds, a live workload, and a crash-failpoint kill-and-restart of one
+# replica mid-stream; final states are compared record for record and
+# stale replicas must shed reads with the structured STALE error.
+soak-repl:
+	$(GO) test -run TestReplicationSoak -count=1 -race -short -v ./internal/replication/

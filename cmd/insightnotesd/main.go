@@ -12,6 +12,7 @@
 //	              [-max-frame-bytes 16777216] [-idle-timeout 0] [-write-timeout 0]
 //	              [-maint-queue 1024] [-maint-latency-ms 0]
 //	              [-page-file pages.db] [-pool-frames 256]
+//	              [-replication-addr :7092] [-replicate-from host:7092] [-max-staleness 0]
 //
 // With -data-dir the engine runs crash-safe: every mutation is written to
 // a fsynced write-ahead log before it is acknowledged, startup recovers
@@ -37,6 +38,16 @@
 // when the per-statement maintenance latency average crosses it: raw
 // annotations stay synchronous and durable while summary updates queue
 // (bounded by -maint-queue) for the background catch-up worker.
+//
+// Replication (requires -data-dir on both sides): -replication-addr makes
+// this process a primary that ships its WAL to connected replicas;
+// -replicate-from makes it a read replica of that primary — it follows
+// the stream continuously, serves SELECT/ZOOMIN/SHOW with an explicit
+// staleness bound in every response, rejects mutations with a structured
+// READ_ONLY error, and sheds reads with a structured STALE error once its
+// lag exceeds -max-staleness (0 serves regardless of lag). On shutdown
+// the replication streams drain under the same -drain-timeout as client
+// statements.
 package main
 
 import (
@@ -49,6 +60,7 @@ import (
 	"time"
 
 	"insightnotes/internal/engine"
+	"insightnotes/internal/replication"
 	"insightnotes/internal/server"
 	"insightnotes/internal/workload"
 	"insightnotes/internal/workload/populate"
@@ -81,7 +93,20 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "probability a statement gets detailed span collection and ordinary traces are retained (0 = 0.05 default, negative keeps only slow/errored shells)")
 	traceCapacity := flag.Int("trace-capacity", 0, "retained-trace ring capacity (0 = 512 default)")
 	noTracing := flag.Bool("no-tracing", false, "disable statement lifecycle tracing entirely")
+	replAddr := flag.String("replication-addr", "", "WAL-shipping listener for read replicas (primary role; requires -data-dir)")
+	replFrom := flag.String("replicate-from", "", "primary's replication address to follow (read-replica role; requires -data-dir)")
+	maxStaleness := flag.Duration("max-staleness", 0, "shed replica reads with a structured STALE error once lag exceeds this (0 serves regardless of lag)")
 	flag.Parse()
+
+	if (*replAddr != "" || *replFrom != "") && *dataDir == "" {
+		fatal(fmt.Errorf("-replication-addr and -replicate-from require -data-dir (replication ships the write-ahead log)"))
+	}
+	if *replAddr != "" && *replFrom != "" {
+		fatal(fmt.Errorf("-replication-addr and -replicate-from are mutually exclusive (cascading replicas are not supported)"))
+	}
+	if *replFrom != "" && *demo {
+		fatal(fmt.Errorf("-demo mutates the database and cannot run on a read replica"))
+	}
 
 	cfg := engine.Config{
 		MaintenanceQueueDepth:       *maintQueue,
@@ -156,7 +181,34 @@ func main() {
 		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", *metricsAddr)
 	}
 
+	var sender *replication.Sender
+	var receiver *replication.Receiver
+	switch {
+	case *replAddr != "":
+		sender, err = replication.NewSender(db, replication.SenderConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		rbound, err := sender.Listen(*replAddr)
+		if err != nil {
+			fatal(fmt.Errorf("replication listener: %w", err))
+		}
+		fmt.Printf("shipping WAL to replicas on %s\n", rbound)
+	case *replFrom != "":
+		receiver, err = replication.NewReceiver(db, replication.ReceiverConfig{
+			PrimaryAddr: *replFrom, MaxStaleness: *maxStaleness,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		receiver.Start()
+		fmt.Printf("following primary %s (max staleness %v)\n", *replFrom, *maxStaleness)
+	}
+
 	srv := server.New(db)
+	if receiver != nil {
+		srv.Replica = receiver
+	}
 	srv.StatementTimeout = *stmtTimeout
 	srv.Admission = server.AdmissionConfig{
 		MaxStatements: *admitMax, QueueDepth: *admitQueue, QueueTimeout: *admitTimeout,
@@ -177,6 +229,20 @@ func main() {
 	fmt.Println("shutting down...")
 	if err := srv.Shutdown(*drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "shutdown:", err)
+	}
+	// Replication streams drain under the same bound as client statements:
+	// a primary keeps shipping until connected replicas acknowledge
+	// everything committed before shutdown; a replica finishes applying
+	// its in-flight batch so the next start resumes exactly there.
+	if sender != nil {
+		if err := sender.Shutdown(*drainTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, "replication shutdown:", err)
+		}
+	}
+	if receiver != nil {
+		if err := receiver.Shutdown(*drainTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, "replication shutdown:", err)
+		}
 	}
 	switch {
 	case db.Durable():

@@ -116,14 +116,17 @@ func newDBMetrics(db *DB) *dbMetrics {
 
 	// Metadata store sizes — the paper's motivating quantity ("even
 	// metadata is getting big").
+	// Store pointers are snapshotted under db.mu: a replica snapshot
+	// resync replaces them wholesale, and scrapes arrive off the statement
+	// lock.
 	reg.GaugeFunc(metrics.NameEngineAnnotations, "Raw annotations stored.",
-		func() float64 { return float64(db.anns.Count()) })
+		func() float64 { return float64(db.annStore().Count()) })
 	reg.GaugeFunc(metrics.NameEngineAnnotationBytes, "Approximate bytes of raw annotation text stored.",
-		func() float64 { return float64(db.anns.RawBytes()) })
+		func() float64 { return float64(db.annStore().RawBytes()) })
 	reg.GaugeFunc(metrics.NameEngineEnvelopes, "Maintained per-tuple summary envelopes.",
-		func() float64 { return float64(db.envs.count()) })
+		func() float64 { return float64(db.envStore().count()) })
 	reg.GaugeFunc(metrics.NameEngineSummaryBytes, "Approximate bytes of the summary store (all tables).",
-		func() float64 { return float64(db.envs.totalBytes()) })
+		func() float64 { return float64(db.envStore().totalBytes()) })
 	reg.GaugeFunc(metrics.NameEngineDigestEntries, "Cached summarize-once digests.",
 		func() float64 {
 			db.mu.RLock()
@@ -138,9 +141,10 @@ func newDBMetrics(db *DB) *dbMetrics {
 	// Summarize calls, summed over all registered instances at scrape time.
 	reg.CounterFunc(metrics.NameSummarySummarizeTotal, "Summarize invocations across all summary instances.",
 		func() float64 {
+			cat := db.catStore()
 			var n int64
-			for _, name := range db.cat.InstanceNames() {
-				if in, err := db.cat.Instance(name); err == nil {
+			for _, name := range cat.InstanceNames() {
+				if in, err := cat.Instance(name); err == nil {
 					n += in.SummarizeCalls()
 				}
 			}

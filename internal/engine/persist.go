@@ -247,12 +247,24 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("engine: unsupported snapshot version %d", snap.Version)
 	}
+	if err := db.applySnapshot(&snap); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// applySnapshot populates db from a decoded snapshot, with the same
+// defensive validation Load documents. The receiver must hold no state
+// that collides with the snapshot's objects: a freshly opened DB, or one
+// just cleared for a replica resync. Callers own the statement lock
+// story (Load's DB is unshared; the resync path holds it exclusively).
+func (db *DB) applySnapshot(snap *snapshot) error {
 	for _, st := range snap.Tables {
 		if st.Name == "" {
-			return nil, corruptf("table with empty name")
+			return corruptf("table with empty name")
 		}
 		if len(st.Columns) == 0 {
-			return nil, corruptf("table %q has no columns", st.Name)
+			return corruptf("table %q has no columns", st.Name)
 		}
 		cols := make([]types.Column, len(st.Columns))
 		for i, c := range st.Columns {
@@ -260,16 +272,16 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 		}
 		tbl, err := db.cat.CreateTable(st.Name, types.Schema{Columns: cols})
 		if err != nil {
-			return nil, corruptf("table %q: %v", st.Name, err)
+			return corruptf("table %q: %v", st.Name, err)
 		}
 		for _, row := range st.Rows {
 			if err := tbl.InsertWithID(row.ID, types.Tuple(row.Values)); err != nil {
-				return nil, corruptf("table %q row %d: %v", st.Name, row.ID, err)
+				return corruptf("table %q row %d: %v", st.Name, row.ID, err)
 			}
 		}
 		for _, idx := range st.Indexes {
 			if err := tbl.CreateIndex(idx); err != nil {
-				return nil, corruptf("table %q index %q: %v", st.Name, idx, err)
+				return corruptf("table %q index %q: %v", st.Name, idx, err)
 			}
 		}
 		tbl.EnsureNextRow(st.NextRow)
@@ -277,25 +289,25 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 	for i, raw := range snap.Instances {
 		in := new(summary.Instance)
 		if err := json.Unmarshal(raw, in); err != nil {
-			return nil, corruptf("instance %d: %v", i, err)
+			return corruptf("instance %d: %v", i, err)
 		}
 		if err := db.cat.RegisterInstance(in); err != nil {
-			return nil, corruptf("instance %q: %v", in.Name, err)
+			return corruptf("instance %q: %v", in.Name, err)
 		}
 	}
 	for _, l := range snap.Links {
 		if err := db.cat.Link(l.Instance, l.Table); err != nil {
-			return nil, corruptf("link %s -> %s: %v", l.Instance, l.Table, err)
+			return corruptf("link %s -> %s: %v", l.Instance, l.Table, err)
 		}
 	}
 	// Restore raw annotations, then replay them through maintenance in id
 	// order (the order the original incremental maintenance saw them).
 	for _, sa := range snap.Annotations {
 		if sa.ID <= 0 {
-			return nil, corruptf("annotation with invalid id %d", sa.ID)
+			return corruptf("annotation with invalid id %d", sa.ID)
 		}
 		if len(sa.Targets) == 0 {
-			return nil, corruptf("annotation %d has no targets", sa.ID)
+			return corruptf("annotation %d has no targets", sa.ID)
 		}
 		a := annotation.Annotation{
 			ID: sa.ID, Author: sa.Author, Created: sa.Created,
@@ -305,15 +317,15 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 		for i, tg := range sa.Targets {
 			tbl, err := db.cat.Table(tg.Table)
 			if err != nil {
-				return nil, corruptf("annotation %d targets unknown table %q", sa.ID, tg.Table)
+				return corruptf("annotation %d targets unknown table %q", sa.ID, tg.Table)
 			}
 			if _, err := tbl.Get(tg.Row); err != nil {
-				return nil, corruptf("annotation %d targets missing row %d of %q", sa.ID, tg.Row, tg.Table)
+				return corruptf("annotation %d targets missing row %d of %q", sa.ID, tg.Row, tg.Table)
 			}
 			targets[i] = annotation.Target{Table: tg.Table, Row: tg.Row, Columns: tg.Cols}
 		}
 		if err := db.restoreAnnotation(a, targets); err != nil {
-			return nil, corruptf("annotation %d: %v", sa.ID, err)
+			return corruptf("annotation %d: %v", sa.ID, err)
 		}
 	}
 	db.anns.EnsureNextID(snap.NextAnnotationID)
@@ -321,7 +333,7 @@ func Load(r io.Reader, cfg Config) (*DB, error) {
 		db.annClock.Store(snap.AnnClock)
 	}
 	db.recoveredLSN = snap.LSN
-	return db, nil
+	return nil
 }
 
 // restoreAnnotation re-adds one annotation under its original id and

@@ -36,6 +36,17 @@ const (
 	// with a panicking action.
 	ServerExecPanic = "fp/server/exec_panic"
 
+	// Replication link (internal/engine + internal/replication).
+	// ReplicationApply is evaluated on the replica before each replicated
+	// record is applied; a crash action kills the replica's local WAL and
+	// stops the receiver — the process-dying-mid-stream case the LSN
+	// resume protocol covers (mirroring TestCrashRecovery). ReplicationAck
+	// is evaluated before the receiver acknowledges applied records; a
+	// crash there models death after apply-and-log but before ack, forcing
+	// the primary to resend records the replica deduplicates by LSN.
+	ReplicationApply = "fp/replication/apply"
+	ReplicationAck   = "fp/replication/ack"
+
 	// Table insert path (internal/catalog), evaluated after the row is in
 	// the heap but before secondary indexes are updated. A crash action
 	// models the process dying between the two writes: the WAL never logged

@@ -105,6 +105,25 @@ const (
 	NameTraceEvictedTotal    = "insightnotes_trace_evicted_total"     // counter (retained traces evicted by the ring bound)
 	NameTraceResident        = "insightnotes_trace_resident"          // gauge (traces currently retained)
 
+	// repl layer — WAL-shipping replication. Sender side (primary):
+	// stream/snapshot volume, per-stream failures, and the fleet-lag
+	// floor. Receiver side (replica): apply volume, reconnect/resync
+	// churn, and the staleness the replica serves reads at. Shed counters
+	// live on the replica's server front end.
+	NameReplConnectedReplicas   = "insightnotes_repl_connected_replicas"    // gauge (streams currently attached to the sender)
+	NameReplRecordsSentTotal    = "insightnotes_repl_records_sent_total"    // counter (records streamed to replicas, all streams)
+	NameReplSnapshotsSentTotal  = "insightnotes_repl_snapshots_sent_total"  // counter (full-snapshot resyncs served)
+	NameReplSendErrorsTotal     = "insightnotes_repl_send_errors_total"     // counter (streams dropped on write/handshake failure)
+	NameReplAckedLSNMin         = "insightnotes_repl_acked_lsn_min"         // gauge (lowest acknowledged LSN across replicas; 0 with none attached)
+	NameReplRecordsAppliedTotal = "insightnotes_repl_records_applied_total" // counter (records applied by this replica)
+	NameReplApplyErrorsTotal    = "insightnotes_repl_apply_errors_total"    // counter (apply batches that failed)
+	NameReplResyncsTotal        = "insightnotes_repl_resyncs_total"         // counter (full snapshots installed by this replica)
+	NameReplReconnectsTotal     = "insightnotes_repl_reconnects_total"      // counter (stream reconnect attempts after the first)
+	NameReplLagRecords          = "insightnotes_repl_lag_records"           // gauge (primary tip LSN minus applied LSN)
+	NameReplLagSeconds          = "insightnotes_repl_lag_seconds"           // gauge (age of the replica's last caught-up contact)
+	NameReplStaleShedsTotal     = "insightnotes_repl_stale_sheds_total"     // counter (reads shed with STALE past -max-staleness)
+	NameReplReadOnlyTotal       = "insightnotes_repl_read_only_total"       // counter (mutations rejected by a read-only replica)
+
 	// process layer — build identity and age.
 	NameBuildInfo            = "insightnotes_build_info"             // gauge{version} (always 1)
 	NameProcessUptimeSeconds = "insightnotes_process_uptime_seconds" // gauge

@@ -1,0 +1,77 @@
+// Package replication ships the primary's WAL to read replicas over a
+// TCP stream and keeps every replica's staleness bounded and observable.
+//
+// Topology and flow:
+//
+//	primary engine ──commit──▶ wal.log ◀──tail── Sender ══TCP══▶ Receiver ──apply──▶ replica engine
+//	                                                 ▲                │
+//	                                                 └──── acks ──────┘
+//
+// The Sender sits entirely off the commit path: it tails the primary's
+// WAL file up to the durable frontier (never shipping bytes an fsync has
+// not covered) and streams records to each connected replica, tracking
+// per-replica acknowledged LSNs for lag accounting. A replica that falls
+// behind a rotated WAL — its resume position predates the log — is
+// shed-and-resynced with a full snapshot instead of blocking the
+// primary. The Receiver dials the primary, resumes from the last LSN its
+// own WAL made durable, applies records through the engine's recovery
+// redo path, and persists them locally before acknowledging, so a
+// crash-restart cycle loses nothing and re-applies nothing.
+//
+// Staleness is explicit: every record and heartbeat carries the
+// primary's tip LSN; the Receiver derives a lag (LSNs and wall time) that
+// the server layer attaches to every replica-served response and
+// enforces as a hard bound (-max-staleness) by shedding reads with a
+// structured STALE error.
+package replication
+
+import (
+	"encoding/json"
+
+	"insightnotes/internal/wal"
+)
+
+// Message types of the replication stream. The stream is a sequence of
+// JSON values in each direction: primary→replica carries records,
+// snapshots, and heartbeats; replica→primary carries one hello followed
+// by acks.
+const (
+	// msgHello opens a session (replica→primary): FromLSN is the last
+	// LSN the replica's own WAL holds durably, i.e. resume streaming at
+	// FromLSN+1.
+	msgHello = "hello"
+	// msgRecord carries one committed WAL record (primary→replica).
+	// TipLSN rides along so the replica can measure its lag without a
+	// separate channel.
+	msgRecord = "record"
+	// msgSnapshot carries a full-state snapshot (primary→replica) when
+	// the replica's position predates the primary's log (shed-and-resync
+	// after WAL rotation). LSN is the snapshot's position; streaming
+	// continues from LSN+1.
+	msgSnapshot = "snapshot"
+	// msgHeartbeat is sent when the stream is idle (primary→replica) so
+	// replicas can keep their staleness measure fresh; TipLSN is the
+	// primary's current position.
+	msgHeartbeat = "heartbeat"
+	// msgAck reports durable application (replica→primary): LSN is the
+	// highest record the replica has applied and made locally durable.
+	msgAck = "ack"
+)
+
+// message is one frame of the replication stream in either direction.
+type message struct {
+	Type string `json:"type"`
+	// FromLSN is the resume position (msgHello).
+	FromLSN uint64 `json:"from_lsn,omitempty"`
+	// LSN is the acked position (msgAck) or the snapshot position
+	// (msgSnapshot).
+	LSN uint64 `json:"lsn,omitempty"`
+	// TipLSN is the primary's last committed LSN at send time
+	// (msgRecord, msgSnapshot, msgHeartbeat).
+	TipLSN uint64 `json:"tip_lsn,omitempty"`
+	// Record is the shipped record (msgRecord).
+	Record *wal.Record `json:"record,omitempty"`
+	// Snapshot is the raw snapshot document (msgSnapshot), exactly the
+	// bytes engine.InstallReplicaSnapshot accepts.
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+}

@@ -11,10 +11,16 @@ import (
 // Structured response codes. A response carrying a code is machine-readable:
 // CodeOverloaded marks a retryable shed (honor RetryAfterMS, see
 // Client.ExecRetry); CodeFrameTooLarge marks a request frame over the
-// server's -max-frame-bytes cap (not retryable as sent).
+// server's -max-frame-bytes cap (not retryable as sent); CodeStale marks
+// a read shed by a replica whose lag exceeds its -max-staleness bound
+// (retryable here after RetryAfterMS, or immediately against another
+// endpoint — RoutedClient fails over); CodeReadOnly marks a mutation sent
+// to a replica (never retryable here; route it to the primary).
 const (
 	CodeOverloaded    = "OVERLOADED"
 	CodeFrameTooLarge = "FRAME_TOO_LARGE"
+	CodeStale         = "STALE"
+	CodeReadOnly      = "READ_ONLY"
 )
 
 // AdmissionConfig tunes the server's statement-concurrency limiter.

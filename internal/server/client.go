@@ -86,6 +86,65 @@ func (c *Client) ExecRetry(ctx context.Context, stmt string, attempts int, b Bac
 	return nil, fmt.Errorf("server: %d attempt(s) exhausted: %w", attempts, lastErr)
 }
 
+// ExecMutation sends one mutating statement with retry semantics safe
+// for non-idempotent work: an attempt is retried only when the statement
+// provably never entered the engine — the dial failed, or the server
+// answered with a structured pre-engine shed (CodeOverloaded, issued
+// before the execution slot). Once the request has gone onto the wire
+// (fully or partially), any transport failure is terminal: the
+// statement's fate is unknown, and blindly resending could apply it
+// twice. Reads don't need this caution; use Exec/ExecRetry for them.
+func (c *Client) ExecMutation(ctx context.Context, stmt string, attempts int, b Backoff) (*Response, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if c.conn == nil {
+			// The previous attempt surrendered its connection before
+			// sending; a failed dial is retryable for the same reason.
+			nc, err := Dial(c.addr)
+			if err != nil {
+				lastErr = err
+				if i < attempts-1 && !sleep(ctx, b.Delay(i)) {
+					return nil, ctx.Err()
+				}
+				continue
+			}
+			*c = *nc
+		}
+		resp, err := c.roundTrip(Request{Stmt: stmt})
+		switch {
+		case err != nil:
+			c.conn.Close()
+			c.conn = nil
+			return nil, fmt.Errorf("server: mutation fate unknown after send failure (not retried): %w", err)
+		case resp.Code == CodeOverloaded:
+			// Shed before entering the engine, so resending is safe. The
+			// server may close the connection after a connect-time
+			// refusal; surrender it now so the next attempt redials
+			// rather than writing into a dead stream (which would look
+			// like an unknown fate).
+			c.conn.Close()
+			c.conn = nil
+			lastErr = fmt.Errorf("server: %s", resp.Error)
+			if i == attempts-1 {
+				return resp, nil // caller sees the final structured shed
+			}
+			d := b.Delay(i)
+			if hint := time.Duration(resp.RetryAfterMS) * time.Millisecond; d < hint {
+				d = hint
+			}
+			if !sleep(ctx, d) {
+				return nil, ctx.Err()
+			}
+		default:
+			return resp, nil
+		}
+	}
+	return nil, fmt.Errorf("server: %d attempt(s) exhausted: %w", attempts, lastErr)
+}
+
 func (c *Client) roundTrip(req Request) (*Response, error) {
 	if err := c.enc.Encode(&req); err != nil {
 		return nil, err
@@ -106,5 +165,11 @@ func (c *Client) roundTrip(req Request) (*Response, error) {
 	return &resp, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection (a no-op after the connection was
+// surrendered by a failed mutation attempt).
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}

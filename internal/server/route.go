@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Topology names the endpoints of a replicated deployment: one primary
+// (all mutations) and any number of read replicas.
+type Topology struct {
+	// Primary is the address all mutations (and read fallbacks) go to.
+	Primary string
+	// Replicas are read-serving endpoints, preferred for reads in
+	// rotation.
+	Replicas []string
+}
+
+// RoutedClient is a replica-aware client over a Topology: reads prefer
+// replicas and fail over — to the next replica and finally the primary —
+// on connection loss, staleness sheds (CodeStale), and overload sheds;
+// mutations are routed to the primary only, with ExecMutation's
+// no-resend-after-partial-send semantics. Connections are cached per
+// endpoint and redialed on demand. Not safe for concurrent use; open one
+// per goroutine, like Client.
+type RoutedClient struct {
+	topo    Topology
+	backoff Backoff
+
+	mu     sync.Mutex
+	conns  map[string]*Client
+	cursor int // rotates the replica preference across calls
+}
+
+// NewRoutedClient builds a client over the topology. Backoff defaults
+// apply (see Backoff); SetBackoff overrides them.
+func NewRoutedClient(topo Topology) *RoutedClient {
+	return &RoutedClient{topo: topo, conns: make(map[string]*Client)}
+}
+
+// SetBackoff replaces the retry backoff schedule.
+func (rc *RoutedClient) SetBackoff(b Backoff) { rc.backoff = b }
+
+// conn returns the cached connection for ep, dialing if needed.
+func (rc *RoutedClient) conn(ep string) (*Client, error) {
+	rc.mu.Lock()
+	c := rc.conns[ep]
+	rc.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := Dial(ep)
+	if err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	rc.conns[ep] = c
+	rc.mu.Unlock()
+	return c, nil
+}
+
+// drop discards the cached connection for ep after a failure.
+func (rc *RoutedClient) drop(ep string) {
+	rc.mu.Lock()
+	c := rc.conns[ep]
+	delete(rc.conns, ep)
+	rc.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// readOrder returns this call's endpoint preference: replicas rotated so
+// load spreads across the fleet, then the primary as the final fallback
+// (it is never stale and always accepts reads).
+func (rc *RoutedClient) readOrder() []string {
+	rc.mu.Lock()
+	start := rc.cursor
+	rc.cursor++
+	rc.mu.Unlock()
+	n := len(rc.topo.Replicas)
+	order := make([]string, 0, n+1)
+	for i := 0; i < n; i++ {
+		order = append(order, rc.topo.Replicas[(start+i)%n])
+	}
+	return append(order, rc.topo.Primary)
+}
+
+// ExecRead executes one read statement, failing over across endpoints:
+// an endpoint that refuses the connection, drops it mid-exchange, or
+// sheds the read (CodeStale past its staleness bound, CodeOverloaded) is
+// skipped for the next one in this call's rotation. Reads are idempotent,
+// so resending after an ambiguous transport failure is safe — the
+// asymmetry with ExecWrite is deliberate. attempts bounds full passes
+// over the endpoint ring, with backoff between passes. The last
+// structured shed is returned as a response if every endpoint sheds;
+// transport-level failure of every endpoint returns an error.
+func (rc *RoutedClient) ExecRead(ctx context.Context, stmt string, attempts int) (*Response, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	var lastShed *Response
+	for pass := 0; pass < attempts; pass++ {
+		for _, ep := range rc.readOrder() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			c, err := rc.conn(ep)
+			if err != nil {
+				lastErr = fmt.Errorf("%s: %w", ep, err)
+				continue // refused: rotate to the next endpoint
+			}
+			resp, err := c.Exec(stmt)
+			if err != nil {
+				rc.drop(ep)
+				lastErr = fmt.Errorf("%s: %w", ep, err)
+				continue // connection lost mid-exchange: fail over
+			}
+			switch resp.Code {
+			case CodeStale, CodeOverloaded, CodeReadOnly:
+				// CodeReadOnly on a read means the endpoint is not what
+				// the topology claims (e.g. a replica listed as primary
+				// rejecting SHOW is impossible, but a misconfigured
+				// middlebox is not); treat all three as this endpoint
+				// declining, and move on.
+				lastShed = resp
+				lastErr = fmt.Errorf("%s: %s", ep, resp.Error)
+				continue
+			default:
+				return resp, nil
+			}
+		}
+		if pass < attempts-1 && !sleep(ctx, rc.backoff.Delay(pass)) {
+			return nil, ctx.Err()
+		}
+	}
+	if lastShed != nil {
+		return lastShed, fmt.Errorf("server: every endpoint shed the read: %w", lastErr)
+	}
+	return nil, fmt.Errorf("server: every endpoint failed: %w", lastErr)
+}
+
+// ExecWrite executes one mutating statement against the primary with
+// mutation-safe retries (see Client.ExecMutation): dial failures and
+// pre-engine sheds retry, anything after bytes hit the wire does not.
+// Replicas are never tried — a READ_ONLY answer here means the topology
+// is misconfigured and is returned as an error.
+func (rc *RoutedClient) ExecWrite(ctx context.Context, stmt string, attempts int) (*Response, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	ep := rc.topo.Primary
+	c, err := rc.conn(ep)
+	if err != nil {
+		// Let ExecMutation own the retry schedule: hand it a client shell
+		// that starts disconnected.
+		c = &Client{addr: ep}
+		rc.mu.Lock()
+		rc.conns[ep] = c
+		rc.mu.Unlock()
+	}
+	resp, err := c.ExecMutation(ctx, stmt, attempts, rc.backoff)
+	if err != nil {
+		rc.drop(ep)
+		return nil, err
+	}
+	if resp.Code == CodeReadOnly {
+		return resp, fmt.Errorf("server: configured primary %s is a read-only replica", ep)
+	}
+	return resp, nil
+}
+
+// Close closes every cached connection.
+func (rc *RoutedClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var first error
+	for ep, c := range rc.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(rc.conns, ep)
+	}
+	return first
+}
+
+// StalenessOf reports the staleness bound an endpoint last served under,
+// for observability tooling: it issues a lightweight SHOW statement and
+// reads the replica lag fields from stats_detail. A primary (no replica
+// fields) reports zero lag.
+func (rc *RoutedClient) StalenessOf(ep string) (lagLSN uint64, lag time.Duration, err error) {
+	c, err := rc.conn(ep)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := c.Exec("SHOW TABLES")
+	if err != nil {
+		rc.drop(ep)
+		return 0, 0, err
+	}
+	if resp.StatsDetail == nil {
+		return 0, 0, nil
+	}
+	return resp.StatsDetail.ReplicaLagLSN, time.Duration(resp.StatsDetail.ReplicaLagMS) * time.Millisecond, nil
+}

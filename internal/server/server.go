@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"insightnotes/internal/engine"
 	"insightnotes/internal/failpoint"
 	"insightnotes/internal/metrics"
+	"insightnotes/internal/sql"
 	"insightnotes/internal/trace"
 	"insightnotes/internal/types"
 )
@@ -90,6 +92,13 @@ type StatsJSON struct {
 	// summary-maintenance tasks outstanding when the statement finished —
 	// the result's summaries may lag the raw annotations (degraded mode).
 	StalePending int `json:"stale_pending,omitempty"`
+	// Replica marks a statement served by a read replica. ReplicaLagLSN
+	// and ReplicaLagMS are the explicit staleness bound the result was
+	// served under: the data reflects the primary as of at most this many
+	// records and milliseconds ago (both omitted when fully caught up).
+	Replica       bool   `json:"replica,omitempty"`
+	ReplicaLagLSN uint64 `json:"replica_lag_lsn,omitempty"`
+	ReplicaLagMS  int64  `json:"replica_lag_ms,omitempty"`
 	// Ops is the per-operator breakdown in depth-first plan order.
 	Ops []OpStatJSON `json:"ops,omitempty"`
 	// TraceID duplicates Response.TraceID so tooling consuming only
@@ -122,9 +131,26 @@ type TraceRow struct {
 	Summary string        `json:"summary,omitempty"`
 }
 
+// ReplicaSource reports the staleness of a replica-serving engine. When
+// a Server carries one, it serves in replica mode: read statements only,
+// every response annotated with the staleness bound it was served under,
+// and reads shed with a structured STALE error once the source reports
+// the bound exceeded. The replication receiver implements it.
+type ReplicaSource interface {
+	// Staleness returns how far the local state trails the primary: in
+	// records (primary tip LSN minus applied LSN) and in time (age of the
+	// last caught-up contact with the primary), plus whether the
+	// configured hard bound is currently exceeded.
+	Staleness() (lagLSN uint64, lag time.Duration, stale bool)
+}
+
 // Server serves one engine over a listener.
 type Server struct {
 	db *engine.DB
+
+	// Replica, when set, puts the server in replica mode (see
+	// ReplicaSource). Set before Listen.
+	Replica ReplicaSource
 
 	// StatementTimeout, when positive, bounds each statement's execution:
 	// the statement's context expires after this duration and the engine
@@ -186,6 +212,8 @@ type Server struct {
 	requestErrors *metrics.Counter
 	panics        *metrics.Counter
 	connsRefused  *metrics.Counter
+	staleSheds    *metrics.Counter
+	readOnly      *metrics.Counter
 }
 
 // New creates a server over db. When the engine's metric registry is
@@ -208,6 +236,10 @@ func New(db *engine.DB) *Server {
 		s.panics = reg.Counter(metrics.NameServerPanicsTotal, "Statement executions that panicked and were contained.")
 		s.connsRefused = reg.Counter(metrics.NameServerConnsRefusedTotal,
 			"Connections refused at the connection cap (answered with a structured shed and closed).")
+		s.staleSheds = reg.Counter(metrics.NameReplStaleShedsTotal,
+			"Reads shed with a structured STALE error past the replica's -max-staleness bound.")
+		s.readOnly = reg.Counter(metrics.NameReplReadOnlyTotal,
+			"Mutations rejected by a read-only replica with a structured READ_ONLY error.")
 	}
 	return s
 }
@@ -429,6 +461,14 @@ func (s *Server) execute(req Request) (resp Response) {
 	if at != nil {
 		traceID = at.ID().String()
 	}
+	// Replica mode: only read statements are served, and only while the
+	// staleness bound holds. The gate runs before admission so a rejected
+	// statement never consumes an execution slot.
+	if s.Replica != nil {
+		if resp, rejected := s.replicaGate(req.Stmt, at, traceID); rejected {
+			return resp
+		}
+	}
 	// Admission control: get an execution slot or shed. The statement's
 	// own deadline keeps ticking while queued — a request that would
 	// expire waiting is turned away with the structured retryable error
@@ -487,6 +527,17 @@ func (s *Server) execute(req Request) (resp Response) {
 		}
 		resp.StatsDetail = detail
 	}
+	if s.Replica != nil {
+		// Every replica-served statement carries its explicit staleness
+		// bound, even ones that report no runtime stats of their own.
+		lagLSN, lag, _ := s.Replica.Staleness()
+		if resp.StatsDetail == nil {
+			resp.StatsDetail = &StatsJSON{TraceID: res.TraceID}
+		}
+		resp.StatsDetail.Replica = true
+		resp.StatsDetail.ReplicaLagLSN = lagLSN
+		resp.StatsDetail.ReplicaLagMS = lag.Milliseconds()
+	}
 	for _, c := range res.Schema.Columns {
 		resp.Columns = append(resp.Columns, c.QualifiedName())
 	}
@@ -507,6 +558,34 @@ func (s *Server) execute(req Request) (resp Response) {
 		resp.Trace = append(resp.Trace, TraceRow{Stage: e.Stage, Values: e.Tuple, Summary: e.Summary})
 	}
 	return resp
+}
+
+// replicaGate classifies one statement for replica mode: mutations are
+// rejected with CodeReadOnly, reads past the staleness bound are shed
+// with CodeStale, and admissible reads pass through (false). Unparsable
+// statements pass through too — the engine produces its usual error.
+func (s *Server) replicaGate(stmtText string, at *trace.Active, traceID string) (Response, bool) {
+	stmt, err := sql.Parse(stmtText)
+	if err != nil {
+		return Response{}, false
+	}
+	switch stmt.(type) {
+	case *sql.Select, *sql.Show, *sql.Explain, *sql.ZoomIn:
+	default:
+		s.readOnly.Inc()
+		kind := strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*sql.")
+		rerr := fmt.Errorf("replica is read-only: %s must run on the primary", kind)
+		at.Finish("read_only_reject", rerr)
+		return Response{Error: rerr.Error(), Code: CodeReadOnly, TraceID: traceID}, true
+	}
+	if lagLSN, lag, stale := s.Replica.Staleness(); stale {
+		s.staleSheds.Inc()
+		serr := fmt.Errorf("replica too stale: %d record(s), %s behind the primary",
+			lagLSN, lag.Round(time.Millisecond))
+		at.Finish("stale_shed", serr)
+		return Response{Error: serr.Error(), Code: CodeStale, RetryAfterMS: 250, TraceID: traceID}, true
+	}
+	return Response{}, false
 }
 
 // Close stops accepting connections and waits for in-flight requests

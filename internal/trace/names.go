@@ -32,6 +32,13 @@ const (
 	// cache hit/miss is an attribute), refinement, and raw-annotation
 	// retrieval.
 	SpanZoomExpand = "zoom.expand"
+	// SpanReplApply covers one replicated-record batch applied on a
+	// replica: redo through the recovery path plus the local WAL stage
+	// and commit fsync. Batch bounds and size are attributes.
+	SpanReplApply = "repl.apply"
+	// SpanReplResync covers installing a full snapshot shipped by the
+	// primary after the replica fell behind a rotated WAL.
+	SpanReplResync = "repl.resync"
 )
 
 // OpSpanPrefix prefixes the synthesized per-operator spans of an executed

@@ -137,6 +137,18 @@ type Log struct {
 	// pending token from before the wipe has lost its bytes, so its Sync
 	// reports ErrRecordLost.
 	wipeGen uint64
+	// subs are durable-frontier subscribers (see SubscribeDurable): each
+	// gets a non-blocking wakeup whenever the frontier moves, the log
+	// rotates, or the handle dies.
+	subs []chan struct{}
+	// baseLSN is a position known to be covered outside this file:
+	// records at or below it may be absent (truncated by rotation, or
+	// subsumed by the snapshot an empty log was opened against). Exact
+	// after Reset and after opening an empty file; 0 (no claim) when a
+	// non-empty file is reopened, where the first record's LSN carries
+	// the same information. The replication sender uses it to decide
+	// when a replica's resume position predates the log.
+	baseLSN uint64
 }
 
 // Open opens (creating if needed) the log at path for appending.
@@ -153,6 +165,9 @@ func Open(path string, lastLSN uint64) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{f: f, path: path, synced: st.Size(), written: st.Size(), lastLSN: lastLSN}
+	if st.Size() == 0 {
+		l.baseLSN = lastLSN
+	}
 	l.syncCond = sync.NewCond(&l.mu)
 	return l, nil
 }
@@ -218,6 +233,7 @@ func (l *Log) Stage(recType string, data any) (uint64, SyncToken, error) {
 			// file and the process "dies". Recovery must truncate this.
 			l.f.Write(buf[:len(buf)/2])
 			l.dead = true
+			l.notifyDurableLocked()
 		}
 		l.stats.AppendErrors++
 		return 0, SyncToken{}, err
@@ -234,6 +250,42 @@ func (l *Log) Stage(recType string, data any) (uint64, SyncToken, error) {
 	l.stagedRecs++
 	tok := SyncToken{end: l.written, ckptGen: l.ckptGen, wipeGen: l.wipeGen, ok: true}
 	return l.lastLSN, tok, nil
+}
+
+// StageRecord stages a record whose LSN was assigned elsewhere — the
+// replication apply path, where a replica persists the primary's records
+// into its own log under the primary's LSNs so a restart resumes from the
+// exact position it last made durable. rec.LSN must exceed the last
+// staged LSN; gaps are allowed (a snapshot resync jumps the sequence
+// forward). Durability follows the usual Stage/Sync contract. Note the
+// failed-commit wipe assumes a dense LSN sequence when returning LSNs to
+// the pool; a replica that loses a group commit must treat its log handle
+// as poisoned and resync rather than restage (the receiver does).
+func (l *Log) StageRecord(rec Record) (SyncToken, error) {
+	if rec.LSN == 0 {
+		return SyncToken{}, fmt.Errorf("wal: staging record with zero LSN")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return SyncToken{}, ErrLogDead
+	}
+	if rec.LSN <= l.lastLSN {
+		return SyncToken{}, fmt.Errorf("wal: staging stale record lsn=%d (last staged %d)", rec.LSN, l.lastLSN)
+	}
+	buf, err := frame(rec)
+	if err != nil {
+		return SyncToken{}, err
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		_ = l.f.Truncate(l.written)
+		l.stats.AppendErrors++
+		return SyncToken{}, fmt.Errorf("wal: append write: %w", err)
+	}
+	l.lastLSN = rec.LSN
+	l.written += int64(len(buf))
+	l.stagedRecs++
+	return SyncToken{end: l.written, ckptGen: l.ckptGen, wipeGen: l.wipeGen, ok: true}, nil
 }
 
 // Sync makes every byte staged at or before tok durable. The first
@@ -348,6 +400,82 @@ func (l *Log) Sync(tok SyncToken) error {
 func (l *Log) finishSyncLocked() {
 	l.syncing = false
 	l.syncCond.Broadcast()
+	l.notifyDurableLocked()
+}
+
+// notifyDurableLocked wakes durable-frontier subscribers without ever
+// blocking: a subscriber with a pending wakeup already has all the
+// information a second one would carry. Callers hold l.mu.
+func (l *Log) notifyDurableLocked() {
+	for _, ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// SubscribeDurable registers ch for a wakeup whenever the durable
+// frontier may have moved: a commit fsync completed (or failed), the log
+// rotated under a checkpoint, or the handle died. ch should have capacity
+// 1; notifications are collapsed, never blocked on. The replication
+// sender uses this to tail the log without polling.
+func (l *Log) SubscribeDurable(ch chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.subs = append(l.subs, ch)
+}
+
+// UnsubscribeDurable removes ch from the subscriber list.
+func (l *Log) UnsubscribeDurable(ch chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, c := range l.subs {
+		if c == ch {
+			l.subs = append(l.subs[:i], l.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// DurableFrontier reports the durable byte size of the log, the
+// checkpoint generation it belongs to, and whether the handle is dead. A
+// tailing reader may safely interpret any malformed frame strictly below
+// the frontier as corruption; at or beyond it, a malformed frame is just
+// a write in progress. A generation change since the last observation
+// means the file was rotated and byte offsets no longer line up — the
+// reader must reopen from the start.
+func (l *Log) DurableFrontier() (size int64, ckptGen uint64, dead bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced, l.ckptGen, l.dead
+}
+
+// Kill marks the handle dead as a simulated crash-stop would: further
+// appends fail with ErrLogDead, pending syncs drain with the same error,
+// and subscribers are woken. The file is left exactly as the crash found
+// it. Replication crash tests use this to model a replica process dying
+// mid-apply.
+func (l *Log) Kill() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dead = true
+	l.syncCond.Broadcast()
+	l.notifyDurableLocked()
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// BaseLSN reports the position known to be covered outside the log file
+// (see the field doc): a replica resuming from at or above it can be
+// served from the file alone; one below it may be missing records and
+// needs a snapshot resync. 0 means "no claim" (non-empty file reopened
+// after a restart), where the first record's LSN decides instead.
+func (l *Log) BaseLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.baseLSN
 }
 
 // wipeLocked truncates the staged-but-unsynced tail after a failed
@@ -395,11 +523,13 @@ func (l *Log) Reset(lastLSN uint64) error {
 	l.synced, l.written = 0, 0
 	l.syncedRecs = l.stagedRecs
 	l.lastLSN = lastLSN
+	l.baseLSN = lastLSN
 	l.ckptGen++
 	l.stats.Resets++
 	// Followers waiting on pre-rotation tokens observe the generation
 	// bump and return success (their records are in the snapshot).
 	l.syncCond.Broadcast()
+	l.notifyDurableLocked()
 	return nil
 }
 

@@ -128,6 +128,20 @@ func NewCache(dir string, budget int64, policy Policy) (*Cache, error) {
 // PolicyName returns the active replacement policy's name.
 func (c *Cache) PolicyName() string { return c.policy.Name() }
 
+// Clear drops every entry and its spill file. Used when the whole
+// database state is replaced underneath the cache (replica snapshot
+// resync): every materialized result may reference rows that no longer
+// exist. Cumulative stats are preserved.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for qid := range c.entries {
+		os.Remove(c.path(qid))
+		delete(c.entries, qid)
+	}
+	c.used = 0
+}
+
 func (c *Cache) path(qid int) string {
 	return filepath.Join(c.dir, fmt.Sprintf("qid-%d.json", qid))
 }

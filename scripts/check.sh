@@ -23,9 +23,16 @@ for lit in $used; do
 	fi
 done
 declared=$(grep -oE '"insightnotes_[a-z0-9_]+"' internal/metrics/names.go | tr -d '"' | sort -u)
+# The <layer> segment must come from the known-layer list below, so a
+# typo'd family (insightnotes_replication_* vs insightnotes_repl_*) or an
+# unreviewed new layer fails here instead of fragmenting dashboards.
+layers='engine|summary|exec|bufferpool|plan|zoomin|server|admission|wal|maintenance|trace|build|process|repl'
 for name in $declared; do
 	if ! printf '%s' "$name" | grep -qE '^insightnotes_[a-z][a-z0-9]*_[a-z][a-z0-9_]*$'; then
 		echo "  declared name $name violates the insightnotes_<layer>_<name> scheme" >&2
+		fail=1
+	elif ! printf '%s' "$name" | grep -qE "^insightnotes_($layers)_"; then
+		echo "  declared name $name uses an unknown <layer> (known: $layers; extend the list in scripts/check.sh deliberately)" >&2
 		fail=1
 	fi
 done
@@ -101,6 +108,8 @@ echo ">> crash simulation (x3, race)"
 go test -run TestCrashRecovery -count=3 -race ./internal/engine/
 echo ">> overload soak (short, race)"
 go test -run TestOverloadSoak -count=1 -race -short ./internal/server/
+echo ">> replication chaos soak: kill-and-restart a replica mid-stream (race)"
+go test -run TestReplicationSoak -count=1 -race -short ./internal/replication/
 echo ">> batch/parallel equivalence property (race)"
 go test -run TestBatchParallelEquivalence -count=1 -race ./internal/engine/
 echo ">> storage layer: key encoding, heap/B+tree/buffer pool, index-vs-heap crash consistency (race)"
