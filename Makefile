@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-metrics bench-wal bench-parallel bench-storage bench-trace crash-sim soak soak-repl check vet race
+.PHONY: build test bench bench-metrics bench-wal bench-parallel bench-storage bench-trace crash-sim soak soak-repl soak-scrub fuzz check vet race
 
 build:
 	$(GO) build ./...
@@ -69,3 +69,20 @@ soak:
 # stale replicas must shed reads with the structured STALE error.
 soak-repl:
 	$(GO) test -run TestReplicationSoak -count=1 -race -short -v ./internal/replication/
+
+# soak-scrub is the bit-rot chaos soak on its own: random byte flips
+# injected into heap pages on disk of a primary/replica pair; the scrubber
+# must detect every flip, repair memory-mirrored pages locally, repair row
+# and annotation pages from a CRC-verified snapshot over the replication
+# link, rebuild a disagreeing index from the heap, and shed reads of
+# unrepairable pages with the structured CORRUPT error.
+soak-scrub:
+	$(GO) test -run TestScrubSoak -count=1 -race -short -v ./internal/replication/
+
+# fuzz runs each storage fuzz target briefly — the page record round-trip,
+# the hostile-raw-page read paths, and the order-preserving key decoder.
+# CI-sized smoke; crank -fuzztime locally for real exploration.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzPageRoundTrip -fuzztime 10s ./internal/storage/
+	$(GO) test -run '^$$' -fuzz FuzzPageRawBytes -fuzztime 10s ./internal/storage/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeKey -fuzztime 10s ./internal/storage/

@@ -110,6 +110,124 @@ func (s *Store) Pages() (annPages, targetPages []storage.PageID) {
 	return s.anns.Pages(), s.targets.Pages()
 }
 
+// VerifyAnnPage checks one annotation-heap page: structural invariants,
+// then for up to sample records (sample <= 0 checks all) that the record
+// decodes and the id index maps the annotation back to exactly this
+// record.
+func (s *Store) VerifyAnnPage(pid storage.PageID, sample int) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.anns.ViewPage(pid, func(pg *storage.Page) error {
+		if err := pg.Verify(); err != nil {
+			return err
+		}
+		checked := 0
+		var verr error
+		rerr := pg.Records(func(slot uint16, data []byte) bool {
+			if sample > 0 && checked >= sample {
+				return false
+			}
+			checked++
+			a, err := decodeAnnotation(data)
+			if err != nil {
+				verr = fmt.Errorf("annotation: page %d slot %d: %w", pid, slot, err)
+				return false
+			}
+			if rid, ok := s.byID[a.ID]; !ok || rid != (storage.RID{Page: pid, Slot: slot}) {
+				verr = fmt.Errorf("annotation: page %d slot %d: id %d not mapped to this record", pid, slot, a.ID)
+				return false
+			}
+			return true
+		})
+		if rerr != nil {
+			return rerr
+		}
+		return verr
+	})
+}
+
+// VerifyTargetPage checks one target-heap page: structural invariants,
+// then for up to sample records that the record decodes and the in-memory
+// target index holds a matching entry.
+func (s *Store) VerifyTargetPage(pid storage.PageID, sample int) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.targets.ViewPage(pid, func(pg *storage.Page) error {
+		if err := pg.Verify(); err != nil {
+			return err
+		}
+		checked := 0
+		var verr error
+		rerr := pg.Records(func(slot uint16, data []byte) bool {
+			if sample > 0 && checked >= sample {
+				return false
+			}
+			checked++
+			id, _, err := decodeTarget(data)
+			if err != nil {
+				verr = fmt.Errorf("annotation: target page %d slot %d: %w", pid, slot, err)
+				return false
+			}
+			found := false
+			for _, e := range s.targetsOf[id] {
+				if e.rid == (storage.RID{Page: pid, Slot: slot}) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				verr = fmt.Errorf("annotation: target page %d slot %d: id %d has no matching index entry", pid, slot, id)
+				return false
+			}
+			return true
+		})
+		if rerr != nil {
+			return rerr
+		}
+		return verr
+	})
+}
+
+// RepairAnnPage rebuilds annotation-heap page pid: slot placement comes
+// from the in-memory id index, content from fetch (a replica snapshot,
+// typically — annotation payloads live only on the heap). Every id the
+// index places on the page must resolve or the repair refuses.
+func (s *Store) RepairAnnPage(pid storage.PageID, fetch func(id ID) (Annotation, bool)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var recs []storage.SlotRecord
+	for id, rid := range s.byID {
+		if rid.Page != pid {
+			continue
+		}
+		a, ok := fetch(id)
+		if !ok {
+			return fmt.Errorf("annotation: id %d on page %d has no clean source", id, pid)
+		}
+		a.ID = id
+		recs = append(recs, storage.SlotRecord{Slot: rid.Slot, Data: encodeAnnotation(a)})
+	}
+	return s.anns.RepairPage(pid, recs)
+}
+
+// RepairTargetPage rebuilds target-heap page pid from the in-memory target
+// index alone — targets are fully memory-resident, so a corrupt target
+// page is always locally repairable.
+func (s *Store) RepairTargetPage(pid storage.PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var recs []storage.SlotRecord
+	for id, entries := range s.targetsOf {
+		for _, e := range entries {
+			if e.rid.Page != pid {
+				continue
+			}
+			recs = append(recs, storage.SlotRecord{Slot: e.rid.Slot, Data: encodeTarget(id, e.Target)})
+		}
+	}
+	return s.targets.RepairPage(pid, recs)
+}
+
 func (s *Store) indexTarget(id ID, tg Target, rid storage.RID) {
 	s.rowIdx.add(tg.Table, tg.Row, Ref{ID: id, Columns: tg.Columns})
 	s.targetsOf[id] = append(s.targetsOf[id], targetEntry{Target: tg, rid: rid})

@@ -282,6 +282,132 @@ func (t *Table) CreateIndex(col string) error {
 	})
 }
 
+// HeapPages returns the ids of the heap pages backing the table, in heap
+// order — the scrubber's sweep list.
+func (t *Table) HeapPages() []storage.PageID {
+	return t.heap.Pages()
+}
+
+// VerifyPage checks heap page pid: the page's structural invariants, then
+// for up to sample live records (sample <= 0 checks all) that the record
+// decodes, that the row-id map points back at exactly this record, and
+// that every secondary index contains the row under its key — the
+// heap↔index agreement half of the scrub contract.
+func (t *Table) VerifyPage(pid storage.PageID, sample int) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap.ViewPage(pid, func(pg *storage.Page) error {
+		if err := pg.Verify(); err != nil {
+			return err
+		}
+		checked := 0
+		var verr error
+		rerr := pg.Records(func(slot uint16, data []byte) bool {
+			if sample > 0 && checked >= sample {
+				return false
+			}
+			checked++
+			row, tu, err := decodeRow(data)
+			if err != nil {
+				verr = fmt.Errorf("catalog: table %s page %d slot %d: %w", t.name, pid, slot, err)
+				return false
+			}
+			if rid, ok := t.byRow[row]; !ok || rid != (storage.RID{Page: pid, Slot: slot}) {
+				verr = fmt.Errorf("catalog: table %s page %d slot %d: row %d not mapped to this record", t.name, pid, slot, row)
+				return false
+			}
+			for col, idx := range t.indexes {
+				ci, _ := t.schema.ColumnIndex(col)
+				found := false
+				for _, v := range idx.Seek(storage.EncodeKey(nil, tu[ci])) {
+					if v == uint64(row) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					verr = fmt.Errorf("catalog: index %s.%s missing row %d", t.name, col, row)
+					return false
+				}
+			}
+			return true
+		})
+		if rerr != nil {
+			return rerr
+		}
+		return verr
+	})
+}
+
+// VerifyIndexes checks every secondary index's structural invariants (key
+// ordering, child fencing, leaf chain) and that its entry count matches
+// the live row count — each row contributes exactly one entry per index.
+func (t *Table) VerifyIndexes() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows := len(t.byRow)
+	for col, idx := range t.indexes {
+		if err := idx.Verify(); err != nil {
+			return fmt.Errorf("catalog: index %s.%s: %w", t.name, col, err)
+		}
+		if n := idx.Len(); n != rows {
+			return fmt.Errorf("catalog: index %s.%s holds %d entries for %d rows", t.name, col, n, rows)
+		}
+	}
+	return nil
+}
+
+// RebuildIndex rebuilds the secondary index on col from the heap and swaps
+// it in — the repair for a corrupt or disagreeing index. The caller must
+// hold the engine statement lock exclusively so no DML races the rebuild
+// scan (the same discipline CreateIndex relies on).
+func (t *Table) RebuildIndex(col string) error {
+	_, name := types.SplitQualified(col)
+	t.mu.RLock()
+	_, exists := t.indexes[name]
+	t.mu.RUnlock()
+	if !exists {
+		return fmt.Errorf("catalog: no index on %s.%s", t.name, name)
+	}
+	ci, err := t.schema.ColumnIndex(name)
+	if err != nil {
+		return err
+	}
+	idx := storage.NewBTree()
+	if err := t.Scan(func(row types.RowID, tu types.Tuple) bool {
+		idx.Insert(storage.EncodeKey(nil, tu[ci]), uint64(row))
+		return true
+	}); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.indexes[name] = idx
+	t.mu.Unlock()
+	return nil
+}
+
+// RepairPage rebuilds heap page pid from logical row content: slot
+// placement comes from the in-memory RID map, tuples from fetch (a replica
+// snapshot, typically). Every row the map places on the page must be
+// resolvable or the repair refuses — a partial page would trade corruption
+// for silent data loss.
+func (t *Table) RepairPage(pid storage.PageID, fetch func(row types.RowID) (types.Tuple, bool)) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var recs []storage.SlotRecord
+	for row, rid := range t.byRow {
+		if rid.Page != pid {
+			continue
+		}
+		tu, ok := fetch(row)
+		if !ok {
+			return fmt.Errorf("catalog: table %s row %d on page %d has no clean source", t.name, row, pid)
+		}
+		recs = append(recs, storage.SlotRecord{Slot: rid.Slot, Data: encodeRow(row, tu)})
+	}
+	return t.heap.RepairPage(pid, recs)
+}
+
 // Index returns the index on column col, or nil.
 func (t *Table) Index(col string) *storage.BTree {
 	_, name := types.SplitQualified(col)

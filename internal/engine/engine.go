@@ -28,7 +28,7 @@ import (
 )
 
 // Version is the engine version reported by insightnotes_build_info.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // DefaultTraceSample is the default probability that a statement is
 // promoted to detailed span collection — and therefore the retention
@@ -95,6 +95,14 @@ type Config struct {
 	// DisableTracing turns the statement lifecycle tracer off entirely: no
 	// spans are collected and SHOW TRACES reports tracing disabled.
 	DisableTracing bool
+	// ScrubInterval, when positive, starts the background integrity
+	// scrubber: every interval it sweeps all heap pages through checksum
+	// and structural verification and repairs (or quarantines) what it
+	// finds. Zero leaves only the synchronous paths (CHECK TABLE, ScrubNow).
+	ScrubInterval time.Duration
+	// ScrubRate caps the background sweep at this many pages per second
+	// (default DefaultScrubRate). Synchronous checks are never throttled.
+	ScrubRate int
 	// MaintenanceLatencyThreshold, when positive, enables automatic
 	// degradation: when the moving average of synchronous per-annotation
 	// summary-maintenance latency crosses it, subsequent maintenance is
@@ -157,6 +165,16 @@ type DB struct {
 	// queue, the catch-up worker, and staleness accounting (see
 	// maintenance.go). Always non-nil after Open.
 	maint *maintenance
+
+	// integrity is the scrubber's cumulative bookkeeping (see
+	// integrity.go); scrub is the background sweep worker (nil unless
+	// Config.ScrubInterval is set).
+	integrity integrityState
+	scrub     *scrubber
+	// repairFn fetches a clean peer snapshot for heap-page repair
+	// (SetRepairSource; nil standalone).
+	repairMu sync.RWMutex
+	repairFn func() ([]byte, error)
 
 	// Durability state (nil/zero when the DB was opened without OpenDurable;
 	// see durability.go). wal is attached only after recovery completes, so
@@ -252,6 +270,9 @@ func Open(cfg Config) (*DB, error) {
 	if db.metrics != nil {
 		db.maint.registerMetrics(db.metrics.reg)
 	}
+	if cfg.ScrubInterval > 0 {
+		db.scrub = startScrubber(db, cfg.ScrubInterval, cfg.ScrubRate)
+	}
 	return db, nil
 }
 
@@ -330,6 +351,9 @@ func (db *DB) StoredEnvelope(table string, row types.RowID) *summary.Envelope {
 // Close stops the maintenance catch-up worker (draining its queue),
 // releases the durability log when attached, and closes the page store.
 func (db *DB) Close() error {
+	if db.scrub != nil {
+		db.scrub.close()
+	}
 	if db.maint != nil {
 		db.maint.close()
 	}

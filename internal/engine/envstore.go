@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"sync"
 
 	"insightnotes/internal/annotation"
@@ -298,6 +299,74 @@ func (s *envStore) dropTable(table string) {
 		st.mu.Unlock()
 	}
 }
+
+// verifyPage checks one envelope-heap page: structural invariants, then
+// for up to sample records (sample <= 0 checks all) that the record
+// decodes and the owning stripe maps the tuple back to exactly this
+// record.
+func (s *envStore) verifyPage(pid storage.PageID, sample int) error {
+	return s.heap.ViewPage(pid, func(pg *storage.Page) error {
+		if err := pg.Verify(); err != nil {
+			return err
+		}
+		checked := 0
+		var verr error
+		rerr := pg.Records(func(slot uint16, data []byte) bool {
+			if sample > 0 && checked >= sample {
+				return false
+			}
+			checked++
+			var rec persistEnvelope
+			if err := json.Unmarshal(data, &rec); err != nil {
+				verr = fmt.Errorf("engine: envelope page %d slot %d: %w", pid, slot, err)
+				return false
+			}
+			st := s.stripeFor(rec.Table, rec.Row)
+			st.mu.RLock()
+			rid, ok := st.rids[rec.Table][rec.Row]
+			st.mu.RUnlock()
+			if !ok || rid != (storage.RID{Page: pid, Slot: slot}) {
+				verr = fmt.Errorf("engine: envelope page %d slot %d: (%s, %d) not mapped to this record", pid, slot, rec.Table, rec.Row)
+				return false
+			}
+			return true
+		})
+		if rerr != nil {
+			return rerr
+		}
+		return verr
+	})
+}
+
+// repairPage rebuilds envelope-heap page pid from the live in-memory
+// envelopes — envelopes are derived state held in the stripes, so a
+// corrupt envelope page is always locally repairable.
+func (s *envStore) repairPage(pid storage.PageID) error {
+	var recs []storage.SlotRecord
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for table, rids := range st.rids {
+			for row, rid := range rids {
+				if rid.Page != pid {
+					continue
+				}
+				env := st.m[table][row]
+				if env == nil {
+					st.mu.RUnlock()
+					return fmt.Errorf("engine: envelope (%s, %d) has a heap record but no live envelope", table, row)
+				}
+				recs = append(recs, storage.SlotRecord{Slot: rid.Slot, Data: encodeEnvelope(table, row, env)})
+			}
+		}
+		st.mu.RUnlock()
+	}
+	return s.heap.RepairPage(pid, recs)
+}
+
+// heapPages returns the envelope heap's page ids, the scrubber's sweep
+// list for the summary store.
+func (s *envStore) heapPages() []storage.PageID { return s.heap.Pages() }
 
 // tableBytes sums the approximate envelope sizes of one table.
 func (s *envStore) tableBytes(table string) int64 {

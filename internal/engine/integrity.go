@@ -1,0 +1,705 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insightnotes/internal/annotation"
+	"insightnotes/internal/catalog"
+	"insightnotes/internal/exec"
+	"insightnotes/internal/storage"
+	"insightnotes/internal/trace"
+	"insightnotes/internal/types"
+)
+
+// Online integrity: the background scrubber sweeps every heap page through
+// checksum and structural verification, and repairs what it finds from the
+// cheapest clean source available — a surviving buffer-pool frame, a local
+// in-memory rebuild (summary envelopes and annotation targets are
+// memory-resident), or a full logical snapshot fetched from a connected
+// peer. Pages with no clean source are quarantined: subsequent reads fail
+// fast with the structured corruption error (the server sheds them with
+// code CORRUPT) instead of serving garbage. CHECK TABLE runs the same
+// sweep synchronously for one table; SHOW INTEGRITY surfaces the
+// cumulative report.
+
+// scrubSampleRows caps the per-page sampled heap↔index (and heap↔store)
+// agreement checks, bounding structural verification cost per page.
+const scrubSampleRows = 8
+
+// DefaultScrubRate is the background sweep's page-per-second budget when
+// Config.ScrubRate is zero.
+const DefaultScrubRate = 256
+
+// integrityFaultRing bounds the recent-fault list kept for SHOW INTEGRITY.
+const integrityFaultRing = 64
+
+// ownerKind names the store a heap page belongs to; repair sources differ
+// by owner (see repairFaultLocked).
+type ownerKind int
+
+const (
+	ownerTable  ownerKind = iota // table heap: rows live only here → replica fetch
+	ownerAnn                     // annotation heap: raw text lives only here → replica fetch
+	ownerTarget                  // target heap: mirrored by in-memory targetsOf → local rebuild
+	ownerEnv                     // envelope heap: mirrored by in-memory stripes → local rebuild
+)
+
+type scrubTarget struct {
+	pid   storage.PageID
+	kind  ownerKind
+	table string // ownerTable only
+}
+
+func (t scrubTarget) ownerName() string {
+	switch t.kind {
+	case ownerTable:
+		return "table:" + t.table
+	case ownerAnn:
+		return "annotations"
+	case ownerTarget:
+		return "targets"
+	default:
+		return "envelopes"
+	}
+}
+
+// IntegrityFault records one page (or index) a sweep found corrupt and
+// what became of it.
+type IntegrityFault struct {
+	Page     storage.PageID // InvalidPageID for index faults
+	Owner    string
+	Detail   string
+	Repaired bool
+	Source   string // "flush", "rebuild", "replica"; empty when unrepaired
+}
+
+// IntegrityReport is the scrubber's cumulative state, surfaced by
+// SHOW INTEGRITY and returned by CheckTable/ScrubNow.
+type IntegrityReport struct {
+	Sweeps           uint64
+	PagesScanned     uint64
+	ChecksumFailures uint64
+	Repairs          uint64
+	Quarantined      []storage.PageID
+	LastSweep        time.Time
+	Faults           []IntegrityFault // newest first, bounded
+}
+
+// integrityState is the DB's always-present integrity bookkeeping; the
+// atomics back the insightnotes_integrity_* metrics.
+type integrityState struct {
+	scanned  atomic.Uint64
+	failures atomic.Uint64
+	repairs  atomic.Uint64
+
+	mu        sync.Mutex
+	sweeps    uint64
+	lastSweep time.Time
+	faults    []IntegrityFault // newest first, capped at integrityFaultRing
+}
+
+func (s *integrityState) recordSweep(now time.Time, faults []IntegrityFault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweeps++
+	s.lastSweep = now
+	for i := len(faults) - 1; i >= 0; i-- {
+		s.faults = append([]IntegrityFault{faults[i]}, s.faults...)
+	}
+	if len(s.faults) > integrityFaultRing {
+		s.faults = s.faults[:integrityFaultRing]
+	}
+}
+
+// SetRepairSource installs the fetch function the repair ladder uses for
+// pages whose contents live only on disk (table heaps, annotation text):
+// it must return a full logical snapshot of a clean peer — typically
+// replication.FetchSnapshot against the primary's replication listener.
+// A nil source (standalone deployments) makes such pages unrepairable:
+// they are quarantined and reads shed with a structured CORRUPT error.
+func (db *DB) SetRepairSource(fetch func() ([]byte, error)) {
+	db.repairMu.Lock()
+	db.repairFn = fetch
+	db.repairMu.Unlock()
+}
+
+// FlushPages writes every dirty buffer-pool frame to the page store and
+// drops the clean frames, making the stored copies authoritative — the
+// setup step for cold integrity sweeps, offline backups, and the bit-rot
+// soak (which flips bytes in the page file and expects the scrubber to
+// notice).
+func (db *DB) FlushPages() error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	db.pool.DropClean()
+	return nil
+}
+
+// HeapPageInventory returns every heap page id grouped by owner name
+// ("table:<name>", "annotations", "targets", "envelopes") — the page set
+// the scrubber sweeps, exposed for integrity tooling and the chaos soak.
+func (db *DB) HeapPageInventory() (map[string][]storage.PageID, error) {
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	inv, _, err := db.scrubInventoryLocked("")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]storage.PageID)
+	for _, t := range inv {
+		out[t.ownerName()] = append(out[t.ownerName()], t.pid)
+	}
+	return out, nil
+}
+
+// IntegrityReport returns the scrubber's cumulative state.
+func (db *DB) IntegrityReport() IntegrityReport {
+	st := &db.integrity
+	st.mu.Lock()
+	rep := IntegrityReport{
+		Sweeps:    st.sweeps,
+		LastSweep: st.lastSweep,
+		Faults:    append([]IntegrityFault(nil), st.faults...),
+	}
+	st.mu.Unlock()
+	rep.PagesScanned = st.scanned.Load()
+	rep.ChecksumFailures = st.failures.Load() + db.pool.ReadFailures()
+	rep.Repairs = st.repairs.Load()
+	rep.Quarantined = db.pool.Quarantined()
+	return rep
+}
+
+// ScrubNow runs one full synchronous sweep (verify + repair, unthrottled)
+// and returns the report including the faults of this sweep.
+func (db *DB) ScrubNow() (IntegrityReport, error) {
+	lc := db.tracer.Start("SCRUB")
+	faults, err := db.scrubSweep(lc, "", 0, nil)
+	lc.Finish("scrub", err)
+	if err != nil {
+		return IntegrityReport{}, err
+	}
+	rep := db.IntegrityReport()
+	rep.Faults = faults
+	return rep, nil
+}
+
+// CheckTable synchronously verifies every heap page and every secondary
+// index of one table, repairing what it can; the returned report's Faults
+// are this check's findings only. lc may be nil (untraced).
+func (db *DB) CheckTable(name string, lc *trace.Active) (IntegrityReport, error) {
+	faults, err := db.scrubSweep(lc, name, 0, nil)
+	if err != nil {
+		return IntegrityReport{}, err
+	}
+	rep := db.IntegrityReport()
+	rep.Faults = faults
+	return rep, nil
+}
+
+// ---- sweep ----
+
+// scrubFault is a sweep-internal fault: the target, the verification
+// error, and whether this is a retry of an already-quarantined page (not
+// re-counted as a new failure).
+type scrubFault struct {
+	target scrubTarget
+	err    error
+	retry  bool
+}
+
+// scrubSweep runs one verification pass over the page inventory (filter
+// restricts it to one table; "" sweeps everything) followed by a repair
+// pass over what it found, plus any still-quarantined pages from earlier
+// sweeps. rate caps verified pages per second (<=0 = unthrottled); stop
+// aborts between batches. It acquires the statement lock internally —
+// callers must not hold it.
+func (db *DB) scrubSweep(lc *trace.Active, filter string, rate int, stop <-chan struct{}) ([]IntegrityFault, error) {
+	ssp := lc.StartSpan(trace.SpanScrubSweep, nil)
+	defer ssp.End()
+
+	db.stmtMu.RLock()
+	inv, tables, err := db.scrubInventoryLocked(filter)
+	db.stmtMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+
+	quarantined := make(map[storage.PageID]error)
+	for _, pid := range db.pool.Quarantined() {
+		quarantined[pid] = nil
+	}
+
+	var faults []scrubFault
+	var scanned uint64
+	batch := len(inv)
+	if rate > 0 && rate < batch {
+		batch = rate
+	}
+	for idx := 0; idx < len(inv); idx += batch {
+		end := idx + batch
+		if end > len(inv) {
+			end = len(inv)
+		}
+		db.stmtMu.RLock()
+		// Re-resolve ownership: tables can be dropped and heaps reshaped
+		// between batches of a throttled sweep; stale targets are skipped,
+		// not faulted.
+		cur, _, ierr := db.scrubInventoryLocked(filter)
+		if ierr != nil {
+			db.stmtMu.RUnlock()
+			return nil, ierr
+		}
+		owned := make(map[storage.PageID]bool, len(cur))
+		for _, t := range cur {
+			owned[t.pid] = true
+		}
+		for _, t := range inv[idx:end] {
+			if !owned[t.pid] {
+				continue
+			}
+			if _, ok := quarantined[t.pid]; ok {
+				// Already known corrupt: goes straight to the repair pass.
+				continue
+			}
+			scanned++
+			if verr := db.verifyScrubTargetLocked(t); verr != nil {
+				faults = append(faults, scrubFault{target: t, err: verr})
+			}
+		}
+		db.stmtMu.RUnlock()
+		if rate > 0 && end < len(inv) {
+			select {
+			case <-stop:
+				return nil, nil
+			case <-time.After(time.Second):
+			}
+		}
+	}
+
+	// Secondary indexes are memory-resident: verify their internal
+	// ordering/fencing and their agreement with the heap's row count.
+	var indexFaults []IntegrityFault
+	db.stmtMu.RLock()
+	cat := db.catStore()
+	var badIndexTables []string
+	for _, name := range tables {
+		tbl, terr := cat.Table(name)
+		if terr != nil {
+			continue
+		}
+		if verr := tbl.VerifyIndexes(); verr != nil {
+			badIndexTables = append(badIndexTables, name)
+			indexFaults = append(indexFaults, IntegrityFault{
+				Page: storage.InvalidPageID, Owner: "index:" + name, Detail: verr.Error(),
+			})
+		}
+	}
+	db.stmtMu.RUnlock()
+
+	// Retry pages quarantined by earlier sweeps (or by read-path fetch
+	// failures): a repair source may have appeared since.
+	for _, t := range inv {
+		if qerr, ok := quarantined[t.pid]; ok {
+			faults = append(faults, scrubFault{target: t, err: qerr, retry: true})
+			delete(quarantined, t.pid)
+		}
+	}
+
+	newFailures := uint64(0)
+	for _, f := range faults {
+		if !f.retry {
+			newFailures++
+		}
+	}
+	newFailures += uint64(len(indexFaults))
+	db.integrity.scanned.Add(scanned)
+	db.integrity.failures.Add(newFailures)
+
+	report := db.repairFaults(lc, faults)
+	report = append(report, db.repairIndexes(lc, badIndexTables, indexFaults)...)
+
+	ssp.AttrInt("pages", int64(scanned))
+	ssp.AttrInt("faults", int64(len(report)))
+	if filter != "" {
+		ssp.Attr("table", filter)
+	}
+	db.integrity.recordSweep(time.Now(), report)
+	return report, nil
+}
+
+// scrubInventoryLocked enumerates every heap page with its owner, plus the
+// table names whose indexes the sweep should verify. Callers hold the
+// shared statement lock.
+func (db *DB) scrubInventoryLocked(filter string) ([]scrubTarget, []string, error) {
+	cat := db.catStore()
+	var targets []scrubTarget
+	var tables []string
+	if filter != "" {
+		tbl, err := cat.Table(filter)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, pid := range tbl.HeapPages() {
+			targets = append(targets, scrubTarget{pid: pid, kind: ownerTable, table: tbl.Name()})
+		}
+		return targets, []string{tbl.Name()}, nil
+	}
+	for _, name := range cat.TableNames() {
+		tbl, err := cat.Table(name)
+		if err != nil {
+			continue
+		}
+		tables = append(tables, name)
+		for _, pid := range tbl.HeapPages() {
+			targets = append(targets, scrubTarget{pid: pid, kind: ownerTable, table: name})
+		}
+	}
+	annPages, tgtPages := db.annStore().Pages()
+	for _, pid := range annPages {
+		targets = append(targets, scrubTarget{pid: pid, kind: ownerAnn})
+	}
+	for _, pid := range tgtPages {
+		targets = append(targets, scrubTarget{pid: pid, kind: ownerTarget})
+	}
+	for _, pid := range db.envStore().heapPages() {
+		targets = append(targets, scrubTarget{pid: pid, kind: ownerEnv})
+	}
+	return targets, tables, nil
+}
+
+// verifyScrubTargetLocked checks one page: the stored copy's CRC (direct
+// store read, bypassing the cache), then the owner's structural and
+// cross-store invariants through the pool. Callers hold the statement
+// lock (shared suffices: writers are excluded).
+func (db *DB) verifyScrubTargetLocked(t scrubTarget) error {
+	if err := db.pool.VerifyStored(t.pid); err != nil {
+		return err
+	}
+	switch t.kind {
+	case ownerTable:
+		tbl, err := db.catStore().Table(t.table)
+		if err != nil {
+			return nil // dropped mid-sweep
+		}
+		return tbl.VerifyPage(t.pid, scrubSampleRows)
+	case ownerAnn:
+		return db.annStore().VerifyAnnPage(t.pid, scrubSampleRows)
+	case ownerTarget:
+		return db.annStore().VerifyTargetPage(t.pid, scrubSampleRows)
+	default:
+		return db.envStore().verifyPage(t.pid, scrubSampleRows)
+	}
+}
+
+// ---- repair ----
+
+// repairFaults walks the repair ladder for each faulty page: (1) reflush a
+// surviving buffer-pool frame, (2) rebuild from memory-resident state
+// (envelopes, targets), (3) refetch from the configured repair source
+// (table rows, annotation text), (4) quarantine. Local sources run under
+// one exclusive lock section; the remote fetch happens between lock
+// sections so the network never stalls writers.
+func (db *DB) repairFaults(lc *trace.Active, faults []scrubFault) []IntegrityFault {
+	if len(faults) == 0 {
+		return nil
+	}
+	out := make([]IntegrityFault, len(faults))
+	var remote []int
+	db.stmtMu.Lock()
+	for i, f := range faults {
+		out[i] = IntegrityFault{Page: f.target.pid, Owner: f.target.ownerName()}
+		if f.err != nil {
+			out[i].Detail = f.err.Error()
+		} else {
+			out[i].Detail = "quarantined by an earlier sweep"
+		}
+		done, src := db.repairLocalLocked(lc, f.target)
+		if done {
+			out[i].Repaired = true
+			out[i].Source = src
+			db.integrity.repairs.Add(1)
+			continue
+		}
+		if f.target.kind == ownerTable || f.target.kind == ownerAnn {
+			remote = append(remote, i)
+			continue
+		}
+		db.pool.Quarantine(f.target.pid, f.err)
+	}
+	db.stmtMu.Unlock()
+
+	if len(remote) == 0 {
+		return out
+	}
+	src, err := db.fetchRepairSource()
+	if err != nil {
+		// No clean source: quarantine so reads shed with CORRUPT rather
+		// than serving garbage, and leave the page for a later sweep.
+		for _, i := range remote {
+			f := faults[i]
+			db.pool.Quarantine(f.target.pid, f.err)
+			out[i].Detail += "; no clean source: " + err.Error()
+		}
+		return out
+	}
+	db.stmtMu.Lock()
+	for _, i := range remote {
+		f := faults[i]
+		rsp := lc.StartSpan(trace.SpanScrubRepair, nil)
+		rsp.AttrInt("page", int64(f.target.pid))
+		rsp.Attr("owner", f.target.ownerName())
+		rerr := db.repairFromSourceLocked(f.target, src)
+		if rerr == nil {
+			rerr = db.verifyScrubTargetLocked(f.target)
+		}
+		if rerr != nil {
+			rsp.Attr("source", "failed")
+			rsp.End()
+			db.pool.Quarantine(f.target.pid, f.err)
+			out[i].Detail += "; replica repair failed: " + rerr.Error()
+			continue
+		}
+		rsp.Attr("source", "replica")
+		rsp.End()
+		out[i].Repaired = true
+		out[i].Source = "replica"
+		db.integrity.repairs.Add(1)
+	}
+	db.stmtMu.Unlock()
+	return out
+}
+
+// repairLocalLocked tries the two local rungs of the ladder for one page
+// and reports whether it now verifies clean (with the source used).
+// Callers hold the exclusive statement lock.
+func (db *DB) repairLocalLocked(lc *trace.Active, t scrubTarget) (bool, string) {
+	rsp := lc.StartSpan(trace.SpanScrubRepair, nil)
+	rsp.AttrInt("page", int64(t.pid))
+	rsp.Attr("owner", t.ownerName())
+	defer rsp.End()
+	// Rung 1: the stored copy is bad but a good frame survives in the pool.
+	if ok, err := db.pool.FlushResident(t.pid); err == nil && ok {
+		if db.verifyScrubTargetLocked(t) == nil {
+			rsp.Attr("source", "flush")
+			return true, "flush"
+		}
+	}
+	// Rung 2: owners whose logical contents are memory-resident.
+	var rerr error
+	switch t.kind {
+	case ownerEnv:
+		rerr = db.envStore().repairPage(t.pid)
+	case ownerTarget:
+		rerr = db.annStore().RepairTargetPage(t.pid)
+	default:
+		rsp.Attr("source", "none_local")
+		return false, ""
+	}
+	if rerr == nil && db.verifyScrubTargetLocked(t) == nil {
+		rsp.Attr("source", "rebuild")
+		return true, "rebuild"
+	}
+	rsp.Attr("source", "failed")
+	return false, ""
+}
+
+// repairIndexes rebuilds every secondary index of the named tables from
+// their heaps and re-verifies, annotating the given fault records.
+func (db *DB) repairIndexes(lc *trace.Active, tables []string, faults []IntegrityFault) []IntegrityFault {
+	if len(tables) == 0 {
+		return faults
+	}
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	cat := db.catStore()
+	for i, name := range tables {
+		rsp := lc.StartSpan(trace.SpanScrubRepair, nil)
+		rsp.Attr("owner", "index:"+name)
+		tbl, err := cat.Table(name)
+		if err != nil {
+			rsp.Attr("source", "failed")
+			rsp.End()
+			continue
+		}
+		rerr := db.rebuildTableIndexesLocked(tbl)
+		if rerr != nil {
+			rsp.Attr("source", "failed")
+			rsp.End()
+			faults[i].Detail += "; rebuild failed: " + rerr.Error()
+			continue
+		}
+		rsp.Attr("source", "rebuild")
+		rsp.End()
+		faults[i].Repaired = true
+		faults[i].Source = "rebuild"
+		db.integrity.repairs.Add(1)
+	}
+	return faults
+}
+
+func (db *DB) rebuildTableIndexesLocked(tbl *catalog.Table) error {
+	for _, col := range tbl.IndexedColumns() {
+		if err := tbl.RebuildIndex(col); err != nil {
+			return err
+		}
+	}
+	return tbl.VerifyIndexes()
+}
+
+// ---- remote repair source ----
+
+// repairSnapshot is a fetched peer snapshot indexed for page repair.
+type repairSnapshot struct {
+	rows map[string]map[types.RowID]types.Tuple
+	anns map[annotation.ID]annotation.Annotation
+}
+
+// fetchRepairSource fetches and indexes a full logical snapshot from the
+// configured peer (SetRepairSource).
+func (db *DB) fetchRepairSource() (*repairSnapshot, error) {
+	db.repairMu.RLock()
+	fetch := db.repairFn
+	db.repairMu.RUnlock()
+	if fetch == nil {
+		return nil, fmt.Errorf("engine: no repair source configured (standalone)")
+	}
+	raw, err := fetch()
+	if err != nil {
+		return nil, fmt.Errorf("engine: repair source fetch: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("engine: repair source snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("engine: repair source snapshot version %d unsupported", snap.Version)
+	}
+	src := &repairSnapshot{
+		rows: make(map[string]map[types.RowID]types.Tuple, len(snap.Tables)),
+		anns: make(map[annotation.ID]annotation.Annotation, len(snap.Annotations)),
+	}
+	for _, st := range snap.Tables {
+		byRow := make(map[types.RowID]types.Tuple, len(st.Rows))
+		for _, row := range st.Rows {
+			byRow[row.ID] = types.Tuple(row.Values)
+		}
+		src.rows[st.Name] = byRow
+	}
+	for _, sa := range snap.Annotations {
+		src.anns[sa.ID] = annotation.Annotation{
+			ID: sa.ID, Author: sa.Author, Created: sa.Created,
+			Text: sa.Text, Title: sa.Title, Document: sa.Document,
+		}
+	}
+	return src, nil
+}
+
+// repairFromSourceLocked rebuilds one table-heap or annotation-heap page
+// from the fetched snapshot. Callers hold the exclusive statement lock.
+func (db *DB) repairFromSourceLocked(t scrubTarget, src *repairSnapshot) error {
+	switch t.kind {
+	case ownerTable:
+		tbl, err := db.catStore().Table(t.table)
+		if err != nil {
+			return err
+		}
+		byRow := src.rows[t.table]
+		return tbl.RepairPage(t.pid, func(row types.RowID) (types.Tuple, bool) {
+			tu, ok := byRow[row]
+			return tu, ok
+		})
+	case ownerAnn:
+		return db.annStore().RepairAnnPage(t.pid, func(id annotation.ID) (annotation.Annotation, bool) {
+			a, ok := src.anns[id]
+			return a, ok
+		})
+	default:
+		return fmt.Errorf("engine: page %d (%s) has no remote repair path", t.pid, t.ownerName())
+	}
+}
+
+// ---- result surfacing ----
+
+// integritySchema is the row shape shared by CHECK TABLE and
+// SHOW INTEGRITY: one row per fault.
+func integritySchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "page", Kind: types.KindInt},
+		types.Column{Name: "owner", Kind: types.KindString},
+		types.Column{Name: "detail", Kind: types.KindString},
+		types.Column{Name: "repaired", Kind: types.KindBool},
+		types.Column{Name: "source", Kind: types.KindString},
+	)
+}
+
+func integrityRows(faults []IntegrityFault) []*exec.Row {
+	var rows []*exec.Row
+	for _, f := range faults {
+		page := int64(-1)
+		if f.Page != storage.InvalidPageID {
+			page = int64(f.Page)
+		}
+		rows = append(rows, &exec.Row{Tuple: types.Tuple{
+			types.NewInt(page),
+			types.NewString(f.Owner),
+			types.NewString(f.Detail),
+			types.NewBool(f.Repaired),
+			types.NewString(f.Source),
+		}})
+	}
+	return rows
+}
+
+// ---- background scrubber ----
+
+// scrubber is the rate-limited background sweep worker.
+type scrubber struct {
+	db       *DB
+	interval time.Duration
+	rate     int
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func startScrubber(db *DB, interval time.Duration, rate int) *scrubber {
+	if rate <= 0 {
+		rate = DefaultScrubRate
+	}
+	s := &scrubber{
+		db:       db,
+		interval: interval,
+		rate:     rate,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+func (s *scrubber) run() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			lc := s.db.tracer.Start("SCRUB")
+			_, err := s.db.scrubSweep(lc, "", s.rate, s.stop)
+			lc.Finish("scrub", err)
+		}
+	}
+}
+
+func (s *scrubber) close() {
+	close(s.stop)
+	<-s.done
+}

@@ -162,6 +162,18 @@ func newDBMetrics(db *DB) *dbMetrics {
 	reg.CounterFunc(metrics.NameBufferpoolEvictions, "Buffer-pool frames evicted to make room.",
 		func() float64 { return float64(pool.Evictions()) })
 
+	// Integrity: scrubber progress from the engine's bookkeeping, plus the
+	// pool's own read-path verification failures and quarantine set.
+	reg.CounterFunc(metrics.NameIntegrityPagesScanned, "Pages verified by scrub sweeps and CHECK TABLE.",
+		func() float64 { return float64(db.integrity.scanned.Load()) })
+	reg.CounterFunc(metrics.NameIntegrityChecksumFailures,
+		"Page verification failures: scrub-detected faults plus read-path checksum failures.",
+		func() float64 { return float64(db.integrity.failures.Load() + pool.ReadFailures()) })
+	reg.CounterFunc(metrics.NameIntegrityRepairs, "Pages repaired (reflushed, rebuilt locally, or refetched from a peer).",
+		func() float64 { return float64(db.integrity.repairs.Load()) })
+	reg.GaugeFunc(metrics.NameIntegrityQuarantined, "Pages currently quarantined pending a repair source.",
+		func() float64 { return float64(len(pool.Quarantined())) })
+
 	// Planner decision counters, shared with every planner the DB builds.
 	pc := db.cfg.PlanOptions.Counters
 	reg.CounterFunc(metrics.NamePlanPlansTotal, "SELECT plans built.",
@@ -387,6 +399,8 @@ func statementKind(stmt sql.Statement) string {
 		return "drop_summary"
 	case *sql.Checkpoint:
 		return "checkpoint"
+	case *sql.CheckTable:
+		return "check"
 	default:
 		return "other"
 	}

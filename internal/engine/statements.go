@@ -191,6 +191,29 @@ func (db *DB) execStatement(ctx context.Context, stmt sql.Statement, sqlText str
 			Message: fmt.Sprintf("checkpoint complete: snapshot %d byte(s) at lsn %d, %d wal byte(s) released",
 				ci.SnapshotBytes, ci.LSN, ci.ReleasedWALBytes),
 		}, nil
+	case *sql.CheckTable:
+		// The sweep manages its own locking (shared for verification,
+		// exclusive for repairs), so it is dispatched lock-free like
+		// CHECKPOINT.
+		rep, err := db.CheckTable(s.Table, so.lifecycle)
+		if err != nil {
+			return nil, err
+		}
+		repaired, bad := 0, 0
+		for _, f := range rep.Faults {
+			if f.Repaired {
+				repaired++
+			} else {
+				bad++
+			}
+		}
+		return &Result{
+			Schema: integritySchema(),
+			Rows:   integrityRows(rep.Faults),
+			Message: fmt.Sprintf("table %s: %d fault(s), %d repaired, %d quarantined",
+				s.Table, len(rep.Faults), repaired, bad),
+			Count: len(rep.Faults),
+		}, nil
 	}
 	// Remaining statements are writes executed under the exclusive lock.
 	// The WAL record is staged under the lock; its commit fsync happens
@@ -514,6 +537,20 @@ func (db *DB) execShow(s *sql.Show) (*Result, error) {
 			rows = append(rows, &exec.Row{Tuple: types.Tuple{types.NewString(line)}})
 		}
 		return &Result{Schema: schema, Rows: rows}, nil
+	case "INTEGRITY":
+		rep := db.IntegrityReport()
+		quarantined := make([]string, len(rep.Quarantined))
+		for i, pid := range rep.Quarantined {
+			quarantined[i] = fmt.Sprintf("%d", pid)
+		}
+		return &Result{
+			Schema: integritySchema(),
+			Rows:   integrityRows(rep.Faults),
+			Message: fmt.Sprintf("%d sweep(s), %d page(s) scanned, %d checksum failure(s), %d repair(s), %d quarantined [%s]",
+				rep.Sweeps, rep.PagesScanned, rep.ChecksumFailures, rep.Repairs,
+				len(rep.Quarantined), strings.Join(quarantined, ", ")),
+			Count: len(rep.Faults),
+		}, nil
 	case "METRICS":
 		schema := types.NewSchema(
 			types.Column{Name: "metric", Kind: types.KindString},

@@ -47,6 +47,14 @@ const (
 	ReplicationApply = "fp/replication/apply"
 	ReplicationAck   = "fp/replication/ack"
 
+	// Page-store I/O path (internal/storage). ReadBitrot flips a payload
+	// byte after a FileStore page read, modeling silent bit rot that the
+	// stamped CRC32-C must catch; FlushCorrupt garbles one byte of a page
+	// flush after the checksum stamp, modeling a torn write that the next
+	// read must detect. Both drive the bit-rot chaos soak (make soak-scrub).
+	StorageReadBitrot   = "fp/storage/read_bitrot"
+	StorageFlushCorrupt = "fp/storage/flush_corrupt"
+
 	// Table insert path (internal/catalog), evaluated after the row is in
 	// the heap but before secondary indexes are updated. A crash action
 	// models the process dying between the two writes: the WAL never logged

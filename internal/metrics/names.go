@@ -124,6 +124,14 @@ const (
 	NameReplStaleShedsTotal     = "insightnotes_repl_stale_sheds_total"     // counter (reads shed with STALE past -max-staleness)
 	NameReplReadOnlyTotal       = "insightnotes_repl_read_only_total"       // counter (mutations rejected by a read-only replica)
 
+	// integrity layer — checksums, the online scrubber, and repair. Like the
+	// bufferpool counters, these names come verbatim from ISSUE 9's
+	// acceptance wording and are pinned without the _total suffix.
+	NameIntegrityPagesScanned     = "insightnotes_integrity_pages_scanned"     // counter (pages swept by the scrubber or CHECK TABLE)
+	NameIntegrityChecksumFailures = "insightnotes_integrity_checksum_failures" // counter (pages whose stored CRC or structure failed verification)
+	NameIntegrityRepairs          = "insightnotes_integrity_repairs"           // counter (pages repaired: reflushed, rebuilt locally, or refetched)
+	NameIntegrityQuarantined      = "insightnotes_integrity_quarantined"       // gauge (pages currently quarantined, awaiting a repair source)
+
 	// process layer — build identity and age.
 	NameBuildInfo            = "insightnotes_build_info"             // gauge{version} (always 1)
 	NameProcessUptimeSeconds = "insightnotes_process_uptime_seconds" // gauge

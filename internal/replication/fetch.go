@@ -1,0 +1,49 @@
+package replication
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// DefaultFetchTimeout bounds one snapshot fetch end to end (dial, hello,
+// snapshot transfer).
+const DefaultFetchTimeout = 30 * time.Second
+
+// FetchSnapshot dials a primary's replication listener, requests a
+// one-shot full snapshot (WantSnapshot hello), verifies its CRC32-C, and
+// returns the raw snapshot document — exactly the bytes
+// engine.InstallReplicaSnapshot accepts and the scrubber's repair path
+// parses. timeout <= 0 uses DefaultFetchTimeout.
+func FetchSnapshot(addr string, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = DefaultFetchTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("replication: snapshot fetch dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := json.NewEncoder(conn).Encode(&message{Type: msgHello, WantSnapshot: true}); err != nil {
+		return nil, fmt.Errorf("replication: snapshot fetch hello: %w", err)
+	}
+	var m message
+	if err := json.NewDecoder(conn).Decode(&m); err != nil {
+		return nil, fmt.Errorf("replication: snapshot fetch read: %w", err)
+	}
+	if m.Type != msgSnapshot {
+		return nil, fmt.Errorf("replication: snapshot fetch got %q, want %q", m.Type, msgSnapshot)
+	}
+	if got := snapshotCRC(m.Snapshot); got != m.CRC {
+		return nil, fmt.Errorf("replication: fetched snapshot CRC mismatch (want 0x%08x, got 0x%08x)", m.CRC, got)
+	}
+	return m.Snapshot, nil
+}
+
+// SnapshotFetcher adapts FetchSnapshot to the engine's repair-source
+// signature (engine.DB.SetRepairSource): a closure fetching from addr.
+func SnapshotFetcher(addr string, timeout time.Duration) func() ([]byte, error) {
+	return func() ([]byte, error) { return FetchSnapshot(addr, timeout) }
+}

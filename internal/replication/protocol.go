@@ -26,10 +26,32 @@
 package replication
 
 import (
+	"bytes"
 	"encoding/json"
+	"hash/crc32"
 
 	"insightnotes/internal/wal"
 )
+
+// castagnoli is the CRC32-C table snapshot payloads are summed with — the
+// same polynomial the storage layer stamps pages with, so a snapshot is
+// integrity-checked end to end: serialized on the primary, checked on the
+// wire, re-checked before installation or page repair.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// snapshotCRC sums a raw snapshot document for the msgSnapshot CRC field.
+func snapshotCRC(raw []byte) uint32 { return crc32.Checksum(raw, castagnoli) }
+
+// compactSnapshot canonicalizes a snapshot document to its compact JSON
+// form — the form json.Marshal emits for a RawMessage — so the CRC the
+// sender sums is over exactly the bytes the receiver decodes.
+func compactSnapshot(raw []byte) []byte {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return raw
+	}
+	return buf.Bytes()
+}
 
 // Message types of the replication stream. The stream is a sequence of
 // JSON values in each direction: primary→replica carries records,
@@ -63,6 +85,13 @@ type message struct {
 	Type string `json:"type"`
 	// FromLSN is the resume position (msgHello).
 	FromLSN uint64 `json:"from_lsn,omitempty"`
+	// WantSnapshot (msgHello) requests a one-shot full snapshot instead of
+	// a record stream: the sender ships one msgSnapshot and closes. The
+	// scrubber's page-repair fetch (FetchSnapshot) uses it.
+	WantSnapshot bool `json:"want_snapshot,omitempty"`
+	// CRC is the CRC32-C of the Snapshot bytes (msgSnapshot); receivers
+	// verify it before installing or repairing from the payload.
+	CRC uint32 `json:"crc,omitempty"`
 	// LSN is the acked position (msgAck) or the snapshot position
 	// (msgSnapshot).
 	LSN uint64 `json:"lsn,omitempty"`

@@ -355,6 +355,15 @@ func (r *Receiver) flush(batch *[]wal.Record, enc *json.Encoder) error {
 // snapshot (the primary shed this replica for falling behind a rotated
 // WAL) and acknowledges the new position.
 func (r *Receiver) installSnapshot(m message, enc *json.Encoder) error {
+	if got := snapshotCRC(m.Snapshot); got != m.CRC {
+		// A corrupted snapshot must never be installed half-checked: drop
+		// the session (the caller closes the connection) and resync on
+		// reconnect.
+		if r.applyErrors != nil {
+			r.applyErrors.Inc()
+		}
+		return fmt.Errorf("replication: snapshot CRC mismatch (want 0x%08x, got 0x%08x)", m.CRC, got)
+	}
 	at := r.db.Tracer().Start("(replication resync)")
 	sp := at.StartSpan(trace.SpanReplResync, at.Root())
 	sp.AttrInt("snapshot_bytes", int64(len(m.Snapshot)))

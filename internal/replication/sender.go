@@ -161,6 +161,13 @@ func (s *Sender) serve(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 
+	if hello.WantSnapshot {
+		// One-shot snapshot service for page repair: ship a CRC-summed
+		// snapshot and close; no stream state is created.
+		s.serveSnapshot(conn)
+		return
+	}
+
 	rc := &replicaConn{conn: conn, ackCh: make(chan struct{}, 1)}
 	rc.acked.Store(hello.FromLSN)
 	s.mu.Lock()
@@ -191,6 +198,28 @@ func (s *Sender) serve(conn net.Conn) {
 	}()
 
 	s.stream(conn, rc, hello.FromLSN, connDone)
+}
+
+// serveSnapshot answers a WantSnapshot hello: one CRC-summed full
+// snapshot, then the connection closes (by the serve defer).
+func (s *Sender) serveSnapshot(conn net.Conn) {
+	var buf bytes.Buffer
+	lsn, err := s.db.ReplicationSnapshot(&buf)
+	if err != nil {
+		return
+	}
+	raw := compactSnapshot(buf.Bytes())
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(&message{Type: msgSnapshot, LSN: lsn, TipLSN: lsn, Snapshot: raw, CRC: snapshotCRC(raw)}); err != nil {
+		if s.sendErrors != nil {
+			s.sendErrors.Inc()
+		}
+		return
+	}
+	if s.snapshotsSent != nil {
+		s.snapshotsSent.Inc()
+	}
 }
 
 // stream ships records from the replica's resume position to the durable
@@ -231,7 +260,8 @@ func (s *Sender) stream(conn net.Conn, rc *replicaConn, from uint64, connDone <-
 		if err != nil {
 			return false
 		}
-		if !send(&message{Type: msgSnapshot, LSN: lsn, TipLSN: lsn, Snapshot: buf.Bytes()}) {
+		raw := compactSnapshot(buf.Bytes())
+		if !send(&message{Type: msgSnapshot, LSN: lsn, TipLSN: lsn, Snapshot: raw, CRC: snapshotCRC(raw)}) {
 			return false
 		}
 		if s.snapshotsSent != nil {

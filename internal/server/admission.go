@@ -15,12 +15,17 @@ import (
 // a read shed by a replica whose lag exceeds its -max-staleness bound
 // (retryable here after RetryAfterMS, or immediately against another
 // endpoint — RoutedClient fails over); CodeReadOnly marks a mutation sent
-// to a replica (never retryable here; route it to the primary).
+// to a replica (never retryable here; route it to the primary);
+// CodeCorrupt marks a statement that touched a page detected corrupt with
+// no clean repair source — the page id is in the error text; the data is
+// quarantined, not served (retry only after repair, e.g. CHECK TABLE with
+// a repair source configured).
 const (
 	CodeOverloaded    = "OVERLOADED"
 	CodeFrameTooLarge = "FRAME_TOO_LARGE"
 	CodeStale         = "STALE"
 	CodeReadOnly      = "READ_ONLY"
+	CodeCorrupt       = "CORRUPT"
 )
 
 // AdmissionConfig tunes the server's statement-concurrency limiter.

@@ -325,6 +325,16 @@ func TestReplicaGate(t *testing.T) {
 		}
 	}
 
+	// CHECK TABLE is not a mutation: it verifies and repairs this
+	// node's own pages, so the replica gate lets it through.
+	resp, err = c.Exec("CHECK TABLE birds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("CHECK TABLE on replica = %+v, want ok", resp)
+	}
+
 	// Past the bound: reads shed with the structured STALE error.
 	fake.stale = true
 	resp, err = c.Exec("SELECT id FROM birds")
@@ -333,6 +343,14 @@ func TestReplicaGate(t *testing.T) {
 	}
 	if resp.OK || resp.Code != CodeStale || resp.RetryAfterMS <= 0 {
 		t.Fatalf("stale read = %+v, want code %s with retry hint", resp, CodeStale)
+	}
+	// ...but CHECK TABLE still runs — bit rot doesn't wait for the link.
+	resp, err = c.Exec("CHECK TABLE birds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("CHECK TABLE on stale replica = %+v, want ok", resp)
 	}
 	// A mutation still reports READ_ONLY (routing beats retrying).
 	resp, err = c.Exec("INSERT INTO birds VALUES (2, 'x')")

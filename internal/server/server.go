@@ -33,6 +33,7 @@ import (
 	"insightnotes/internal/failpoint"
 	"insightnotes/internal/metrics"
 	"insightnotes/internal/sql"
+	"insightnotes/internal/storage"
 	"insightnotes/internal/trace"
 	"insightnotes/internal/types"
 )
@@ -504,6 +505,12 @@ func (s *Server) execute(req Request) (resp Response) {
 		res, err = s.db.Exec(ctx, req.Stmt, opts...)
 	}
 	if err != nil {
+		if errors.Is(err, storage.ErrCorrupt) {
+			// The statement touched a quarantined or checksum-failed page:
+			// shed with the structured code (the error names the page)
+			// instead of returning what looks like an ordinary failure.
+			return Response{Error: err.Error(), Code: CodeCorrupt, TraceID: traceID}
+		}
 		return Response{Error: err.Error(), TraceID: traceID}
 	}
 	resp = Response{OK: true, Message: res.Message, QID: res.QID, TraceID: res.TraceID}
@@ -570,6 +577,12 @@ func (s *Server) replicaGate(stmtText string, at *trace.Active, traceID string) 
 		return Response{}, false
 	}
 	switch stmt.(type) {
+	case *sql.CheckTable:
+		// CHECK TABLE verifies and repairs this node's own pages — no
+		// logical state changes — and a replica is exactly where
+		// on-demand repair from the primary matters, so it passes even
+		// past the staleness bound (bit rot doesn't wait for the link).
+		return Response{}, false
 	case *sql.Select, *sql.Show, *sql.Explain, *sql.ZoomIn:
 	default:
 		s.readOnly.Inc()

@@ -338,10 +338,18 @@ type ZoomIn struct {
 // Errors when the engine was opened without durability.
 type Checkpoint struct{}
 
+// CheckTable is CHECK TABLE t: synchronously verify every page of the
+// table's heap (checksums and structural invariants) and every secondary
+// index against it, attempting repair of anything found corrupt.
+type CheckTable struct {
+	Table string
+}
+
 // Show is SHOW TABLES | SHOW SUMMARIES | SHOW ANNOTATIONS ON table |
-// SHOW METRICS [LIKE 'pat'] | SHOW TRACES [LIMIT n] | SHOW TRACE id.
+// SHOW METRICS [LIKE 'pat'] | SHOW TRACES [LIMIT n] | SHOW TRACE id |
+// SHOW INTEGRITY.
 type Show struct {
-	What  string // "TABLES", "SUMMARIES", "ANNOTATIONS", "METRICS", "TRACES", "TRACE"
+	What  string // "TABLES", "SUMMARIES", "ANNOTATIONS", "METRICS", "TRACES", "TRACE", "INTEGRITY"
 	Table string
 	// Pattern is the optional LIKE filter of SHOW METRICS, matched against
 	// flattened sample names.
@@ -369,9 +377,13 @@ func (*LinkSummary) stmtNode()           {}
 func (*ZoomIn) stmtNode()                {}
 func (*Show) stmtNode()                  {}
 func (*Checkpoint) stmtNode()            {}
+func (*CheckTable) stmtNode()            {}
 
 // String implements Statement.
 func (s *Checkpoint) String() string { return "CHECKPOINT" }
+
+// String implements Statement.
+func (s *CheckTable) String() string { return "CHECK TABLE " + s.Table }
 
 // String implements Statement.
 func (s *CreateTable) String() string {

@@ -152,6 +152,7 @@ func init() {
 		"INSTANCE", "TYPE", "WITH", "LABELS", "TRAIN", "LINK", "UNLINK",
 		"TO", "ZOOMIN", "REFERENCE", "QID", "SHOW", "TABLES", "SUMMARIES", "METRICS", "CHECKPOINT",
 		"ANNOTATIONS", "COUNT", "SUM", "AVG", "MIN", "MAX",
+		"CHECK", "INTEGRITY",
 	} {
 		keywords[k] = true
 	}

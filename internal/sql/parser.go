@@ -193,6 +193,16 @@ func (p *Parser) parseStatement() (Statement, error) {
 	case p.isKeyword("CHECKPOINT"):
 		p.advance()
 		return &Checkpoint{}, nil
+	case p.isKeyword("CHECK"):
+		p.advance()
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent("table name")
+		if err != nil {
+			return nil, err
+		}
+		return &CheckTable{Table: name}, nil
 	default:
 		return nil, p.errf("expected a statement")
 	}
@@ -863,8 +873,10 @@ func (p *Parser) parseShow() (Statement, error) {
 			return nil, err
 		}
 		return &Show{What: "TRACE", TraceID: id}, nil
+	case p.acceptKeyword("INTEGRITY"):
+		return &Show{What: "INTEGRITY"}, nil
 	default:
-		return nil, p.errf("expected TABLES, SUMMARIES, ANNOTATIONS, METRICS, TRACES, or TRACE after SHOW")
+		return nil, p.errf("expected TABLES, SUMMARIES, ANNOTATIONS, METRICS, TRACES, TRACE, or INTEGRITY after SHOW")
 	}
 }
 

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 )
 
@@ -145,6 +146,80 @@ func (t *BTree) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool) {
 		leaf = leaf.next
 		idx = 0
 	}
+}
+
+// Verify checks the tree's structural invariants — the scrubber's index
+// half. Within every leaf, entries must be (key, value)-sorted; inner
+// separators must be non-decreasing and fence their children (duplicates
+// spanning a split make the fences inclusive on both sides: child i holds
+// entries in [keys[i-1], keys[i]]); every child slice must be one longer
+// than its separator slice; the leaf chain must equal the in-order leaf
+// sequence; and the entry count must match the tracked size.
+func (t *BTree) Verify() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	count := 0
+	var prevLeaf *btLeaf
+	var walk func(n btNode, lo, hi []byte) error
+	walk = func(n btNode, lo, hi []byte) error {
+		switch nd := n.(type) {
+		case *btLeaf:
+			if len(nd.vals) != len(nd.keys) {
+				return fmt.Errorf("storage: btree leaf has %d keys but %d values", len(nd.keys), len(nd.vals))
+			}
+			for i := range nd.keys {
+				if i > 0 && entryLess(nd.keys[i], nd.vals[i], nd.keys[i-1], nd.vals[i-1]) {
+					return fmt.Errorf("storage: btree leaf entries out of order at %d", i)
+				}
+				if lo != nil && bytes.Compare(nd.keys[i], lo) < 0 {
+					return fmt.Errorf("storage: btree leaf key below its separator fence")
+				}
+				if hi != nil && bytes.Compare(nd.keys[i], hi) > 0 {
+					return fmt.Errorf("storage: btree leaf key above its separator fence")
+				}
+			}
+			if prevLeaf != nil && prevLeaf.next != nd {
+				return fmt.Errorf("storage: btree leaf chain does not match the in-order leaf sequence")
+			}
+			prevLeaf = nd
+			count += len(nd.keys)
+			return nil
+		case *btInner:
+			if len(nd.children) != len(nd.keys)+1 {
+				return fmt.Errorf("storage: btree inner node has %d separators but %d children", len(nd.keys), len(nd.children))
+			}
+			for i := 1; i < len(nd.keys); i++ {
+				if bytes.Compare(nd.keys[i-1], nd.keys[i]) > 0 {
+					return fmt.Errorf("storage: btree inner separators out of order at %d", i)
+				}
+			}
+			for i, c := range nd.children {
+				clo, chi := lo, hi
+				if i > 0 {
+					clo = nd.keys[i-1]
+				}
+				if i < len(nd.keys) {
+					chi = nd.keys[i]
+				}
+				if err := walk(c, clo, chi); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("storage: btree node of unknown type %T", n)
+		}
+	}
+	if err := walk(t.root, nil, nil); err != nil {
+		return err
+	}
+	if prevLeaf != nil && prevLeaf.next != nil {
+		return fmt.Errorf("storage: btree leaf chain has a dangling tail")
+	}
+	if count != t.size {
+		return fmt.Errorf("storage: btree tracks %d entries but holds %d", t.size, count)
+	}
+	return nil
 }
 
 // seekLeaf finds the leftmost leaf position whose key >= lo.

@@ -2,7 +2,9 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -16,10 +18,16 @@ type BufferPool struct {
 	frames   map[PageID]*frame
 	lru      *list.List // of PageID, front = most recently used
 
+	// quarantined maps pages known corrupt to their corruption error.
+	// Fetch fails fast on them with the structured error until a repair
+	// (ReplacePage / FlushResident) clears the entry.
+	quarantined map[PageID]error
+
 	// stats
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	hits         uint64
+	misses       uint64
+	evictions    uint64
+	readFailures uint64
 }
 
 type frame struct {
@@ -36,10 +44,11 @@ func NewBufferPool(store PageStore, capacity int) *BufferPool {
 		capacity = 1
 	}
 	return &BufferPool{
-		store:    store,
-		capacity: capacity,
-		frames:   make(map[PageID]*frame, capacity),
-		lru:      list.New(),
+		store:       store,
+		capacity:    capacity,
+		frames:      make(map[PageID]*frame, capacity),
+		lru:         list.New(),
+		quarantined: make(map[PageID]error),
 	}
 }
 
@@ -49,6 +58,9 @@ func NewBufferPool(store PageStore, capacity int) *BufferPool {
 func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	if qerr, ok := bp.quarantined[id]; ok {
+		return nil, qerr
+	}
 	if fr, ok := bp.frames[id]; ok {
 		bp.hits++
 		if fr.elem != nil {
@@ -64,6 +76,12 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	}
 	fr := &frame{pins: 1}
 	if err := bp.store.ReadPage(id, &fr.page); err != nil {
+		bp.readFailures++
+		if errors.Is(err, ErrCorrupt) {
+			// Quarantine on first sight so repeated fetches fail fast with
+			// the structured error instead of re-reading a bad page.
+			bp.quarantined[id] = err
+		}
 		return nil, err
 	}
 	bp.frames[id] = fr
@@ -165,4 +183,118 @@ func (bp *BufferPool) Resident() int {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	return len(bp.frames)
+}
+
+// ReadFailures returns the number of Fetch calls that failed reading from
+// the backing store (corrupt pages and I/O errors).
+func (bp *BufferPool) ReadFailures() uint64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.readFailures
+}
+
+// VerifyStored reads page id directly from the backing store — bypassing
+// and not populating the cache — and returns the store's verification
+// error, if any. Against a FileStore this checks the stamped CRC32-C of
+// the on-disk bytes; a MemStore always verifies clean.
+func (bp *BufferPool) VerifyStored(id PageID) error {
+	pg := new(Page)
+	return bp.store.ReadPage(id, pg)
+}
+
+// Quarantine marks page id corrupt: subsequent Fetches fail fast with err
+// (which should wrap ErrCorrupt) instead of touching the store. An
+// unpinned resident frame is dropped without flushing; a pinned frame is
+// left to its pinner and the quarantine applies to new fetches only.
+func (bp *BufferPool) Quarantine(id PageID, err error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err == nil {
+		err = &ErrPageCorrupt{Page: id, Reason: "quarantined"}
+	}
+	bp.quarantined[id] = err
+	if fr, ok := bp.frames[id]; ok && fr.pins == 0 {
+		if fr.elem != nil {
+			bp.lru.Remove(fr.elem)
+		}
+		delete(bp.frames, id)
+	}
+}
+
+// Unquarantine clears the quarantine on page id without repairing it.
+func (bp *BufferPool) Unquarantine(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	delete(bp.quarantined, id)
+}
+
+// Quarantined returns the ids of currently quarantined pages, sorted.
+func (bp *BufferPool) Quarantined() []PageID {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	out := make([]PageID, 0, len(bp.quarantined))
+	for id := range bp.quarantined {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// FlushResident writes the resident copy of page id back to the store when
+// the page is cached and unpinned, clearing any quarantine — the cheapest
+// repair source when the stored copy is corrupt but a good frame survives
+// in memory. It reports whether a resident copy was written.
+func (bp *BufferPool) FlushResident(id PageID) (bool, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok || fr.pins > 0 {
+		return false, nil
+	}
+	if err := bp.store.WritePage(id, &fr.page); err != nil {
+		return false, err
+	}
+	fr.dirty = false
+	delete(bp.quarantined, id)
+	return true, bp.store.Sync()
+}
+
+// ReplacePage installs src as the authoritative content of page id: it
+// writes through to the store, refreshes any resident frame, and clears
+// the page's quarantine — the repair path for a rebuilt page. It fails if
+// the page is currently pinned.
+func (bp *BufferPool) ReplacePage(id PageID, src *Page) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[id]; ok {
+		if fr.pins > 0 {
+			return fmt.Errorf("storage: replace of pinned page %d", id)
+		}
+		fr.page = *src
+		fr.dirty = false
+	}
+	if err := bp.store.WritePage(id, src); err != nil {
+		return err
+	}
+	delete(bp.quarantined, id)
+	return bp.store.Sync()
+}
+
+// DropClean evicts every unpinned, clean resident frame, forcing
+// subsequent fetches to re-read the store. The scrubber's cold sweeps and
+// the bit-rot soak use it to make on-disk state authoritative.
+func (bp *BufferPool) DropClean() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for id, fr := range bp.frames {
+		if fr.pins == 0 && !fr.dirty {
+			if fr.elem != nil {
+				bp.lru.Remove(fr.elem)
+			}
+			delete(bp.frames, id)
+			n++
+		}
+	}
+	return n
 }

@@ -41,9 +41,12 @@ func OpenHeapFile(pool *BufferPool, pages []PageID) (*HeapFile, error) {
 			return nil, err
 		}
 		h.freeHint[pid] = pg.FreeSpace()
-		pg.Records(func(uint16, []byte) bool { h.records++; return true })
+		rerr := pg.Records(func(uint16, []byte) bool { h.records++; return true })
 		if err := pool.Unpin(pid, false); err != nil {
 			return nil, err
+		}
+		if rerr != nil {
+			return nil, withPage(rerr, pid)
 		}
 	}
 	return h, nil
@@ -144,7 +147,7 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 	data, err := pg.Get(rid.Slot)
 	if err != nil {
 		h.pool.Unpin(rid.Page, false)
-		return nil, err
+		return nil, withPage(err, rid.Page)
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -161,7 +164,7 @@ func (h *HeapFile) Delete(rid RID) error {
 	}
 	if err := pg.Delete(rid.Slot); err != nil {
 		h.pool.Unpin(rid.Page, false)
-		return err
+		return withPage(err, rid.Page)
 	}
 	h.freeHint[rid.Page] = pg.FreeSpace()
 	h.records--
@@ -206,7 +209,7 @@ func (h *HeapFile) Update(rid RID, record []byte) (RID, error) {
 	default:
 		h.pool.Unpin(rid.Page, false)
 		h.mu.Unlock()
-		return RID{}, err
+		return RID{}, withPage(err, rid.Page)
 	}
 }
 
@@ -223,7 +226,7 @@ func (h *HeapFile) Scan(fn func(rid RID, data []byte) bool) error {
 			return err
 		}
 		stop := false
-		pg.Records(func(slot uint16, data []byte) bool {
+		rerr := pg.Records(func(slot uint16, data []byte) bool {
 			if !fn(RID{Page: pid, Slot: slot}, data) {
 				stop = true
 				return false
@@ -233,10 +236,59 @@ func (h *HeapFile) Scan(fn func(rid RID, data []byte) bool) error {
 		if err := h.pool.Unpin(pid, false); err != nil {
 			return err
 		}
+		if rerr != nil {
+			return withPage(rerr, pid)
+		}
 		if stop {
 			return nil
 		}
 	}
+	return nil
+}
+
+// ViewPage pins page pid, calls fn with read-only access, and unpins it.
+// Structural corruption errors from fn gain the page id.
+func (h *HeapFile) ViewPage(pid PageID, fn func(pg *Page) error) error {
+	pg, err := h.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	ferr := fn(pg)
+	if uerr := h.pool.Unpin(pid, false); uerr != nil {
+		return uerr
+	}
+	if ferr != nil {
+		return withPage(ferr, pid)
+	}
+	return nil
+}
+
+// RepairPage replaces the physical contents of pid — which must belong to
+// this heap — with exactly recs (see RebuildPage), writing through the
+// pool's repair path and refreshing the free-space hint. The record count
+// is untouched: repair restores the same logical rows on a fresh physical
+// page.
+func (h *HeapFile) RepairPage(pid PageID, recs []SlotRecord) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	found := false
+	for _, p := range h.pages {
+		if p == pid {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("storage: repair of page %d not in this heap", pid)
+	}
+	var pg Page
+	if err := RebuildPage(&pg, recs); err != nil {
+		return err
+	}
+	if err := h.pool.ReplacePage(pid, &pg); err != nil {
+		return err
+	}
+	h.freeHint[pid] = pg.FreeSpace()
 	return nil
 }
 

@@ -43,7 +43,48 @@ var (
 	ErrRecordTooLarge = errors.New("storage: record too large for a page")
 	// ErrClosed indicates use of a closed store.
 	ErrClosed = errors.New("storage: store is closed")
+
+	// ErrCorrupt is the sentinel matched by errors.Is for any detected
+	// page corruption; the concrete error is an *ErrPageCorrupt carrying
+	// the page id and the violated invariant.
+	ErrCorrupt = errors.New("storage: page corrupt")
 )
+
+// ErrPageCorrupt reports a page that failed checksum or structural
+// verification. Want and Got are CRC32-C values for checksum mismatches
+// (zero for structural faults); Reason names the violated invariant. Page
+// is InvalidPageID when the fault was detected by a Page method that does
+// not know its own id — layers holding the id fill it in.
+type ErrPageCorrupt struct {
+	Page      PageID
+	Want, Got uint32
+	Reason    string
+}
+
+// Error implements error.
+func (e *ErrPageCorrupt) Error() string {
+	where := "page"
+	if e.Page != InvalidPageID {
+		where = fmt.Sprintf("page %d", e.Page)
+	}
+	if e.Want != e.Got {
+		return fmt.Sprintf("storage: %s corrupt: %s (want crc 0x%08x, got 0x%08x)", where, e.Reason, e.Want, e.Got)
+	}
+	return fmt.Sprintf("storage: %s corrupt: %s", where, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) match every page-corruption error.
+func (e *ErrPageCorrupt) Is(target error) bool { return target == ErrCorrupt }
+
+// withPage fills the page id into structural corruption errors raised by
+// Page methods, which do not know which page they operate on.
+func withPage(err error, id PageID) error {
+	var pc *ErrPageCorrupt
+	if errors.As(err, &pc) && pc.Page == InvalidPageID {
+		pc.Page = id
+	}
+	return err
+}
 
 // MaxRecordSize is the largest record a heap page can hold.
 const MaxRecordSize = PageSize - pageHeaderSize - slotSize

@@ -39,6 +39,13 @@ const (
 	// SpanReplResync covers installing a full snapshot shipped by the
 	// primary after the replica fell behind a rotated WAL.
 	SpanReplResync = "repl.resync"
+	// SpanScrubSweep covers one scrubber pass over the page set (background
+	// sweep or a synchronous CHECK TABLE); pages scanned and faults found
+	// are attributes.
+	SpanScrubSweep = "scrub.sweep"
+	// SpanScrubRepair covers one page repair attempt; the source used
+	// (flush, rebuild, replica) or the refusal is an attribute.
+	SpanScrubRepair = "scrub.repair"
 )
 
 // OpSpanPrefix prefixes the synthesized per-operator spans of an executed

@@ -26,7 +26,7 @@ declared=$(grep -oE '"insightnotes_[a-z0-9_]+"' internal/metrics/names.go | tr -
 # The <layer> segment must come from the known-layer list below, so a
 # typo'd family (insightnotes_replication_* vs insightnotes_repl_*) or an
 # unreviewed new layer fails here instead of fragmenting dashboards.
-layers='engine|summary|exec|bufferpool|plan|zoomin|server|admission|wal|maintenance|trace|build|process|repl'
+layers='engine|summary|exec|bufferpool|plan|zoomin|server|admission|wal|maintenance|trace|build|process|repl|integrity'
 for name in $declared; do
 	if ! printf '%s' "$name" | grep -qE '^insightnotes_[a-z][a-z0-9]*_[a-z][a-z0-9_]*$'; then
 		echo "  declared name $name violates the insightnotes_<layer>_<name> scheme" >&2
@@ -110,6 +110,12 @@ echo ">> overload soak (short, race)"
 go test -run TestOverloadSoak -count=1 -race -short ./internal/server/
 echo ">> replication chaos soak: kill-and-restart a replica mid-stream (race)"
 go test -run TestReplicationSoak -count=1 -race -short ./internal/replication/
+echo ">> bit-rot chaos soak: flip bytes on disk, scrub, repair over the replication link (race)"
+go test -run TestScrubSoak -count=1 -race -short ./internal/replication/
+echo ">> storage fuzz smoke: page round-trip, hostile raw pages, key decoding"
+go test -run '^$' -fuzz FuzzPageRoundTrip -fuzztime 3s ./internal/storage/
+go test -run '^$' -fuzz FuzzPageRawBytes -fuzztime 3s ./internal/storage/
+go test -run '^$' -fuzz FuzzDecodeKey -fuzztime 3s ./internal/storage/
 echo ">> batch/parallel equivalence property (race)"
 go test -run TestBatchParallelEquivalence -count=1 -race ./internal/engine/
 echo ">> storage layer: key encoding, heap/B+tree/buffer pool, index-vs-heap crash consistency (race)"
