@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-metrics bench-wal bench-parallel bench-storage bench-trace crash-sim soak soak-repl soak-scrub fuzz check vet race
+.PHONY: build test bench bench-metrics bench-wal bench-parallel bench-storage bench-trace bench-prepare crash-sim soak soak-repl soak-scrub fuzz check vet race
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,14 @@ bench-storage:
 # fully retained. Recorded in E16 with a ≤5% budget at the default rate.
 bench-trace:
 	$(GO) test -bench=BenchmarkTraceOverhead -benchmem -run=^$$ ./internal/engine/
+
+# bench-prepare measures E18: repeated EXECUTE of a prepared statement
+# (plan cache hit, no parse/cost) vs the same query ad-hoc with the cache
+# disabled, and BULK INSERT (one WAL record + fsync per batch) vs
+# row-at-a-time durable inserts. Recorded in E18.
+bench-prepare:
+	$(GO) test -bench='BenchmarkAdhocSelect|BenchmarkPreparedExecute' -benchmem -run=^$$ ./internal/engine/
+	$(GO) test -bench='BenchmarkRowInsertDurable|BenchmarkBulkInsertDurable' -benchmem -run=^$$ ./internal/engine/
 
 # crash-sim is the fault-injection gate on its own: every registered
 # failpoint in the WAL/snapshot paths, three runs, race detector on.

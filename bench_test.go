@@ -362,7 +362,7 @@ func BenchmarkConcurrentReaders(b *testing.B) {
 				go func(c *Client, n int) {
 					defer wg.Done()
 					for j := 0; j < n; j++ {
-						resp, err := c.Exec("SELECT id, name, wingspan FROM birds WHERE id <= 8")
+						resp, err := c.Do(context.Background(), "SELECT id, name, wingspan FROM birds WHERE id <= 8")
 						if err != nil {
 							b.Error(err)
 							return

@@ -122,7 +122,7 @@ func replRemote(addr string) {
 		if strings.Contains(line, ";") {
 			stmt := strings.TrimSpace(buf.String())
 			buf.Reset()
-			resp, err := c.Exec(stmt)
+			resp, err := c.Do(ctx, stmt)
 			if err != nil {
 				fmt.Println("connection lost:", err, "— reconnecting...")
 				c.Close()
@@ -130,7 +130,7 @@ func replRemote(addr string) {
 				if err != nil {
 					fatal(fmt.Errorf("reconnecting to %s: %w", addr, err))
 				}
-				resp, err = c.Exec(stmt)
+				resp, err = c.Do(ctx, stmt)
 			}
 			if err != nil {
 				fmt.Println("error:", err)
@@ -225,7 +225,12 @@ func sortedKeys(m map[string]string) []string {
 }
 
 const help = `statements end with ';'. SQL: CREATE TABLE / CREATE INDEX / INSERT /
+BULK INSERT (one WAL record and fsync for the whole batch) /
 SELECT (joins, GROUP BY, HAVING, ORDER BY, DISTINCT, LIMIT) / DROP TABLE.
+Prepared statements:
+  PREPARE name AS SELECT .. WHERE id = $1;
+  EXECUTE name USING 7;     EXECUTE name (7);
+  DEALLOCATE name;
 InsightNotes extensions:
   ADD ANNOTATION 'text' [TITLE '..'] [DOCUMENT '..'] [AUTHOR '..']
       ON table[(col, ..)] [WHERE cond];

@@ -89,6 +89,7 @@ func main() {
 	maintLatencyMS := flag.Int("maint-latency-ms", 0, "auto-degrade summary maintenance when its latency average crosses this (0 disables)")
 	execWorkers := flag.Int("exec-workers", 0, "morsel-parallel scan worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	batchSize := flag.Int("batch-size", 0, "executor rows-per-batch granularity (0 = built-in default)")
+	planCache := flag.Int("plan-cache", 0, "engine plan cache capacity in entries (0 = 256 default, negative disables)")
 	pageFile := flag.String("page-file", "", "file-backed page store path (default <data-dir>/pages.db with -data-dir, in-memory otherwise)")
 	poolFrames := flag.Int("pool-frames", 0, "buffer-pool capacity in 8 KiB frames (0 = 256 default)")
 	traceSample := flag.Float64("trace-sample", 0, "probability a statement gets detailed span collection and ordinary traces are retained (0 = 0.05 default, negative keeps only slow/errored shells)")
@@ -117,6 +118,7 @@ func main() {
 		MaintenanceLatencyThreshold: time.Duration(*maintLatencyMS) * time.Millisecond,
 		ExecWorkers:                 *execWorkers,
 		BatchSize:                   *batchSize,
+		PlanCacheSize:               *planCache,
 		PageFile:                    *pageFile,
 		PoolFrames:                  *poolFrames,
 		TraceSample:                 *traceSample,

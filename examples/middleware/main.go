@@ -6,13 +6,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"insightnotes"
+	"insightnotes/internal/types"
 )
 
 func main() {
+	ctx := context.Background()
 	db, err := insightnotes.Open(insightnotes.Config{})
 	if err != nil {
 		log.Fatal(err)
@@ -40,7 +43,7 @@ func main() {
 			('photo camera record duplicate', 'Other')`,
 		`LINK SUMMARY ClassBird TO birds`,
 	} {
-		resp, err := admin.Exec(stmt)
+		resp, err := admin.Do(ctx, stmt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,7 +64,7 @@ func main() {
 		"large flock foraging near the shore",
 		"lesions on the bill, influenza suspected",
 	} {
-		resp, err := watcher.Exec(fmt.Sprintf(
+		resp, err := watcher.Do(ctx, fmt.Sprintf(
 			`ADD ANNOTATION '%s' AUTHOR 'watcher7' ON birds WHERE id = 1`, text))
 		if err != nil || !resp.OK {
 			log.Fatalf("annotate: %v %v", err, resp)
@@ -69,7 +72,13 @@ func main() {
 	}
 	fmt.Println("watcher: 3 annotations added over the wire")
 
-	resp, err := watcher.Exec(`SELECT id, name FROM birds WHERE id = 1`)
+	// Queries go through a prepared statement: the template is parsed and
+	// its plan cached server-side once; each Exec binds $1 to a value.
+	byID, err := watcher.Prepare(ctx, `SELECT id, name FROM birds WHERE id = $1`)
+	if err != nil {
+		log.Fatalf("prepare: %v", err)
+	}
+	resp, err := byID.Exec(ctx, types.NewInt(1))
 	if err != nil || !resp.OK {
 		log.Fatalf("query: %v %+v", err, resp)
 	}
@@ -79,7 +88,7 @@ func main() {
 	fmt.Printf("  zoomable:  %v\n", row.ZoomLabels["ClassBird"])
 
 	// Zoom in on the Disease label (index 2).
-	zoom, err := watcher.Exec(fmt.Sprintf(
+	zoom, err := watcher.Do(ctx, fmt.Sprintf(
 		`ZOOMIN REFERENCE QID %d ON ClassBird INDEX 2`, resp.QID))
 	if err != nil || !zoom.OK {
 		log.Fatalf("zoom: %v %+v", err, zoom)

@@ -122,10 +122,25 @@ func LRU() CachePolicy { return zoomin.LRU{} }
 type (
 	// Server serves a DB over TCP with a newline-delimited JSON protocol.
 	Server = server.Server
-	// Client connects to a Server.
+	// Client connects to a Server. Statements run through the
+	// context-first Client.Do with functional CallOptions.
 	Client = server.Client
+	// ClientStmt is a prepared statement handle from Client.Prepare.
+	ClientStmt = server.Stmt
+	// CallOption configures one Client.Do call (WithClientArgs,
+	// WithClientTrace, WithClientRetry, WithClientMutation).
+	CallOption = server.CallOption
 	// ServerResponse is one reply from a Server.
 	ServerResponse = server.Response
+)
+
+// Client call options, re-exported under Client-prefixed names (the bare
+// names collide with the engine's statement options above).
+var (
+	WithClientArgs     = server.WithArgs
+	WithClientTrace    = server.WithTrace
+	WithClientRetry    = server.WithRetry
+	WithClientMutation = server.WithMutation
 )
 
 // Serve wraps db in a Server and starts listening on addr (use ":0" for an

@@ -70,6 +70,11 @@ func decodeRow(data []byte) (types.RowID, types.Tuple, error) {
 	return types.RowID(id), tu, nil
 }
 
+// Validate checks a tuple against the schema without inserting it, so
+// batch ingest can verify every row before mutating anything (BULK INSERT
+// is all-or-nothing).
+func (t *Table) Validate(tu types.Tuple) error { return t.validate(tu) }
+
 // validate checks a tuple against the schema: arity and value kinds (NULL
 // is admissible in any column).
 func (t *Table) validate(tu types.Tuple) error {

@@ -282,6 +282,11 @@ const (
 	walTypeAnnotate       = "annotate"
 	walTypeDropAnnotation = "drop_annotation"
 	walTypeTrain          = "train"
+	// Batched bulk-ingest records: one record carries a whole BULK INSERT
+	// (walRows payload) or a whole AnnotateBatch (walAnnotateBatch), so the
+	// WAL write and commit fsync are paid once per batch.
+	walTypeBulkInsert    = "bulk_insert"
+	walTypeAnnotateBatch = "annotate_batch"
 )
 
 type walCreateTable struct {
@@ -327,6 +332,10 @@ type walLink struct {
 
 type walAnnotate struct {
 	Ann snapshotAnnotate `json:"ann"`
+}
+
+type walAnnotateBatch struct {
+	Anns []snapshotAnnotate `json:"anns"`
 }
 
 type walDropAnnotation struct {
@@ -399,6 +408,11 @@ func (db *DB) applyWALRecord(rec wal.Record) error {
 		for i, c := range r.Columns {
 			cols[i] = types.Column{Name: c.Name, Kind: c.Kind}
 		}
+		// Replayed DDL invalidates cached plans just like the statement
+		// path does — read replicas apply these records while serving
+		// cached SELECTs. Startup recovery starts with an empty cache, so
+		// the calls are free there. Same below for index/drop records.
+		db.invalidatePlanCache()
 		_, err := db.cat.CreateTable(r.Name, types.Schema{Columns: cols})
 		return err
 	case walTypeCreateIndex:
@@ -410,14 +424,16 @@ func (db *DB) applyWALRecord(rec wal.Record) error {
 		if err != nil {
 			return err
 		}
+		db.invalidatePlanCache()
 		return tbl.CreateIndex(r.Column)
 	case walTypeDropTable:
 		var r walDropTable
 		if err := json.Unmarshal(rec.Data, &r); err != nil {
 			return err
 		}
+		db.invalidatePlanCache()
 		return db.dropTable(r.Name)
-	case walTypeInsert:
+	case walTypeInsert, walTypeBulkInsert:
 		var r walRows
 		if err := json.Unmarshal(rec.Data, &r); err != nil {
 			return err
@@ -477,6 +493,7 @@ func (db *DB) applyWALRecord(rec wal.Record) error {
 		if err := json.Unmarshal(rec.Data, &r); err != nil {
 			return err
 		}
+		db.invalidatePlanCache()
 		return db.dropInstance(r.Name)
 	case walTypeLink:
 		var r walLink
@@ -502,6 +519,25 @@ func (db *DB) applyWALRecord(rec wal.Record) error {
 			targets[i] = annotation.Target{Table: tg.Table, Row: tg.Row, Columns: tg.Cols}
 		}
 		return db.restoreAnnotation(a, targets)
+	case walTypeAnnotateBatch:
+		var r walAnnotateBatch
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return err
+		}
+		for _, sa := range r.Anns {
+			a := annotation.Annotation{
+				ID: sa.ID, Author: sa.Author, Created: sa.Created,
+				Text: sa.Text, Title: sa.Title, Document: sa.Document,
+			}
+			targets := make([]annotation.Target, len(sa.Targets))
+			for i, tg := range sa.Targets {
+				targets[i] = annotation.Target{Table: tg.Table, Row: tg.Row, Columns: tg.Cols}
+			}
+			if err := db.restoreAnnotation(a, targets); err != nil {
+				return err
+			}
+		}
+		return nil
 	case walTypeDropAnnotation:
 		var r walDropAnnotation
 		if err := json.Unmarshal(rec.Data, &r); err != nil {

@@ -28,7 +28,7 @@ import (
 )
 
 // Version is the engine version reported by insightnotes_build_info.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // DefaultTraceSample is the default probability that a statement is
 // promoted to detailed span collection — and therefore the retention
@@ -57,6 +57,11 @@ type Config struct {
 	CachePolicy zoomin.Policy
 	// PlanOptions are applied to every query (ablation switches).
 	PlanOptions plan.Options
+	// PlanCacheSize bounds the engine plan cache in entries: 0 means
+	// plan.DefaultCacheSize, negative disables plan caching entirely
+	// (every statement re-parses and re-costs; prepared statements still
+	// work, they just lose the cache). See prepared.go.
+	PlanCacheSize int
 	// ExecWorkers is the scan worker count for morsel-driven parallel
 	// execution: 0 means GOMAXPROCS (parallel scans on by default), 1 keeps
 	// every scan serial, n > 1 uses exactly n workers. Per-statement
@@ -144,7 +149,14 @@ type DB struct {
 
 	cache   *zoomin.Cache
 	queries map[int]string // QID → SQL text, for cache-miss re-execution
-	nextQID atomic.Int64
+
+	// planCache caches parsed statement templates and memoized access-path
+	// choices, keyed on normalized SQL (nil when Config.PlanCacheSize < 0).
+	// preparedMu guards the PREPARE/EXECUTE registry in prepared.
+	planCache  *plan.Cache
+	preparedMu sync.RWMutex
+	prepared   map[string]*preparedStmt
+	nextQID    atomic.Int64
 	// metrics is the engine-wide observability registry (nil when
 	// Config.DisableMetrics is set).
 	metrics *dbMetrics
@@ -238,16 +250,20 @@ func Open(cfg Config) (*DB, error) {
 	}
 	pool := storage.NewBufferPool(store, cfg.PoolFrames)
 	db := &DB{
-		cfg:     cfg,
-		pool:    pool,
-		store:   store,
-		cat:     catalog.New(pool),
-		anns:    annotation.NewStore(pool),
-		envs:    newEnvStore(pool),
-		digests: make(map[string]map[annotation.ID]summary.Digest),
-		cache:   cache,
-		queries: make(map[int]string),
-		start:   time.Now(),
+		cfg:      cfg,
+		pool:     pool,
+		store:    store,
+		cat:      catalog.New(pool),
+		anns:     annotation.NewStore(pool),
+		envs:     newEnvStore(pool),
+		digests:  make(map[string]map[annotation.ID]summary.Digest),
+		cache:    cache,
+		queries:  make(map[int]string),
+		prepared: make(map[string]*preparedStmt),
+		start:    time.Now(),
+	}
+	if cfg.PlanCacheSize >= 0 {
+		db.planCache = plan.NewCache(cfg.PlanCacheSize)
 	}
 	if !cfg.DisableTracing {
 		sample := cfg.TraceSample

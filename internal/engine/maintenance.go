@@ -158,6 +158,28 @@ func (db *DB) maintain(t maintTask) {
 	}
 }
 
+// maintainBatch routes a whole ingest batch of maintenance work: one
+// queue append under one lock acquisition when the engine is degraded,
+// synchronous application otherwise. The per-task latency (not the batch
+// total) feeds the degradation EWMA, so a large healthy batch does not
+// read as overload. Callers hold the exclusive statement lock.
+func (db *DB) maintainBatch(tasks []maintTask) {
+	if len(tasks) == 0 {
+		return
+	}
+	m := db.maint
+	if m != nil && m.deferBatch(tasks) {
+		return
+	}
+	start := time.Now()
+	for _, t := range tasks {
+		db.applyMaintenanceTask(t)
+	}
+	if m != nil {
+		m.observeSync(time.Since(start) / time.Duration(len(tasks)))
+	}
+}
+
 // applyMaintenanceTask updates every captured instance's summary objects
 // for one annotation — the single maintenance routine shared by the
 // synchronous path and the catch-up worker, so both produce identical
@@ -216,6 +238,41 @@ func (m *maintenance) deferTask(t maintTask) bool {
 	m.queue = append(m.queue, t)
 	m.deferredN++
 	m.bumpStaleLocked(t, 1)
+	if !m.started && !m.crashed {
+		m.started = true
+		go m.worker()
+	}
+	m.cond.Broadcast()
+	return true
+}
+
+// deferBatch queues a whole ingest batch under one lock acquisition when
+// degraded mode (or the ordering invariant) demands it, reporting whether
+// it did. Backpressure waits for one free slot, then appends the whole
+// batch — the queue may transiently exceed capacity by len(tasks)-1, a
+// bounded overshoot accepted so a batch is never split across the
+// degradation boundary (its tasks either all defer or all apply
+// synchronously, keeping ingest order intact).
+func (m *maintenance) deferBatch(tasks []maintTask) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	if !(m.manual || m.auto || m.crashed || len(m.queue) > 0 || m.applying) {
+		return false
+	}
+	for len(m.queue) >= m.capacity && !m.closed && !m.crashed {
+		m.cond.Wait()
+	}
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, tasks...)
+	m.deferredN += int64(len(tasks))
+	for _, t := range tasks {
+		m.bumpStaleLocked(t, 1)
+	}
 	if !m.started && !m.crashed {
 		m.started = true
 		go m.worker()

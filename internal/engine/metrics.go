@@ -114,6 +114,19 @@ func newDBMetrics(db *DB) *dbMetrics {
 	reg.GaugeFunc(metrics.NameZoominCacheEntries, "Entries resident in the zoom-in cache.",
 		func() float64 { return float64(cache.Stats().Entries) })
 
+	// Plan cache: the cache's own counters are authoritative (absent when
+	// Config.PlanCacheSize < 0 disabled it).
+	if pcache := db.planCache; pcache != nil {
+		reg.CounterFunc(metrics.NamePlancacheHits, "Plan-cache hits (parse and access-path costing skipped).",
+			func() float64 { return float64(pcache.Stats().Hits) })
+		reg.CounterFunc(metrics.NamePlancacheMisses, "Plan-cache misses (cacheable statement parsed and costed).",
+			func() float64 { return float64(pcache.Stats().Misses) })
+		reg.CounterFunc(metrics.NamePlancacheEvictions, "Plan-cache entries evicted past the LRU capacity.",
+			func() float64 { return float64(pcache.Stats().Evictions) })
+		reg.GaugeFunc(metrics.NamePlancacheEntries, "Statement templates currently in the plan cache.",
+			func() float64 { return float64(pcache.Stats().Entries) })
+	}
+
 	// Metadata store sizes — the paper's motivating quantity ("even
 	// metadata is getting big").
 	// Store pointers are snapshotted under db.mu: a replica snapshot
@@ -204,7 +217,7 @@ func newDBMetrics(db *DB) *dbMetrics {
 	// everything else against.
 	reg.GaugeVec(metrics.NameBuildInfo,
 		"Build information; the value is always 1, the version label carries engine and Go versions.",
-		"version").With(Version+" "+runtime.Version()).Set(1)
+		"version").With(Version + " " + runtime.Version()).Set(1)
 	reg.GaugeFunc(metrics.NameProcessUptimeSeconds, "Seconds since this engine instance was opened.",
 		func() float64 { return time.Since(db.start).Seconds() })
 
@@ -389,6 +402,14 @@ func statementKind(stmt sql.Statement) string {
 		return "drop_table"
 	case *sql.Insert:
 		return "insert"
+	case *sql.BulkInsert:
+		return "bulk_insert"
+	case *sql.Prepare:
+		return "prepare"
+	case *sql.Execute:
+		return "execute"
+	case *sql.Deallocate:
+		return "deallocate"
 	case *sql.Update:
 		return "update"
 	case *sql.Delete:

@@ -30,6 +30,12 @@ type stmtOptions struct {
 	// queueWait is the admission-queue wait the server measured before
 	// dispatching this statement (surfaced in stats and the slow-query log).
 	queueWait time.Duration
+	// memo, when non-nil, is the plan-cache access-path memo for this
+	// statement (set internally by the cache consult; never by a public
+	// option). planCacheAttr records the consult outcome ("hit"/"miss")
+	// for the stmt.plan span.
+	memo          *plan.PathMemo
+	planCacheAttr string
 }
 
 func gatherOptions(opts []StatementOption) stmtOptions {

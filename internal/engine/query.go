@@ -98,18 +98,25 @@ type Result struct {
 func (db *DB) Query(ctx context.Context, sqlText string, opts ...StatementOption) (*Result, error) {
 	so := gatherOptions(opts)
 	start := db.startLifecycle(&so, sqlText)
-	psp := so.lifecycle.StartSpan(trace.SpanParse, nil)
-	stmt, err := sql.Parse(sqlText)
-	psp.End()
-	if err != nil {
-		so.lifecycle.Finish("parse_error", err)
-		return nil, err
-	}
-	sel, ok := stmt.(*sql.Select)
-	if !ok {
-		err := fmt.Errorf("engine: Query expects a SELECT; use Exec for %T", stmt)
-		so.lifecycle.Finish(statementKind(stmt), err)
-		return nil, err
+	var sel *sql.Select
+	if stmt, ok := db.cachedStatement(&so, sqlText); ok {
+		sel = stmt.(*sql.Select) // only SELECT templates are cached
+	} else {
+		psp := so.lifecycle.StartSpan(trace.SpanParse, nil)
+		stmt, err := sql.Parse(sqlText)
+		psp.End()
+		if err != nil {
+			so.lifecycle.Finish("parse_error", err)
+			return nil, err
+		}
+		s, isSel := stmt.(*sql.Select)
+		if !isSel {
+			err := fmt.Errorf("engine: Query expects a SELECT; use Exec for %T", stmt)
+			so.lifecycle.Finish(statementKind(stmt), err)
+			return nil, err
+		}
+		sel = s
+		db.cacheStatement(&so, sqlText, stmt)
 	}
 	db.stmtMu.RLock()
 	defer db.stmtMu.RUnlock()
@@ -133,7 +140,15 @@ func statementStats(ec *exec.ExecContext, rows int) *StatementStats {
 
 func (db *DB) querySelect(ec *exec.ExecContext, sel *sql.Select, sqlText string, so stmtOptions) (*Result, error) {
 	popts := db.planOptions(so)
+	if so.memo != nil {
+		popts.Memo = so.memo
+	}
 	psp := so.lifecycle.StartSpan(trace.SpanPlan, nil)
+	if so.planCacheAttr != "" {
+		// "hit": the statement skipped parse and replays memoized access
+		// paths; "miss": this execution records them for the next one.
+		psp.Attr("cache", so.planCacheAttr)
+	}
 	popts.Span = psp
 	p := plan.New(db.cat, db, popts)
 	op, err := p.PlanSelect(sel)

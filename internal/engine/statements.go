@@ -23,6 +23,11 @@ import (
 func (db *DB) Exec(ctx context.Context, sqlText string, opts ...StatementOption) (*Result, error) {
 	so := gatherOptions(opts)
 	start := db.startLifecycle(&so, sqlText)
+	if stmt, ok := db.cachedStatement(&so, sqlText); ok {
+		// Plan-cache hit: the parse is skipped entirely (no stmt.parse
+		// span) and planning replays the memoized access paths.
+		return db.execLifecycle(ctx, stmt, sqlText, so, start)
+	}
 	psp := so.lifecycle.StartSpan(trace.SpanParse, nil)
 	stmt, err := sql.Parse(sqlText)
 	psp.End()
@@ -33,6 +38,7 @@ func (db *DB) Exec(ctx context.Context, sqlText string, opts ...StatementOption)
 		so.lifecycle.Finish("parse_error", err)
 		return nil, err
 	}
+	db.cacheStatement(&so, sqlText, stmt)
 	return db.execLifecycle(ctx, stmt, sqlText, so, start)
 }
 
@@ -146,6 +152,14 @@ func (db *DB) execStatement(ctx context.Context, stmt sql.Statement, sqlText str
 			Message:         fmt.Sprintf("%d raw annotation(s) retrieved (%s)", len(rows), src),
 			Count:           len(rows),
 		}, nil
+	case *sql.Prepare:
+		// Registry-only: no lock beyond the registry's own, no WAL record,
+		// legal on replicas. Same for DEALLOCATE below.
+		return db.execPrepare(s)
+	case *sql.Deallocate:
+		return db.execDeallocate(s)
+	case *sql.Execute:
+		return db.execExecute(ctx, s, so)
 	case *sql.AddAnnotation:
 		id, n, err := db.Annotate(AnnotationRequest{
 			Text: s.Text, Title: s.Title, Document: s.Document, Author: s.Author,
@@ -252,6 +266,7 @@ func (db *DB) execStatement(ctx context.Context, stmt sql.Statement, sqlText str
 func (db *DB) execWriteLocked(stmt sql.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
+		db.invalidatePlanCache()
 		return db.execCreateTable(s)
 	case *sql.CreateIndex:
 		tbl, err := db.cat.Table(s.Table)
@@ -261,6 +276,9 @@ func (db *DB) execWriteLocked(stmt sql.Statement) (*Result, error) {
 		if err := tbl.CreateIndex(s.Column); err != nil {
 			return nil, err
 		}
+		// Memoized access paths predate this index; drop them so the next
+		// execution re-costs against it.
+		db.invalidatePlanCache()
 		if err := db.logRecord(walTypeCreateIndex, walCreateIndex{Table: tbl.Name(), Column: s.Column}); err != nil {
 			return nil, err
 		}
@@ -274,12 +292,15 @@ func (db *DB) execWriteLocked(stmt sql.Statement) (*Result, error) {
 		if err := db.dropTable(name); err != nil {
 			return nil, err
 		}
+		db.invalidatePlanCache()
 		if err := db.logRecord(walTypeDropTable, walDropTable{Name: name}); err != nil {
 			return nil, err
 		}
 		return &Result{Message: "table dropped"}, nil
 	case *sql.Insert:
 		return db.execInsert(s)
+	case *sql.BulkInsert:
+		return db.execBulkInsert(s)
 	case *sql.Update:
 		return db.execUpdate(s)
 	case *sql.Delete:
@@ -306,6 +327,9 @@ func (db *DB) execWriteLocked(stmt sql.Statement) (*Result, error) {
 		if err := db.dropInstance(s.Name); err != nil {
 			return nil, err
 		}
+		// Cached SELECT templates may carry SUMMARY(...) calls resolved
+		// against this instance at plan time.
+		db.invalidatePlanCache()
 		if err := db.logRecord(walTypeDropInstance, walDropInstance{Name: s.Name}); err != nil {
 			return nil, err
 		}
@@ -396,22 +420,13 @@ func (db *DB) execInsert(s *sql.Insert) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	empty := types.Schema{}
 	inserted := make([]snapshotRow, 0, len(s.Rows))
 	for _, row := range s.Rows {
-		tu := make(types.Tuple, len(row))
-		for i, e := range row {
-			c, err := exec.Compile(e, empty)
-			if err != nil {
-				return nil, fmt.Errorf("engine: INSERT values must be constants: %w", err)
-			}
-			v, err := c.Eval(nil)
-			if err != nil {
-				return nil, err
-			}
-			tu[i] = v
+		tu, err := evalConstExprs(row, "INSERT values")
+		if err != nil {
+			return nil, err
 		}
-		id, err := tbl.Insert(tu)
+		id, err := tbl.Insert(types.Tuple(tu))
 		if err != nil {
 			return nil, err
 		}
@@ -422,6 +437,44 @@ func (db *DB) execInsert(s *sql.Insert) (*Result, error) {
 	}
 	n := len(inserted)
 	return &Result{Message: fmt.Sprintf("%d row(s) inserted into %s", n, tbl.Name()), Count: n}, nil
+}
+
+// execBulkInsert is the COPY-style ingest path: all rows of one BULK
+// INSERT are evaluated up front (the statement mutates nothing when any
+// row is malformed), inserted under the one exclusive lock acquisition the
+// statement already holds, and logged as ONE batched WAL record — so N
+// rows cost one parse, one lock handoff, and one group-commit fsync
+// instead of N of each. Replay applies the batch row-by-row with the
+// assigned ids (see applyWALRecord).
+func (db *DB) execBulkInsert(s *sql.BulkInsert) (*Result, error) {
+	tbl, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	tuples := make([]types.Tuple, len(s.Rows))
+	for i, row := range s.Rows {
+		tu, err := evalConstExprs(row, "BULK INSERT values")
+		if err != nil {
+			return nil, err
+		}
+		if err := tbl.Validate(types.Tuple(tu)); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i+1, err)
+		}
+		tuples[i] = types.Tuple(tu)
+	}
+	inserted := make([]snapshotRow, 0, len(tuples))
+	for _, tu := range tuples {
+		id, err := tbl.Insert(tu)
+		if err != nil {
+			return nil, err
+		}
+		inserted = append(inserted, snapshotRow{ID: id, Values: tu})
+	}
+	if err := db.logRecord(walTypeBulkInsert, walRows{Table: tbl.Name(), Rows: inserted}); err != nil {
+		return nil, err
+	}
+	n := len(inserted)
+	return &Result{Message: fmt.Sprintf("%d row(s) bulk inserted into %s", n, tbl.Name()), Count: n}, nil
 }
 
 func (db *DB) execShow(s *sql.Show) (*Result, error) {

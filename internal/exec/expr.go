@@ -250,6 +250,8 @@ func (cc *compiler) compile(expr sql.Expr) (evalFunc, error) {
 		return compileBinary(e.Op, l, r)
 	case *sql.FuncCall:
 		return nil, fmt.Errorf("exec: aggregate %s not allowed in a scalar context", e.Name)
+	case *sql.Param:
+		return nil, fmt.Errorf("exec: parameter $%d is unbound; supply a value via EXECUTE ... USING or client-side args", e.Index)
 	default:
 		return nil, fmt.Errorf("exec: unsupported expression %T", expr)
 	}

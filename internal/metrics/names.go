@@ -48,6 +48,15 @@ const (
 	NamePlanPlansTotal       = "insightnotes_plan_plans_total"        // counter
 	NamePlanAccessPathsTotal = "insightnotes_plan_access_paths_total" // counter{path}
 
+	// plancache layer — the engine plan cache behind prepared statements
+	// and repeated ad-hoc SELECTs. Like the bufferpool counters, these
+	// names come verbatim from ISSUE 10's acceptance wording and are
+	// pinned without the _total suffix.
+	NamePlancacheHits      = "insightnotes_plancache_hits"      // counter (executions served from a cached template + path memo)
+	NamePlancacheMisses    = "insightnotes_plancache_misses"    // counter (cacheable statements that had to parse and cost)
+	NamePlancacheEvictions = "insightnotes_plancache_evictions" // counter (entries evicted past the LRU capacity)
+	NamePlancacheEntries   = "insightnotes_plancache_entries"   // gauge (templates currently cached)
+
 	// zoomin layer — RCO materialization cache and zoom-in execution.
 	NameZoominCacheHitsTotal      = "insightnotes_zoomin_cache_hits_total"      // counter
 	NameZoominCacheMissesTotal    = "insightnotes_zoomin_cache_misses_total"    // counter
@@ -67,10 +76,10 @@ const (
 	NameServerPanicsTotal        = "insightnotes_server_panics_total"         // counter (statements that panicked and were isolated)
 
 	// admission layer — statement concurrency limiting and load shedding.
-	NameAdmissionQueuedTotal    = "insightnotes_admission_queued_total"    // counter (statements that waited for a slot)
-	NameAdmissionShedTotal      = "insightnotes_admission_shed_total"      // counter (statements shed from the wait queue: timeout or deadline)
-	NameAdmissionRejectedTotal  = "insightnotes_admission_rejected_total"  // counter (statements rejected outright: queue full)
-	NameAdmissionWaitSeconds    = "insightnotes_admission_wait_seconds"    // histogram (queue wait of admitted statements)
+	NameAdmissionQueuedTotal    = "insightnotes_admission_queued_total"     // counter (statements that waited for a slot)
+	NameAdmissionShedTotal      = "insightnotes_admission_shed_total"       // counter (statements shed from the wait queue: timeout or deadline)
+	NameAdmissionRejectedTotal  = "insightnotes_admission_rejected_total"   // counter (statements rejected outright: queue full)
+	NameAdmissionWaitSeconds    = "insightnotes_admission_wait_seconds"     // histogram (queue wait of admitted statements)
 	NameServerConnsRefusedTotal = "insightnotes_server_conns_refused_total" // counter (connections refused at the -max-conns cap)
 
 	// wal layer — durability: append log, checkpointing, and recovery.
@@ -88,11 +97,11 @@ const (
 	NameWALSnapshotLoadedTotal = "insightnotes_wal_snapshot_loaded_total" // counter (startups that recovered from a snapshot)
 
 	// engine layer — degraded summary maintenance (overload protection).
-	NameMaintenancePendingTasks   = "insightnotes_maintenance_pending_tasks"   // gauge (deferred tasks queued for catch-up)
-	NameMaintenanceDeferredTotal  = "insightnotes_maintenance_deferred_total"  // counter (tasks deferred to the background worker)
-	NameMaintenanceAppliedTotal   = "insightnotes_maintenance_applied_total"   // counter (deferred tasks applied by the worker)
-	NameMaintenanceDegraded       = "insightnotes_maintenance_degraded"        // gauge (1 while deferring, 0 when fresh)
-	NameSummaryStaleUpdatesTotal  = "insightnotes_summary_stale_updates"       // gauge{instance} (pending updates per summary instance)
+	NameMaintenancePendingTasks  = "insightnotes_maintenance_pending_tasks"  // gauge (deferred tasks queued for catch-up)
+	NameMaintenanceDeferredTotal = "insightnotes_maintenance_deferred_total" // counter (tasks deferred to the background worker)
+	NameMaintenanceAppliedTotal  = "insightnotes_maintenance_applied_total"  // counter (deferred tasks applied by the worker)
+	NameMaintenanceDegraded      = "insightnotes_maintenance_degraded"       // gauge (1 while deferring, 0 when fresh)
+	NameSummaryStaleUpdatesTotal = "insightnotes_summary_stale_updates"      // gauge{instance} (pending updates per summary instance)
 
 	// wal layer — group commit (batched commit fsyncs).
 	NameWALGroupCommitBatchesTotal = "insightnotes_wal_group_commit_batches_total" // counter (commit fsyncs covering ≥1 record)

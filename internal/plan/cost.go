@@ -71,6 +71,18 @@ type indexCandidate struct {
 // morsel-parallel) scan otherwise. It returns the chosen scan operator with
 // the planner's row estimate attached.
 func (p *Planner) chooseAccessPath(r *relation, local []sql.Expr) exec.Operator {
+	alias := strings.ToLower(r.ref.EffectiveAlias())
+	if m := p.opts.Memo; m != nil && !p.opts.DisableIndexScan {
+		if ch, ok := m.lookup(alias); ok {
+			if op, replayed := p.replayPath(r, local, ch); replayed {
+				if sp := p.opts.Span; sp != nil {
+					sp.Attr("path_memo."+alias, ch.kind)
+				}
+				return op
+			}
+		}
+	}
+
 	st := r.table.Stats()
 	seq := seqScanCost(st)
 
@@ -107,7 +119,6 @@ func (p *Planner) chooseAccessPath(r *relation, local []sql.Expr) exec.Operator 
 	}
 
 	if sp := p.opts.Span; sp != nil {
-		alias := strings.ToLower(r.ref.EffectiveAlias())
 		sp.AttrFloat("cost_seq."+alias, seq)
 		if best != nil {
 			sp.AttrFloat("cost_index."+alias, indexCost(best.est))
@@ -116,6 +127,13 @@ func (p *Planner) chooseAccessPath(r *relation, local []sql.Expr) exec.Operator 
 		}
 	}
 	if best != nil && indexCost(best.est) < seq {
+		if m := p.opts.Memo; m != nil && !p.opts.DisableIndexScan {
+			kind := "index"
+			if best.isRange {
+				kind = "index_range"
+			}
+			m.record(alias, pathChoice{kind: kind, col: best.col, est: best.est})
+		}
 		if best.isRange {
 			op := exec.NewIndexRangeScan(r.table, r.ref.EffectiveAlias(), best.col,
 				best.rng.lo, best.rng.hi, best.rng.loInc, best.rng.hiInc, p.envs)
@@ -126,5 +144,45 @@ func (p *Planner) chooseAccessPath(r *relation, local []sql.Expr) exec.Operator 
 		op.SetEstimatedRows(best.est)
 		return op
 	}
+	if m := p.opts.Memo; m != nil && !p.opts.DisableIndexScan {
+		m.record(alias, pathChoice{kind: "full"})
+	}
 	return nil // sequential scan wins; accessPath builds it
+}
+
+// replayPath rebuilds the memoized access path for r, pulling probe
+// values from the current (bound) predicates. It reports false when the
+// recorded shape no longer matches the predicate set — the caller then
+// falls back to full cost-based selection.
+func (p *Planner) replayPath(r *relation, local []sql.Expr, ch pathChoice) (exec.Operator, bool) {
+	switch ch.kind {
+	case "full":
+		return nil, true
+	case "index":
+		for _, e := range local {
+			col, val, ok := constEquality(e, r.schema)
+			if !ok {
+				continue
+			}
+			if _, name := types.SplitQualified(col); name == ch.col {
+				op := exec.NewIndexScan(r.table, r.ref.EffectiveAlias(), ch.col, val, p.envs)
+				op.SetEstimatedRows(ch.est)
+				return op, true
+			}
+		}
+	case "index_range":
+		for _, e := range local {
+			rng, ok := constRange(e, r.schema)
+			if !ok {
+				continue
+			}
+			if _, name := types.SplitQualified(rng.col); name == ch.col {
+				op := exec.NewIndexRangeScan(r.table, r.ref.EffectiveAlias(), ch.col,
+					rng.lo, rng.hi, rng.loInc, rng.hiInc, p.envs)
+				op.SetEstimatedRows(ch.est)
+				return op, true
+			}
+		}
+	}
+	return nil, false
 }

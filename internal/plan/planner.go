@@ -49,6 +49,11 @@ type Options struct {
 	// records its access-path decisions and cost estimates on it as
 	// attributes (one set per base relation). Per-statement, never shared.
 	Span *trace.SpanHandle
+	// Memo, when set, is the cached statement's access-path memo
+	// (cache.go): recorded decisions are replayed instead of re-costed,
+	// and first-time decisions are recorded for later executions. Shared
+	// across executions of one cached statement; safe for concurrent use.
+	Memo *PathMemo
 }
 
 // Counters are cumulative planning-decision counts, incremented by every

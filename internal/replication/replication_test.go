@@ -410,7 +410,7 @@ func TestStaleReplicaShedsReads(t *testing.T) {
 	defer rc.Close()
 
 	// Fresh replica serves reads, stamped with the staleness bound.
-	resp, err := rc.Exec("SELECT id, name FROM birds")
+	resp, err := rc.Do(context.Background(), "SELECT id, name FROM birds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +422,7 @@ func TestStaleReplicaShedsReads(t *testing.T) {
 	}
 
 	// Mutations never run on a replica.
-	resp, err = rc.Exec("INSERT INTO birds VALUES (9, 'Impostor')")
+	resp, err = rc.Do(context.Background(), "INSERT INTO birds VALUES (9, 'Impostor')")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +437,7 @@ func TestStaleReplicaShedsReads(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		resp, err = rc.Exec("SELECT id FROM birds")
+		resp, err = rc.Do(context.Background(), "SELECT id FROM birds")
 		if err != nil {
 			t.Fatal(err)
 		}

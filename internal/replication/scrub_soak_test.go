@@ -2,6 +2,7 @@ package replication
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -241,7 +242,7 @@ func TestScrubSoak(t *testing.T) {
 	if len(prep.Quarantined) != 1 || prep.Quarantined[0] != badPID {
 		t.Fatalf("standalone primary quarantine = %v, want [%d]", prep.Quarantined, badPID)
 	}
-	resp, err := pc.Exec("SELECT name FROM birds")
+	resp, err := pc.Do(context.Background(), "SELECT name FROM birds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,14 +262,14 @@ func TestScrubSoak(t *testing.T) {
 		}
 		return buf.Bytes(), nil
 	})
-	resp, err = pc.Exec("CHECK TABLE birds")
+	resp, err = pc.Do(context.Background(), "CHECK TABLE birds")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !resp.OK {
 		t.Fatalf("CHECK TABLE birds: %+v", resp)
 	}
-	resp, err = pc.Exec("SELECT name FROM birds WHERE id = 123")
+	resp, err = pc.Do(context.Background(), "SELECT name FROM birds WHERE id = 123")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -101,7 +101,7 @@ func TestReplicationSoak(t *testing.T) {
 	defer pc.Close()
 	mustOK := func(stmt string) *server.Response {
 		t.Helper()
-		resp, err := pc.Exec(stmt)
+		resp, err := pc.Do(context.Background(), stmt)
 		if err != nil {
 			t.Fatalf("primary Exec(%q): %v", stmt, err)
 		}
@@ -180,7 +180,7 @@ func TestReplicationSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sc.Close()
-	resp, err := sc.Exec(fmt.Sprintf("SELECT id FROM birds WHERE id = %d", next))
+	resp, err := sc.Do(context.Background(), fmt.Sprintf("SELECT id FROM birds WHERE id = %d", next))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestReplicationSoak(t *testing.T) {
 	}
 	deadline = time.Now().Add(10 * time.Second)
 	for {
-		resp, err := sc.Exec("SELECT id FROM birds WHERE id = 1")
+		resp, err := sc.Do(context.Background(), "SELECT id FROM birds WHERE id = 1")
 		if err != nil {
 			t.Fatal(err)
 		}

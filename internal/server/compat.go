@@ -1,0 +1,39 @@
+package server
+
+import "context"
+
+// This file holds the pre-consolidation client API: every method is a
+// one-line wrapper over the context-first Do entry point with the behavior
+// expressed as call options. New code should call Do directly; the
+// scripts/check.sh lint rejects new call sites of these methods in
+// non-test code outside this file.
+
+// Exec sends one statement and waits for the response.
+//
+// Deprecated: use Do(ctx, stmt).
+func (c *Client) Exec(stmt string) (*Response, error) {
+	return c.Do(context.Background(), stmt)
+}
+
+// ExecTraced sends one SELECT with the under-the-hood trace enabled.
+//
+// Deprecated: use Do(ctx, stmt, WithTrace()).
+func (c *Client) ExecTraced(stmt string) (*Response, error) {
+	return c.Do(context.Background(), stmt, WithTrace())
+}
+
+// ExecRetry sends one statement, retrying overload sheds and transport
+// failures under the backoff schedule.
+//
+// Deprecated: use Do(ctx, stmt, WithRetry(attempts, b)).
+func (c *Client) ExecRetry(ctx context.Context, stmt string, attempts int, b Backoff) (*Response, error) {
+	return c.Do(ctx, stmt, WithRetry(attempts, b))
+}
+
+// ExecMutation sends one mutating statement, retrying only attempts that
+// provably never entered the engine.
+//
+// Deprecated: use Do(ctx, stmt, WithRetry(attempts, b), WithMutation()).
+func (c *Client) ExecMutation(ctx context.Context, stmt string, attempts int, b Backoff) (*Response, error) {
+	return c.Do(ctx, stmt, WithRetry(attempts, b), WithMutation())
+}

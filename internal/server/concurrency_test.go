@@ -79,7 +79,7 @@ func TestServerConcurrentSelectsOverlap(t *testing.T) {
 				return
 			}
 			defer cl.Close()
-			resp, err := cl.Exec("SELECT a FROM t")
+			resp, err := cl.Do(context.Background(), "SELECT a FROM t")
 			if err != nil {
 				errs <- err
 				return
@@ -111,7 +111,7 @@ func TestServerStatementTimeout(t *testing.T) {
 	mustClient(t, c, "CREATE TABLE t (a INT)")
 	mustClient(t, c, "INSERT INTO t VALUES (1)")
 
-	resp, err := c.Exec("SELECT a FROM t")
+	resp, err := c.Do(context.Background(), "SELECT a FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestServerShowMetricsUnderLoad(t *testing.T) {
 			}
 			defer cl.Close()
 			for i := 0; i < iters; i++ {
-				resp, err := cl.Exec("SHOW METRICS LIKE 'insightnotes_engine_%'")
+				resp, err := cl.Do(context.Background(), "SHOW METRICS LIKE 'insightnotes_engine_%'")
 				if err != nil {
 					errs <- err
 					return
@@ -215,7 +215,7 @@ func TestServerShowMetricsUnderLoad(t *testing.T) {
 					fmt.Sprintf("UPDATE t SET b = 'u' WHERE a = %d", 100*g+i),
 				}
 				for _, stmt := range stmts {
-					if resp, err := cl.Exec(stmt); err != nil || !resp.OK {
+					if resp, err := cl.Do(context.Background(), stmt); err != nil || !resp.OK {
 						errs <- fmt.Errorf("writer %q: %v %+v", stmt, err, resp)
 						return
 					}

@@ -102,7 +102,7 @@ func TestAdmissionShedStructured(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c1.Close()
-	go c1.Exec("CREATE TABLE parked (id INT)")
+	go c1.Do(context.Background(), "CREATE TABLE parked (id INT)")
 	<-entered // c1 holds the only slot
 
 	// c2 queues and is shed when the queue timeout expires.
@@ -111,7 +111,7 @@ func TestAdmissionShedStructured(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	resp, err := c2.Exec("SHOW TABLES")
+	resp, err := c2.Do(context.Background(), "SHOW TABLES")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestAdmissionShedStructured(t *testing.T) {
 	// rejected outright without waiting.
 	blocked := make(chan *Response, 1)
 	go func() {
-		r, _ := c2.Exec("SHOW TABLES")
+		r, _ := c2.Do(context.Background(), "SHOW TABLES")
 		blocked <- r
 	}()
 	waitMetric(t, reg, metrics.NameAdmissionQueuedTotal, 2) // c2's two queued attempts
@@ -141,7 +141,7 @@ func TestAdmissionShedStructured(t *testing.T) {
 	}
 	defer c3.Close()
 	start := time.Now()
-	resp, err = c3.Exec("SHOW TABLES")
+	resp, err = c3.Do(context.Background(), "SHOW TABLES")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestExecRetrySucceedsAfterShed(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c1.Close()
-	go c1.Exec("CREATE TABLE parked (id INT)")
+	go c1.Do(context.Background(), "CREATE TABLE parked (id INT)")
 	<-entered
 
 	// Release the parked statement once the retrying client has been shed
@@ -223,7 +223,7 @@ func TestExecRetrySucceedsAfterShed(t *testing.T) {
 	defer c2.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	resp, err := c2.ExecRetry(ctx, "SHOW TABLES", 20, Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond})
+	resp, err := c2.Do(ctx, "SHOW TABLES", WithRetry(20, Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond}))
 	if err != nil {
 		t.Fatalf("ExecRetry: %v", err)
 	}
@@ -250,14 +250,14 @@ func TestMaxConnsRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	resp, err := c2.Exec("SHOW TABLES")
+	resp, err := c2.Do(context.Background(), "SHOW TABLES")
 	if err != nil {
 		t.Fatalf("refused conn should still answer once: %v", err)
 	}
 	if resp.OK || resp.Code != CodeOverloaded || resp.RetryAfterMS <= 0 {
 		t.Fatalf("refusal = %+v", resp)
 	}
-	if _, err := c2.Exec("SHOW TABLES"); err == nil {
+	if _, err := c2.Do(context.Background(), "SHOW TABLES"); err == nil {
 		t.Fatal("refused connection should be closed after its one answer")
 	}
 	if got := metricValue(srv.db.Metrics(), metrics.NameServerConnsRefusedTotal); got != 1 {
@@ -272,7 +272,7 @@ func TestMaxConnsRefused(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := c3.Exec("SHOW TABLES")
+		r, err := c3.Do(context.Background(), "SHOW TABLES")
 		c3.Close()
 		if err == nil && r.OK {
 			break
@@ -296,14 +296,14 @@ func TestFrameTooLargeStructured(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	resp, err := c.Exec("SELECT '" + strings.Repeat("x", 8192) + "'")
+	resp, err := c.Do(context.Background(), "SELECT '"+strings.Repeat("x", 8192)+"'")
 	if err != nil {
 		t.Fatalf("oversized frame should still get a structured answer: %v", err)
 	}
 	if resp.OK || resp.Code != CodeFrameTooLarge {
 		t.Fatalf("resp = %+v, want code %s", resp, CodeFrameTooLarge)
 	}
-	if _, err := c.Exec("SHOW TABLES"); err == nil {
+	if _, err := c.Do(context.Background(), "SHOW TABLES"); err == nil {
 		t.Fatal("connection should be closed after a frame-cap violation")
 	}
 }
@@ -377,7 +377,7 @@ func TestFlakyConnFrameReassembly(t *testing.T) {
 	}
 	dropper := &failpoint.FlakyConn{Conn: raw2, DropAfter: 10}
 	d := clientOver(dropper, addr)
-	if _, err := d.Exec("INSERT INTO chaos VALUES (999)"); err == nil {
+	if _, err := d.Do(context.Background(), "INSERT INTO chaos VALUES (999)"); err == nil {
 		t.Fatal("dropped conn should error")
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -488,7 +488,7 @@ func TestOverloadSoak(t *testing.T) {
 						w, op, op%3+1)
 				}
 				start := time.Now()
-				resp, err := cl.ExecRetry(ctx, stmt, 6, b)
+				resp, err := cl.Do(ctx, stmt, WithRetry(6, b))
 				elapsed := time.Since(start)
 				if err != nil {
 					t.Errorf("worker %d op %d: unstructured failure: %v", w, op, err)

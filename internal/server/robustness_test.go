@@ -25,7 +25,7 @@ func TestServerPanicIsolation(t *testing.T) {
 	})
 	defer failpoint.Disable(failpoint.ServerExecPanic)
 
-	resp, err := c.Exec("SELECT id FROM t")
+	resp, err := c.Do(context.Background(), "SELECT id FROM t")
 	if err != nil {
 		t.Fatalf("connection died on panicking statement: %v", err)
 	}
@@ -84,7 +84,7 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 	}
 	resCh := make(chan result, 1)
 	go func() {
-		resp, err := c.Exec("CREATE TABLE slow (id INT)")
+		resp, err := c.Do(context.Background(), "CREATE TABLE slow (id INT)")
 		resCh <- result{resp, err}
 	}()
 	<-entered
@@ -139,7 +139,7 @@ func TestShutdownForcesAfterTimeout(t *testing.T) {
 	}
 	defer c.Close()
 
-	go c.Exec("CREATE TABLE stuck (id INT)")
+	go c.Do(context.Background(), "CREATE TABLE stuck (id INT)")
 	<-entered
 
 	done := make(chan error, 1)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -19,8 +20,8 @@ type Topology struct {
 
 // RoutedClient is a replica-aware client over a Topology: reads prefer
 // replicas and fail over — to the next replica and finally the primary —
-// on connection loss, staleness sheds (CodeStale), and overload sheds;
-// mutations are routed to the primary only, with ExecMutation's
+// on connection loss, staleness sheds (ErrStale), and overload sheds;
+// mutations are routed to the primary only, with WithMutation's
 // no-resend-after-partial-send semantics. Connections are cached per
 // endpoint and redialed on demand. Not safe for concurrent use; open one
 // per goroutine, like Client.
@@ -89,7 +90,7 @@ func (rc *RoutedClient) readOrder() []string {
 
 // ExecRead executes one read statement, failing over across endpoints:
 // an endpoint that refuses the connection, drops it mid-exchange, or
-// sheds the read (CodeStale past its staleness bound, CodeOverloaded) is
+// sheds the read (ErrStale past its staleness bound, ErrOverloaded) is
 // skipped for the next one in this call's rotation. Reads are idempotent,
 // so resending after an ambiguous transport failure is safe — the
 // asymmetry with ExecWrite is deliberate. attempts bounds full passes
@@ -112,25 +113,24 @@ func (rc *RoutedClient) ExecRead(ctx context.Context, stmt string, attempts int)
 				lastErr = fmt.Errorf("%s: %w", ep, err)
 				continue // refused: rotate to the next endpoint
 			}
-			resp, err := c.Exec(stmt)
+			resp, err := c.Do(ctx, stmt)
 			if err != nil {
 				rc.drop(ep)
 				lastErr = fmt.Errorf("%s: %w", ep, err)
 				continue // connection lost mid-exchange: fail over
 			}
-			switch resp.Code {
-			case CodeStale, CodeOverloaded, CodeReadOnly:
-				// CodeReadOnly on a read means the endpoint is not what
+			if rerr := resp.Err(); errors.Is(rerr, ErrStale) ||
+				errors.Is(rerr, ErrOverloaded) || errors.Is(rerr, ErrReadOnly) {
+				// ErrReadOnly on a read means the endpoint is not what
 				// the topology claims (e.g. a replica listed as primary
 				// rejecting SHOW is impossible, but a misconfigured
 				// middlebox is not); treat all three as this endpoint
 				// declining, and move on.
 				lastShed = resp
-				lastErr = fmt.Errorf("%s: %s", ep, resp.Error)
+				lastErr = fmt.Errorf("%s: %w", ep, rerr)
 				continue
-			default:
-				return resp, nil
 			}
+			return resp, nil
 		}
 		if pass < attempts-1 && !sleep(ctx, rc.backoff.Delay(pass)) {
 			return nil, ctx.Err()
@@ -143,7 +143,7 @@ func (rc *RoutedClient) ExecRead(ctx context.Context, stmt string, attempts int)
 }
 
 // ExecWrite executes one mutating statement against the primary with
-// mutation-safe retries (see Client.ExecMutation): dial failures and
+// mutation-safe retries (see WithMutation): dial failures and
 // pre-engine sheds retry, anything after bytes hit the wire does not.
 // Replicas are never tried — a READ_ONLY answer here means the topology
 // is misconfigured and is returned as an error.
@@ -154,19 +154,19 @@ func (rc *RoutedClient) ExecWrite(ctx context.Context, stmt string, attempts int
 	ep := rc.topo.Primary
 	c, err := rc.conn(ep)
 	if err != nil {
-		// Let ExecMutation own the retry schedule: hand it a client shell
-		// that starts disconnected.
+		// Let the mutation retry loop own the schedule: hand it a client
+		// shell that starts disconnected.
 		c = &Client{addr: ep}
 		rc.mu.Lock()
 		rc.conns[ep] = c
 		rc.mu.Unlock()
 	}
-	resp, err := c.ExecMutation(ctx, stmt, attempts, rc.backoff)
+	resp, err := c.Do(ctx, stmt, WithRetry(attempts, rc.backoff), WithMutation())
 	if err != nil {
 		rc.drop(ep)
 		return nil, err
 	}
-	if resp.Code == CodeReadOnly {
+	if errors.Is(resp.Err(), ErrReadOnly) {
 		return resp, fmt.Errorf("server: configured primary %s is a read-only replica", ep)
 	}
 	return resp, nil
@@ -195,7 +195,7 @@ func (rc *RoutedClient) StalenessOf(ep string) (lagLSN uint64, lag time.Duration
 	if err != nil {
 		return 0, 0, err
 	}
-	resp, err := c.Exec("SHOW TABLES")
+	resp, err := c.Do(context.Background(), "SHOW TABLES")
 	if err != nil {
 		rc.drop(ep)
 		return 0, 0, err

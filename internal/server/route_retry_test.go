@@ -200,7 +200,7 @@ func TestExecMutationNoRetryAfterPartialSend(t *testing.T) {
 	}
 	defer c.Close()
 	b := Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
-	_, err = c.ExecMutation(context.Background(), "INSERT INTO birds VALUES (1, 'x')", 5, b)
+	_, err = c.Do(context.Background(), "INSERT INTO birds VALUES (1, 'x')", WithRetry(5, b), WithMutation())
 	if err == nil {
 		t.Fatal("mutation over a dropping connection must error")
 	}
@@ -237,7 +237,7 @@ func TestExecMutationRetriesPreEngineShed(t *testing.T) {
 	}
 	defer c.Close()
 	b := Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
-	resp, err := c.ExecMutation(context.Background(), "INSERT INTO birds VALUES (1, 'x')", 5, b)
+	resp, err := c.Do(context.Background(), "INSERT INTO birds VALUES (1, 'x')", WithRetry(5, b), WithMutation())
 	if err != nil {
 		t.Fatalf("shed mutation should retry and succeed: %v", err)
 	}
@@ -285,7 +285,7 @@ func TestReplicaGate(t *testing.T) {
 	defer c.Close()
 
 	// Fresh read: served, stamped with the staleness bound.
-	resp, err := c.Exec("SELECT id FROM birds")
+	resp, err := c.Do(context.Background(), "SELECT id FROM birds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestReplicaGate(t *testing.T) {
 	}
 
 	// SHOW is a read too, and gets the stamp even without exec stats.
-	resp, err = c.Exec("SHOW TABLES")
+	resp, err = c.Do(context.Background(), "SHOW TABLES")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestReplicaGate(t *testing.T) {
 		"ADD ANNOTATION 'z' ON birds WHERE id = 1",
 		"CHECKPOINT",
 	} {
-		resp, err := c.Exec(stmt)
+		resp, err := c.Do(context.Background(), stmt)
 		if err != nil {
 			t.Fatalf("Exec(%q): %v", stmt, err)
 		}
@@ -327,7 +327,7 @@ func TestReplicaGate(t *testing.T) {
 
 	// CHECK TABLE is not a mutation: it verifies and repairs this
 	// node's own pages, so the replica gate lets it through.
-	resp, err = c.Exec("CHECK TABLE birds")
+	resp, err = c.Do(context.Background(), "CHECK TABLE birds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestReplicaGate(t *testing.T) {
 
 	// Past the bound: reads shed with the structured STALE error.
 	fake.stale = true
-	resp, err = c.Exec("SELECT id FROM birds")
+	resp, err = c.Do(context.Background(), "SELECT id FROM birds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +345,7 @@ func TestReplicaGate(t *testing.T) {
 		t.Fatalf("stale read = %+v, want code %s with retry hint", resp, CodeStale)
 	}
 	// ...but CHECK TABLE still runs — bit rot doesn't wait for the link.
-	resp, err = c.Exec("CHECK TABLE birds")
+	resp, err = c.Do(context.Background(), "CHECK TABLE birds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +353,7 @@ func TestReplicaGate(t *testing.T) {
 		t.Fatalf("CHECK TABLE on stale replica = %+v, want ok", resp)
 	}
 	// A mutation still reports READ_ONLY (routing beats retrying).
-	resp, err = c.Exec("INSERT INTO birds VALUES (2, 'x')")
+	resp, err = c.Do(context.Background(), "INSERT INTO birds VALUES (2, 'x')")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,11 +39,32 @@ import (
 )
 
 // Request is one client command.
+//
+// Kind selects the request's shape. The default (empty or "exec") executes
+// Stmt as statement text; the prepared-statement kinds carry the pieces as
+// structured fields so clients never have to render SQL literals:
+//
+//	{"kind":"prepare","name":"by_id","stmt":"SELECT * FROM t WHERE id = $1"}
+//	{"kind":"execute","name":"by_id","args":[7]}
+//	{"kind":"deallocate","name":"by_id"}
+//
+// An exec-kind request may also carry Args: the server binds them to the
+// statement's $n placeholders for a one-shot parameterized execution (the
+// unnamed-prepared-statement pattern).
 type Request struct {
-	// Stmt is the statement to execute.
-	Stmt string `json:"stmt"`
+	// Stmt is the statement to execute (the template text for "prepare";
+	// unused for "execute" and "deallocate").
+	Stmt string `json:"stmt,omitempty"`
 	// Trace requests the under-the-hood operator log for SELECTs.
 	Trace bool `json:"trace,omitempty"`
+	// Kind is the request kind: "" or "exec" (default), "prepare",
+	// "execute", or "deallocate".
+	Kind string `json:"kind,omitempty"`
+	// Name is the prepared-statement name for the prepared kinds.
+	Name string `json:"name,omitempty"`
+	// Args are positional parameter values: $1 is Args[0]. Used by
+	// "execute" and by parameterized "exec" requests.
+	Args []types.Value `json:"args,omitempty"`
 }
 
 // Response is the server's reply.
@@ -55,12 +76,12 @@ type Response struct {
 	Code string `json:"code,omitempty"`
 	// RetryAfterMS accompanies CodeOverloaded: the server's hint for how
 	// long to back off before retrying. Client.ExecRetry honors it.
-	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
-	Message string     `json:"message,omitempty"`
-	QID     int        `json:"qid,omitempty"`
-	Columns []string   `json:"columns,omitempty"`
-	Rows    []RowJSON  `json:"rows,omitempty"`
-	Trace   []TraceRow `json:"trace,omitempty"`
+	RetryAfterMS int64      `json:"retry_after_ms,omitempty"`
+	Message      string     `json:"message,omitempty"`
+	QID          int        `json:"qid,omitempty"`
+	Columns      []string   `json:"columns,omitempty"`
+	Rows         []RowJSON  `json:"rows,omitempty"`
+	Trace        []TraceRow `json:"trace,omitempty"`
 	// Stats is the per-statement runtime summary line (rows, wall time,
 	// envelope operations) for statements that report one. Kept for
 	// existing clients; StatsDetail carries the same numbers structured.
@@ -448,6 +469,10 @@ func (s *Server) execute(req Request) (resp Response) {
 	if err := failpoint.Eval(failpoint.ServerExecPanic); err != nil {
 		panic(err)
 	}
+	preStmt, stmtText, err := resolveRequest(req)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
 	ctx := s.baseCtx
 	if s.StatementTimeout > 0 {
 		var cancel context.CancelFunc
@@ -457,7 +482,7 @@ func (s *Server) execute(req Request) (resp Response) {
 	// The lifecycle trace starts here, at the wire, so the admission-queue
 	// wait is its first span and engine spans (parse, plan, exec, WAL) nest
 	// in the same trace.
-	at := s.db.Tracer().Start(req.Stmt)
+	at := s.db.Tracer().Start(stmtText)
 	traceID := ""
 	if at != nil {
 		traceID = at.ID().String()
@@ -466,7 +491,7 @@ func (s *Server) execute(req Request) (resp Response) {
 	// staleness bound holds. The gate runs before admission so a rejected
 	// statement never consumes an execution slot.
 	if s.Replica != nil {
-		if resp, rejected := s.replicaGate(req.Stmt, at, traceID); rejected {
+		if resp, rejected := s.replicaGate(stmtText, preStmt, at, traceID); rejected {
 			return resp
 		}
 	}
@@ -497,12 +522,17 @@ func (s *Server) execute(req Request) (resp Response) {
 		s.testHookExec(req)
 	}
 	opts := []engine.StatementOption{engine.WithActiveTrace(at), engine.WithQueueWait(queueWait)}
-	var res *engine.Result
-	var err error
 	if req.Trace {
-		res, err = s.db.Query(ctx, req.Stmt, append(opts, engine.WithTrace())...)
-	} else {
-		res, err = s.db.Exec(ctx, req.Stmt, opts...)
+		opts = append(opts, engine.WithTrace())
+	}
+	var res *engine.Result
+	switch {
+	case preStmt != nil:
+		res, err = s.db.ExecStatement(ctx, preStmt, stmtText, opts...)
+	case req.Trace:
+		res, err = s.db.Query(ctx, stmtText, opts...)
+	default:
+		res, err = s.db.Exec(ctx, stmtText, opts...)
 	}
 	if err != nil {
 		if errors.Is(err, storage.ErrCorrupt) {
@@ -567,22 +597,102 @@ func (s *Server) execute(req Request) (resp Response) {
 	return resp
 }
 
+// resolveRequest maps a request's kind onto the execution path. Most
+// requests resolve to statement text alone; two shapes resolve to a
+// pre-built AST (stmt non-nil) that execute dispatches through
+// engine.ExecStatement, so structured argument values never have to
+// survive a render-reparse round trip:
+//
+//   - "execute": an sql.Execute carrying the args as Literal values
+//     (rendered text is still returned — it is the trace label)
+//   - "exec" with Args: the one-shot parameterized form; the statement is
+//     parsed and its $n placeholders bound here
+//
+// The other prepared kinds are synthesized into text and flow through the
+// ordinary parse path, so PREPARE via the wire and PREPARE typed into a
+// REPL are the same statement.
+func resolveRequest(req Request) (sql.Statement, string, error) {
+	kind := strings.ToLower(req.Kind)
+	if kind != "" && kind != "exec" && req.Name == "" {
+		return nil, "", fmt.Errorf("bad request: kind %q requires a statement name", req.Kind)
+	}
+	switch kind {
+	case "", "exec":
+		if len(req.Args) == 0 {
+			return nil, req.Stmt, nil
+		}
+		stmt, err := sql.Parse(req.Stmt)
+		if err != nil {
+			return nil, "", err
+		}
+		bound, err := sql.BindParams(stmt, req.Args)
+		if err != nil {
+			return nil, "", err
+		}
+		return bound, bound.String(), nil
+	case "prepare":
+		if strings.TrimSpace(req.Stmt) == "" {
+			return nil, "", fmt.Errorf("bad request: prepare requires a statement")
+		}
+		return nil, "PREPARE " + req.Name + " AS " + req.Stmt, nil
+	case "execute":
+		ex := &sql.Execute{Name: req.Name}
+		for _, v := range req.Args {
+			ex.Args = append(ex.Args, &sql.Literal{Val: v})
+		}
+		return ex, ex.String(), nil
+	case "deallocate":
+		return nil, "DEALLOCATE " + req.Name, nil
+	default:
+		return nil, "", fmt.Errorf("bad request: unknown kind %q", req.Kind)
+	}
+}
+
 // replicaGate classifies one statement for replica mode: mutations are
 // rejected with CodeReadOnly, reads past the staleness bound are shed
 // with CodeStale, and admissible reads pass through (false). Unparsable
 // statements pass through too — the engine produces its usual error.
-func (s *Server) replicaGate(stmtText string, at *trace.Active, traceID string) (Response, bool) {
-	stmt, err := sql.Parse(stmtText)
-	if err != nil {
-		return Response{}, false
+// When the request resolved to a pre-built AST (pre non-nil), it is
+// classified directly; its rendered text may elide detail and must not be
+// re-parsed.
+func (s *Server) replicaGate(stmtText string, pre sql.Statement, at *trace.Active, traceID string) (Response, bool) {
+	stmt := pre
+	if stmt == nil {
+		var err error
+		stmt, err = sql.Parse(stmtText)
+		if err != nil {
+			return Response{}, false
+		}
 	}
-	switch stmt.(type) {
+	switch st := stmt.(type) {
 	case *sql.CheckTable:
 		// CHECK TABLE verifies and repairs this node's own pages — no
 		// logical state changes — and a replica is exactly where
 		// on-demand repair from the primary matters, so it passes even
 		// past the staleness bound (bit rot doesn't wait for the link).
 		return Response{}, false
+	case *sql.Prepare, *sql.Deallocate:
+		// Registry-only operations: they touch the local prepared-statement
+		// registry, never the replicated data, so they pass even past the
+		// staleness bound (a client warming its statements on a lagging
+		// replica is fine — EXECUTE is where staleness is enforced).
+		return Response{}, false
+	case *sql.Execute:
+		// EXECUTE inherits its template's classification. A read template
+		// falls through to the staleness check below; a mutating one is
+		// rejected here so the replica never diverges locally. An unknown
+		// name passes — the engine produces its usual error.
+		if tmpl, ok := s.db.PreparedTemplate(st.Name); ok {
+			switch tmpl.(type) {
+			case *sql.Select, *sql.Show, *sql.Explain, *sql.ZoomIn:
+			default:
+				s.readOnly.Inc()
+				kind := strings.TrimPrefix(fmt.Sprintf("%T", tmpl), "*sql.")
+				rerr := fmt.Errorf("replica is read-only: EXECUTE %s is a %s and must run on the primary", st.Name, kind)
+				at.Finish("read_only_reject", rerr)
+				return Response{Error: rerr.Error(), Code: CodeReadOnly, TraceID: traceID}, true
+			}
+		}
 	case *sql.Select, *sql.Show, *sql.Explain, *sql.ZoomIn:
 	default:
 		s.readOnly.Inc()

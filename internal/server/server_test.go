@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -33,7 +34,7 @@ func startServer(t *testing.T) (*Server, *Client) {
 
 func mustClient(t *testing.T, c *Client, stmt string) *Response {
 	t.Helper()
-	resp, err := c.Exec(stmt)
+	resp, err := c.Do(context.Background(), stmt)
 	if err != nil {
 		t.Fatalf("Exec(%q): %v", stmt, err)
 	}
@@ -79,7 +80,7 @@ func TestServerEndToEnd(t *testing.T) {
 
 func TestServerErrorsAndBadInput(t *testing.T) {
 	_, c := startServer(t)
-	resp, err := c.Exec("SELECT a FROM missing")
+	resp, err := c.Do(context.Background(), "SELECT a FROM missing")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestServerTracedQuery(t *testing.T) {
 	_, c := startServer(t)
 	mustClient(t, c, "CREATE TABLE t (a INT)")
 	mustClient(t, c, "INSERT INTO t VALUES (1)")
-	resp, err := c.ExecTraced("SELECT a FROM t")
+	resp, err := c.Do(context.Background(), "SELECT a FROM t", WithTrace())
 	if err != nil || !resp.OK {
 		t.Fatalf("%+v, %v", resp, err)
 	}
@@ -136,11 +137,11 @@ func TestServerConcurrentClients(t *testing.T) {
 			defer cl.Close()
 			for i := 0; i < 25; i++ {
 				stmt := fmt.Sprintf("INSERT INTO t VALUES (%d, 'g%d')", g*100+i, g)
-				if resp, err := cl.Exec(stmt); err != nil || !resp.OK {
+				if resp, err := cl.Do(context.Background(), stmt); err != nil || !resp.OK {
 					errs <- fmt.Errorf("insert: %v %+v", err, resp)
 					return
 				}
-				if resp, err := cl.Exec("SELECT COUNT(*) FROM t"); err != nil || !resp.OK {
+				if resp, err := cl.Do(context.Background(), "SELECT COUNT(*) FROM t"); err != nil || !resp.OK {
 					errs <- fmt.Errorf("count: %v %+v", err, resp)
 					return
 				}

@@ -5,6 +5,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -93,7 +94,7 @@ func TestTraceOverWire(t *testing.T) {
 
 	// Errors still carry the trace id so the failed statement can be
 	// looked up.
-	errResp, err := c.Exec("UPDATE birds SET nope = 1 WHERE id = 7")
+	errResp, err := c.Do(context.Background(), "UPDATE birds SET nope = 1 WHERE id = 7")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestTraceOverWire(t *testing.T) {
 
 	// stats_detail cross-links the same trace id and surfaces the
 	// admission-queue wait as its own field.
-	sel, err := c.ExecTraced("SELECT hits FROM birds WHERE id = 7")
+	sel, err := c.Do(context.Background(), "SELECT hits FROM birds WHERE id = 7", WithTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestShedTraceRetained(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c1.Close()
-	go c1.Exec("SELECT 1") // parks in the exec hook holding the one slot
+	go c1.Do(context.Background(), "SELECT 1") // parks in the exec hook holding the one slot
 	<-entered
 	defer close(release)
 
@@ -225,7 +226,7 @@ func TestShedTraceRetained(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	resp, err := c2.Exec("SELECT 2") // queues, then sheds at the timeout
+	resp, err := c2.Do(context.Background(), "SELECT 2") // queues, then sheds at the timeout
 	if err != nil {
 		t.Fatal(err)
 	}

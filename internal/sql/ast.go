@@ -83,7 +83,14 @@ type SummaryCall struct {
 	Label    string // SUMMARY_COUNT only
 }
 
+// Param is a positional placeholder ($1, $2, ...) in a prepared
+// statement. Index is 1-based. A Param survives only until EXECUTE binds
+// it: BindParams substitutes a Literal before planning, so the planner,
+// compiler, and executor never see one.
+type Param struct{ Index int }
+
 func (*Literal) exprNode()     {}
+func (*Param) exprNode()       {}
 func (*ColRef) exprNode()      {}
 func (*BinaryExpr) exprNode()  {}
 func (*UnaryExpr) exprNode()   {}
@@ -95,6 +102,9 @@ func (*BetweenExpr) exprNode() {}
 
 // String implements Expr.
 func (e *Literal) String() string { return e.Val.SQLString() }
+
+// String implements Expr.
+func (e *Param) String() string { return fmt.Sprintf("$%d", e.Index) }
 
 // String implements Expr.
 func (e *ColRef) String() string { return e.Name }
@@ -333,6 +343,37 @@ type ZoomIn struct {
 	Index    int
 }
 
+// Prepare is PREPARE name AS <statement>: parse and register a statement
+// template whose expressions may contain positional placeholders
+// ($1...$n), for later EXECUTE. Text is the template's SQL (everything
+// after AS), kept verbatim so the engine can key its plan cache on it.
+type Prepare struct {
+	Name string
+	Stmt Statement
+	Text string
+}
+
+// Execute is EXECUTE name [USING expr, ...] (or the parenthesized
+// EXECUTE name (expr, ...) form): run a prepared statement with the
+// given argument values bound to its placeholders. Arguments must be
+// constant expressions (literals, possibly negated).
+type Execute struct {
+	Name string
+	Args []Expr
+}
+
+// Deallocate is DEALLOCATE [PREPARE] name: drop a prepared statement.
+type Deallocate struct{ Name string }
+
+// BulkInsert is BULK INSERT INTO table VALUES (...), (...): the
+// COPY-style ingest path. Unlike Insert it takes the statement lock
+// once for the whole batch, stages one batched WAL record, and feeds
+// downstream maintenance in batches.
+type BulkInsert struct {
+	Table string
+	Rows  [][]Expr
+}
+
 // Checkpoint is CHECKPOINT: persist a snapshot of the full database
 // state to the durability directory and rotate the write-ahead log.
 // Errors when the engine was opened without durability.
@@ -378,6 +419,39 @@ func (*ZoomIn) stmtNode()                {}
 func (*Show) stmtNode()                  {}
 func (*Checkpoint) stmtNode()            {}
 func (*CheckTable) stmtNode()            {}
+func (*Prepare) stmtNode()               {}
+func (*Execute) stmtNode()               {}
+func (*Deallocate) stmtNode()            {}
+func (*BulkInsert) stmtNode()            {}
+
+// String implements Statement.
+func (s *Prepare) String() string {
+	return fmt.Sprintf("PREPARE %s AS %s", s.Name, s.Stmt)
+}
+
+// String implements Statement.
+func (s *Execute) String() string {
+	var b strings.Builder
+	b.WriteString("EXECUTE " + s.Name)
+	if len(s.Args) > 0 {
+		b.WriteString(" USING ")
+		for i, a := range s.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+	}
+	return b.String()
+}
+
+// String implements Statement.
+func (s *Deallocate) String() string { return "DEALLOCATE " + s.Name }
+
+// String implements Statement.
+func (s *BulkInsert) String() string {
+	return fmt.Sprintf("BULK INSERT INTO %s VALUES ... (%d rows)", s.Table, len(s.Rows))
+}
 
 // String implements Statement.
 func (s *Checkpoint) String() string { return "CHECKPOINT" }

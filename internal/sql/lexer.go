@@ -20,7 +20,7 @@ const (
 	TokNumber
 	TokString
 	TokOp    // operators and punctuation: = <> != < <= > >= + - * / ( ) , ; .
-	TokParam // reserved for future use
+	TokParam // positional placeholder: $1, $2, ... (Text holds the digits)
 )
 
 // Token is one lexical token with its source position (1-based).
@@ -109,6 +109,15 @@ scan:
 			l.pos++
 		}
 		return Token{}, fmt.Errorf("sql: unterminated string at position %d", start+1)
+	case c == '$':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		if l.pos == start+1 {
+			return Token{}, fmt.Errorf("sql: '$' must be followed by a parameter number at position %d", start+1)
+		}
+		return Token{Kind: TokParam, Text: l.src[start+1 : l.pos], Pos: start + 1}, nil
 	case strings.ContainsRune("=<>!+-*/(),;.", rune(c)):
 		// Two-character operators first.
 		if l.pos+1 < len(l.src) {
@@ -153,6 +162,7 @@ func init() {
 		"TO", "ZOOMIN", "REFERENCE", "QID", "SHOW", "TABLES", "SUMMARIES", "METRICS", "CHECKPOINT",
 		"ANNOTATIONS", "COUNT", "SUM", "AVG", "MIN", "MAX",
 		"CHECK", "INTEGRITY",
+		"PREPARE", "EXECUTE", "DEALLOCATE", "BULK", "USING",
 	} {
 		keywords[k] = true
 	}

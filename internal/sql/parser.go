@@ -10,6 +10,7 @@ import (
 
 // Parser consumes a token stream into statements.
 type Parser struct {
+	src  string
 	toks []Token
 	pos  int
 }
@@ -32,7 +33,7 @@ func ParseAll(src string) ([]Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Parser{toks: toks}
+	p := &Parser{src: src, toks: toks}
 	var stmts []Statement
 	for {
 		for p.acceptOp(";") {
@@ -176,6 +177,14 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseDrop()
 	case p.isKeyword("INSERT"):
 		return p.parseInsert()
+	case p.isKeyword("BULK"):
+		return p.parseBulkInsert()
+	case p.isKeyword("PREPARE"):
+		return p.parsePrepare()
+	case p.isKeyword("EXECUTE"):
+		return p.parseExecute()
+	case p.isKeyword("DEALLOCATE"):
+		return p.parseDeallocate()
 	case p.isKeyword("UPDATE"):
 		return p.parseUpdate()
 	case p.isKeyword("DELETE"):
@@ -482,33 +491,57 @@ func (p *Parser) parseDrop() (Statement, error) {
 
 func (p *Parser) parseInsert() (Statement, error) {
 	p.advance() // INSERT
-	if err := p.expectKeyword("INTO"); err != nil {
-		return nil, err
-	}
-	table, err := p.expectIdent("table name")
+	table, rows, err := p.parseInsertBody()
 	if err != nil {
 		return nil, err
 	}
-	if err := p.expectKeyword("VALUES"); err != nil {
+	return &Insert{Table: table, Rows: rows}, nil
+}
+
+// parseBulkInsert parses BULK INSERT INTO table VALUES (...), (...) —
+// the same grammar as INSERT, dispatched to the batched ingest path.
+func (p *Parser) parseBulkInsert() (Statement, error) {
+	p.advance() // BULK
+	if err := p.expectKeyword("INSERT"); err != nil {
 		return nil, err
+	}
+	table, rows, err := p.parseInsertBody()
+	if err != nil {
+		return nil, err
+	}
+	return &BulkInsert{Table: table, Rows: rows}, nil
+}
+
+// parseInsertBody parses INTO table VALUES (...), (...) — the shared
+// tail of INSERT and BULK INSERT (the leading keyword(s) are consumed).
+func (p *Parser) parseInsertBody() (string, [][]Expr, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return "", nil, err
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return "", nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return "", nil, err
 	}
 	var rows [][]Expr
 	for {
 		if err := p.expectOp("("); err != nil {
-			return nil, err
+			return "", nil, err
 		}
 		var row []Expr
 		for {
 			e, err := p.parseExpr()
 			if err != nil {
-				return nil, err
+				return "", nil, err
 			}
 			row = append(row, e)
 			if p.acceptOp(",") {
 				continue
 			}
 			if err := p.expectOp(")"); err != nil {
-				return nil, err
+				return "", nil, err
 			}
 			break
 		}
@@ -517,7 +550,90 @@ func (p *Parser) parseInsert() (Statement, error) {
 			break
 		}
 	}
-	return &Insert{Table: table, Rows: rows}, nil
+	return table, rows, nil
+}
+
+// parsePrepare parses PREPARE name AS <statement>. The template's SQL
+// text (everything after AS) is captured verbatim for plan-cache keying.
+func (p *Parser) parsePrepare() (Statement, error) {
+	p.advance() // PREPARE
+	name, err := p.expectIdent("prepared-statement name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	start := p.peek().Pos - 1
+	if start < 0 || start > len(p.src) {
+		start = len(p.src)
+	}
+	switch {
+	case p.isKeyword("PREPARE"):
+		return nil, p.errf("PREPARE cannot nest")
+	case p.isKeyword("EXECUTE"), p.isKeyword("DEALLOCATE"):
+		return nil, p.errf("cannot prepare %s", strings.ToUpper(p.peek().Text))
+	}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	end := len(p.src)
+	if t := p.peek(); t.Kind != TokEOF && t.Pos-1 >= start && t.Pos-1 <= len(p.src) {
+		end = t.Pos - 1
+	}
+	text := strings.TrimSpace(p.src[start:end])
+	return &Prepare{Name: name, Stmt: stmt, Text: text}, nil
+}
+
+// parseExecute parses EXECUTE name [USING expr, ...], also accepting the
+// parenthesized EXECUTE name (expr, ...) form.
+func (p *Parser) parseExecute() (Statement, error) {
+	p.advance() // EXECUTE
+	name, err := p.expectIdent("prepared-statement name")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &Execute{Name: name}
+	paren := false
+	switch {
+	case p.acceptKeyword("USING"):
+	case p.acceptOp("("):
+		paren = true
+		if p.acceptOp(")") {
+			return stmt, nil
+		}
+	default:
+		return stmt, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Args = append(stmt.Args, e)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if paren {
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+// parseDeallocate parses DEALLOCATE [PREPARE] name.
+func (p *Parser) parseDeallocate() (Statement, error) {
+	p.advance() // DEALLOCATE
+	p.acceptKeyword("PREPARE")
+	name, err := p.expectIdent("prepared-statement name")
+	if err != nil {
+		return nil, err
+	}
+	return &Deallocate{Name: name}, nil
 }
 
 func (p *Parser) parseSelect() (Statement, error) {
@@ -1117,6 +1233,13 @@ func (p *Parser) parsePrimary() (Expr, error) {
 	case t.Kind == TokString:
 		p.advance()
 		return &Literal{Val: types.NewString(t.Text)}, nil
+	case t.Kind == TokParam:
+		p.advance()
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 1 {
+			return nil, p.errf("bad parameter number $%s", t.Text)
+		}
+		return &Param{Index: n}, nil
 	case p.acceptKeyword("TRUE"):
 		return &Literal{Val: types.NewBool(true)}, nil
 	case p.acceptKeyword("FALSE"):

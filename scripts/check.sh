@@ -26,7 +26,7 @@ declared=$(grep -oE '"insightnotes_[a-z0-9_]+"' internal/metrics/names.go | tr -
 # The <layer> segment must come from the known-layer list below, so a
 # typo'd family (insightnotes_replication_* vs insightnotes_repl_*) or an
 # unreviewed new layer fails here instead of fragmenting dashboards.
-layers='engine|summary|exec|bufferpool|plan|zoomin|server|admission|wal|maintenance|trace|build|process|repl|integrity'
+layers='engine|summary|exec|bufferpool|plan|plancache|zoomin|server|admission|wal|maintenance|trace|build|process|repl|integrity'
 for name in $declared; do
 	if ! printf '%s' "$name" | grep -qE '^insightnotes_[a-z][a-z0-9]*_[a-z][a-z0-9_]*$'; then
 		echo "  declared name $name violates the insightnotes_<layer>_<name> scheme" >&2
@@ -79,6 +79,23 @@ for name in $declared; do
 		fail=1
 	fi
 done
+[ "$fail" -eq 0 ] || exit 1
+
+# Deprecated-client-method lint: the wire client is context-first too —
+# Client.Do with CallOptions (WithArgs, WithTrace, WithRetry, WithMutation)
+# replaced ExecTraced/ExecRetry/ExecMutation. The old methods survive only
+# as compat wrappers in internal/server/compat.go; new call sites in
+# non-test code fail here.
+echo ">> deprecated client-method lint"
+fail=0
+found=$(grep -rnE '\.(ExecTraced|ExecRetry|ExecMutation)\(' \
+	--include='*.go' --exclude='*_test.go' \
+	internal cmd examples 2>/dev/null | grep -v '^internal/server/compat.go' || true)
+if [ -n "$found" ]; then
+	echo "  deprecated client method call site (migrate to Client.Do with CallOptions):" >&2
+	printf '%s\n' "$found" >&2
+	fail=1
+fi
 [ "$fail" -eq 0 ] || exit 1
 
 # Context-suffix lint: the statement API is context-first (Query, Exec,
